@@ -1,0 +1,66 @@
+"""Example 4.5: the full reducer for {p(A,B), q(B,C), r(C,D)}.
+
+Checks the exact first-half / second-half structure printed in the paper and
+benchmarks full-reducer execution against recomputing the join from scratch —
+the efficiency argument behind steps 1-2 of Section 4's algorithm.
+"""
+
+import random
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+from repro.hypergraph.semijoin import execute_full_reducer, first_half, full_reducer, second_half
+from repro.relational.algebra import natural_join_all
+from repro.relational.relation import Relation
+
+
+def example45_tree():
+    hypergraph = Hypergraph({"p": {"A", "B"}, "q": {"B", "C"}, "r": {"C", "D"}})
+    return build_join_tree(hypergraph, root="q")
+
+
+def random_chain_relations(size: int, seed: int = 0):
+    rng = random.Random(seed)
+    domain = range(max(4, size // 2))
+    make = lambda cols: Relation.from_rows(
+        cols[0].lower() + cols[1].lower(),
+        cols,
+        {(rng.choice(domain), rng.choice(domain)) for _ in range(size)},
+    )
+    return {
+        "p": make(("A", "B")).with_name("p"),
+        "q": make(("B", "C")).with_name("q"),
+        "r": make(("C", "D")).with_name("r"),
+    }
+
+
+def test_example45_reducer_structure(benchmark, record):
+    tree = example45_tree()
+    steps = benchmark(lambda: full_reducer(tree))
+    assert len(steps) == 4
+    assert [s.target for s in first_half(tree)] == ["q", "q"]
+    assert [s.source for s in second_half(tree)] == ["q", "q"]
+    record(paper_claim="first half: q := q ⋉ r; q := q ⋉ p — second half flipped", steps=len(steps))
+
+
+@pytest.mark.parametrize("size", [50, 200])
+def test_full_reducer_execution(benchmark, record, size):
+    tree = example45_tree()
+    relations = random_chain_relations(size)
+    reduced = benchmark(lambda: execute_full_reducer(tree, relations))
+    joined = natural_join_all(list(relations.values()))
+    for label, relation in reduced.items():
+        columns = [c for c in relation.columns if c in joined.columns]
+        assert len(relation) == len(joined.project(columns))
+    record(relation_size=size)
+
+
+@pytest.mark.parametrize("size", [200])
+def test_baseline_recompute_join(benchmark, record, size):
+    """The ablation baseline: recomputing the full join instead of semijoin-reducing."""
+    relations = random_chain_relations(size)
+    result = benchmark(lambda: natural_join_all(list(relations.values())))
+    assert result is not None
+    record(relation_size=size, note="baseline full join (no reducer)")

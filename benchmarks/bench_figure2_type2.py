@@ -1,0 +1,61 @@
+"""Figure 2 / type-2 instantiation examples.
+
+Reproduces the two type-2 examples of Section 2: the transitivity metaquery
+instantiated against the widened ``UsPT(User, PhoneType, Model)`` relation
+(the head picks up a padding variable), and the cover-1 inclusion
+``UsCa(X,_) <- UsPt(X,_,_)``.  The benchmark also measures the blow-up of the
+type-2 candidate space versus type-0/1 (the ``(n b^a)^(m-1)`` factor of
+Section 4's cost analysis).
+"""
+
+from repro.core.answers import Thresholds
+from repro.core.instantiation import count_instantiations
+from repro.core.metaquery import parse_metaquery
+from repro.core.naive import naive_find_rules
+from repro.workloads.telecom import db1_prime, transitivity_metaquery_text
+
+MQ = parse_metaquery(transitivity_metaquery_text())
+INCLUSION = parse_metaquery("I(X) <- O(X)")
+
+
+def test_figure2_type2_instantiation_space(benchmark, record):
+    db = db1_prime()
+    counts = benchmark(
+        lambda: {itype: count_instantiations(MQ, db, itype) for itype in (1, 2)}
+    )
+    type0 = count_instantiations(MQ, db, 0)
+    assert type0 < counts[1] < counts[2]
+    record(
+        paper_claim="type-2 candidate space dominates type-1 dominates type-0",
+        type0=type0,
+        type1=counts[1],
+        type2=counts[2],
+    )
+
+
+def test_figure2_type2_head_padded_to_arity3(benchmark, record):
+    db = db1_prime()
+    answers = benchmark(lambda: naive_find_rules(db, MQ, Thresholds(0.3, 0.5, 0.3), 2))
+    padded = [
+        a
+        for a in answers
+        if a.rule.head.predicate == "uspt"
+        and {atom.predicate for atom in a.rule.body} == {"usca", "cate"}
+    ]
+    assert padded
+    assert all(answer.rule.head.arity == 3 for answer in padded)
+    record(paper_claim="UsPT(X,Z,T) <- UsCa(Y,X), CaTe(Y,Z) is an answer", matches=len(padded))
+
+
+def test_figure2_cover_one_inclusion(benchmark, record):
+    db = db1_prime()
+    answers = benchmark(
+        lambda: naive_find_rules(db, INCLUSION, Thresholds(cover=0.99), 2)
+    )
+    usca_from_uspt = [
+        a
+        for a in answers
+        if a.rule.head.predicate == "usca" and a.rule.body[0].predicate == "uspt"
+    ]
+    assert usca_from_uspt and all(a.cover == 1 for a in usca_from_uspt)
+    record(paper_claim="UsCa(X,Z) <- UsPt(X,H) has cover 1", measured_cover=1.0)

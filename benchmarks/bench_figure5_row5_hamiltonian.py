@@ -1,0 +1,36 @@
+"""Figure 5 row 5 — acyclic metaqueries, types 1/2, threshold 0: NP-complete (Thm 3.33).
+
+Acyclicity stops helping as soon as the instantiation type may permute
+arguments: the Hamiltonian-path reduction produces *acyclic* metaqueries
+whose type-1/2 evaluation encodes the path search.  The benchmark sweeps the
+node count and always cross-checks the engine against the backtracking
+reference solver.
+"""
+
+import pytest
+
+from repro.core.acyclicity import classify
+from repro.reductions.hamiltonian import hamiltonian_path_reduction, has_hamiltonian_path
+from repro.workloads.graphs import disconnected_graph, random_hamiltonian_graph, star_graph
+
+
+@pytest.mark.parametrize("nodes", [4, 5])
+@pytest.mark.parametrize("itype", [1, 2])
+def test_hamiltonian_yes_instances(benchmark, record, nodes, itype):
+    graph = random_hamiltonian_graph(nodes, extra_edge_probability=0.2, seed=nodes)
+    problem = hamiltonian_path_reduction(graph, index="sup", itype=itype)
+    assert classify(problem.mq) == "acyclic"
+    verdict = benchmark(problem.decide)
+    assert verdict == has_hamiltonian_path(graph) is True
+    record(nodes=nodes, itype=itype, verdict=verdict)
+
+
+@pytest.mark.parametrize(
+    "name,graph",
+    [("star", star_graph(3)), ("disconnected", disconnected_graph([2, 2]))],
+)
+def test_hamiltonian_no_instances(benchmark, record, name, graph):
+    problem = hamiltonian_path_reduction(graph, index="cvr", itype=1)
+    verdict = benchmark(problem.decide)
+    assert verdict == has_hamiltonian_path(graph) is False
+    record(graph=name, verdict=verdict)

@@ -1,0 +1,65 @@
+"""Figure 5 row 7 — acyclic, types 1/2, cover/support with thresholds: NP-complete (Thm 3.34).
+
+The hardness carries over from the threshold-0 case by the trivial lifting of
+Theorem 3.34; membership stays in NP by Theorem 3.24.  The benchmark lifts
+the Hamiltonian-path instances to non-zero support/cover thresholds and also
+runs the engine on an acyclic chain template with thresholds, the "easy in
+practice" counterpart the FindRules support gate handles well.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import Thresholds
+from repro.core.findrules import find_rules
+from repro.core.naive import naive_decide
+from repro.reductions.hamiltonian import hamiltonian_database, hamiltonian_metaquery, has_hamiltonian_path
+from repro.workloads.graphs import path_graph, random_hamiltonian_graph, star_graph
+from repro.workloads.synthetic import chain_database, chain_metaquery
+
+
+@pytest.mark.parametrize("index", ["sup", "cvr"])
+@pytest.mark.parametrize("k", [Fraction(0), Fraction(1, 2)])
+def test_thresholded_hamiltonian_instances(benchmark, record, index, k):
+    """For the reduction's database the witnessing instantiation has support
+    and cover 1, so any threshold below 1 keeps the YES/NO verdict aligned
+    with Hamiltonicity."""
+    graph = random_hamiltonian_graph(4, extra_edge_probability=0.3, seed=9)
+    db = hamiltonian_database(graph)
+    mq = hamiltonian_metaquery(graph)
+    verdict = benchmark(lambda: naive_decide(db, mq, index, k, 1))
+    assert verdict == has_hamiltonian_path(graph) is True
+    record(index=index, threshold=str(k), verdict=verdict)
+
+
+@pytest.mark.parametrize("index", ["sup", "cvr"])
+def test_thresholded_no_instance(benchmark, record, index):
+    graph = star_graph(3)
+    db = hamiltonian_database(graph)
+    mq = hamiltonian_metaquery(graph)
+    verdict = benchmark(lambda: naive_decide(db, mq, index, Fraction(1, 2), 1))
+    assert verdict is False
+    record(index=index, graph="star-3", verdict=verdict)
+
+
+def test_acyclic_threshold_mining_with_findrules(benchmark, record):
+    """The constructive counterpart: FindRules answers thresholded acyclic
+    type-1 metaqueries on a mining workload without exploring the full
+    instantiation space."""
+    db = chain_database(relations=4, tuples_per_relation=40, seed=11)
+    mq = chain_metaquery(2)
+    thresholds = Thresholds(support=0.2, cover=0.05)
+    answers = benchmark(lambda: find_rules(db, mq, thresholds, 1))
+    record(answers=len(answers))
+
+
+def test_type0_path_graph_sanity(benchmark, record):
+    """Under type-1 the reduction is faithful even on the path graph whose
+    node-list order is *not* the Hamiltonian order."""
+    graph = path_graph(5)
+    db = hamiltonian_database(graph)
+    mq = hamiltonian_metaquery(graph)
+    verdict = benchmark(lambda: naive_decide(db, mq, "sup", Fraction(1, 2), 1))
+    assert verdict is True
+    record(graph="path-5", verdict=verdict)

@@ -1,0 +1,43 @@
+"""Figure 5 row 9 — semi-acyclic metaqueries, threshold 0: NP-complete (Thm 3.35).
+
+Dropping the predicate variables from the hypergraph (semi-acyclicity) is not
+enough to recover tractability: the per-node predicate-variable 3-COLORING
+reduction produces semi-acyclic type-0 instances whose evaluation still
+encodes graph coloring.  The benchmark checks the structural claim (the
+metaquery is semi-acyclic but not acyclic) and the verdict against the
+reference solver while sweeping the graph size.
+"""
+
+import pytest
+
+from repro.core.acyclicity import classify, is_semi_acyclic_metaquery
+from repro.reductions.coloring import is_3colorable, semi_acyclic_coloring_reduction
+from repro.workloads.graphs import complete_graph, cycle_graph, random_3colorable_graph
+
+
+@pytest.mark.parametrize("nodes", [3, 4, 5])
+def test_semi_acyclic_coloring_scaling(benchmark, record, nodes):
+    graph = random_3colorable_graph(nodes, edge_probability=0.8, seed=nodes + 20)
+    if graph.edge_count == 0:
+        pytest.skip("degenerate random graph")
+    problem = semi_acyclic_coloring_reduction(graph)
+    assert is_semi_acyclic_metaquery(problem.mq)
+    verdict = benchmark(problem.decide)
+    assert verdict == is_3colorable(graph) is True
+    record(nodes=nodes, edges=graph.edge_count, verdict=verdict)
+
+
+def test_semi_acyclic_no_instance(benchmark, record):
+    problem = semi_acyclic_coloring_reduction(complete_graph(4))
+    verdict = benchmark(problem.decide)
+    assert verdict is False
+    record(paper_claim="K4 stays a NO instance under the semi-acyclic encoding", verdict=verdict)
+
+
+@pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+def test_semi_acyclic_all_indices(benchmark, record, index):
+    graph = cycle_graph(5)
+    problem = semi_acyclic_coloring_reduction(graph, index=index)
+    verdict = benchmark(problem.decide)
+    assert verdict == is_3colorable(graph) is True
+    record(index=index, verdict=verdict)

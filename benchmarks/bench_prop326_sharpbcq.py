@@ -1,0 +1,30 @@
+"""Proposition 3.26: #BCQ is #P-complete via a parsimonious reduction from #3SAT.
+
+The benchmark runs the reduction on random 3-CNF formulas of growing size,
+checks parsimony (the substitution count equals the model count) and measures
+the counting cost — the operation whose hardness lifts confidence-threshold
+metaquerying to NP^PP.
+"""
+
+import pytest
+
+from repro.datalog.counting import count_substitutions
+from repro.reductions.bcq import sharp_3sat_to_bcq
+from repro.reductions.sat import count_models, random_3cnf
+
+
+@pytest.mark.parametrize("variables,clauses", [(4, 6), (6, 9), (8, 12)])
+def test_sharp_bcq_parsimony_and_cost(benchmark, record, variables, clauses):
+    formula = random_3cnf(variables, clauses, seed=variables * 100 + clauses)
+    instance = sharp_3sat_to_bcq(formula)
+    count = benchmark(lambda: count_substitutions(instance.query, instance.db))
+    assert count == count_models(formula)
+    record(variables=variables, clauses=clauses, models=count)
+
+
+def test_sharp_sat_reference_counter(benchmark, record):
+    """The brute-force #SAT oracle the reduction is checked against."""
+    formula = random_3cnf(8, 12, seed=5)
+    count = benchmark(lambda: count_models(formula))
+    assert count == count_models(formula)
+    record(variables=8, clauses=12, models=count, note="reference #SAT counter")

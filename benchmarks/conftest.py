@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper (see
+DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for the
+recorded outcomes).  Benchmarks both *time* the relevant pipeline (via the
+pytest-benchmark fixture) and *assert the qualitative shape* the paper
+claims — who wins, what stays constant, what grows — so a regression in
+either speed or correctness shows up as a failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach structured extra-info to a benchmark result.
+
+    Usage: ``record(paper_claim="...", measured=value)`` — the values land in
+    the pytest-benchmark JSON/extra-info so EXPERIMENTS.md can be regenerated
+    from a benchmark run.
+    """
+
+    def _record(**kwargs) -> None:
+        for key, value in kwargs.items():
+            benchmark.extra_info[key] = value
+
+    return _record

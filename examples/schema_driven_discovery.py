@@ -1,0 +1,67 @@
+"""Schema-driven discovery on the university workload.
+
+The paper's introduction points out that metaqueries "can be automatically
+generated from the database schema".  This example does exactly that: it
+generates chain / star / inclusion templates from the university schema,
+mines all of them with the FindRules engine under type-1 semantics, and
+reports the strongest dependencies — rediscovering the planted rule
+
+    attends_dept(S, D) <- enrolled(S, C), teaches(I, C), member_of(I, D)
+
+without being told where to look.
+
+Run with::
+
+    python examples/schema_driven_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro import MetaqueryEngine, Thresholds
+from repro.core.schema_gen import generate_metaqueries
+from repro.workloads.synthetic import transitive_chain_metaquery
+from repro.workloads.university import university_database
+
+
+def main() -> None:
+    db = university_database(students=40, courses=12, instructors=8, departments=4, noise=0.08, seed=7)
+    print(f"Database {db.name}: {', '.join(f'{r.name}[{len(r)}]' for r in db)}")
+
+    engine = MetaqueryEngine(db, default_itype=1)
+    thresholds = Thresholds(support=0.05, confidence=0.4, cover=0.05)
+
+    templates = generate_metaqueries(db.schema(), max_body_length=2)
+    templates.append(transitive_chain_metaquery(3))
+    print(f"Generated {len(templates)} candidate metaqueries from the schema, e.g.:")
+    for mq in templates[:4]:
+        print(f"  [{mq.name}] {mq}")
+    print()
+
+    discovered = []
+    for mq in templates:
+        for answer in engine.find_rules(mq, thresholds, algorithm="findrules"):
+            discovered.append((mq.name, answer))
+
+    print(f"{len(discovered)} rules pass {thresholds}.")
+    print()
+    print(f"{'template':<22} {'rule':<75} {'cnf':>6} {'sup':>6}")
+    for name, answer in sorted(discovered, key=lambda pair: pair[1].confidence, reverse=True)[:12]:
+        print(f"{name:<22} {str(answer.rule):<75} {float(answer.confidence):>6.2f} {float(answer.support):>6.2f}")
+    print()
+
+    planted = [
+        answer
+        for _, answer in discovered
+        if answer.rule.head.predicate == "attends_dept"
+        and [a.predicate for a in answer.rule.body] == ["enrolled", "teaches", "member_of"]
+    ]
+    if planted:
+        print("Planted dependency rediscovered:")
+        for answer in planted:
+            print(f"  {answer}")
+    else:
+        print("Planted dependency not found above the thresholds — try lowering them.")
+
+
+if __name__ == "__main__":
+    main()

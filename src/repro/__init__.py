@@ -1,0 +1,57 @@
+"""repro — a reproduction of *Computational Properties of Metaquerying Problems*.
+
+The package implements the full metaquerying stack described in the paper
+(Angiulli, Ben-Eliyahu-Zohary, Ianni, Palopoli; PODS 2000):
+
+* a pure-Python relational-algebra and Datalog substrate
+  (:mod:`repro.relational`, :mod:`repro.datalog`);
+* the hypergraph machinery behind the tractable cases
+  (:mod:`repro.hypergraph`);
+* the metaquery core — syntax, type-0/1/2 instantiations, the support /
+  confidence / cover plausibility indices, the naive engine and the
+  FindRules algorithm of Figure 4 (:mod:`repro.core`);
+* the circuit families of the data-complexity theorems
+  (:mod:`repro.circuits`);
+* the hardness reductions and reference solvers used by the complexity
+  experiments (:mod:`repro.reductions`);
+* workload generators, including the paper's telecom example database
+  (:mod:`repro.workloads`).
+
+Quickstart
+----------
+>>> from repro import MetaqueryEngine, Thresholds
+>>> from repro.workloads.telecom import db1
+>>> engine = MetaqueryEngine(db1())
+>>> answers = engine.find_rules("R(X,Z) <- P(X,Y), Q(Y,Z)",
+...                             Thresholds(support=0.3, confidence=0.5, cover=0.0))
+>>> for answer in answers:
+...     print(answer)            # doctest: +SKIP
+"""
+
+from repro.core import (
+    AnswerSet,
+    InstantiationType,
+    MetaQuery,
+    MetaqueryAnswer,
+    MetaqueryDecisionProblem,
+    MetaqueryEngine,
+    Thresholds,
+    parse_metaquery,
+)
+from repro.relational import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MetaqueryEngine",
+    "MetaQuery",
+    "parse_metaquery",
+    "InstantiationType",
+    "Thresholds",
+    "MetaqueryAnswer",
+    "AnswerSet",
+    "MetaqueryDecisionProblem",
+    "Database",
+    "Relation",
+    "__version__",
+]

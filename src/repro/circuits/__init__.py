@@ -1,0 +1,45 @@
+"""Boolean and arithmetic circuit families for the data-complexity theorems.
+
+Theorem 3.37 places threshold-0 metaquerying (fixed metaquery, varying
+database) in AC0, and Theorem 3.38 places the general thresholded problem in
+TC0; both proofs are constructive, and this package builds the actual
+circuits:
+
+* :mod:`~repro.circuits.circuit` — unbounded fan-in boolean circuits with
+  AND / OR / NOT / MAJORITY gates, evaluation, size and depth accounting;
+* :mod:`~repro.circuits.arithmetic` — ``#AC0`` arithmetic circuits (+, ×
+  gates over ``N``) and GapAC0 functions (differences of two ``#AC0``
+  functions, Definitions 3.5-3.7);
+* :mod:`~repro.circuits.builders` — the constructions themselves: the
+  tuple-wise database input encoding, the conjunctive-query satisfaction
+  circuit, the metaquery threshold-0 circuit (an OR over all instantiations)
+  and the Lemma 3.39 majority comparator deciding ``|Qn| / |Qd| > a/b``.
+
+For a *fixed* metaquery the circuits produced have constant depth and size
+polynomial in the database size — the property the Figure 5 data-complexity
+benchmarks measure empirically.
+"""
+
+from repro.circuits.circuit import BooleanCircuit, Gate, GateKind
+from repro.circuits.arithmetic import ArithmeticCircuit, ArithmeticGate, GapFunction
+from repro.circuits.builders import (
+    DatabaseEncoding,
+    cq_satisfaction_circuit,
+    index_threshold_circuit,
+    metaquery_threshold0_circuit,
+    tuple_count_circuit,
+)
+
+__all__ = [
+    "GateKind",
+    "Gate",
+    "BooleanCircuit",
+    "ArithmeticGate",
+    "ArithmeticCircuit",
+    "GapFunction",
+    "DatabaseEncoding",
+    "cq_satisfaction_circuit",
+    "metaquery_threshold0_circuit",
+    "tuple_count_circuit",
+    "index_threshold_circuit",
+]

@@ -1,0 +1,174 @@
+"""#AC0 arithmetic circuits and GapAC0 functions (Definitions 3.5-3.7).
+
+A ``#AC0`` circuit is a constant-depth, polynomial-size circuit over the
+natural numbers with unbounded fan-in ``+`` and ``×`` gates, whose leaves
+are the constants 0/1 or literals ``x_i`` / ``1 - x_i`` over boolean inputs.
+A GapAC0 function is a difference of two ``#AC0`` functions; ``PAC0`` — the
+languages expressible as "GapAC0 function > 0" — coincides with TC0
+(Proposition 3.8), which is how Lemma 3.39 turns index-threshold tests into
+majority circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, Mapping, Sequence
+
+from repro.exceptions import CircuitError
+
+
+class ArithmeticGateKind(str, Enum):
+    """Gate kinds allowed in a #AC0 circuit."""
+
+    CONST = "const"        # constant 0 or 1
+    INPUT = "input"        # boolean input used as the number 0/1
+    NEGATED_INPUT = "neg"  # 1 - x for a boolean input x
+    SUM = "sum"
+    PRODUCT = "product"
+
+
+@dataclass(frozen=True)
+class ArithmeticGate:
+    """One gate of an arithmetic circuit."""
+
+    kind: ArithmeticGateKind
+    inputs: tuple[int, ...] = ()
+    payload: Hashable = None
+
+
+class ArithmeticCircuit:
+    """A #AC0 circuit: +/× gates over 0/1 leaves, evaluated in ``N``."""
+
+    def __init__(self) -> None:
+        self._gates: list[ArithmeticGate] = []
+        self.output: int | None = None
+
+    def _add(self, gate: ArithmeticGate) -> int:
+        for wire in gate.inputs:
+            if not 0 <= wire < len(self._gates):
+                raise CircuitError(f"gate input wire {wire} does not exist yet")
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    # ------------------------------------------------------------------
+    def const(self, value: int) -> int:
+        """A constant leaf; only 0 and 1 are allowed (Definition 3.5)."""
+        if value not in (0, 1):
+            raise CircuitError("#AC0 circuits only allow the constants 0 and 1")
+        return self._add(ArithmeticGate(ArithmeticGateKind.CONST, (), value))
+
+    def input(self, name: Hashable) -> int:
+        """A boolean input used as the number 0 or 1."""
+        return self._add(ArithmeticGate(ArithmeticGateKind.INPUT, (), name))
+
+    def negated_input(self, name: Hashable) -> int:
+        """The value ``1 - x`` for a boolean input ``x``."""
+        return self._add(ArithmeticGate(ArithmeticGateKind.NEGATED_INPUT, (), name))
+
+    def sum(self, wires: Sequence[int]) -> int:
+        """An unbounded fan-in + gate (empty fan-in is 0)."""
+        if not wires:
+            return self.const(0)
+        return self._add(ArithmeticGate(ArithmeticGateKind.SUM, tuple(wires)))
+
+    def product(self, wires: Sequence[int]) -> int:
+        """An unbounded fan-in × gate (empty fan-in is 1)."""
+        if not wires:
+            return self.const(1)
+        return self._add(ArithmeticGate(ArithmeticGateKind.PRODUCT, tuple(wires)))
+
+    def number(self, value: int) -> int:
+        """A gate computing an arbitrary natural constant from 0/1 leaves.
+
+        Following the construction cited in the proof of Lemma 3.39, the
+        binary expansion of ``value`` is realised with one + gate over
+        products of 1-leaves (each product computing a power of two would
+        need doubling; here we simply sum ``value`` constant-1 leaves, which
+        keeps the circuit constant-depth and size linear in ``value`` — the
+        thresholds the engine uses have small numerators/denominators).
+        """
+        if value < 0:
+            raise CircuitError("#AC0 circuits compute natural numbers only")
+        if value == 0:
+            return self.const(0)
+        ones = [self.const(1) for _ in range(value)]
+        return self.sum(ones)
+
+    def set_output(self, wire: int) -> None:
+        """Designate the output gate."""
+        if not 0 <= wire < len(self._gates):
+            raise CircuitError(f"output wire {wire} does not exist")
+        self.output = wire
+
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> tuple[ArithmeticGate, ...]:
+        """All gates in topological order."""
+        return tuple(self._gates)
+
+    def size(self) -> int:
+        """Number of + and × gates."""
+        return sum(
+            1 for g in self._gates if g.kind in (ArithmeticGateKind.SUM, ArithmeticGateKind.PRODUCT)
+        )
+
+    def depth(self) -> int:
+        """Longest leaf-to-output path counting + and × gates."""
+        if self.output is None:
+            raise CircuitError("circuit has no output gate")
+        depths = [0] * len(self._gates)
+        for i, gate in enumerate(self._gates):
+            if gate.inputs:
+                depths[i] = 1 + max(depths[w] for w in gate.inputs)
+        return depths[self.output]
+
+    def evaluate(self, inputs: Mapping[Hashable, bool], default: bool = False) -> int:
+        """Evaluate the circuit over ``N`` for a boolean input assignment."""
+        if self.output is None:
+            raise CircuitError("circuit has no output gate")
+        values = [0] * len(self._gates)
+        for i, gate in enumerate(self._gates):
+            if gate.kind is ArithmeticGateKind.CONST:
+                values[i] = int(gate.payload)
+            elif gate.kind is ArithmeticGateKind.INPUT:
+                values[i] = 1 if inputs.get(gate.payload, default) else 0
+            elif gate.kind is ArithmeticGateKind.NEGATED_INPUT:
+                values[i] = 0 if inputs.get(gate.payload, default) else 1
+            elif gate.kind is ArithmeticGateKind.SUM:
+                values[i] = sum(values[w] for w in gate.inputs)
+            elif gate.kind is ArithmeticGateKind.PRODUCT:
+                product = 1
+                for w in gate.inputs:
+                    product *= values[w]
+                values[i] = product
+            else:  # pragma: no cover - exhaustive enum
+                raise CircuitError(f"unknown gate kind {gate.kind}")
+        return values[self.output]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArithmeticCircuit(gates={len(self._gates)}, size={self.size()})"
+
+
+@dataclass(frozen=True)
+class GapFunction:
+    """A GapAC0 function: the difference of two #AC0 circuits (Definition 3.6)."""
+
+    positive: ArithmeticCircuit
+    negative: ArithmeticCircuit
+
+    def evaluate(self, inputs: Mapping[Hashable, bool], default: bool = False) -> int:
+        """The (possibly negative) integer value of the gap function."""
+        return self.positive.evaluate(inputs, default) - self.negative.evaluate(inputs, default)
+
+    def accepts(self, inputs: Mapping[Hashable, bool], default: bool = False) -> bool:
+        """The PAC0 acceptance condition: ``f(x) > 0`` (Definition 3.7)."""
+        return self.evaluate(inputs, default) > 0
+
+    def size(self) -> int:
+        """Combined gate count of the two halves."""
+        return self.positive.size() + self.negative.size()
+
+    def depth(self) -> int:
+        """Max depth of the two halves."""
+        return max(self.positive.depth(), self.negative.depth())

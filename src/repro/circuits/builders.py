@@ -1,0 +1,372 @@
+"""Circuit constructions for the data-complexity theorems.
+
+Everything here is parameterised by a :class:`DatabaseEncoding` — a fixed
+database schema plus a fixed, ordered domain — which plays the role of the
+"database size ``i``" in the uniform circuit families of Section 3.5: one
+circuit is built per (schema, domain-size) pair and then evaluated on any
+concrete database instance over that schema and domain via the tuple-wise
+0/1 input encoding.
+
+* :func:`cq_satisfaction_circuit` — the AC0 circuit deciding whether a fixed
+  conjunctive query is satisfiable over an encoded database (the building
+  block cited from [6] in Theorem 3.37's proof);
+* :func:`metaquery_threshold0_circuit` — Theorem 3.37: an OR over all
+  type-T instantiations of the per-instantiation satisfiability circuits of
+  the certifying sets;
+* :func:`tuple_count_circuit` — a ``#AC0`` circuit counting the satisfying
+  substitutions of an atom set (all variables kept);
+* :func:`index_threshold_circuit` — Lemma 3.39 / Theorem 3.38: a TC0 circuit
+  (one MAJORITY gate over AC0 membership indicators) deciding
+  ``I(rule) > a/b`` for ``I ∈ {cnf, cvr, sup}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.circuits.arithmetic import ArithmeticCircuit, GapFunction
+from repro.circuits.circuit import BooleanCircuit
+from repro.core.indices import certifying_set, get_index
+from repro.core.instantiation import InstantiationType, enumerate_instantiations
+from repro.core.metaquery import MetaQuery
+from repro.datalog.atoms import Atom, variables_of
+from repro.datalog.rules import HornRule
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import CircuitError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class DatabaseEncoding:
+    """A fixed schema and ordered domain defining the tuple-wise input encoding.
+
+    Input bit names are ``(relation_name, tuple)`` pairs; a bit is 1 when the
+    tuple belongs to the relation.  The number of bits is
+    ``Σ_R |domain|^arity(R)`` — polynomial in the domain size for a fixed
+    schema, which is what keeps the circuit families polynomial.
+    """
+
+    arities: tuple[tuple[str, int], ...]
+    domain: tuple[Any, ...]
+
+    def __init__(self, arities: Mapping[str, int], domain: Sequence[Any]) -> None:
+        object.__setattr__(self, "arities", tuple(sorted(arities.items())))
+        object.__setattr__(self, "domain", tuple(domain))
+        if not self.domain:
+            raise CircuitError("the encoding domain must be non-empty")
+
+    @classmethod
+    def for_database(cls, db: Database, domain: Sequence[Any] | None = None) -> "DatabaseEncoding":
+        """Derive an encoding from a concrete database (schema + active domain)."""
+        dom = tuple(domain) if domain is not None else tuple(sorted(db.active_domain(), key=str))
+        return cls(db.arities(), dom)
+
+    # ------------------------------------------------------------------
+    def arity_of(self, relation: str) -> int:
+        """Arity of a relation of the schema."""
+        for name, arity in self.arities:
+            if name == relation:
+                return arity
+        raise CircuitError(f"relation {relation!r} is not part of the encoding schema")
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names of the fixed schema."""
+        return tuple(name for name, _ in self.arities)
+
+    def potential_tuples(self, relation: str) -> Iterable[tuple[Any, ...]]:
+        """Every tuple over the domain that could belong to the relation."""
+        return itertools.product(self.domain, repeat=self.arity_of(relation))
+
+    def input_bits(self) -> list[tuple[str, tuple[Any, ...]]]:
+        """All input bit names, in a deterministic order."""
+        return [
+            (name, tup) for name, _ in self.arities for tup in self.potential_tuples(name)
+        ]
+
+    def bit_count(self) -> int:
+        """Total number of input bits (the circuit-family input length)."""
+        return sum(len(self.domain) ** arity for _, arity in self.arities)
+
+    def encode(self, db: Database) -> dict[tuple[str, tuple[Any, ...]], bool]:
+        """Encode a concrete database instance as an input-bit assignment."""
+        stray = db.active_domain() - frozenset(self.domain)
+        if stray:
+            raise CircuitError(f"database constants outside the encoding domain: {sorted(map(str, stray))}")
+        bits: dict[tuple[str, tuple[Any, ...]], bool] = {}
+        for name, _ in self.arities:
+            relation = db[name] if name in db else None
+            rows = relation.tuples if relation is not None else frozenset()
+            for tup in self.potential_tuples(name):
+                bits[(name, tup)] = tup in rows
+        return bits
+
+    def schema_database(self) -> Database:
+        """An empty database over the schema (used to enumerate instantiations)."""
+        relations = [
+            Relation(RelationSchema(name, [f"c{i}" for i in range(arity)]), ())
+            for name, arity in self.arities
+        ]
+        return Database(relations, name="schema-only")
+
+
+# ----------------------------------------------------------------------
+# AC0: conjunctive-query satisfaction and threshold-0 metaquerying
+# ----------------------------------------------------------------------
+def _assignments(variables: Sequence[Variable], domain: Sequence[Any]) -> Iterable[dict[Variable, Any]]:
+    for values in itertools.product(domain, repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def _ground_tuple(atom: Atom, assignment: Mapping[Variable, Any]) -> tuple[Any, ...] | None:
+    """The tuple named by an atom under an assignment; None when a constant is off-domain."""
+    values = []
+    for t in atom.terms:
+        if isinstance(t, Variable):
+            values.append(assignment[t])
+        else:
+            values.append(t.value)
+    return tuple(values)
+
+
+def _atoms_conjunct(circuit: BooleanCircuit, atoms: Sequence[Atom], assignment: Mapping[Variable, Any], encoding: DatabaseEncoding) -> int | None:
+    """The AND gate of the atoms' input bits under one assignment, or None when impossible."""
+    wires = []
+    domain = set(encoding.domain)
+    for atom in atoms:
+        if atom.predicate not in encoding.relation_names:
+            return None
+        if encoding.arity_of(atom.predicate) != atom.arity:
+            return None
+        tup = _ground_tuple(atom, assignment)
+        if any(value not in domain for value in tup):
+            return None
+        wires.append(circuit.input((atom.predicate, tup)))
+    return circuit.and_(wires)
+
+
+def cq_satisfaction_circuit(
+    atoms: Sequence[Atom],
+    encoding: DatabaseEncoding,
+    circuit: BooleanCircuit | None = None,
+) -> BooleanCircuit:
+    """An AC0 circuit deciding satisfiability of a fixed conjunctive query.
+
+    The circuit is an OR, over all assignments of the query's variables to
+    domain values, of the AND of the corresponding tuple bits — depth 2 and
+    size ``O(|domain|^{#variables})``, i.e. polynomial in the database for a
+    fixed query.
+    """
+    circuit = circuit or BooleanCircuit()
+    variables = list(variables_of(atoms))
+    disjuncts = []
+    for assignment in _assignments(variables, encoding.domain):
+        wire = _atoms_conjunct(circuit, atoms, assignment, encoding)
+        if wire is not None:
+            disjuncts.append(wire)
+    circuit.set_output(circuit.or_(disjuncts))
+    return circuit
+
+
+def metaquery_threshold0_circuit(
+    mq: MetaQuery,
+    encoding: DatabaseEncoding,
+    index: str = "cnf",
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+) -> BooleanCircuit:
+    """Theorem 3.37: the AC0 circuit for ``⟨DB, MQ, I, 0, T⟩`` under data complexity.
+
+    One satisfiability subcircuit per type-T instantiation (over the fixed
+    schema), of the instantiation's certifying set for the chosen index, all
+    fed into a single OR gate.
+    """
+    index_obj = get_index(index)
+    circuit = BooleanCircuit()
+    outputs = []
+    schema_db = encoding.schema_database()
+    for instantiation in enumerate_instantiations(mq, schema_db, itype):
+        rule = instantiation.apply(mq)
+        atoms = certifying_set(rule, index_obj)
+        variables = list(variables_of(atoms))
+        disjuncts = []
+        for assignment in _assignments(variables, encoding.domain):
+            wire = _atoms_conjunct(circuit, atoms, assignment, encoding)
+            if wire is not None:
+                disjuncts.append(wire)
+        outputs.append(circuit.or_(disjuncts))
+    circuit.set_output(circuit.or_(outputs))
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# #AC0: counting circuits
+# ----------------------------------------------------------------------
+def tuple_count_circuit(atoms: Sequence[Atom], encoding: DatabaseEncoding) -> ArithmeticCircuit:
+    """A #AC0 circuit computing ``|J(atoms)|`` (all variables kept).
+
+    One product gate per assignment of the atom set's variables, all summed;
+    depth 2, size polynomial in the domain for a fixed atom set.
+    """
+    circuit = ArithmeticCircuit()
+    variables = list(variables_of(atoms))
+    domain = set(encoding.domain)
+    products = []
+    for assignment in _assignments(variables, encoding.domain):
+        factors = []
+        possible = True
+        for atom in atoms:
+            if atom.predicate not in encoding.relation_names or encoding.arity_of(atom.predicate) != atom.arity:
+                possible = False
+                break
+            tup = _ground_tuple(atom, assignment)
+            if any(value not in domain for value in tup):
+                possible = False
+                break
+            factors.append(circuit.input((atom.predicate, tup)))
+        if possible:
+            products.append(circuit.product(factors))
+    circuit.set_output(circuit.sum(products))
+    return circuit
+
+
+def confidence_gap_function(rule: HornRule, k: Fraction, encoding: DatabaseEncoding) -> GapFunction:
+    """The GapAC0 function ``b·|Qn| − a·|Qd|`` of Lemma 3.39 for the confidence index.
+
+    Requires the rule to be range-restricted (head variables contained in the
+    body variables), in which case both counts range over the full body
+    variable set and stay within #AC0 without the characteristic-function
+    detour.
+    """
+    if not rule.is_range_restricted():
+        raise CircuitError("the confidence gap function requires a range-restricted rule")
+    a, b = k.numerator, k.denominator
+    numerator_atoms = list(rule.body_atoms) + [rule.head]
+    positive_scaled = _scaled_count(numerator_atoms, b, encoding)
+    negative_scaled = _scaled_count(list(rule.body_atoms), a, encoding)
+    return GapFunction(positive=positive_scaled, negative=negative_scaled)
+
+
+def _scaled_count(atoms: Sequence[Atom], factor: int, encoding: DatabaseEncoding) -> ArithmeticCircuit:
+    """A #AC0 circuit computing ``factor * |J(atoms)|``."""
+    circuit = ArithmeticCircuit()
+    variables = list(variables_of(atoms))
+    domain = set(encoding.domain)
+    products = []
+    for assignment in _assignments(variables, encoding.domain):
+        factors = []
+        possible = True
+        for atom in atoms:
+            if atom.predicate not in encoding.relation_names or encoding.arity_of(atom.predicate) != atom.arity:
+                possible = False
+                break
+            tup = _ground_tuple(atom, assignment)
+            if any(value not in domain for value in tup):
+                possible = False
+                break
+            factors.append(circuit.input((atom.predicate, tup)))
+        if possible:
+            product = circuit.product(factors)
+            products.extend([product] * factor)
+    circuit.set_output(circuit.sum(products))
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# TC0: the Lemma 3.39 majority comparator
+# ----------------------------------------------------------------------
+def _projection_indicators(
+    circuit: BooleanCircuit,
+    atoms: Sequence[Atom],
+    onto: Sequence[Variable],
+    encoding: DatabaseEncoding,
+) -> list[int]:
+    """One AC0 indicator wire per potential tuple of ``π_onto(J(atoms))``.
+
+    The indicator for a tuple ``t`` is an OR over all extensions of ``t`` to
+    the remaining variables of an AND of the corresponding tuple bits — the
+    multi-output circuit ``C'(Q)_i`` from Theorem 3.38's proof.
+    """
+    onto = list(onto)
+    others = [v for v in variables_of(atoms) if v not in onto]
+    indicators = []
+    for onto_values in itertools.product(encoding.domain, repeat=len(onto)):
+        base = dict(zip(onto, onto_values))
+        disjuncts = []
+        for extension in _assignments(others, encoding.domain):
+            assignment = {**base, **extension}
+            wire = _atoms_conjunct(circuit, atoms, assignment, encoding)
+            if wire is not None:
+                disjuncts.append(wire)
+        indicators.append(circuit.or_(disjuncts))
+    return indicators
+
+
+def _majority_comparator(
+    circuit: BooleanCircuit,
+    numerator_wires: Sequence[int],
+    denominator_wires: Sequence[int],
+    k: Fraction,
+) -> int:
+    """A single-MAJORITY-gate wire deciding ``b·|num| > a·|den|`` with ``k = a/b``.
+
+    ``numerator_wires`` / ``denominator_wires`` are indicator wires whose set
+    bits count ``|num|`` and ``|den|``.  The construction pads with constants
+    so the MAJORITY threshold lands exactly on ``a·|den|``.
+    """
+    a, b = k.numerator, k.denominator
+    big_n, big_m = len(numerator_wires), len(denominator_wires)
+    inputs: list[int] = []
+    for wire in numerator_wires:
+        inputs.extend([wire] * b)
+    for wire in denominator_wires:
+        inputs.extend([circuit.not_(wire)] * a)
+    padding_ones = max(0, b * big_n - a * big_m)
+    padding_zeros = a * big_m + padding_ones - b * big_n
+    inputs.extend(circuit.const(True) for _ in range(padding_ones))
+    inputs.extend(circuit.const(False) for _ in range(padding_zeros))
+    return circuit.majority(inputs)
+
+
+def index_threshold_circuit(
+    rule: HornRule,
+    index: str,
+    k: Fraction | float,
+    encoding: DatabaseEncoding,
+) -> BooleanCircuit:
+    """Theorem 3.38 / Lemma 3.39: a TC0 circuit deciding ``I(rule) > k``.
+
+    The circuit has constant depth for a fixed rule: AC0 indicator layers for
+    the potential result tuples of the relevant project--join expressions,
+    one MAJORITY comparator per ratio, and (for support) an OR over the
+    per-body-atom comparators.
+    """
+    k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
+    if not 0 <= k < 1:
+        raise CircuitError(f"threshold must satisfy 0 <= k < 1, got {k}")
+    name = get_index(index).name
+    circuit = BooleanCircuit()
+
+    if name == "cnf":
+        numerator = _projection_indicators(circuit, rule.atoms, list(rule.body_variables), encoding)
+        denominator = _projection_indicators(circuit, rule.body_atoms, list(rule.body_variables), encoding)
+        circuit.set_output(_majority_comparator(circuit, numerator, denominator, k))
+        return circuit
+    if name == "cvr":
+        numerator = _projection_indicators(circuit, rule.atoms, list(rule.head_variables), encoding)
+        denominator = _projection_indicators(circuit, rule.head_atoms, list(rule.head_variables), encoding)
+        circuit.set_output(_majority_comparator(circuit, numerator, denominator, k))
+        return circuit
+    if name == "sup":
+        comparators = []
+        for atom in rule.body_atoms:
+            numerator = _projection_indicators(circuit, rule.body_atoms, list(atom.variables), encoding)
+            denominator = _projection_indicators(circuit, [atom], list(atom.variables), encoding)
+            comparators.append(_majority_comparator(circuit, numerator, denominator, k))
+        circuit.set_output(circuit.or_(comparators))
+        return circuit
+    raise CircuitError(f"no threshold circuit construction for index {name!r}")

@@ -1,0 +1,178 @@
+"""Unbounded fan-in boolean circuits with AND, OR, NOT and MAJORITY gates.
+
+The circuit model follows Definitions 3.3 and 3.4 of the paper: AC0 circuits
+use AND/OR/NOT gates of unbounded fan-in with constant depth and polynomial
+size; TC0 circuits use MAJORITY and NOT gates.  Circuits here are DAGs of
+gates stored in topological order; named input gates are bound to bits at
+evaluation time, which is how a circuit built for a database *schema* and
+size is evaluated against a concrete database instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import CircuitError
+
+
+class GateKind(str, Enum):
+    """The gate types of the AC0 / TC0 circuit model."""
+
+    INPUT = "input"
+    CONST = "const"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    MAJORITY = "majority"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: its kind, its input wire ids, and (for inputs/constants) a payload.
+
+    ``payload`` is the input name for INPUT gates and the constant bit for
+    CONST gates; it is unused otherwise.
+    """
+
+    kind: GateKind
+    inputs: tuple[int, ...] = ()
+    payload: Hashable = None
+
+
+class BooleanCircuit:
+    """A boolean circuit: gates in topological order plus a designated output."""
+
+    def __init__(self) -> None:
+        self._gates: list[Gate] = []
+        self._input_ids: dict[Hashable, int] = {}
+        self.output: int | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add(self, gate: Gate) -> int:
+        for wire in gate.inputs:
+            if not 0 <= wire < len(self._gates):
+                raise CircuitError(f"gate input wire {wire} does not exist yet")
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    def input(self, name: Hashable) -> int:
+        """An input gate (deduplicated by name)."""
+        if name in self._input_ids:
+            return self._input_ids[name]
+        gate_id = self._add(Gate(GateKind.INPUT, (), name))
+        self._input_ids[name] = gate_id
+        return gate_id
+
+    def const(self, value: bool) -> int:
+        """A constant gate."""
+        return self._add(Gate(GateKind.CONST, (), bool(value)))
+
+    def not_(self, wire: int) -> int:
+        """A NOT gate."""
+        return self._add(Gate(GateKind.NOT, (wire,)))
+
+    def and_(self, wires: Sequence[int]) -> int:
+        """An unbounded fan-in AND gate (empty fan-in is the constant 1)."""
+        if not wires:
+            return self.const(True)
+        return self._add(Gate(GateKind.AND, tuple(wires)))
+
+    def or_(self, wires: Sequence[int]) -> int:
+        """An unbounded fan-in OR gate (empty fan-in is the constant 0)."""
+        if not wires:
+            return self.const(False)
+        return self._add(Gate(GateKind.OR, tuple(wires)))
+
+    def majority(self, wires: Sequence[int]) -> int:
+        """A MAJORITY gate: outputs 1 iff more than half of its inputs are 1."""
+        if not wires:
+            raise CircuitError("a MAJORITY gate needs at least one input")
+        return self._add(Gate(GateKind.MAJORITY, tuple(wires)))
+
+    def set_output(self, wire: int) -> None:
+        """Designate the output wire."""
+        if not 0 <= wire < len(self._gates):
+            raise CircuitError(f"output wire {wire} does not exist")
+        self.output = wire
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """All gates in topological order."""
+        return tuple(self._gates)
+
+    @property
+    def input_names(self) -> tuple[Hashable, ...]:
+        """The names of the input gates, in creation order."""
+        return tuple(self._input_ids)
+
+    def size(self) -> int:
+        """Number of non-input, non-constant gates (the usual size measure)."""
+        return sum(1 for g in self._gates if g.kind not in (GateKind.INPUT, GateKind.CONST))
+
+    def gate_count(self) -> int:
+        """Total number of gates including inputs and constants."""
+        return len(self._gates)
+
+    def depth(self) -> int:
+        """Longest path from an input/constant to the output, counting logic gates."""
+        if self.output is None:
+            raise CircuitError("circuit has no output gate")
+        depths = [0] * len(self._gates)
+        for i, gate in enumerate(self._gates):
+            if gate.kind in (GateKind.INPUT, GateKind.CONST):
+                depths[i] = 0
+            else:
+                depths[i] = 1 + max((depths[w] for w in gate.inputs), default=0)
+        return depths[self.output]
+
+    def uses_majority(self) -> bool:
+        """True when the circuit contains at least one MAJORITY gate (TC0 vs AC0)."""
+        return any(g.kind is GateKind.MAJORITY for g in self._gates)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, inputs: Mapping[Hashable, bool], default: bool | None = False) -> bool:
+        """Evaluate the circuit on a named-input assignment.
+
+        ``default`` supplies the value of input names missing from the
+        mapping; pass ``None`` to make missing inputs an error instead.
+        """
+        if self.output is None:
+            raise CircuitError("circuit has no output gate")
+        values = [False] * len(self._gates)
+        for i, gate in enumerate(self._gates):
+            if gate.kind is GateKind.INPUT:
+                if gate.payload in inputs:
+                    values[i] = bool(inputs[gate.payload])
+                elif default is None:
+                    raise CircuitError(f"missing value for input {gate.payload!r}")
+                else:
+                    values[i] = default
+            elif gate.kind is GateKind.CONST:
+                values[i] = bool(gate.payload)
+            elif gate.kind is GateKind.NOT:
+                values[i] = not values[gate.inputs[0]]
+            elif gate.kind is GateKind.AND:
+                values[i] = all(values[w] for w in gate.inputs)
+            elif gate.kind is GateKind.OR:
+                values[i] = any(values[w] for w in gate.inputs)
+            elif gate.kind is GateKind.MAJORITY:
+                ones = sum(1 for w in gate.inputs if values[w])
+                values[i] = ones * 2 > len(gate.inputs)
+            else:  # pragma: no cover - exhaustive enum
+                raise CircuitError(f"unknown gate kind {gate.kind}")
+        return values[self.output]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BooleanCircuit(gates={self.gate_count()}, size={self.size()}, "
+            f"inputs={len(self._input_ids)})"
+        )

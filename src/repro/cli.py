@@ -1,0 +1,103 @@
+"""Command-line interface: mine a directory of CSV files with a metaquery.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro mine DATA_DIR "R(X,Z) <- P(X,Y), Q(Y,Z)" \
+        --support 0.2 --confidence 0.5 --cover 0.0 --type 1
+
+    python -m repro info DATA_DIR
+    python -m repro classify "R(X,Z) <- P(X,Y), Q(Y,Z)"
+
+``DATA_DIR`` must contain one CSV file per relation (header row = column
+names), as produced by :func:`repro.relational.io.save_database`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.acyclicity import classify
+from repro.core.answers import Thresholds
+from repro.core.engine import MetaqueryEngine
+from repro.core.metaquery import parse_metaquery
+from repro.relational.io import load_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Metaquery mining (reproduction of 'Computational Properties of Metaquerying Problems')",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    mine = subparsers.add_parser("mine", help="answer a metaquery over a CSV database directory")
+    mine.add_argument("data_dir", help="directory with one CSV file per relation")
+    mine.add_argument("metaquery", help="metaquery text, e.g. 'R(X,Z) <- P(X,Y), Q(Y,Z)'")
+    mine.add_argument("--support", type=float, default=None, help="support threshold (strict >)")
+    mine.add_argument("--confidence", type=float, default=None, help="confidence threshold (strict >)")
+    mine.add_argument("--cover", type=float, default=None, help="cover threshold (strict >)")
+    mine.add_argument("--type", dest="itype", type=int, choices=(0, 1, 2), default=0,
+                      help="instantiation type (default 0)")
+    mine.add_argument("--algorithm", choices=("auto", "naive", "findrules"), default="auto")
+    mine.add_argument("--sort-by", choices=("sup", "cnf", "cvr"), default="cnf")
+    mine.add_argument("--limit", type=int, default=None, help="print at most this many answers")
+
+    info = subparsers.add_parser("info", help="show the schema and sizes of a CSV database directory")
+    info.add_argument("data_dir")
+
+    classify_cmd = subparsers.add_parser("classify", help="classify a metaquery (acyclic / semi-acyclic / cyclic)")
+    classify_cmd.add_argument("metaquery")
+    classify_cmd.add_argument("--relation-names", nargs="*", default=(),
+                              help="identifiers to treat as relation names even if capitalised")
+    return parser
+
+
+def _run_mine(args: argparse.Namespace) -> int:
+    db = load_database(args.data_dir)
+    engine = MetaqueryEngine(db, default_itype=args.itype)
+    thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
+    answers = engine.find_rules(args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm)
+    ordered = answers.sorted_by(args.sort_by)
+    print(f"# database: {args.data_dir} ({len(db)} relations, {db.total_tuples()} tuples)")
+    print(f"# metaquery: {args.metaquery}")
+    print(f"# thresholds: {thresholds}   type-{args.itype}   algorithm={args.algorithm}")
+    print(ordered.to_table(max_rows=args.limit))
+    return 0
+
+
+def _run_info(args: argparse.Namespace) -> int:
+    db = load_database(args.data_dir)
+    print(f"database directory: {args.data_dir}")
+    print(f"relations: {len(db)}   tuples: {db.total_tuples()}   domain size: {len(db.active_domain())}")
+    for relation in db:
+        print(f"  {relation.name}({', '.join(relation.columns)}) — {len(relation)} tuples")
+    return 0
+
+
+def _run_classify(args: argparse.Namespace) -> int:
+    mq = parse_metaquery(args.metaquery, relation_names=args.relation_names)
+    print(f"metaquery: {mq}")
+    print(f"pure: {mq.is_pure()}")
+    print(f"predicate variables: {', '.join(mq.predicate_variables) or '(none)'}")
+    print(f"classification: {classify(mq)}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "mine":
+        return _run_mine(args)
+    if args.command == "info":
+        return _run_info(args)
+    if args.command == "classify":
+        return _run_classify(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

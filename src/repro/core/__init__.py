@@ -1,0 +1,78 @@
+"""Core metaquery library: syntax, semantics, indices, engines.
+
+This package implements the paper's primary contribution:
+
+* :mod:`~repro.core.metaquery` — second-order metaquery templates
+  (Section 2.1): literal schemes, relation patterns, predicate variables,
+  purity, parsing;
+* :mod:`~repro.core.acyclicity` — the hypergraph ``H(MQ)`` and
+  semi-hypergraph ``SH(MQ)`` of Definition 3.31 and the induced
+  acyclic / semi-acyclic classification;
+* :mod:`~repro.core.instantiation` — type-0/1/2 instantiations
+  (Definitions 2.2-2.4), their enumeration, agreement and composition;
+* :mod:`~repro.core.indices` — the plausibility indices support, confidence
+  and cover (Definitions 2.5-2.7) and certifying sets (Definition 3.19);
+* :mod:`~repro.core.naive` — the baseline enumerate-and-test engine;
+* :mod:`~repro.core.findrules` — the FindRules algorithm of Figure 4;
+* :mod:`~repro.core.engine` — a small facade choosing between the two;
+* :mod:`~repro.core.problems` — the decision problems ``⟨DB, MQ, I, k, T⟩``
+  whose complexity the paper charts (Figure 5);
+* :mod:`~repro.core.schema_gen` — schema-driven automatic generation of
+  candidate metaqueries (as motivated in the paper's introduction).
+"""
+
+from repro.core.metaquery import LiteralScheme, MetaQuery, parse_metaquery
+from repro.core.acyclicity import (
+    is_acyclic_metaquery,
+    is_semi_acyclic_metaquery,
+    metaquery_hypergraph,
+    metaquery_semi_hypergraph,
+)
+from repro.core.instantiation import (
+    Instantiation,
+    InstantiationType,
+    enumerate_instantiations,
+)
+from repro.core.indices import (
+    INDICES,
+    PlausibilityIndex,
+    confidence,
+    cover,
+    fraction,
+    support,
+)
+from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.naive import naive_decide, naive_find_rules
+from repro.core.findrules import find_rules
+from repro.core.engine import MetaqueryEngine
+from repro.core.problems import MetaqueryDecisionProblem
+from repro.core.schema_gen import generate_chain_metaqueries, generate_metaqueries
+
+__all__ = [
+    "LiteralScheme",
+    "MetaQuery",
+    "parse_metaquery",
+    "metaquery_hypergraph",
+    "metaquery_semi_hypergraph",
+    "is_acyclic_metaquery",
+    "is_semi_acyclic_metaquery",
+    "Instantiation",
+    "InstantiationType",
+    "enumerate_instantiations",
+    "PlausibilityIndex",
+    "fraction",
+    "support",
+    "confidence",
+    "cover",
+    "INDICES",
+    "Thresholds",
+    "MetaqueryAnswer",
+    "AnswerSet",
+    "naive_find_rules",
+    "naive_decide",
+    "find_rules",
+    "MetaqueryEngine",
+    "MetaqueryDecisionProblem",
+    "generate_metaqueries",
+    "generate_chain_metaqueries",
+]

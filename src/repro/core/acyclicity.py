@@ -1,0 +1,92 @@
+"""Acyclicity and semi-acyclicity of metaqueries (Definition 3.31).
+
+The hypergraph ``H(MQ)`` has one vertex per variable of the metaquery —
+*both* predicate variables and ordinary variables — and one hyperedge per
+literal scheme, spanning that scheme's variables.  The semi-hypergraph
+``SH(MQ)`` keeps only the ordinary variables.  ``MQ`` is *acyclic* when
+``H(MQ)`` is acyclic and *semi-acyclic* when ``SH(MQ)`` is acyclic; every
+acyclic metaquery is semi-acyclic, but not vice versa (the paper's
+``N(X) <- N(Y), E(X,Y)`` example).
+
+Edge labels are ``("head", 0)`` and ``("body", i)`` so duplicate literal
+schemes remain distinct hyperedges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+
+SchemeLabel = tuple[str, int]
+
+
+def scheme_labels(mq: MetaQuery) -> list[tuple[SchemeLabel, LiteralScheme]]:
+    """Stable labels for every literal-scheme occurrence of a metaquery."""
+    labelled: list[tuple[SchemeLabel, LiteralScheme]] = [(("head", 0), mq.head)]
+    for i, scheme in enumerate(mq.body):
+        labelled.append((("body", i), scheme))
+    return labelled
+
+
+def body_scheme_labels(mq: MetaQuery) -> list[tuple[SchemeLabel, LiteralScheme]]:
+    """Labels for the body literal schemes only (used by FindRules)."""
+    return [(("body", i), scheme) for i, scheme in enumerate(mq.body)]
+
+
+def metaquery_hypergraph(mq: MetaQuery) -> Hypergraph:
+    """``H(MQ)``: vertices are all (predicate and ordinary) variables."""
+    edges = {}
+    for label, scheme in scheme_labels(mq):
+        edges[label] = frozenset(scheme.all_variables)
+    return Hypergraph(edges)
+
+
+def metaquery_semi_hypergraph(mq: MetaQuery) -> Hypergraph:
+    """``SH(MQ)``: vertices are the ordinary variables only."""
+    edges = {}
+    for label, scheme in scheme_labels(mq):
+        edges[label] = frozenset(v.name for v in scheme.ordinary_variables)
+    return Hypergraph(edges)
+
+
+def is_acyclic_metaquery(mq: MetaQuery) -> bool:
+    """True when ``H(MQ)`` is acyclic."""
+    return is_acyclic(metaquery_hypergraph(mq))
+
+
+def is_semi_acyclic_metaquery(mq: MetaQuery) -> bool:
+    """True when ``SH(MQ)`` is acyclic.
+
+    Every acyclic metaquery is also semi-acyclic (dropping the predicate
+    variables can only make ear removal easier).
+    """
+    return is_acyclic(metaquery_semi_hypergraph(mq))
+
+
+def classify(mq: MetaQuery) -> str:
+    """Return ``"acyclic"``, ``"semi-acyclic"`` or ``"cyclic"``.
+
+    The classification drives which rows of the Figure 5 complexity table
+    apply and which engine strategy FindRules can use.
+    """
+    if is_acyclic_metaquery(mq):
+        return "acyclic"
+    if is_semi_acyclic_metaquery(mq):
+        return "semi-acyclic"
+    return "cyclic"
+
+
+def body_variable_sets(mq: MetaQuery) -> dict[SchemeLabel, frozenset[str]]:
+    """``{body label: ordinary-variable names}`` — input to the decomposition."""
+    return {
+        label: frozenset(v.name for v in scheme.ordinary_variables)
+        for label, scheme in body_scheme_labels(mq)
+    }
+
+
+def conjunctive_query_hypergraph(variable_sets: Iterable[Iterable[str]]) -> Hypergraph:
+    """Hypergraph of a plain conjunctive query given per-atom variable sets."""
+    return Hypergraph({f"a{i}": frozenset(vs) for i, vs in enumerate(variable_sets)})

@@ -1,0 +1,166 @@
+"""Answers to metaqueries: instantiated rules together with their indices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.instantiation import Instantiation
+from repro.datalog.rules import HornRule
+
+
+def _as_fraction(value: float | int | str | Fraction | None) -> Fraction | None:
+    if value is None:
+        return None
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**9)
+    return Fraction(value)
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """User-provided admissibility thresholds for the three indices.
+
+    Each threshold ``k`` filters answers by the *strict* comparison
+    ``index > k`` (matching the decision problems of Section 3.2).  A value
+    of ``None`` disables filtering on that index; note that ``None`` and
+    ``0`` differ: ``0`` still excludes rules whose index is exactly zero.
+    """
+
+    support: Fraction | None = None
+    confidence: Fraction | None = None
+    cover: Fraction | None = None
+
+    def __init__(
+        self,
+        support: float | Fraction | None = None,
+        confidence: float | Fraction | None = None,
+        cover: float | Fraction | None = None,
+    ) -> None:
+        object.__setattr__(self, "support", _as_fraction(support))
+        object.__setattr__(self, "confidence", _as_fraction(confidence))
+        object.__setattr__(self, "cover", _as_fraction(cover))
+
+    @classmethod
+    def none(cls) -> "Thresholds":
+        """No filtering at all (every instantiation is reported)."""
+        return cls(None, None, None)
+
+    @classmethod
+    def positive(cls) -> "Thresholds":
+        """All three indices strictly positive (the threshold-0 problems)."""
+        return cls(0, 0, 0)
+
+    def accepts(self, support: Fraction, confidence: Fraction, cover: Fraction) -> bool:
+        """True when the given index values pass every enabled threshold."""
+        if self.support is not None and not support > self.support:
+            return False
+        if self.confidence is not None and not confidence > self.confidence:
+            return False
+        if self.cover is not None and not cover > self.cover:
+            return False
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for label, value in (("sup", self.support), ("cnf", self.confidence), ("cvr", self.cover)):
+            if value is not None:
+                parts.append(f"{label}>{value}")
+        return ", ".join(parts) or "no thresholds"
+
+
+@dataclass(frozen=True)
+class MetaqueryAnswer:
+    """One answer: an instantiation, the induced Horn rule, and its indices."""
+
+    instantiation: Instantiation
+    rule: HornRule
+    support: Fraction
+    confidence: Fraction
+    cover: Fraction
+
+    def indices(self) -> dict[str, Fraction]:
+        """The three index values as a dictionary keyed by short name."""
+        return {"sup": self.support, "cnf": self.confidence, "cvr": self.cover}
+
+    def index(self, name: str) -> Fraction:
+        """Look up one index value by its short name (``sup``/``cnf``/``cvr``)."""
+        return self.indices()[name]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rule}   [sup={float(self.support):.3f}, "
+            f"cnf={float(self.confidence):.3f}, cvr={float(self.cover):.3f}]"
+        )
+
+
+class AnswerSet:
+    """A collection of metaquery answers with convenience filters and reports."""
+
+    def __init__(self, answers: Iterable[MetaqueryAnswer] = ()) -> None:
+        self._answers = list(answers)
+
+    def __len__(self) -> int:
+        return len(self._answers)
+
+    def __iter__(self) -> Iterator[MetaqueryAnswer]:
+        return iter(self._answers)
+
+    def __getitem__(self, index: int) -> MetaqueryAnswer:
+        return self._answers[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._answers)
+
+    def append(self, answer: MetaqueryAnswer) -> None:
+        """Add one answer."""
+        self._answers.append(answer)
+
+    def rules(self) -> list[HornRule]:
+        """The instantiated Horn rules, in answer order."""
+        return [answer.rule for answer in self._answers]
+
+    def filter(self, predicate: Callable[[MetaqueryAnswer], bool]) -> "AnswerSet":
+        """A new answer set keeping only answers satisfying the predicate."""
+        return AnswerSet(a for a in self._answers if predicate(a))
+
+    def above(self, thresholds: Thresholds) -> "AnswerSet":
+        """Answers passing the given thresholds."""
+        return self.filter(lambda a: thresholds.accepts(a.support, a.confidence, a.cover))
+
+    def sorted_by(self, index_name: str, descending: bool = True) -> "AnswerSet":
+        """Answers sorted by one index (``sup``/``cnf``/``cvr``)."""
+        return AnswerSet(
+            sorted(self._answers, key=lambda a: a.index(index_name), reverse=descending)
+        )
+
+    def best(self, index_name: str) -> MetaqueryAnswer | None:
+        """The single best answer for an index, or None when empty."""
+        ordered = self.sorted_by(index_name)
+        return ordered[0] if ordered else None
+
+    def contains_rule(self, rule: HornRule) -> bool:
+        """True when an answer's rule equals the given rule (atom-set equality)."""
+        target = (rule.head, frozenset(rule.body))
+        return any((a.rule.head, frozenset(a.rule.body)) == target for a in self._answers)
+
+    def to_table(self, max_rows: int | None = None) -> str:
+        """A plain-text table of the answers (used by examples and benches)."""
+        lines = [f"{'rule':<60} {'sup':>7} {'cnf':>7} {'cvr':>7}"]
+        rows = self._answers if max_rows is None else self._answers[:max_rows]
+        for answer in rows:
+            lines.append(
+                f"{str(answer.rule):<60} "
+                f"{float(answer.support):>7.3f} "
+                f"{float(answer.confidence):>7.3f} "
+                f"{float(answer.cover):>7.3f}"
+            )
+        if max_rows is not None and len(self._answers) > max_rows:
+            lines.append(f"... ({len(self._answers) - max_rows} more answers)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnswerSet({len(self._answers)} answers)"

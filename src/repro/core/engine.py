@@ -1,0 +1,98 @@
+"""A small facade over the two metaquery engines.
+
+``MetaqueryEngine`` owns a database and exposes ``find_rules`` /
+``decide`` with an ``algorithm`` switch:
+
+* ``"naive"`` — enumerate-and-test (the membership-proof procedure);
+* ``"findrules"`` — the Figure 4 algorithm;
+* ``"auto"`` — FindRules whenever at least one threshold is enabled,
+  otherwise naive (FindRules' pruning needs a threshold to be sound).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.findrules import find_rules
+from repro.core.indices import PlausibilityIndex, get_index
+from repro.core.instantiation import InstantiationType
+from repro.core.metaquery import MetaQuery, parse_metaquery
+from repro.core.naive import naive_decide, naive_find_rules, naive_witness
+from repro.relational.database import Database
+
+
+class MetaqueryEngine:
+    """Answer metaqueries over one database instance.
+
+    Parameters
+    ----------
+    db:
+        The database to mine.
+    default_itype:
+        The instantiation type used when a call does not specify one.
+    """
+
+    def __init__(self, db: Database, default_itype: InstantiationType | int = InstantiationType.TYPE_0) -> None:
+        self.db = db
+        self.default_itype = InstantiationType.coerce(default_itype)
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str, name: str | None = None) -> MetaQuery:
+        """Parse a metaquery, treating the database's relation names as such."""
+        return parse_metaquery(text, relation_names=self.db.relation_names, name=name)
+
+    # ------------------------------------------------------------------
+    def find_rules(
+        self,
+        mq: MetaQuery | str,
+        thresholds: Thresholds | None = None,
+        itype: InstantiationType | int | None = None,
+        algorithm: str = "auto",
+    ) -> AnswerSet:
+        """All instantiated rules passing the thresholds.
+
+        ``mq`` may be a :class:`MetaQuery` or its textual form.
+        """
+        if isinstance(mq, str):
+            mq = self.parse(mq)
+        itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
+        thresholds = thresholds or Thresholds.none()
+
+        if algorithm == "auto":
+            has_threshold = any(
+                t is not None for t in (thresholds.support, thresholds.confidence, thresholds.cover)
+            )
+            algorithm = "findrules" if has_threshold else "naive"
+        if algorithm == "naive":
+            return naive_find_rules(self.db, mq, thresholds, itype)
+        if algorithm == "findrules":
+            return find_rules(self.db, mq, thresholds, itype)
+        raise ValueError(f"unknown algorithm {algorithm!r}; use 'auto', 'naive' or 'findrules'")
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        mq: MetaQuery | str,
+        index: str | PlausibilityIndex,
+        k: Fraction | float | int = 0,
+        itype: InstantiationType | int | None = None,
+    ) -> bool:
+        """The decision problem ``⟨DB, MQ, I, k, T⟩``: does some instantiation exceed ``k``?"""
+        if isinstance(mq, str):
+            mq = self.parse(mq)
+        itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
+        return naive_decide(self.db, mq, index, k, itype)
+
+    def witness(
+        self,
+        mq: MetaQuery | str,
+        index: str | PlausibilityIndex,
+        k: Fraction | float | int = 0,
+        itype: InstantiationType | int | None = None,
+    ) -> MetaqueryAnswer | None:
+        """A witnessing answer for :meth:`decide`, or None on a NO instance."""
+        if isinstance(mq, str):
+            mq = self.parse(mq)
+        itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
+        return naive_witness(self.db, mq, get_index(index), k, itype)

@@ -1,0 +1,313 @@
+"""The FindRules algorithm of Figure 4.
+
+Given a database, a metaquery and thresholds ``k_sup``, ``k_cvr``, ``k_cnf``,
+FindRules returns every type-T instantiation whose support, cover and
+confidence all exceed their thresholds.  It decomposes the work as the paper
+prescribes (Section 4):
+
+1. compute a complete hypertree decomposition of the metaquery *body* (the
+   decomposition only depends on the literal schemes, so by Proposition 4.9
+   it is shared by every instantiation);
+2. ``findBodies`` — visit the decomposition bottom-up, instantiating the
+   literal schemes of each node, materialising
+   ``r[i] = π_χ(p)(J(σ(λ(p))))`` and semijoining it with the children's
+   relations; empty intermediate relations prune the whole branch;
+3. once the root is reached, run the *second half* of the full reducer to
+   obtain the reduced relations ``s[..]``;
+4. ``findHeads`` — check the support threshold from the reduced relations,
+   materialise the body join ``b``, and for every head instantiation that
+   agrees with the body instantiation test cover (``|h ⋉ b| / |h|``) and
+   confidence (``|b ⋉ h'| / |b|``).
+
+Two ablation switches quantify the design choices (used by the ablation
+benchmarks): ``prune_empty`` disables step 2's pruning and
+``use_full_reducer`` replaces step 3's semijoin program by recomputing the
+body join from scratch.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.core.acyclicity import body_scheme_labels, body_variable_sets
+from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.instantiation import (
+    Instantiation,
+    InstantiationType,
+    enumerate_scheme_instantiations,
+)
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.datalog.atoms import Atom
+from repro.datalog.evaluation import atom_relation
+from repro.exceptions import MetaqueryError
+from repro.hypergraph.decomposition import HypertreeDecomposition, HypertreeNode, decompose
+from repro.relational.algebra import natural_join_all
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def body_decomposition(mq: MetaQuery, max_width: int | None = None) -> HypertreeDecomposition:
+    """A complete hypertree decomposition of the metaquery body.
+
+    The decomposition is over the *ordinary* variables of the body literal
+    schemes, labelled ``("body", i)``; Proposition 4.9 guarantees that the
+    same decomposition remains valid for every instantiation.
+    """
+    return decompose(body_variable_sets(mq), max_width=max_width)
+
+
+def _ratio(numerator: int, denominator: int) -> Fraction:
+    """The fraction convention of Definition 2.6: 0 whenever the numerator is 0."""
+    if numerator == 0 or denominator == 0:
+        return Fraction(0)
+    return Fraction(numerator, denominator)
+
+
+class _FindRulesRun:
+    """One execution of FindRules over a fixed database/metaquery/thresholds."""
+
+    def __init__(
+        self,
+        db: Database,
+        mq: MetaQuery,
+        thresholds: Thresholds,
+        itype: InstantiationType,
+        prune_empty: bool,
+        use_full_reducer: bool,
+        decomposition: HypertreeDecomposition | None,
+    ) -> None:
+        self.db = db
+        self.mq = mq
+        self.thresholds = thresholds
+        self.itype = itype
+        self.use_full_reducer = use_full_reducer
+        self.answers = AnswerSet()
+
+        no_filtering = (
+            thresholds.support is None
+            and thresholds.confidence is None
+            and thresholds.cover is None
+        )
+        # Pruning empty intermediate relations is sound only when at least one
+        # strict threshold is enabled (all indices are 0 on an empty body join).
+        self.prune_empty = prune_empty and not no_filtering
+
+        self.decomposition = decomposition or body_decomposition(mq)
+        # Bottom-up visit order of the decomposition nodes; the paper's ν.
+        preorder = self.decomposition.nodes
+        self.order: list[HypertreeNode] = list(reversed(preorder))
+        self.position: dict[int, int] = {id(node): i for i, node in enumerate(self.order)}
+        self.parent: dict[int, HypertreeNode | None] = {id(self.decomposition.root): None}
+        for node in preorder:
+            for child in node.children:
+                self.parent[id(child)] = node
+
+        self.label_to_scheme: dict[object, LiteralScheme] = dict(body_scheme_labels(mq))
+        # Node where each body literal scheme is covered (varo ⊆ χ, scheme ∈ λ).
+        self.covering_position: dict[object, int] = {}
+        for label in self.label_to_scheme:
+            node = self.decomposition.covering_node(label)
+            self.covering_position[label] = self.position[id(node)]
+
+    # ------------------------------------------------------------------
+    def node_schemes(self, node: HypertreeNode) -> list[LiteralScheme]:
+        """The literal schemes in ``λ(node)``, in label order."""
+        return [self.label_to_scheme[label] for label in sorted(node.lam, key=str)]
+
+    def instantiated_node_relation(self, node: HypertreeNode, sigma: Instantiation) -> Relation | None:
+        """``π_χ(node)(J(σ(λ(node))))`` or None when some atom is not evaluable."""
+        atoms = []
+        for scheme in self.node_schemes(node):
+            atom = sigma.image(scheme)
+            if atom.predicate not in self.db or self.db[atom.predicate].arity != atom.arity:
+                return None
+            atoms.append(atom)
+        joined = natural_join_all([atom_relation(atom, self.db) for atom in atoms])
+        chi_columns = [c for c in joined.columns if c in node.chi]
+        return joined.project(chi_columns)
+
+    # ------------------------------------------------------------------
+    def run(self) -> AnswerSet:
+        """Execute the algorithm and return the accumulated answer set."""
+        relations: dict[int, Relation] = {}
+        self._find_bodies(0, Instantiation({}), relations)
+        return self.answers
+
+    def _find_bodies(self, index: int, sigma_b: Instantiation, relations: dict[int, Relation]) -> None:
+        """The recursive ``findBodies`` procedure (first half of the reducer)."""
+        if index >= len(self.order):
+            self._reduce_and_find_heads(sigma_b, relations)
+            return
+        node = self.order[index]
+        schemes = self.node_schemes(node)
+        for sigma_i in enumerate_scheme_instantiations(schemes, self.db, self.itype, base=sigma_b):
+            combined = sigma_b.compose(sigma_i)
+            relation = self.instantiated_node_relation(node, combined)
+            if relation is None:
+                continue
+            for child in node.children:
+                child_pos = self.position[id(child)]
+                relation = relation.semijoin(relations[child_pos])
+            if self.prune_empty and relation.is_empty():
+                continue
+            relations[index] = relation
+            self._find_bodies(index + 1, combined, relations)
+
+    def _reduce_and_find_heads(self, sigma_b: Instantiation, relations: dict[int, Relation]) -> None:
+        """Second half of the full reducer followed by ``findHeads``."""
+        n = len(self.order)
+        reduced: dict[int, Relation] = {n - 1: relations[n - 1]}
+        for j in range(n - 2, -1, -1):
+            parent = self.parent[id(self.order[j])]
+            assert parent is not None  # only the root (last position) has no parent
+            parent_pos = self.position[id(parent)]
+            if self.use_full_reducer:
+                reduced[j] = relations[j].semijoin(reduced[parent_pos])
+            else:
+                reduced[j] = relations[j]
+        self._find_heads(sigma_b, reduced)
+
+    # ------------------------------------------------------------------
+    def _support_of_body(self, sigma_b: Instantiation, reduced: dict[int, Relation]) -> Fraction:
+        """Exact support of the instantiated body, computed from the reduced relations."""
+        best = Fraction(0)
+        for label, scheme in self.label_to_scheme.items():
+            atom = sigma_b.image(scheme)
+            base = atom_relation(atom, self.db)
+            denominator = len(base)
+            if denominator == 0:
+                continue
+            pos = self.covering_position[label]
+            joined = reduced[pos].natural_join(base)
+            numerator = len(joined.project(base.columns))
+            value = _ratio(numerator, denominator)
+            if value > best:
+                best = value
+        return best
+
+    def _body_join(self, reduced: dict[int, Relation]) -> Relation:
+        """The body join ``b = J(σ_b(body(MQ)))`` assembled from the reduced relations."""
+        return natural_join_all(list(reduced.values()))
+
+    def _find_heads(self, sigma_b: Instantiation, reduced: dict[int, Relation]) -> None:
+        """The ``findHeads`` procedure: support gate, then cover/confidence tests."""
+        support_value = self._support_of_body(sigma_b, reduced)
+        if self.thresholds.support is not None and not support_value > self.thresholds.support:
+            return
+        if not self.use_full_reducer:
+            # Ablation: recompute the body join from the raw atom relations.
+            atoms = [sigma_b.image(s) for s in self.label_to_scheme.values()]
+            body = natural_join_all([atom_relation(a, self.db) for a in atoms])
+        else:
+            body = self._body_join(reduced)
+
+        for sigma_h in enumerate_scheme_instantiations([self.mq.head], self.db, self.itype, base=sigma_b):
+            sigma = sigma_b.compose(sigma_h)
+            head_atom = sigma.image(self.mq.head)
+            if head_atom.predicate not in self.db or self.db[head_atom.predicate].arity != head_atom.arity:
+                continue
+            head = atom_relation(head_atom, self.db)
+            head_reduced = head.semijoin(body)
+            cover_value = _ratio(len(head_reduced), len(head))
+            if self.thresholds.cover is not None and not cover_value > self.thresholds.cover:
+                continue
+            confidence_value = _ratio(len(body.semijoin(head_reduced)), len(body))
+            if self.thresholds.confidence is not None and not confidence_value > self.thresholds.confidence:
+                continue
+            rule = sigma.apply(self.mq)
+            self.answers.append(
+                MetaqueryAnswer(
+                    instantiation=sigma,
+                    rule=rule,
+                    support=support_value,
+                    confidence=confidence_value,
+                    cover=cover_value,
+                )
+            )
+
+
+def find_rules(
+    db: Database,
+    mq: MetaQuery,
+    thresholds: Thresholds | None = None,
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+    prune_empty: bool = True,
+    use_full_reducer: bool = True,
+    decomposition: HypertreeDecomposition | None = None,
+) -> AnswerSet:
+    """Run the FindRules algorithm (Figure 4).
+
+    Parameters
+    ----------
+    db, mq:
+        The database instance and the metaquery.
+    thresholds:
+        Support / confidence / cover thresholds; ``None`` disables all
+        filtering (then the result coincides with the naive engine's).
+    itype:
+        The instantiation type (0, 1 or 2).
+    prune_empty:
+        Prune branches whose intermediate node relation is empty (sound as
+        soon as at least one threshold is enabled).
+    use_full_reducer:
+        Use the semijoin-program machinery of Section 4; when False the body
+        join is recomputed from the raw relations (ablation baseline).
+    decomposition:
+        A pre-computed body decomposition to reuse across calls.
+    """
+    thresholds = thresholds or Thresholds.none()
+    itype = InstantiationType.coerce(itype)
+    if itype in (InstantiationType.TYPE_0, InstantiationType.TYPE_1) and not mq.is_pure():
+        raise MetaqueryError(f"type-{int(itype)} instantiations require a pure metaquery")
+    run = _FindRulesRun(db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition)
+    return run.run()
+
+
+def support_via_decomposition(rule_body_atoms: Sequence[Atom], db: Database) -> Fraction:
+    """Compute ``sup`` of an (already instantiated) body via Theorem 4.12's recipe.
+
+    Builds the hypertree decomposition of the body, materialises the node
+    relations, fully reduces them and reads off ``max_i |reduced_i| / |r_i|``.
+    Exposed separately so the Theorem 4.12 benchmark can time exactly this
+    pipeline.
+    """
+    labelled = {f"a{i}": frozenset(v.name for v in atom.variables) for i, atom in enumerate(rule_body_atoms)}
+    decomposition = decompose(labelled)
+    atom_by_label = {f"a{i}": atom for i, atom in enumerate(rule_body_atoms)}
+
+    preorder = decomposition.nodes
+    order = list(reversed(preorder))
+    position = {id(node): i for i, node in enumerate(order)}
+    parent: dict[int, HypertreeNode | None] = {id(decomposition.root): None}
+    for node in preorder:
+        for child in node.children:
+            parent[id(child)] = node
+
+    relations: dict[int, Relation] = {}
+    for i, node in enumerate(order):
+        atoms = [atom_by_label[label] for label in sorted(node.lam, key=str)]
+        joined = natural_join_all([atom_relation(a, db) for a in atoms])
+        rel = joined.project([c for c in joined.columns if c in node.chi])
+        for child in node.children:
+            rel = rel.semijoin(relations[position[id(child)]])
+        relations[i] = rel
+
+    n = len(order)
+    reduced: dict[int, Relation] = {n - 1: relations[n - 1]}
+    for j in range(n - 2, -1, -1):
+        par = parent[id(order[j])]
+        assert par is not None
+        reduced[j] = relations[j].semijoin(reduced[position[id(par)]])
+
+    best = Fraction(0)
+    for label, atom in atom_by_label.items():
+        node = decomposition.covering_node(label)
+        base = atom_relation(atom, db)
+        if len(base) == 0:
+            continue
+        joined = reduced[position[id(node)]].natural_join(base)
+        value = _ratio(len(joined.project(base.columns)), len(base))
+        if value > best:
+            best = value
+    return best

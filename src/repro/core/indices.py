@@ -1,0 +1,160 @@
+"""Plausibility indices: support, confidence, cover (Definitions 2.5-2.7).
+
+All indices are built on the *fraction* operator
+
+``R ↑ S = |π_att(R)(J(R) ⋈ J(S))| / |J(R)|``
+
+with the convention that the fraction is 0 whenever the numerator is 0
+(which also covers the ``|J(R)| = 0`` corner case).  Values are exact
+:class:`fractions.Fraction` objects so that threshold comparisons such as
+``cnf(r) > (k'-1)/2^h`` in the NP^PP reduction are decided without rounding
+error.
+
+The module also implements *certifying sets* (Definition 3.19 and
+Proposition 3.20): for each index, the subset of the rule's atoms whose
+satisfiability is equivalent to the index being strictly positive.  They are
+used by the threshold-0 decision procedures and by the complexity
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.datalog.atoms import Atom, variables_of
+from repro.datalog.evaluation import is_satisfiable, join_atoms
+from repro.datalog.rules import ConjunctiveQuery, HornRule
+from repro.exceptions import IndexError_
+from repro.relational.database import Database
+
+
+def fraction(r_atoms: Sequence[Atom], s_atoms: Sequence[Atom], db: Database) -> Fraction:
+    """The fraction of ``R`` in ``S`` (Definition 2.6): ``R ↑ S``.
+
+    ``r_atoms`` and ``s_atoms`` are the two atom sets; the database supplies
+    their relations.  Returns an exact rational in ``[0, 1]``.
+    """
+    if not r_atoms:
+        raise IndexError_("the left-hand atom set of a fraction must be non-empty")
+    if not s_atoms:
+        raise IndexError_("the right-hand atom set of a fraction must be non-empty")
+    jr = join_atoms(r_atoms, db)
+    if jr.is_empty():
+        return Fraction(0)
+    js = join_atoms(s_atoms, db)
+    joined = jr.natural_join(js)
+    att_r = [v.name for v in variables_of(r_atoms)]
+    numerator = len(joined.project(att_r)) if att_r else (1 if not joined.is_empty() else 0)
+    if numerator == 0:
+        return Fraction(0)
+    return Fraction(numerator, len(jr))
+
+
+def confidence(rule: HornRule, db: Database) -> Fraction:
+    """``cnf(r) = b(r) ↑ h(r)``: how often a satisfied body implies the head."""
+    return fraction(rule.body_atoms, rule.head_atoms, db)
+
+
+def cover(rule: HornRule, db: Database) -> Fraction:
+    """``cvr(r) = h(r) ↑ b(r)``: the share of head tuples the body implies."""
+    return fraction(rule.head_atoms, rule.body_atoms, db)
+
+
+def support(rule: HornRule, db: Database) -> Fraction:
+    """``sup(r) = max_{a ∈ b(r)} ({a} ↑ b(r))``.
+
+    The best fraction, over the body atoms, of an atom's tuples that take
+    part in the body join.
+    """
+    best = Fraction(0)
+    for atom in rule.body_atoms:
+        value = fraction([atom], rule.body_atoms, db)
+        if value > best:
+            best = value
+    return best
+
+
+def all_indices(rule: HornRule, db: Database) -> dict[str, Fraction]:
+    """Support, confidence and cover of a rule, as a dictionary."""
+    return {
+        "sup": support(rule, db),
+        "cnf": confidence(rule, db),
+        "cvr": cover(rule, db),
+    }
+
+
+# ----------------------------------------------------------------------
+# pluggable index objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlausibilityIndex:
+    """A named plausibility index: a function from (rule, database) to [0, 1].
+
+    The paper's Definition 2.5 only requires the value to be a rational in
+    ``[0, 1]``; user-defined indices may be registered alongside the three
+    standard ones.
+    """
+
+    name: str
+    compute: Callable[[HornRule, Database], Fraction]
+
+    def __call__(self, rule: HornRule, db: Database) -> Fraction:
+        return self.compute(rule, db)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+SUPPORT = PlausibilityIndex("sup", support)
+CONFIDENCE = PlausibilityIndex("cnf", confidence)
+COVER = PlausibilityIndex("cvr", cover)
+
+#: The set ``I = {cnf, cvr, sup}`` of the paper, keyed by short name.
+INDICES: dict[str, PlausibilityIndex] = {
+    "sup": SUPPORT,
+    "cnf": CONFIDENCE,
+    "cvr": COVER,
+}
+
+
+def get_index(index: str | PlausibilityIndex) -> PlausibilityIndex:
+    """Resolve an index given either its short name or the object itself."""
+    if isinstance(index, PlausibilityIndex):
+        return index
+    try:
+        return INDICES[index]
+    except KeyError:
+        raise IndexError_(f"unknown plausibility index {index!r}; known: {sorted(INDICES)}") from None
+
+
+# ----------------------------------------------------------------------
+# certifying sets (Definition 3.19 / Proposition 3.20)
+# ----------------------------------------------------------------------
+def certifying_set(rule: HornRule, index: str | PlausibilityIndex) -> tuple[Atom, ...]:
+    """The certifying set ``S_I`` of a rule for an index.
+
+    * cover and confidence: the whole atom set (head plus body);
+    * support: the body atoms only.
+
+    The defining property (Proposition 3.20): the certifying set has a
+    satisfiable ground instance iff the index is strictly positive.
+    """
+    name = get_index(index).name
+    if name == "sup":
+        return rule.body_atoms
+    if name in ("cvr", "cnf"):
+        return rule.atoms
+    raise IndexError_(f"no certifying set known for custom index {name!r}")
+
+
+def index_is_positive(rule: HornRule, index: str | PlausibilityIndex, db: Database) -> bool:
+    """Decide ``I(r) > 0`` via the certifying set, without computing the ratio.
+
+    This is the polynomial-verifiable certificate used in the membership
+    proofs of Theorem 3.21: the index is positive iff the certifying set is
+    satisfiable as a Boolean conjunctive query.
+    """
+    atoms = certifying_set(rule, index)
+    return is_satisfiable(ConjunctiveQuery(atoms), db)

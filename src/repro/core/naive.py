@@ -1,0 +1,118 @@
+"""The naive metaquery engine: enumerate every instantiation and test it.
+
+This is the guess-and-check procedure implicit in the membership proofs of
+Section 3.3 (Theorem 3.21 and Theorem 3.24): enumerate every type-T
+instantiation, compute the requested indices by explicit joins and keep the
+instantiations passing the thresholds.  It is exponential in the metaquery
+size but serves two purposes:
+
+* it is the reference implementation against which FindRules is tested, and
+* it is the baseline of the Figure 4 benchmarks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator
+
+from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.indices import PlausibilityIndex, all_indices, get_index, index_is_positive
+from repro.core.instantiation import InstantiationType, enumerate_instantiations
+from repro.core.metaquery import MetaQuery
+from repro.datalog.rules import HornRule
+from repro.relational.database import Database
+
+
+def _rule_is_evaluable(rule: HornRule, db: Database) -> bool:
+    """Every predicate of the rule must name a database relation of matching arity."""
+    for atom in rule.atoms:
+        if atom.predicate not in db:
+            return False
+        if db[atom.predicate].arity != atom.arity:
+            return False
+    return True
+
+
+def iter_answers(
+    db: Database,
+    mq: MetaQuery,
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+) -> Iterator[MetaqueryAnswer]:
+    """Yield an answer (with all three indices) for every evaluable instantiation."""
+    for instantiation in enumerate_instantiations(mq, db, itype):
+        rule = instantiation.apply(mq)
+        if not _rule_is_evaluable(rule, db):
+            continue
+        values = all_indices(rule, db)
+        yield MetaqueryAnswer(
+            instantiation=instantiation,
+            rule=rule,
+            support=values["sup"],
+            confidence=values["cnf"],
+            cover=values["cvr"],
+        )
+
+
+def naive_find_rules(
+    db: Database,
+    mq: MetaQuery,
+    thresholds: Thresholds | None = None,
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+) -> AnswerSet:
+    """All instantiations whose indices pass the thresholds.
+
+    ``thresholds=None`` keeps every instantiation (useful for inspecting the
+    full answer space of a small database).
+    """
+    thresholds = thresholds or Thresholds.none()
+    answers = AnswerSet()
+    for answer in iter_answers(db, mq, itype):
+        if thresholds.accepts(answer.support, answer.confidence, answer.cover):
+            answers.append(answer)
+    return answers
+
+
+def naive_decide(
+    db: Database,
+    mq: MetaQuery,
+    index: str | PlausibilityIndex,
+    k: Fraction | float | int,
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+) -> bool:
+    """Decide the metaquerying problem ``⟨DB, MQ, I, k, T⟩`` (Section 3.2).
+
+    True iff some type-T instantiation has ``I(σ(MQ)) > k``.  For ``k = 0``
+    the certifying-set shortcut of Proposition 3.20 is used, which only needs
+    Boolean conjunctive-query satisfiability rather than counting.
+    """
+    index_obj = get_index(index)
+    k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
+    if not 0 <= k < 1:
+        raise ValueError(f"threshold must satisfy 0 <= k < 1, got {k}")
+    for instantiation in enumerate_instantiations(mq, db, itype):
+        rule = instantiation.apply(mq)
+        if not _rule_is_evaluable(rule, db):
+            continue
+        if k == 0:
+            if index_is_positive(rule, index_obj, db):
+                return True
+        else:
+            if index_obj(rule, db) > k:
+                return True
+    return False
+
+
+def naive_witness(
+    db: Database,
+    mq: MetaQuery,
+    index: str | PlausibilityIndex,
+    k: Fraction | float | int,
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+) -> MetaqueryAnswer | None:
+    """A witnessing answer for the decision problem, or None when it is a NO instance."""
+    index_obj = get_index(index)
+    k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
+    for answer in iter_answers(db, mq, itype):
+        if answer.index(index_obj.name) > k:
+            return answer
+    return None

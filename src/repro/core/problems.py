@@ -1,0 +1,86 @@
+"""Decision-problem wrappers for the complexity experiments.
+
+The paper's complexity results (Figure 5) are about the decision problem
+``⟨DB, MQ, I, k, T⟩``: *does some type-T instantiation of MQ over DB push
+index I strictly above k?*  This module packages one such instance as an
+object so the reduction modules and the Figure 5 benchmarks can construct,
+classify and solve instances uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.core.acyclicity import classify
+from repro.core.answers import MetaqueryAnswer
+from repro.core.indices import PlausibilityIndex, get_index
+from repro.core.instantiation import InstantiationType
+from repro.core.metaquery import MetaQuery
+from repro.core.naive import naive_decide, naive_witness
+from repro.relational.database import Database
+
+
+@dataclass
+class MetaqueryDecisionProblem:
+    """One instance ``⟨DB, MQ, I, k, T⟩`` of the metaquerying decision problem."""
+
+    db: Database
+    mq: MetaQuery
+    index: PlausibilityIndex
+    k: Fraction
+    itype: InstantiationType
+    label: str = field(default="")
+
+    def __init__(
+        self,
+        db: Database,
+        mq: MetaQuery,
+        index: str | PlausibilityIndex,
+        k: Fraction | float | int = 0,
+        itype: InstantiationType | int = InstantiationType.TYPE_0,
+        label: str = "",
+    ) -> None:
+        self.db = db
+        self.mq = mq
+        self.index = get_index(index)
+        self.k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
+        if not 0 <= self.k < 1:
+            raise ValueError(f"threshold must satisfy 0 <= k < 1, got {self.k}")
+        self.itype = InstantiationType.coerce(itype)
+        self.label = label
+
+    # ------------------------------------------------------------------
+    def decide(self) -> bool:
+        """Solve the instance (guess-and-check over all instantiations)."""
+        return naive_decide(self.db, self.mq, self.index, self.k, self.itype)
+
+    def witness(self) -> MetaqueryAnswer | None:
+        """A witnessing instantiation for a YES instance, or None."""
+        return naive_witness(self.db, self.mq, self.index, self.k, self.itype)
+
+    # ------------------------------------------------------------------
+    def structure(self) -> str:
+        """``"acyclic"``, ``"semi-acyclic"`` or ``"cyclic"`` — the Figure 5 row family."""
+        return classify(self.mq)
+
+    def figure5_row(self) -> str:
+        """A human-readable description of which Figure 5 row the instance falls in."""
+        structure = self.structure() if self.structure() != "cyclic" else "general"
+        threshold = "k=0" if self.k == 0 else "0<=k<1"
+        return f"{structure}, type-{int(self.itype)}, {self.index.name}, {threshold}"
+
+    def size(self) -> dict[str, int]:
+        """Instance-size statistics used by the scaling benchmarks."""
+        return {
+            "relations": len(self.db),
+            "tuples": self.db.total_tuples(),
+            "largest_relation": self.db.largest_relation_size(),
+            "body_schemes": len(self.mq.body),
+            "predicate_variables": len(self.mq.predicate_variables),
+            "ordinary_variables": len(self.mq.ordinary_variables),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" [{self.label}]" if self.label else ""
+        return f"<{self.db.name}, {self.mq}, {self.index.name}, {self.k}, type-{int(self.itype)}>{tag}"

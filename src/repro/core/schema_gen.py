@@ -1,0 +1,127 @@
+"""Schema-driven generation of candidate metaqueries.
+
+The paper's introduction notes that metaqueries "can be specified by human
+experts or alternatively, they can be automatically generated from the
+database schema".  This module implements that second mode: given a database
+schema it emits a stream of syntactically sensible metaquery templates
+(chains, stars, inclusion patterns) whose pattern arities are drawn from the
+arities actually present in the schema.  The schema-driven-discovery example
+and a couple of benchmarks use it to build realistic mining workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.datalog.terms import Variable
+from repro.relational.schema import DatabaseSchema
+
+
+def _variables(count: int) -> list[Variable]:
+    """The first ``count`` template variables ``X1, X2, ...``."""
+    return [Variable(f"X{i + 1}") for i in range(count)]
+
+
+def generate_chain_metaqueries(length: int, arity: int = 2) -> Iterator[MetaQuery]:
+    """Transitivity-style chain templates of a given body length.
+
+    A chain of length ``m`` with binary patterns is::
+
+        P0(X1, X2) <- P1(X1, X2), P2(X2, X3), ..., Pm(Xm, X(m+1))
+
+    The head ranges over the first body pattern's variables, which keeps the
+    metaquery hypergraph acyclic (Definition 3.31); these are the acyclic
+    workhorses of the tractable-case experiments (Figure 5 row 4).  For
+    ``arity > 2`` the extra positions are filled with per-literal fresh
+    variables, which keeps the template acyclic.
+    """
+    if length < 1:
+        return
+    variables = _variables(length + 1)
+    body: list[LiteralScheme] = []
+    extra_counter = itertools.count(1)
+    for i in range(length):
+        terms: list[Variable] = [variables[i], variables[i + 1]]
+        while len(terms) < arity:
+            terms.append(Variable(f"Z{next(extra_counter)}"))
+        body.append(LiteralScheme.pattern(f"P{i + 1}", terms))
+    head_terms: list[Variable] = [variables[0], variables[1]]
+    while len(head_terms) < arity:
+        head_terms.append(Variable(f"Z{next(extra_counter)}"))
+    head = LiteralScheme.pattern("P0", head_terms)
+    yield MetaQuery(head, body, name=f"chain-{length}")
+
+
+def generate_star_metaqueries(rays: int) -> Iterator[MetaQuery]:
+    """Star templates: one hub variable shared by every body pattern.
+
+    ``P0(H, X1) <- P1(H, X1), P2(H, X2), ..., Pk(H, Xk)`` — acyclic for any
+    number of rays.
+    """
+    if rays < 1:
+        return
+    hub = Variable("H")
+    body = [LiteralScheme.pattern(f"P{i + 1}", [hub, Variable(f"X{i + 1}")]) for i in range(rays)]
+    head = LiteralScheme.pattern("P0", [hub, Variable("X1")])
+    yield MetaQuery(head, body, name=f"star-{rays}")
+
+
+def generate_inclusion_metaqueries(schema: DatabaseSchema) -> Iterator[MetaQuery]:
+    """Unary inclusion templates ``I(X) <- O(X)`` lifted to the schema's arities.
+
+    For every pair of arities ``(a, b)`` present in the schema, emits a
+    template whose head pattern has arity ``a`` and whose single body pattern
+    has arity ``b``, sharing their first variable — the shape used by the
+    cover-driven view-reengineering example (Section 2.2's ``I(X) <- O(X)``).
+    """
+    arities = sorted({schema[name].arity for name in schema.relation_names})
+    x = Variable("X")
+    counter = itertools.count(1)
+    for head_arity in arities:
+        for body_arity in arities:
+            head_terms = [x] + [Variable(f"H{next(counter)}") for _ in range(head_arity - 1)]
+            body_terms = [x] + [Variable(f"B{next(counter)}") for _ in range(body_arity - 1)]
+            yield MetaQuery(
+                LiteralScheme.pattern("I", head_terms),
+                [LiteralScheme.pattern("O", body_terms)],
+                name=f"inclusion-{head_arity}-{body_arity}",
+            )
+
+
+def generate_metaqueries(
+    schema: DatabaseSchema,
+    max_body_length: int = 3,
+    shapes: Sequence[str] = ("chain", "star", "inclusion"),
+) -> list[MetaQuery]:
+    """Generate a deduplicated batch of candidate metaqueries for a schema.
+
+    ``shapes`` selects which template families to include.  Chain and star
+    templates are generated for every body length from 1 to
+    ``max_body_length`` and for every arity present in the schema (chains
+    only); the inclusion family is schema-arity driven.
+    """
+    arities = sorted({schema[name].arity for name in schema.relation_names})
+    result: list[MetaQuery] = []
+    seen: set[tuple] = set()
+
+    def push(mq: MetaQuery) -> None:
+        key = (mq.head, mq.body)
+        if key not in seen:
+            seen.add(key)
+            result.append(mq)
+
+    for length in range(1, max_body_length + 1):
+        if "chain" in shapes:
+            for arity in arities:
+                if arity >= 2:
+                    for mq in generate_chain_metaqueries(length, arity=arity):
+                        push(mq)
+        if "star" in shapes:
+            for mq in generate_star_metaqueries(length):
+                push(mq)
+    if "inclusion" in shapes:
+        for mq in generate_inclusion_metaqueries(schema):
+            push(mq)
+    return result

@@ -1,0 +1,51 @@
+"""Conjunctive-query and Datalog substrate.
+
+This package provides the first-order query layer the metaquery engine is
+built on:
+
+* terms (variables and constants), atoms, conjunctive queries and Horn rules;
+* a small parser for the textual ``head :- body`` / ``head <- body`` syntax;
+* evaluation of conjunctive queries over a
+  :class:`~repro.relational.database.Database` (the paper's ``J(R)``
+  operator and the Boolean Conjunctive Query problem of Definition 3.2);
+* counting of satisfying substitutions (the ``#BCQ`` problem of
+  Proposition 3.26);
+* a semi-naive fixpoint evaluator for (possibly recursive) Datalog programs,
+  which makes the substrate a usable deductive-database engine in its own
+  right.
+"""
+
+from repro.datalog.terms import Constant, Term, Variable, term
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import ConjunctiveQuery, HornRule
+from repro.datalog.parser import parse_atom, parse_query, parse_rule, parse_program
+from repro.datalog.evaluation import (
+    atom_relation,
+    evaluate_query,
+    is_satisfiable,
+    join_atoms,
+    substitutions,
+)
+from repro.datalog.counting import count_substitutions
+from repro.datalog.program import DatalogProgram
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "term",
+    "Atom",
+    "ConjunctiveQuery",
+    "HornRule",
+    "parse_atom",
+    "parse_query",
+    "parse_rule",
+    "parse_program",
+    "atom_relation",
+    "join_atoms",
+    "evaluate_query",
+    "substitutions",
+    "is_satisfiable",
+    "count_substitutions",
+    "DatalogProgram",
+]

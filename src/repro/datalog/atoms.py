@@ -1,0 +1,104 @@
+"""Atoms: a predicate name applied to a list of terms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.datalog.terms import Constant, Term, Variable, term
+from repro.exceptions import DatalogError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``p(t1, ..., tk)`` over first-order terms.
+
+    In the paper's terminology (Section 2.1), an atom is a literal scheme
+    whose predicate symbol is an ordinary relation name (as opposed to a
+    relation pattern, whose predicate symbol is a second-order variable).
+    """
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Sequence[Any]) -> None:
+        if not predicate:
+            raise DatalogError("atom predicate name must be non-empty")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.terms)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """The distinct variables of the atom, in first-occurrence order."""
+        seen: list[Variable] = []
+        for t in self.terms:
+            if isinstance(t, Variable) and t not in seen:
+                seen.append(t)
+        return tuple(seen)
+
+    @property
+    def constants(self) -> tuple[Constant, ...]:
+        """The distinct constants of the atom, in first-occurrence order."""
+        seen: list[Constant] = []
+        for t in self.terms:
+            if isinstance(t, Constant) and t not in seen:
+                seen.append(t)
+        return tuple(seen)
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables."""
+        return all(t.is_constant for t in self.terms)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a substitution to the atom's variables."""
+        new_terms = [mapping.get(t, t) if isinstance(t, Variable) else t for t in self.terms]
+        return Atom(self.predicate, new_terms)
+
+    def ground(self, mapping: Mapping[Variable, Any]) -> "Atom":
+        """Ground the atom: every variable must be mapped to a value."""
+        new_terms: list[Term] = []
+        for t in self.terms:
+            if isinstance(t, Variable):
+                if t not in mapping:
+                    raise DatalogError(f"grounding is missing a value for variable {t}")
+                value = mapping[t]
+                new_terms.append(value if isinstance(value, Term) else Constant(value))
+            else:
+                new_terms.append(t)
+        return Atom(self.predicate, new_terms)
+
+    def rename_variables(self, mapping: Mapping[Variable, Variable]) -> "Atom":
+        """Rename variables (a special case of :meth:`substitute`)."""
+        return self.substitute(mapping)
+
+    def as_row(self) -> tuple[Any, ...]:
+        """For a ground atom, the tuple of constant values."""
+        if not self.is_ground():
+            raise DatalogError(f"atom {self} is not ground")
+        return tuple(t.value for t in self.terms)  # type: ignore[union-attr]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Atom({self!s})"
+
+
+def variables_of(atoms: Iterable[Atom]) -> tuple[Variable, ...]:
+    """Distinct variables of a collection of atoms, in first-occurrence order.
+
+    This is the paper's ``att(R)`` operator for a set of atoms ``R``
+    (Section 2.2): the set of all variables of all atoms in ``R``.
+    """
+    seen: list[Variable] = []
+    for atom in atoms:
+        for variable in atom.variables:
+            if variable not in seen:
+                seen.append(variable)
+    return tuple(seen)

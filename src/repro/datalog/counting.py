@@ -1,0 +1,49 @@
+"""Counting satisfying substitutions: the ``#BCQ`` problem.
+
+Proposition 3.26 of the paper shows that counting the substitutions that
+satisfy a conjunctive query (``#BCQ``) is #P-complete via a parsimonious
+reduction from #3SAT.  The confidence index needs exact counts of the tuples
+satisfying the body of an instantiated rule, which is why its combined
+complexity climbs to NP^PP (Theorems 3.27-3.29).
+
+This module provides the counting oracle used by those experiments.  The
+count is over *all* variables of the query by default; an optional
+``over`` argument restricts the count to the projection onto a subset of
+variables (the quantity the cover/confidence numerators use).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.exceptions import DatalogError
+from repro.datalog.evaluation import evaluate_query
+from repro.relational.database import Database
+
+
+def count_substitutions(
+    query: ConjunctiveQuery,
+    db: Database,
+    over: Sequence[Variable] | None = None,
+) -> int:
+    """Number of satisfying substitutions of ``query`` over ``db``.
+
+    With ``over`` given, counts the distinct restrictions of satisfying
+    substitutions to those variables (i.e. ``|π_over(J(query))|``).
+    """
+    result = evaluate_query(query, db)
+    if over is None:
+        return len(result)
+    names = [v.name for v in over]
+    missing = [n for n in names if n not in result.columns]
+    if missing:
+        raise DatalogError(f"count variables {missing} do not occur in the query")
+    return len(result.project(names))
+
+
+def count_atoms_substitutions(atoms: Sequence[Atom], db: Database) -> int:
+    """Convenience wrapper counting substitutions of a raw atom sequence."""
+    return count_substitutions(ConjunctiveQuery(atoms), db)

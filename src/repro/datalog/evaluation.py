@@ -1,0 +1,169 @@
+"""Evaluation of conjunctive queries over a relational database.
+
+The central operator is :func:`atom_relation`, which turns an atom into a
+relation over its *variables* (applying equality selections for repeated
+variables and constants), and :func:`join_atoms`, which computes the paper's
+``J(R)`` — the natural join of the relations corresponding to a set of atoms
+(Section 2.2).  The columns of ``J(R)`` are exactly ``att(R)``, the distinct
+variables of the atom set, so ``|J(R)|`` counts satisfying substitutions for
+those variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.datalog.atoms import Atom, variables_of
+from repro.datalog.rules import ConjunctiveQuery
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import DatalogError, UnknownRelationError
+from repro.relational.algebra import natural_join_all
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def atom_relation(atom: Atom, db: Database) -> Relation:
+    """The relation over ``atom``'s variables induced by the database.
+
+    For an atom ``p(X, a, X)`` the result is the projection onto the distinct
+    variables (here ``X``) of the tuples of ``p`` whose second column is the
+    constant ``a`` and whose first and third column agree.
+
+    For a fully ground atom the result is a zero-column relation that is
+    non-empty iff the corresponding tuple is in the database (a boolean).
+    """
+    relation = db[atom.predicate]
+    if relation.arity != atom.arity:
+        raise DatalogError(
+            f"atom {atom} has arity {atom.arity}, relation {atom.predicate!r} "
+            f"has arity {relation.arity}"
+        )
+    var_first_pos: dict[Variable, int] = {}
+    keep_positions: list[int] = []
+    keep_names: list[str] = []
+    for pos, t in enumerate(atom.terms):
+        if isinstance(t, Variable) and t not in var_first_pos:
+            var_first_pos[t] = pos
+            keep_positions.append(pos)
+            keep_names.append(t.name)
+
+    rows = []
+    for row in relation:
+        ok = True
+        for pos, t in enumerate(atom.terms):
+            if isinstance(t, Constant):
+                if row[pos] != t.value:
+                    ok = False
+                    break
+            else:
+                first = var_first_pos[t]
+                if row[pos] != row[first]:
+                    ok = False
+                    break
+        if ok:
+            rows.append(tuple(row[p] for p in keep_positions))
+    schema = RelationSchema(f"[{atom}]", keep_names)
+    return Relation(schema, rows)
+
+
+def join_atoms(atoms: Iterable[Atom], db: Database) -> Relation:
+    """``J(R)``: the natural join of the atom relations of ``atoms``.
+
+    The result's columns are the distinct variable names of the atom set.
+    An empty atom collection is rejected (the paper never joins zero atoms).
+    """
+    atoms = list(atoms)
+    if not atoms:
+        raise DatalogError("join_atoms requires at least one atom")
+    return natural_join_all([atom_relation(atom, db) for atom in atoms])
+
+
+def evaluate_query(query: ConjunctiveQuery, db: Database) -> Relation:
+    """Evaluate a conjunctive query, returning the relation over its variables."""
+    return join_atoms(query.atoms, db)
+
+
+def substitutions(query: ConjunctiveQuery, db: Database) -> Iterator[dict[Variable, object]]:
+    """Iterate over satisfying substitutions of the query's variables.
+
+    Each substitution is a ``{Variable: value}`` dict covering every variable
+    of the query.  The order of iteration is unspecified but deterministic
+    for a fixed database.
+    """
+    result = evaluate_query(query, db)
+    variables = [Variable(name) for name in result.columns]
+    for row in result.to_rows():
+        yield dict(zip(variables, row))
+
+
+def is_satisfiable(query: ConjunctiveQuery, db: Database) -> bool:
+    """The Boolean Conjunctive Query problem (Definition 3.2).
+
+    True iff there exists a substitution making every atom a database fact.
+    """
+    return not evaluate_query(query, db).is_empty()
+
+
+def ground_atom_holds(atom: Atom, db: Database) -> bool:
+    """True when a ground atom's tuple belongs to the corresponding relation."""
+    if not atom.is_ground():
+        raise DatalogError(f"atom {atom} is not ground")
+    try:
+        relation = db[atom.predicate]
+    except UnknownRelationError:
+        return False
+    if relation.arity != atom.arity:
+        return False
+    return atom.as_row() in relation
+
+
+def ground_instance_holds(atoms: Sequence[Atom], db: Database) -> bool:
+    """True when every ground atom of the sequence is a database fact.
+
+    This is the "ground instance ... satisfied in DB" notion used by
+    certifying sets (Definition 3.19).
+    """
+    return all(ground_atom_holds(atom, db) for atom in atoms)
+
+
+def project_join_onto(atoms: Sequence[Atom], onto: Sequence[Atom], db: Database) -> Relation:
+    """``π_att(onto)(J(atoms))`` restricted to the variables of ``onto``.
+
+    Only variables of ``onto`` that actually occur in ``atoms`` are kept; any
+    other variable of ``onto`` cannot constrain the join.
+    """
+    joined = join_atoms(atoms, db)
+    wanted = [v.name for v in variables_of(onto) if v.name in joined.columns]
+    return joined.project(wanted)
+
+
+def query_answers(
+    query: ConjunctiveQuery,
+    db: Database,
+    answer_variables: Sequence[Variable] | None = None,
+) -> Relation:
+    """Evaluate a query and project onto the requested answer variables.
+
+    When ``answer_variables`` is None the full variable set is returned
+    (i.e. the same as :func:`evaluate_query`).
+    """
+    result = evaluate_query(query, db)
+    if answer_variables is None:
+        return result
+    names = [v.name for v in answer_variables]
+    missing = [n for n in names if n not in result.columns]
+    if missing:
+        raise DatalogError(f"answer variables {missing} do not occur in the query")
+    return result.project(names)
+
+
+def apply_substitution_to_query(
+    query: ConjunctiveQuery, substitution: Mapping[Variable, object]
+) -> ConjunctiveQuery:
+    """Ground (part of) a query using a ``{Variable: value}`` mapping."""
+    mapping = {
+        var: (value if isinstance(value, (Variable, Constant)) else Constant(value))
+        for var, value in substitution.items()
+    }
+    return query.substitute(mapping)

@@ -1,0 +1,194 @@
+"""A small recursive-descent parser for atoms, rules, queries and programs.
+
+Grammar (whitespace-insensitive)::
+
+    program  := rule (newline rule)*
+    rule     := atom ("<-" | ":-") atomlist "."?
+    query    := atomlist
+    atomlist := atom ("," atom)*
+    atom     := identifier "(" termlist? ")"
+    termlist := term ("," term)*
+    term     := identifier | integer | quoted string
+
+Identifiers that start with an upper-case letter or ``_`` are parsed as
+variables; everything else is a constant.  Integers become Python ``int``
+constants, quoted strings become string constants.  The same tokenizer is
+reused by the metaquery parser (which treats upper-case *predicate* positions
+as predicate variables).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import ConjunctiveQuery, HornRule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.exceptions import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow><-|:-)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: str) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}", text)
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    """Cursor over a token list with the usual expect/accept helpers."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    def peek(self) -> _Token | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text)
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, got {token.value!r}", self.text)
+        return token
+
+    def accept(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            self.position += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # ------------------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self.next()
+        if token.kind == "number":
+            return Constant(int(token.value))
+        if token.kind == "string":
+            return Constant(token.value[1:-1])
+        if token.kind == "ident":
+            name = token.value
+            if name[0].isupper() or name[0] == "_":
+                return Variable(name)
+            return Constant(name)
+        raise ParseError(f"expected a term, got {token.value!r}", self.text)
+
+    def parse_atom(self) -> Atom:
+        predicate = self.expect("ident").value
+        self.expect("lparen")
+        terms: list[Term] = []
+        if not self.accept("rparen"):
+            terms.append(self.parse_term())
+            while self.accept("comma"):
+                terms.append(self.parse_term())
+            self.expect("rparen")
+        return Atom(predicate, terms)
+
+    def parse_atom_list(self) -> list[Atom]:
+        atoms = [self.parse_atom()]
+        while self.accept("comma"):
+            atoms.append(self.parse_atom())
+        return atoms
+
+    def parse_rule(self) -> HornRule:
+        head = self.parse_atom()
+        self.expect("arrow")
+        body = self.parse_atom_list()
+        self.accept("dot")
+        return HornRule(head, body)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"edge(X, Y)"``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        raise ParseError("trailing input after atom", text)
+    return atom
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query, e.g. ``"edge(X,Y), edge(Y,Z)"``."""
+    parser = _Parser(text)
+    atoms = parser.parse_atom_list()
+    if not parser.at_end():
+        raise ParseError("trailing input after query", text)
+    return ConjunctiveQuery(atoms)
+
+
+def parse_rule(text: str) -> HornRule:
+    """Parse a Horn rule, e.g. ``"path(X,Z) <- edge(X,Y), path(Y,Z)."``."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise ParseError("trailing input after rule", text)
+    return rule
+
+
+def parse_program(text: str) -> list[HornRule]:
+    """Parse a sequence of Horn rules separated by newlines or dots.
+
+    Blank lines and ``%``-prefixed comment lines are ignored.
+    """
+    rules: list[HornRule] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("%"):
+            continue
+        rules.append(parse_rule(line))
+    return rules
+
+
+def iter_rules(text: str) -> Iterator[HornRule]:
+    """Lazy variant of :func:`parse_program`."""
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("%"):
+            continue
+        yield parse_rule(line)

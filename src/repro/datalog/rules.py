@@ -1,0 +1,154 @@
+"""Conjunctive queries and Horn rules over atoms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.datalog.atoms import Atom, variables_of
+from repro.datalog.terms import Term, Variable
+from repro.exceptions import DatalogError
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query: a finite set of atoms (Definition 3.2).
+
+    The atoms are stored as an ordered tuple for reproducible iteration, but
+    equality is set-based (the order of atoms does not matter).
+    """
+
+    atoms: tuple[Atom, ...]
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        object.__setattr__(self, "atoms", tuple(atoms))
+        if not self.atoms:
+            raise DatalogError("a conjunctive query must contain at least one atom")
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """Distinct variables in first-occurrence order (``att`` of the atom set)."""
+        return variables_of(self.atoms)
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """Distinct predicate names, in first-occurrence order."""
+        seen: list[str] = []
+        for atom in self.atoms:
+            if atom.predicate not in seen:
+                seen.append(atom.predicate)
+        return tuple(seen)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "ConjunctiveQuery":
+        """Apply a substitution to every atom."""
+        return ConjunctiveQuery(atom.substitute(mapping) for atom in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return frozenset(self.atoms) == frozenset(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.atoms))
+
+    def __str__(self) -> str:
+        return ", ".join(str(a) for a in self.atoms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConjunctiveQuery({self!s})"
+
+
+@dataclass(frozen=True)
+class HornRule:
+    """A definite Horn rule ``head <- body`` over ordinary atoms.
+
+    This is what a metaquery instantiation produces (Section 2.1): the head
+    is a single atom and the body a non-empty sequence of atoms.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __init__(self, head: Atom, body: Iterable[Atom]) -> None:
+        body_atoms = tuple(body)
+        if not body_atoms:
+            raise DatalogError("a Horn rule must have a non-empty body")
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body_atoms)
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        """Head followed by body atoms (the set ``A_r`` of Definition 3.19)."""
+        return (self.head,) + self.body
+
+    @property
+    def head_atoms(self) -> tuple[Atom, ...]:
+        """``h(r)``: the set of atoms in the head (always a singleton here)."""
+        return (self.head,)
+
+    @property
+    def body_atoms(self) -> tuple[Atom, ...]:
+        """``b(r)``: the set of atoms in the body."""
+        return self.body
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """Distinct variables of the whole rule."""
+        return variables_of(self.atoms)
+
+    @property
+    def head_variables(self) -> tuple[Variable, ...]:
+        """Distinct variables of the head atom."""
+        return self.head.variables
+
+    @property
+    def body_variables(self) -> tuple[Variable, ...]:
+        """Distinct variables of the body atoms."""
+        return variables_of(self.body)
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """Distinct predicate names of the rule."""
+        seen: list[str] = []
+        for atom in self.atoms:
+            if atom.predicate not in seen:
+                seen.append(atom.predicate)
+        return tuple(seen)
+
+    def is_range_restricted(self) -> bool:
+        """True when every head variable also occurs in the body (safety)."""
+        body_vars = set(self.body_variables)
+        return all(v in body_vars for v in self.head_variables)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "HornRule":
+        """Apply a substitution to head and body."""
+        return HornRule(
+            self.head.substitute(mapping),
+            tuple(atom.substitute(mapping) for atom in self.body),
+        )
+
+    def body_query(self) -> ConjunctiveQuery:
+        """The body as a conjunctive query."""
+        return ConjunctiveQuery(self.body)
+
+    def full_query(self) -> ConjunctiveQuery:
+        """Head plus body as a conjunctive query (used by cover/confidence)."""
+        return ConjunctiveQuery(self.atoms)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.head} <- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HornRule({self!s})"
+
+
+def rule_from_atoms(head: Atom, body: Sequence[Atom]) -> HornRule:
+    """Tiny convenience wrapper mirroring the parser's output shape."""
+    return HornRule(head, body)

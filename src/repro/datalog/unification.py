@@ -1,0 +1,69 @@
+"""Syntactic unification and matching of atoms.
+
+Used by the instantiation machinery to check whether a relation pattern can
+be matched against an atom (types 0/1/2 impose progressively looser
+argument correspondences) and by the parser round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Optional
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Term, Variable
+
+
+def unify_terms(
+    left: Term, right: Term, binding: MutableMapping[Variable, Term]
+) -> Optional[MutableMapping[Variable, Term]]:
+    """Unify two terms under an existing binding; return the extended binding or None."""
+    left = _resolve(left, binding)
+    right = _resolve(right, binding)
+    if left == right:
+        return binding
+    if isinstance(left, Variable):
+        binding[left] = right
+        return binding
+    if isinstance(right, Variable):
+        binding[right] = left
+        return binding
+    return None
+
+
+def _resolve(t: Term, binding: Mapping[Variable, Term]) -> Term:
+    while isinstance(t, Variable) and t in binding:
+        t = binding[t]
+    return t
+
+
+def unify_atoms(left: Atom, right: Atom) -> Optional[dict[Variable, Term]]:
+    """Most general unifier of two atoms, or None when they do not unify."""
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    binding: dict[Variable, Term] = {}
+    for lt, rt in zip(left.terms, right.terms):
+        if unify_terms(lt, rt, binding) is None:
+            return None
+    return {var: _resolve(value, binding) for var, value in binding.items()}
+
+
+def match_atom(pattern: Atom, ground: Atom) -> Optional[dict[Variable, Constant]]:
+    """One-way matching: bind the pattern's variables so it equals ``ground``.
+
+    Unlike unification, variables of ``ground`` are treated as constants-to-
+    match and may not be rebound.  Returns the substitution or None.
+    """
+    if pattern.predicate != ground.predicate or pattern.arity != ground.arity:
+        return None
+    binding: dict[Variable, Term] = {}
+    for pt, gt in zip(pattern.terms, ground.terms):
+        if isinstance(pt, Variable):
+            bound = binding.get(pt)
+            if bound is None:
+                binding[pt] = gt
+            elif bound != gt:
+                return None
+        else:
+            if pt != gt:
+                return None
+    return {k: v for k, v in binding.items()}  # type: ignore[return-value]

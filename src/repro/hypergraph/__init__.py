@@ -1,0 +1,52 @@
+"""Hypergraph machinery: acyclicity, join trees, hypertree decompositions.
+
+The tractability results of the paper all hinge on structural properties of
+the hypergraph associated with a (meta)query:
+
+* **GYO reduction** (Definition 3.30) decides hypergraph acyclicity and
+  therefore metaquery acyclicity / semi-acyclicity (Definition 3.31);
+* **join trees** (Definition 4.2) exist exactly for semi-acyclic atom sets
+  and drive the full-reducer semijoin programs (Definition 4.4, Example 4.5);
+* **hypertree decompositions** (Definitions 4.6/4.7, Examples 4.8-4.11)
+  generalise join trees to cyclic queries and give the ``d^c log d`` bound of
+  Theorem 4.12 used by the FindRules algorithm (Figure 4).
+
+The package is deliberately generic: hyperedges are labelled sets of opaque
+vertices, so the same code serves conjunctive queries (vertices = variables)
+and metaqueries (vertices = ordinary and/or predicate variables).
+"""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.gyo import GYOResult, gyo_reduction, is_acyclic
+from repro.hypergraph.jointree import JoinTree, build_join_tree
+from repro.hypergraph.decomposition import (
+    HypertreeDecomposition,
+    HypertreeNode,
+    decompose,
+    hypertree_width,
+)
+from repro.hypergraph.semijoin import (
+    SemijoinStep,
+    execute_full_reducer,
+    execute_semijoin_program,
+    full_reducer,
+    yannakakis_join,
+)
+
+__all__ = [
+    "Hypergraph",
+    "GYOResult",
+    "gyo_reduction",
+    "is_acyclic",
+    "JoinTree",
+    "build_join_tree",
+    "HypertreeNode",
+    "HypertreeDecomposition",
+    "decompose",
+    "hypertree_width",
+    "SemijoinStep",
+    "full_reducer",
+    "execute_semijoin_program",
+    "execute_full_reducer",
+    "yannakakis_join",
+]

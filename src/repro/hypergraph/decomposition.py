@@ -1,0 +1,346 @@
+"""Hypertree decompositions (Definitions 4.6 and 4.7, Examples 4.8-4.11).
+
+A hypertree decomposition of a set of literal schemes ``Q`` is a rooted tree
+whose nodes ``p`` carry a variable set ``χ(p)`` and a literal-scheme set
+``λ(p)`` subject to the four conditions of Definition 4.7.  Its *width* is
+``max_p |λ(p)|``; the *hypertree width* ``hw(Q)`` is the minimum width over
+all decompositions, and ``hw(Q) = 1`` exactly when ``Q`` is semi-acyclic.
+
+The search below is a memoised variant of det-k-decomp: for increasing
+target width ``k`` it tries to split the query into components guarded by at
+most ``k`` literal schemes.  Metaquery bodies are tiny (a handful of
+schemes), so exhaustive subset enumeration per node is perfectly adequate —
+the benchmarks that sweep data size keep the query fixed, matching the data
+complexity setting of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.hypergraph import Hypergraph, Label, Vertex
+from repro.hypergraph.jointree import build_join_tree
+
+
+@dataclass
+class HypertreeNode:
+    """One node of a hypertree decomposition.
+
+    Attributes
+    ----------
+    chi:
+        The variable set ``χ(p)``.
+    lam:
+        The labels of the literal schemes in ``λ(p)``.
+    children:
+        The child nodes.
+    """
+
+    chi: frozenset[Vertex]
+    lam: frozenset[Label]
+    children: list["HypertreeNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterable["HypertreeNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def chi_subtree(self) -> frozenset[Vertex]:
+        """``χ(T_p)``: the union of χ over the subtree rooted here."""
+        result: set[Vertex] = set()
+        for node in self.walk():
+            result |= node.chi
+        return frozenset(result)
+
+
+class HypertreeDecomposition:
+    """A complete hypertree decomposition ``⟨T, χ, λ⟩`` of a labelled edge set."""
+
+    def __init__(self, root: HypertreeNode, edges: Mapping[Label, frozenset[Vertex]]) -> None:
+        self.root = root
+        self.edges: dict[Label, frozenset[Vertex]] = {
+            label: frozenset(verts) for label, verts in edges.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """``max_p |λ(p)|``."""
+        return max(len(node.lam) for node in self.root.walk())
+
+    @property
+    def nodes(self) -> list[HypertreeNode]:
+        """All nodes in pre-order."""
+        return list(self.root.walk())
+
+    def node_count(self) -> int:
+        """Number of decomposition nodes."""
+        return len(self.nodes)
+
+    def covering_node(self, label: Label) -> HypertreeNode:
+        """A node ``p`` with ``varo(label) ⊆ χ(p)`` and ``label ∈ λ(p)``.
+
+        Completeness (Definition 4.7, last clause) guarantees such a node
+        exists for every literal scheme.
+        """
+        verts = self.edges[label]
+        for node in self.root.walk():
+            if label in node.lam and verts <= node.chi:
+                return node
+        raise DecompositionError(f"decomposition is not complete for edge {label!r}")
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`DecompositionError` unless all four conditions hold.
+
+        Checks, for the edge set the decomposition was built from:
+
+        1. every literal scheme's variables are covered by some ``χ(p)``;
+        2. for every variable, the nodes whose ``χ`` contains it form a
+           connected subtree;
+        3. ``χ(p) ⊆ varo(λ(p))`` for every node;
+        4. ``varo(λ(p)) ∩ χ(T_p) ⊆ χ(p)`` for every node;
+
+        plus completeness: every scheme has a node with ``λ ∋ scheme`` and
+        ``χ ⊇`` its variables.
+        """
+        nodes = self.nodes
+        # Condition 1 + completeness.
+        for label, verts in self.edges.items():
+            if not any(verts <= node.chi for node in nodes):
+                raise DecompositionError(f"condition 1 violated for edge {label!r}")
+            self.covering_node(label)
+        # Condition 2: connectedness of {p : v in chi(p)}.
+        parent_of: dict[int, int | None] = {}
+        indexed: list[HypertreeNode] = []
+
+        def index(node: HypertreeNode, parent_idx: int | None) -> None:
+            parent_of[len(indexed)] = parent_idx
+            indexed.append(node)
+            my_idx = len(indexed) - 1
+            for child in node.children:
+                index(child, my_idx)
+
+        index(self.root, None)
+        all_vertices: set[Vertex] = set()
+        for verts in self.edges.values():
+            all_vertices |= verts
+        for vertex in all_vertices:
+            holders = [i for i, node in enumerate(indexed) if vertex in node.chi]
+            if not holders:
+                continue
+            holder_set = set(holders)
+            components = 0
+            seen: set[int] = set()
+            adjacency: dict[int, set[int]] = {i: set() for i in holders}
+            for i in holders:
+                par = parent_of[i]
+                if par is not None and par in holder_set:
+                    adjacency[i].add(par)
+                    adjacency[par].add(i)
+            for i in holders:
+                if i in seen:
+                    continue
+                components += 1
+                stack = [i]
+                seen.add(i)
+                while stack:
+                    current = stack.pop()
+                    for neighbour in adjacency[current]:
+                        if neighbour not in seen:
+                            seen.add(neighbour)
+                            stack.append(neighbour)
+            if components > 1:
+                raise DecompositionError(f"condition 2 violated for vertex {vertex!r}")
+        # Conditions 3 and 4.
+        for node in nodes:
+            lam_vars: set[Vertex] = set()
+            for label in node.lam:
+                lam_vars |= self.edges[label]
+            if not node.chi <= lam_vars:
+                raise DecompositionError("condition 3 violated: chi not covered by lambda")
+            if not (lam_vars & node.chi_subtree()) <= node.chi:
+                raise DecompositionError("condition 4 (descendant condition) violated")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HypertreeDecomposition(width={self.width}, nodes={self.node_count()})"
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def _edge_vars(edges: Mapping[Label, frozenset[Vertex]], labels: Iterable[Label]) -> frozenset[Vertex]:
+    result: set[Vertex] = set()
+    for label in labels:
+        result |= edges[label]
+    return frozenset(result)
+
+
+def _components(
+    edges: Mapping[Label, frozenset[Vertex]],
+    candidate_labels: frozenset[Label],
+    separator: frozenset[Vertex],
+) -> list[frozenset[Label]]:
+    """Variable-connected components of ``candidate_labels`` after removing ``separator``."""
+    remaining = {
+        label for label in candidate_labels if not edges[label] <= separator
+    }
+    components: list[frozenset[Label]] = []
+    while remaining:
+        start = next(iter(remaining))
+        remaining.discard(start)
+        component = {start}
+        frontier_vars = set(edges[start]) - separator
+        changed = True
+        while changed:
+            changed = False
+            for label in list(remaining):
+                if (edges[label] - separator) & frontier_vars:
+                    remaining.discard(label)
+                    component.add(label)
+                    frontier_vars |= edges[label] - separator
+                    changed = True
+        components.append(frozenset(component))
+    return components
+
+
+def _decompose_width_one(edges: Mapping[Label, frozenset[Vertex]]) -> HypertreeDecomposition | None:
+    """Width-1 decomposition straight from a join tree, when one exists."""
+    hg = Hypergraph(dict(edges))
+    tree = build_join_tree(hg)
+    if tree is None:
+        return None
+
+    def make(label: Label) -> HypertreeNode:
+        node = HypertreeNode(chi=edges[label], lam=frozenset({label}))
+        node.children = [make(child) for child in tree.children(label)]
+        return node
+
+    return HypertreeDecomposition(make(tree.root), edges)
+
+
+def _search(
+    edges: Mapping[Label, frozenset[Vertex]],
+    component: frozenset[Label],
+    connector: frozenset[Vertex],
+    width: int,
+    memo: dict[tuple[frozenset[Label], frozenset[Vertex]], HypertreeNode | None],
+) -> HypertreeNode | None:
+    """det-k-decomp search: decompose ``component`` under connector variables."""
+    key = (component, connector)
+    if key in memo:
+        cached = memo[key]
+        return _clone(cached) if cached is not None else None
+
+    all_labels = tuple(edges)
+    component_vars = _edge_vars(edges, component)
+    for size in range(1, width + 1):
+        for lam in itertools.combinations(all_labels, size):
+            lam_set = frozenset(lam)
+            lam_vars = _edge_vars(edges, lam_set)
+            if not connector <= lam_vars:
+                continue
+            chi = lam_vars & (connector | component_vars)
+            if not connector <= chi:
+                continue
+            # every edge of the component must either be covered or live in a
+            # sub-component guarded by chi
+            sub_components = _components(edges, component, chi)
+            # progress guard: a candidate that leaves some sub-component equal
+            # to the current component would recurse forever without shrinking
+            # the problem, so it cannot be part of a valid decomposition here.
+            if any(sub == component for sub in sub_components):
+                continue
+            children: list[HypertreeNode] = []
+            ok = True
+            for sub in sub_components:
+                sub_connector = _edge_vars(edges, sub) & chi
+                child = _search(edges, sub, sub_connector, width, memo)
+                if child is None:
+                    ok = False
+                    break
+                children.append(child)
+            if not ok:
+                continue
+            node = HypertreeNode(chi=chi, lam=lam_set, children=children)
+            memo[key] = node
+            return _clone(node)
+    memo[key] = None
+    return None
+
+
+def _clone(node: HypertreeNode) -> HypertreeNode:
+    return HypertreeNode(
+        chi=node.chi, lam=node.lam, children=[_clone(child) for child in node.children]
+    )
+
+
+def _complete(decomposition: HypertreeDecomposition) -> HypertreeDecomposition:
+    """Attach a ``(χ=vars(e), λ={e})`` child for every scheme lacking a covering node."""
+    for label, verts in decomposition.edges.items():
+        try:
+            decomposition.covering_node(label)
+            continue
+        except DecompositionError:
+            pass
+        host = None
+        for node in decomposition.root.walk():
+            if verts <= node.chi:
+                host = node
+                break
+        if host is None:
+            raise DecompositionError(f"no node covers edge {label!r}; decomposition invalid")
+        host.children.append(HypertreeNode(chi=frozenset(verts), lam=frozenset({label})))
+    return decomposition
+
+
+def decompose(
+    labelled_variable_sets: Mapping[Label, Iterable[Vertex]],
+    max_width: int | None = None,
+) -> HypertreeDecomposition:
+    """Compute a minimum-width complete hypertree decomposition.
+
+    Parameters
+    ----------
+    labelled_variable_sets:
+        ``{scheme label: iterable of its (ordinary) variables}``.
+    max_width:
+        Optional cap on the width to try; defaults to the number of schemes
+        (a width-``m`` decomposition always exists: put everything in one
+        root node).
+
+    Raises
+    ------
+    DecompositionError
+        If no decomposition of width ``<= max_width`` exists.
+    """
+    edges: dict[Label, frozenset[Vertex]] = {
+        label: frozenset(verts) for label, verts in labelled_variable_sets.items()
+    }
+    if not edges:
+        raise DecompositionError("cannot decompose an empty scheme set")
+    limit = max_width if max_width is not None else len(edges)
+
+    width_one = _decompose_width_one(edges)
+    if width_one is not None:
+        return _complete(width_one)
+    if limit < 2:
+        raise DecompositionError("scheme set is cyclic; no width-1 decomposition exists")
+
+    all_labels = frozenset(edges)
+    for width in range(2, limit + 1):
+        memo: dict[tuple[frozenset[Label], frozenset[Vertex]], HypertreeNode | None] = {}
+        root = _search(edges, all_labels, frozenset(), width, memo)
+        if root is not None:
+            decomposition = HypertreeDecomposition(root, edges)
+            return _complete(decomposition)
+    raise DecompositionError(f"no hypertree decomposition of width <= {limit} found")
+
+
+def hypertree_width(labelled_variable_sets: Mapping[Label, Iterable[Vertex]]) -> int:
+    """The hypertree width ``hw(Q)`` of a labelled scheme set."""
+    return decompose(labelled_variable_sets).width

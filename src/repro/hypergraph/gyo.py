@@ -1,0 +1,74 @@
+"""The GYO (Graham / Yu-Ozsoyoglu) reduction and hypergraph acyclicity.
+
+Implements Definition 3.30 of the paper: repeatedly (1) remove isolated
+edges, (2) pick an ear and remove it, until no ear remains; the hypergraph is
+acyclic iff the derived hypergraph is empty.  The elimination sequence of
+(ear, witness) pairs is also returned because the join-tree construction
+re-uses it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypergraph.hypergraph import Hypergraph, Label
+
+
+@dataclass
+class GYOResult:
+    """Outcome of a GYO reduction.
+
+    Attributes
+    ----------
+    acyclic:
+        True when the reduction emptied the hypergraph.
+    residual:
+        The derived hypergraph ``GYO(H)`` (empty iff acyclic).
+    eliminations:
+        The sequence of ``(ear_label, witness_label)`` pairs in removal
+        order.  Isolated edges are recorded with witness ``None``.
+    """
+
+    acyclic: bool
+    residual: Hypergraph
+    eliminations: list[tuple[Label, Label | None]] = field(default_factory=list)
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO reduction and return the full :class:`GYOResult`.
+
+    The input hypergraph is not modified.
+    """
+    working = hypergraph.copy()
+    eliminations: list[tuple[Label, Label | None]] = []
+
+    changed = True
+    while changed and not working.is_empty():
+        changed = False
+
+        # Step 1: remove isolated edges (edges sharing no vertex with others).
+        # When only one edge remains it is isolated by definition.
+        for label in list(working.edge_labels):
+            if working.is_isolated(label):
+                working.remove_edge(label)
+                eliminations.append((label, None))
+                changed = True
+
+        if working.is_empty():
+            break
+
+        # Step 2: remove one ear (and loop back to step 1).
+        for label in list(working.edge_labels):
+            witness = working.find_witness(label)
+            if witness is not None:
+                working.remove_edge(label)
+                eliminations.append((label, witness))
+                changed = True
+                break
+
+    return GYOResult(acyclic=working.is_empty(), residual=working, eliminations=eliminations)
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the hypergraph is acyclic (its GYO reduction is empty)."""
+    return gyo_reduction(hypergraph).acyclic

@@ -1,0 +1,174 @@
+"""A labelled hypergraph: named hyperedges over opaque vertices.
+
+Edges carry labels (typically the index or identity of the literal scheme
+they come from) because distinct literal schemes may span the same vertex
+set; the GYO reduction and join-tree construction must treat them as
+distinct edges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+from repro.exceptions import DecompositionError
+
+Vertex = Hashable
+Label = Hashable
+
+
+class Hypergraph:
+    """A hypergraph ``H = (V, E)`` with labelled edges.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from edge label to an iterable of vertices.
+    vertices:
+        Optional extra isolated vertices not covered by any edge.
+    """
+
+    def __init__(
+        self,
+        edges: Mapping[Label, Iterable[Vertex]] | None = None,
+        vertices: Iterable[Vertex] = (),
+    ) -> None:
+        self._edges: dict[Label, frozenset[Vertex]] = {}
+        if edges:
+            for label, verts in edges.items():
+                self.add_edge(label, verts)
+        self._extra_vertices: set[Vertex] = set(vertices)
+
+    # ------------------------------------------------------------------
+    def add_edge(self, label: Label, vertices: Iterable[Vertex]) -> None:
+        """Add an edge under a fresh label."""
+        if label in self._edges:
+            raise DecompositionError(f"edge label {label!r} already present")
+        self._edges[label] = frozenset(vertices)
+
+    def remove_edge(self, label: Label) -> None:
+        """Remove the edge with the given label."""
+        if label not in self._edges:
+            raise DecompositionError(f"no edge labelled {label!r}")
+        del self._edges[label]
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> dict[Label, frozenset[Vertex]]:
+        """A copy of the label -> vertex-set mapping."""
+        return dict(self._edges)
+
+    @property
+    def edge_labels(self) -> tuple[Label, ...]:
+        """Edge labels in insertion order."""
+        return tuple(self._edges)
+
+    def edge(self, label: Label) -> frozenset[Vertex]:
+        """The vertex set of the edge with the given label."""
+        try:
+            return self._edges[label]
+        except KeyError:
+            raise DecompositionError(f"no edge labelled {label!r}") from None
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        """All vertices (covered by edges or explicitly isolated)."""
+        covered: set[Vertex] = set(self._extra_vertices)
+        for verts in self._edges.values():
+            covered |= verts
+        return frozenset(covered)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Label]:
+        return iter(self._edges)
+
+    def __contains__(self, label: Label) -> bool:
+        return label in self._edges
+
+    def is_empty(self) -> bool:
+        """True when the hypergraph has no edges left (GYO success condition)."""
+        return not self._edges
+
+    def copy(self) -> "Hypergraph":
+        """A shallow copy (edges are immutable frozensets)."""
+        clone = Hypergraph()
+        clone._edges = dict(self._edges)
+        clone._extra_vertices = set(self._extra_vertices)
+        return clone
+
+    # ------------------------------------------------------------------
+    def edges_containing(self, vertex: Vertex) -> tuple[Label, ...]:
+        """Labels of all edges containing the given vertex."""
+        return tuple(label for label, verts in self._edges.items() if vertex in verts)
+
+    def is_isolated(self, label: Label) -> bool:
+        """True when the edge shares no vertex with any *other* edge."""
+        verts = self.edge(label)
+        for other, other_verts in self._edges.items():
+            if other != label and verts & other_verts:
+                return False
+        return True
+
+    def find_witness(self, label: Label) -> Label | None:
+        """Return a witness making ``label`` an ear, or None.
+
+        An edge ``e`` is an ear if there is a distinct edge ``w`` (the
+        witness) such that no vertex of ``e - w`` belongs to any other edge
+        (Definition 3.30).
+        """
+        verts = self.edge(label)
+        exclusive = set(verts)
+        for other, other_verts in self._edges.items():
+            if other != label:
+                exclusive -= other_verts
+        # 'exclusive' holds the vertices of e appearing in no other edge;
+        # a witness must cover everything else.
+        rest = verts - exclusive
+        for other, other_verts in self._edges.items():
+            if other != label and rest <= other_verts:
+                return other
+        return None
+
+    def connected_components(self) -> list[tuple[Label, ...]]:
+        """Partition of the edge labels into variable-connected components."""
+        labels = list(self._edges)
+        unvisited = set(labels)
+        components: list[tuple[Label, ...]] = []
+        while unvisited:
+            start = next(iter(unvisited))
+            stack = [start]
+            component = []
+            unvisited.discard(start)
+            while stack:
+                current = stack.pop()
+                component.append(current)
+                current_verts = self._edges[current]
+                for other in list(unvisited):
+                    if current_verts & self._edges[other]:
+                        unvisited.discard(other)
+                        stack.append(other)
+            components.append(tuple(sorted(component, key=str)))
+        return components
+
+    def primal_graph_edges(self) -> set[tuple[Vertex, Vertex]]:
+        """Edges of the primal (Gaifman) graph: vertex pairs co-occurring in a hyperedge."""
+        result: set[tuple[Vertex, Vertex]] = set()
+        for verts in self._edges.values():
+            ordered = sorted(verts, key=str)
+            for i, u in enumerate(ordered):
+                for v in ordered[i + 1 :]:
+                    result.add((u, v))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{label}:{sorted(map(str, verts))}" for label, verts in self._edges.items())
+        return f"Hypergraph({parts})"
+
+
+def hypergraph_from_edge_sets(edge_sets: Iterable[Iterable[Vertex]]) -> Hypergraph:
+    """Build a hypergraph from anonymous edges, labelling them ``e0, e1, ...``."""
+    hg = Hypergraph()
+    for i, verts in enumerate(edge_sets):
+        hg.add_edge(f"e{i}", verts)
+    return hg

@@ -1,0 +1,60 @@
+"""Hardness reductions and the reference solvers used to verify them.
+
+Every NP / NP^PP / #P hardness claim of the paper comes with an explicit
+reduction.  This package implements:
+
+* the *source problems* and small exact solvers for them (CNF SAT and model
+  counting, graph 3-coloring, Hamiltonian path, ∃C-3SAT), and
+* the paper's *reductions* from those problems to metaquerying instances:
+
+  - 3-COLORING → ``⟨DB, MQ, I, 0, T⟩``            (Theorem 3.21)
+  - 3-COLORING → semi-acyclic type-0 metaquery    (Theorem 3.35)
+  - HAMILTONIAN PATH → acyclic type-1/2 metaquery (Theorem 3.33)
+  - ∃C-3SAT → ``⟨DB, MQ, cnf, k, 0/1/2⟩``          (Theorems 3.28/3.29)
+  - 3SAT → #BCQ (parsimonious)                    (Proposition 3.26)
+
+The Figure 5 benchmarks sweep instance sizes through these reductions and
+check that the metaquery engine's verdict always matches the reference
+solver's.
+"""
+
+from repro.reductions.sat import (
+    CNFFormula,
+    Clause,
+    Literal,
+    count_models,
+    is_satisfiable_formula,
+    random_3cnf,
+)
+from repro.reductions.coloring import (
+    coloring_reduction,
+    is_3colorable,
+    semi_acyclic_coloring_reduction,
+)
+from repro.reductions.hamiltonian import hamiltonian_path_reduction, has_hamiltonian_path
+from repro.reductions.ec3sat import (
+    EC3SATInstance,
+    ec3sat_holds,
+    ec3sat_reduction_type0,
+    ec3sat_reduction_type12,
+)
+from repro.reductions.bcq import sharp_3sat_to_bcq
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "CNFFormula",
+    "random_3cnf",
+    "is_satisfiable_formula",
+    "count_models",
+    "is_3colorable",
+    "coloring_reduction",
+    "semi_acyclic_coloring_reduction",
+    "has_hamiltonian_path",
+    "hamiltonian_path_reduction",
+    "EC3SATInstance",
+    "ec3sat_holds",
+    "ec3sat_reduction_type0",
+    "ec3sat_reduction_type12",
+    "sharp_3sat_to_bcq",
+]

@@ -1,0 +1,66 @@
+"""The parsimonious 3SAT → #BCQ reduction of Proposition 3.26.
+
+Counting the substitutions that satisfy a Boolean conjunctive query is
+#P-complete: every 3-CNF formula ``F`` maps to a conjunctive query ``Q`` and
+a database ``DB`` such that the number of satisfying assignments of ``F``
+equals the number of satisfying substitutions of ``Q`` over ``DB``.  The
+confidence index needs exactly this kind of count, which is what pushes its
+combined complexity to NP^PP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.exceptions import ReductionError
+from repro.reductions.sat import CNFFormula
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class BCQInstance:
+    """The output of the reduction: a conjunctive query plus its database."""
+
+    query: ConjunctiveQuery
+    db: Database
+
+
+def sharp_3sat_to_bcq(formula: CNFFormula) -> BCQInstance:
+    """Proposition 3.26: a parsimonious transformation from #3SAT to #BCQ.
+
+    Every clause ``cl_i = x1 ∨ x2 ∨ x3`` becomes a ternary relation ``c_i``
+    over ``{0, 1}`` containing all tuples except the single one encoding
+    "every literal false", and a query atom ``c_i(X1, X2, X3)`` whose
+    variables are the clause's *propositional variables* (so positive and
+    negative occurrences of the same variable share the query variable).
+    The number of satisfying substitutions of the query equals the number of
+    satisfying assignments of the formula over the variables it mentions.
+    """
+    if not formula.is_3cnf():
+        raise ReductionError("the reduction is defined for 3-CNF formulas")
+
+    universe = (0, 1)
+    relations = []
+    atoms = []
+    for i, clause in enumerate(formula.clauses):
+        literals = list(clause.literals)
+        while len(literals) < 3:
+            literals.append(literals[-1])
+        literals = literals[:3]
+        # the unique falsifying tuple: 0 for a positive literal, 1 for a negative one
+        falsifying = tuple(0 if lit.positive else 1 for lit in literals)
+        rows = [
+            (a, b, c)
+            for a in universe
+            for b in universe
+            for c in universe
+            if (a, b, c) != falsifying
+        ]
+        relations.append(Relation.from_rows(f"c{i}", ("p1", "p2", "p3"), rows))
+        atoms.append(Atom(f"c{i}", [Variable(f"V_{lit.variable}") for lit in literals]))
+
+    return BCQInstance(query=ConjunctiveQuery(atoms), db=Database(relations, name="DB-sharpbcq"))

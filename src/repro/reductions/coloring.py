@@ -1,0 +1,147 @@
+"""Graph 3-coloring: exact solver and the paper's two reductions.
+
+* :func:`is_3colorable` — a backtracking reference solver.
+* :func:`coloring_reduction` — Theorem 3.21: 3-COLORING reduces to
+  ``⟨DB, MQ, I, 0, T⟩`` for every index ``I ∈ {sup, cnf, cvr}`` and every
+  instantiation type, using a single binary relation ``e`` holding the six
+  legally-colored ordered pairs and a metaquery that encodes the graph's
+  edges as relation patterns over a single predicate variable.
+* :func:`semi_acyclic_coloring_reduction` — Theorem 3.35: the variant whose
+  metaquery is *semi-acyclic* (one predicate variable per graph node, three
+  color relations ``r'``, ``g'``, ``b'``), showing that semi-acyclicity does
+  not buy tractability for type-0 evaluation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.core.instantiation import InstantiationType
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.core.problems import MetaqueryDecisionProblem
+from repro.datalog.terms import Variable
+from repro.exceptions import ReductionError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.workloads.graphs import Graph
+
+
+# ----------------------------------------------------------------------
+# reference solver
+# ----------------------------------------------------------------------
+def find_3coloring(graph: Graph) -> Mapping[str, int] | None:
+    """A proper 3-coloring (vertex -> {0,1,2}), or None when none exists."""
+    vertices = sorted(graph.vertices, key=lambda v: -len(graph.neighbours(v)))
+    colouring: dict[str, int] = {}
+
+    def backtrack(index: int) -> bool:
+        if index == len(vertices):
+            return True
+        vertex = vertices[index]
+        for colour in range(3):
+            if all(colouring.get(n) != colour for n in graph.neighbours(vertex)):
+                colouring[vertex] = colour
+                if backtrack(index + 1):
+                    return True
+                del colouring[vertex]
+        return False
+
+    return dict(colouring) if backtrack(0) else None
+
+
+def is_3colorable(graph: Graph) -> bool:
+    """True when the graph admits a proper 3-coloring."""
+    return find_3coloring(graph) is not None
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.21: 3-COLORING -> <DB, MQ, I, 0, T>
+# ----------------------------------------------------------------------
+def coloring_database() -> Database:
+    """``DB_3col``: the single relation ``e`` of legally colored ordered pairs."""
+    pairs = [(a, b) for a, b in itertools.permutations((1, 2, 3), 2)]
+    return Database([Relation.from_rows("e", ("c1", "c2"), pairs)], name="DB3col")
+
+
+def coloring_metaquery(graph: Graph) -> MetaQuery:
+    """``MQ_3col``: the graph's edges as patterns over one predicate variable ``E``.
+
+    The head repeats the first edge pattern, so the whole rule's certifying
+    set (for any of the three indices) is exactly the edge encoding ``S``.
+    """
+    if graph.edge_count == 0:
+        raise ReductionError("the 3-coloring reduction needs at least one edge")
+    edges = sorted(graph.edges)
+    patterns = [
+        LiteralScheme.pattern("E", [Variable(f"X_{u}"), Variable(f"X_{v}")]) for u, v in edges
+    ]
+    return MetaQuery(patterns[0], patterns, name=f"MQ3col-{graph.vertex_count}v")
+
+
+def coloring_reduction(
+    graph: Graph,
+    index: str = "cnf",
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+) -> MetaqueryDecisionProblem:
+    """The full Theorem 3.21 instance: YES iff the graph is 3-colorable."""
+    return MetaqueryDecisionProblem(
+        db=coloring_database(),
+        mq=coloring_metaquery(graph),
+        index=index,
+        k=0,
+        itype=itype,
+        label=f"3COL({graph.vertex_count}v,{graph.edge_count}e)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.35: the semi-acyclic variant
+# ----------------------------------------------------------------------
+def semi_acyclic_coloring_database() -> Database:
+    """The three color relations ``r'``, ``g'``, ``b'`` of Theorem 3.35."""
+    r_prime = Relation.from_rows("r_prime", ("other", "own"), [("g", "r"), ("b", "r")])
+    g_prime = Relation.from_rows("g_prime", ("other", "own"), [("r", "g"), ("b", "g")])
+    b_prime = Relation.from_rows("b_prime", ("other", "own"), [("g", "b"), ("r", "b")])
+    return Database([r_prime, g_prime, b_prime], name="DB3col-semiacyclic")
+
+
+def semi_acyclic_coloring_metaquery(graph: Graph) -> MetaQuery:
+    """``MQ_3col`` of Theorem 3.35: one predicate variable ``X'_u`` per node.
+
+    The body is ``S' ∪ S''`` where ``S'`` encodes the edges (pattern
+    ``X'_u(X_v, _)`` for every edge ``(u, v)``) and ``S''`` ties each node's
+    predicate variable to its own color (pattern ``X'_z(_, X_z)``); every
+    ``_`` is a fresh mute variable.  The head repeats the first edge pattern.
+    """
+    if graph.edge_count == 0:
+        raise ReductionError("the 3-coloring reduction needs at least one edge")
+    mute_counter = itertools.count(1)
+
+    def mute() -> Variable:
+        return Variable(f"M{next(mute_counter)}")
+
+    edges = sorted(graph.edges)
+    s_prime = [
+        LiteralScheme.pattern(f"C_{u}", [Variable(f"X_{v}"), mute()]) for u, v in edges
+    ]
+    s_second = [
+        LiteralScheme.pattern(f"C_{z}", [mute(), Variable(f"X_{z}")]) for z in graph.vertices
+    ]
+    head = s_prime[0]
+    return MetaQuery(head, s_prime + s_second, name=f"MQ3col-semiacyclic-{graph.vertex_count}v")
+
+
+def semi_acyclic_coloring_reduction(
+    graph: Graph,
+    index: str = "cnf",
+) -> MetaqueryDecisionProblem:
+    """The Theorem 3.35 instance (type-0 only): YES iff the graph is 3-colorable."""
+    return MetaqueryDecisionProblem(
+        db=semi_acyclic_coloring_database(),
+        mq=semi_acyclic_coloring_metaquery(graph),
+        index=index,
+        k=0,
+        itype=InstantiationType.TYPE_0,
+        label=f"3COL-semiacyclic({graph.vertex_count}v,{graph.edge_count}e)",
+    )

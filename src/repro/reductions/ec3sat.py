@@ -1,0 +1,236 @@
+"""∃C-3SAT and its reductions to confidence-threshold metaquerying.
+
+``∃C-3SAT`` (Definition 3.12) asks: given a 3-CNF formula ``F`` over two
+disjoint variable sets ``Π`` (the existential block) and ``χ`` (the counting
+block) and an integer ``k'``, is there an assignment of ``Π`` under which at
+least ``k'`` assignments of ``χ`` satisfy ``F``?  The problem is complete for
+``∃C·P = NP^PP`` (Theorem 3.13), and Theorems 3.28 / 3.29 reduce it to
+``⟨DB, MQ, cnf, (k'-1)/2^h, T⟩`` — this is where the confidence index's need
+for exact counting shows up in the complexity.
+
+Both reductions of the paper are implemented: the type-0 one (one predicate
+variable per Π-variable; relations ``pa``/``pb`` carry the guessed truth
+value) and the type-1/2 one (a single predicate variable ``P'``; the
+*argument permutation* carries the guessed truth value, with the auxiliary
+``ch`` relation pinning the third attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from repro.core.instantiation import InstantiationType
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.core.problems import MetaqueryDecisionProblem
+from repro.datalog.terms import Variable
+from repro.exceptions import ReductionError
+from repro.reductions.sat import CNFFormula, iter_assignments
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class EC3SATInstance:
+    """One ∃C-3SAT instance ``⟨F, k', Π, χ⟩``.
+
+    ``formula`` must be in 3-CNF; every clause literal's variable must belong
+    to ``pi_variables ∪ chi_variables``.
+    """
+
+    formula: CNFFormula
+    k_prime: int
+    pi_variables: tuple[str, ...]
+    chi_variables: tuple[str, ...]
+
+    def __init__(
+        self,
+        formula: CNFFormula,
+        k_prime: int,
+        pi_variables: Sequence[str],
+        chi_variables: Sequence[str],
+    ) -> None:
+        if not formula.is_3cnf():
+            raise ReductionError("∃C-3SAT requires a 3-CNF formula")
+        pi = tuple(pi_variables)
+        chi = tuple(chi_variables)
+        if set(pi) & set(chi):
+            raise ReductionError("Π and χ must be disjoint")
+        unknown = set(formula.variables) - set(pi) - set(chi)
+        if unknown:
+            raise ReductionError(f"formula variables outside Π ∪ χ: {sorted(unknown)}")
+        if k_prime < 1:
+            raise ReductionError("k' must be at least 1")
+        object.__setattr__(self, "formula", formula)
+        object.__setattr__(self, "k_prime", k_prime)
+        object.__setattr__(self, "pi_variables", pi)
+        object.__setattr__(self, "chi_variables", chi)
+
+    @property
+    def threshold(self) -> Fraction:
+        """The confidence threshold ``(k' - 1) / 2^h`` of the reduction."""
+        return Fraction(self.k_prime - 1, 2 ** len(self.chi_variables))
+
+
+def ec3sat_holds(instance: EC3SATInstance) -> bool:
+    """Reference solver: brute-force over Π and count χ assignments."""
+    for pi_assignment in iter_assignments(instance.pi_variables):
+        count = 0
+        for chi_assignment in iter_assignments(instance.chi_variables):
+            assignment = {**pi_assignment, **chi_assignment}
+            if instance.formula.satisfied_by(assignment):
+                count += 1
+        if count >= instance.k_prime:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# shared pieces of both reductions
+# ----------------------------------------------------------------------
+def _clause_relation() -> Relation:
+    """``c'(L1, L2, L3, C)``: the truth table of a three-literal clause."""
+    rows = []
+    for l1 in (0, 1):
+        for l2 in (0, 1):
+            for l3 in (0, 1):
+                rows.append((l1, l2, l3, 1 if (l1 or l2 or l3) else 0))
+    return Relation.from_rows("cprime", ("l1", "l2", "l3", "c"), rows)
+
+
+def _head_relation(n_clauses: int) -> Relation:
+    """``c(C1, ..., Cn) = {⟨1, ..., 1⟩}``: selects all-satisfied clause vectors."""
+    columns = tuple(f"cl{i}" for i in range(n_clauses))
+    return Relation.from_rows("call", columns, [tuple(1 for _ in range(n_clauses))])
+
+
+def _literal_argument(instance: EC3SATInstance, variable: str, positive: bool) -> Variable:
+    """The metaquery variable standing for one literal occurrence."""
+    if variable in instance.pi_variables:
+        return Variable(f"P_{variable}" if positive else f"NP_{variable}")
+    return Variable(f"Q_{variable}" if positive else f"NQ_{variable}")
+
+
+def _clause_schemes(instance: EC3SATInstance) -> list[LiteralScheme]:
+    """One ``c'`` atom per clause, padded to three literals by repetition."""
+    schemes = []
+    for i, clause in enumerate(instance.formula.clauses):
+        literals = list(clause.literals)
+        while len(literals) < 3:
+            literals.append(literals[-1])
+        args = [_literal_argument(instance, lit.variable, lit.positive) for lit in literals[:3]]
+        args.append(Variable(f"C{i}"))
+        schemes.append(LiteralScheme.atom("cprime", args))
+    return schemes
+
+
+def _head_scheme(instance: EC3SATInstance) -> LiteralScheme:
+    return LiteralScheme.atom(
+        "call", [Variable(f"C{i}") for i in range(len(instance.formula.clauses))]
+    )
+
+
+def _chi_schemes(instance: EC3SATInstance) -> list[LiteralScheme]:
+    """``q(Q_y, NQ_y)`` for every counting variable ``y``."""
+    return [
+        LiteralScheme.atom("q", [Variable(f"Q_{y}"), Variable(f"NQ_{y}")])
+        for y in instance.chi_variables
+    ]
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.28: the type-0 reduction
+# ----------------------------------------------------------------------
+def ec3sat_database_type0(instance: EC3SATInstance) -> Database:
+    """``DB_csat`` for the type-0 reduction: ``pa``, ``pb``, ``q``, ``c'``, ``c``."""
+    pa = Relation.from_rows("pa", ("t", "f", "y"), [(1, 0, "l")])
+    pb = Relation.from_rows("pb", ("t", "f", "y"), [(0, 1, "l")])
+    q = Relation.from_rows("q", ("t", "f"), [(1, 0), (0, 1)])
+    return Database(
+        [pa, pb, q, _clause_relation(), _head_relation(len(instance.formula.clauses))],
+        name="DBcsat-type0",
+    )
+
+
+def ec3sat_metaquery_type0(instance: EC3SATInstance) -> MetaQuery:
+    """``MQ_csat`` for the type-0 reduction: one predicate variable per Π-variable."""
+    body: list[LiteralScheme] = []
+    shared_y = Variable("Y")
+    for p in instance.pi_variables:
+        body.append(
+            LiteralScheme.pattern(
+                f"PV_{p}", [Variable(f"P_{p}"), Variable(f"NP_{p}"), shared_y]
+            )
+        )
+    body.extend(_chi_schemes(instance))
+    body.extend(_clause_schemes(instance))
+    return MetaQuery(_head_scheme(instance), body, name="MQcsat-type0")
+
+
+def ec3sat_reduction_type0(instance: EC3SATInstance) -> MetaqueryDecisionProblem:
+    """Theorem 3.28: YES iff the ∃C-3SAT instance is a YES instance."""
+    if not instance.pi_variables:
+        raise ReductionError("the type-0 reduction needs at least one Π variable")
+    return MetaqueryDecisionProblem(
+        db=ec3sat_database_type0(instance),
+        mq=ec3sat_metaquery_type0(instance),
+        index="cnf",
+        k=instance.threshold,
+        itype=InstantiationType.TYPE_0,
+        label=f"EC3SAT(|Π|={len(instance.pi_variables)},|χ|={len(instance.chi_variables)},k'={instance.k_prime})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.29: the type-1 / type-2 reduction
+# ----------------------------------------------------------------------
+def ec3sat_database_type12(instance: EC3SATInstance) -> Database:
+    """``DB_csat`` for the type-1/2 reduction: ``p``, ``q``, ``ch``, ``c'``, ``c``."""
+    p = Relation.from_rows("p", ("t", "f", "y"), [(1, 0, "l")])
+    q = Relation.from_rows("q", ("t", "f"), [(1, 0), (0, 1)])
+    ch = Relation.from_rows("ch", ("y",), [("l",)])
+    return Database(
+        [p, q, ch, _clause_relation(), _head_relation(len(instance.formula.clauses))],
+        name="DBcsat-type12",
+    )
+
+
+def ec3sat_metaquery_type12(instance: EC3SATInstance) -> MetaQuery:
+    """``MQ_csat`` for the type-1/2 reduction: a single predicate variable ``P'``.
+
+    The permutation chosen for each occurrence ``P'(P_p, NP_p, Y)`` encodes
+    the truth value of the Π-variable ``p``; the ``ch(Y)`` atom forces the
+    shared third attribute so ``P'`` can only match ``p`` and the permutation
+    cannot hide ``Y`` in a value column.
+    """
+    body: list[LiteralScheme] = []
+    shared_y = Variable("Y")
+    for p in instance.pi_variables:
+        body.append(
+            LiteralScheme.pattern("PV", [Variable(f"P_{p}"), Variable(f"NP_{p}"), shared_y])
+        )
+    body.append(LiteralScheme.atom("ch", [shared_y]))
+    body.extend(_chi_schemes(instance))
+    body.extend(_clause_schemes(instance))
+    return MetaQuery(_head_scheme(instance), body, name="MQcsat-type12")
+
+
+def ec3sat_reduction_type12(
+    instance: EC3SATInstance,
+    itype: InstantiationType | int = InstantiationType.TYPE_1,
+) -> MetaqueryDecisionProblem:
+    """Theorem 3.29: YES iff the ∃C-3SAT instance is a YES instance (types 1/2)."""
+    itype = InstantiationType.coerce(itype)
+    if itype is InstantiationType.TYPE_0:
+        raise ReductionError("Theorem 3.29 applies to instantiation types 1 and 2 only")
+    if not instance.pi_variables:
+        raise ReductionError("the type-1/2 reduction needs at least one Π variable")
+    return MetaqueryDecisionProblem(
+        db=ec3sat_database_type12(instance),
+        mq=ec3sat_metaquery_type12(instance),
+        index="cnf",
+        k=instance.threshold,
+        itype=itype,
+        label=f"EC3SAT-perm(|Π|={len(instance.pi_variables)},|χ|={len(instance.chi_variables)},k'={instance.k_prime})",
+    )

@@ -1,0 +1,108 @@
+"""Hamiltonian path: exact solver and the Theorem 3.33 reduction.
+
+Theorem 3.33 shows that acyclicity alone does not make type-1/2 metaquerying
+tractable: an undirected graph has a Hamiltonian path iff the (acyclic)
+metaquery
+
+``N(X1, ..., Xn) <- N(X1, ..., Xn), e(X1, X2), ..., e(X(n-1), Xn)``
+
+has an instantiation with a positive index over the database holding one
+``g`` tuple listing the node names and the edge relation ``e`` — under
+type-1 (or type-2) instantiations the predicate variable ``N`` can only
+match ``g``, and the argument permutation it picks *is* the Hamiltonian
+path.
+"""
+
+from __future__ import annotations
+
+from repro.core.instantiation import InstantiationType
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.core.problems import MetaqueryDecisionProblem
+from repro.datalog.terms import Variable
+from repro.exceptions import ReductionError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.workloads.graphs import Graph
+
+
+def find_hamiltonian_path(graph: Graph) -> list[str] | None:
+    """A Hamiltonian path as a vertex list, or None when none exists."""
+    vertices = list(graph.vertices)
+    n = len(vertices)
+    if n == 0:
+        return None
+    if n == 1:
+        return vertices
+
+    def backtrack(path: list[str], remaining: set[str]) -> list[str] | None:
+        if not remaining:
+            return path
+        last = path[-1]
+        for vertex in sorted(remaining):
+            if graph.has_edge(last, vertex):
+                result = backtrack(path + [vertex], remaining - {vertex})
+                if result is not None:
+                    return result
+        return None
+
+    for start in vertices:
+        result = backtrack([start], set(vertices) - {start})
+        if result is not None:
+            return result
+    return None
+
+
+def has_hamiltonian_path(graph: Graph) -> bool:
+    """True when the graph contains a Hamiltonian path."""
+    return find_hamiltonian_path(graph) is not None
+
+
+def hamiltonian_database(graph: Graph) -> Database:
+    """``DB_ham``: the single-tuple node-list relation ``g`` plus the edge relation ``e``.
+
+    The edge relation stores both orientations of every undirected edge so
+    that a path can traverse an edge in either direction.
+    """
+    vertices = list(graph.vertices)
+    g = Relation.from_rows("g", tuple(f"n{i}" for i in range(len(vertices))), [tuple(vertices)])
+    e = Relation.from_rows("e", ("src", "dst"), sorted(graph.directed_edges()))
+    return Database([g, e], name=f"DBham-{len(vertices)}v")
+
+
+def hamiltonian_metaquery(graph: Graph) -> MetaQuery:
+    """``MQ_ham``: the acyclic metaquery whose instantiation encodes the path."""
+    n = graph.vertex_count
+    if n <= 2:
+        raise ReductionError("the Hamiltonian-path reduction assumes |V| > 2")
+    variables = [Variable(f"X{i + 1}") for i in range(n)]
+    pattern = LiteralScheme.pattern("N", variables)
+    body: list[LiteralScheme] = [pattern]
+    body.extend(
+        LiteralScheme.atom("e", [variables[i], variables[i + 1]]) for i in range(n - 1)
+    )
+    return MetaQuery(pattern, body, name=f"MQham-{n}v")
+
+
+def hamiltonian_path_reduction(
+    graph: Graph,
+    index: str = "sup",
+    itype: InstantiationType | int = InstantiationType.TYPE_1,
+) -> MetaqueryDecisionProblem:
+    """The Theorem 3.33 instance: YES iff the graph has a Hamiltonian path.
+
+    Only types 1 and 2 are meaningful (under type-0 the identity argument
+    order forces the path ``v1, v2, ..., vn`` in the node-list order, so the
+    reduction would no longer be equivalence-preserving); passing type 0
+    raises :class:`ReductionError`.
+    """
+    itype = InstantiationType.coerce(itype)
+    if itype is InstantiationType.TYPE_0:
+        raise ReductionError("Theorem 3.33 applies to instantiation types 1 and 2 only")
+    return MetaqueryDecisionProblem(
+        db=hamiltonian_database(graph),
+        mq=hamiltonian_metaquery(graph),
+        index=index,
+        k=0,
+        itype=itype,
+        label=f"HAMPATH({graph.vertex_count}v,{graph.edge_count}e)",
+    )

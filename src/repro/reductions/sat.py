@@ -1,0 +1,209 @@
+"""CNF formulas, a DPLL satisfiability solver and an exact model counter.
+
+These are the *reference oracles* of the complexity experiments: the
+reductions of Theorems 3.21-3.29 and Proposition 3.26 transform SAT-like
+instances into metaquerying instances, and the benchmarks check that the
+metaquery engine's verdict matches the verdict computed here directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ReductionError
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A propositional literal: a variable name and a sign."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        """The complementary literal."""
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        """True when the (total) assignment makes this literal true."""
+        return assignment[self.variable] == self.positive
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals."""
+
+    literals: tuple[Literal, ...]
+
+    def __init__(self, literals: Iterable[Literal]) -> None:
+        object.__setattr__(self, "literals", tuple(literals))
+        if not self.literals:
+            raise ReductionError("a clause must contain at least one literal")
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """Variables mentioned by the clause."""
+        return frozenset(lit.variable for lit in self.literals)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        """True when some literal of the clause is true under the assignment."""
+        return any(lit.satisfied_by(assignment) for lit in self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(lit) for lit in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A conjunction of clauses."""
+
+    clauses: tuple[Clause, ...]
+
+    def __init__(self, clauses: Iterable[Clause]) -> None:
+        object.__setattr__(self, "clauses", tuple(clauses))
+        if not self.clauses:
+            raise ReductionError("a CNF formula must contain at least one clause")
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All variables, sorted for deterministic iteration."""
+        names: set[str] = set()
+        for clause in self.clauses:
+            names |= clause.variables
+        return tuple(sorted(names))
+
+    def is_3cnf(self) -> bool:
+        """True when every clause has at most three literals."""
+        return all(len(clause) <= 3 for clause in self.clauses)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        """True when every clause is satisfied."""
+        return all(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return " & ".join(str(c) for c in self.clauses)
+
+
+# ----------------------------------------------------------------------
+# construction helpers
+# ----------------------------------------------------------------------
+def clause_from_ints(ints: Sequence[int], prefix: str = "x") -> Clause:
+    """DIMACS-style clause: positive/negative integers name the variables."""
+    literals = []
+    for value in ints:
+        if value == 0:
+            raise ReductionError("0 is not a valid DIMACS literal")
+        literals.append(Literal(f"{prefix}{abs(value)}", value > 0))
+    return Clause(literals)
+
+
+def formula_from_ints(clauses: Sequence[Sequence[int]], prefix: str = "x") -> CNFFormula:
+    """Build a formula from DIMACS-style integer clauses."""
+    return CNFFormula(clause_from_ints(c, prefix) for c in clauses)
+
+
+def random_3cnf(variables: int, clauses: int, seed: int = 0) -> CNFFormula:
+    """A uniformly random 3-CNF formula over ``x1 .. x{variables}``."""
+    rng = random.Random(seed)
+    names = [f"x{i + 1}" for i in range(variables)]
+    built = []
+    for _ in range(clauses):
+        chosen = rng.sample(names, k=min(3, variables))
+        built.append(Clause(Literal(v, rng.random() < 0.5) for v in chosen))
+    return CNFFormula(built)
+
+
+# ----------------------------------------------------------------------
+# solving and counting
+# ----------------------------------------------------------------------
+def _unit_propagate(clauses: list[frozenset[Literal]], assignment: dict[str, bool]) -> list[frozenset[Literal]] | None:
+    """Simplify by unit propagation; None signals a conflict."""
+    changed = True
+    while changed:
+        changed = False
+        new_clauses: list[frozenset[Literal]] = []
+        for clause in clauses:
+            satisfied = False
+            remaining: list[Literal] = []
+            for lit in clause:
+                if lit.variable in assignment:
+                    if assignment[lit.variable] == lit.positive:
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(lit)
+            if satisfied:
+                continue
+            if not remaining:
+                return None
+            if len(remaining) == 1:
+                unit = remaining[0]
+                assignment[unit.variable] = unit.positive
+                changed = True
+            else:
+                new_clauses.append(frozenset(remaining))
+        clauses = new_clauses
+    return clauses
+
+
+def dpll(formula: CNFFormula) -> dict[str, bool] | None:
+    """A satisfying assignment, or None when the formula is unsatisfiable."""
+
+    def search(clauses: list[frozenset[Literal]], assignment: dict[str, bool]) -> dict[str, bool] | None:
+        simplified = _unit_propagate(list(clauses), assignment)
+        if simplified is None:
+            return None
+        if not simplified:
+            return assignment
+        # pick the first unassigned variable of the first clause
+        variable = next(iter(simplified[0])).variable
+        for value in (True, False):
+            trial = dict(assignment)
+            trial[variable] = value
+            result = search(simplified, trial)
+            if result is not None:
+                return result
+        return None
+
+    initial = [frozenset(clause.literals) for clause in formula.clauses]
+    partial = search(initial, {})
+    if partial is None:
+        return None
+    return {v: partial.get(v, False) for v in formula.variables}
+
+
+def is_satisfiable_formula(formula: CNFFormula) -> bool:
+    """SAT decision via :func:`dpll`."""
+    return dpll(formula) is not None
+
+
+def iter_assignments(variables: Sequence[str]) -> Iterator[dict[str, bool]]:
+    """All total assignments over the given variables (lexicographic order)."""
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+def count_models(formula: CNFFormula, over: Sequence[str] | None = None) -> int:
+    """Exact #SAT: the number of satisfying total assignments.
+
+    ``over`` optionally fixes the variable set the count ranges over (so
+    formulas not mentioning some variable still count both of its values);
+    by default the formula's own variables are used.
+    """
+    variables = tuple(over) if over is not None else formula.variables
+    missing = set(formula.variables) - set(variables)
+    if missing:
+        raise ReductionError(f"count variables missing from 'over': {sorted(missing)}")
+    return sum(1 for assignment in iter_assignments(variables) if formula.satisfied_by(assignment))

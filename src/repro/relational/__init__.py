@@ -1,0 +1,44 @@
+"""Pure-Python set-semantics relational algebra engine.
+
+This package is the storage and query substrate used by every other part of
+the library.  It provides:
+
+* :class:`~repro.relational.schema.RelationSchema` and
+  :class:`~repro.relational.schema.DatabaseSchema` — typed descriptions of
+  relations and databases;
+* :class:`~repro.relational.relation.Relation` — an immutable, named,
+  set-of-tuples relation with named columns and the usual algebra operations
+  (natural join, projection, selection, rename, semijoin, union, difference,
+  cartesian product);
+* :class:`~repro.relational.database.Database` — a collection of relations
+  over a common domain, as defined in Section 2.1 of the paper;
+* :mod:`~repro.relational.expressions` — project--join expression trees used
+  by the data-complexity circuit constructions;
+* :mod:`~repro.relational.io` — CSV / JSON loading and dumping.
+"""
+
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational import algebra
+from repro.relational.expressions import (
+    BaseRelation,
+    Expression,
+    Join,
+    Project,
+    Select,
+)
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Relation",
+    "Database",
+    "algebra",
+    "Expression",
+    "BaseRelation",
+    "Join",
+    "Project",
+    "Select",
+]

@@ -1,0 +1,99 @@
+"""Functional relational-algebra API.
+
+Thin wrappers around the :class:`~repro.relational.relation.Relation`
+methods, plus the multi-way operations used throughout the metaquery engine:
+``natural_join_all`` (the paper's ``J(R)`` operator over a set of atoms'
+relations) and ``full_outer_union`` style helpers are *not* needed; the
+paper's semantics only requires joins, projections, selections and semijoins.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Sequence
+
+from repro.exceptions import AlgebraError
+from repro.relational.relation import Relation
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """Projection ``π_columns(relation)``."""
+    return relation.project(columns)
+
+
+def select_eq(relation: Relation, column: str, value) -> Relation:
+    """Selection ``σ_{column=value}(relation)``."""
+    return relation.select_eq(column, value)
+
+
+def rename(relation: Relation, mapping: dict[str, str]) -> Relation:
+    """Rename columns of ``relation`` according to ``mapping``."""
+    return relation.rename_columns(mapping)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """Binary natural join."""
+    return left.natural_join(right)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Semijoin ``left ⋉ right``."""
+    return left.semijoin(right)
+
+
+def antijoin(left: Relation, right: Relation) -> Relation:
+    """Anti-semijoin ``left ▷ right``."""
+    return left.antijoin(right)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union of two relations over the same columns."""
+    return left.union(right)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference of two relations over the same columns."""
+    return left.difference(right)
+
+
+def natural_join_all(relations: Iterable[Relation]) -> Relation:
+    """Natural join of an arbitrary non-empty collection of relations.
+
+    This is the paper's ``J(R)`` operator (Section 2.2) applied to the
+    relations corresponding to a set of atoms.  Joins are performed left to
+    right in a greedy smallest-first order, which keeps intermediate results
+    small on the synthetic workloads without changing the result.
+    """
+    rels = list(relations)
+    if not rels:
+        raise AlgebraError("natural_join_all requires at least one relation")
+    if len(rels) == 1:
+        return rels[0]
+    # Greedy ordering: repeatedly join the smallest relation that shares a
+    # column with the accumulated result (falling back to the smallest
+    # overall if none shares columns, which degenerates to a product).
+    rels.sort(key=len)
+    acc = rels.pop(0)
+    while rels:
+        acc_cols = set(acc.columns)
+        best_idx = None
+        for i, rel in enumerate(rels):
+            if acc_cols & set(rel.columns):
+                best_idx = i
+                break
+        if best_idx is None:
+            best_idx = 0
+        acc = acc.natural_join(rels.pop(best_idx))
+    return acc
+
+
+def join_and_project(relations: Iterable[Relation], columns: Sequence[str]) -> Relation:
+    """``π_columns(J(relations))`` — the building block of every index."""
+    return natural_join_all(relations).project(columns)
+
+
+def intersect_all(relations: Sequence[Relation]) -> Relation:
+    """Intersection of relations over identical column lists."""
+    if not relations:
+        raise AlgebraError("intersect_all requires at least one relation")
+    return reduce(lambda a, b: a.intersection(b), relations)

@@ -1,0 +1,158 @@
+"""The :class:`Database` class: a finite domain plus a set of named relations.
+
+Mirrors the paper's Definition of a database ``DB = (D, R1, ..., Rn)``
+(Section 2.1): ``D`` is the finite active domain and each ``Ri`` is a
+relation over ``D``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class Database:
+    """A named collection of relations over a shared finite domain.
+
+    Parameters
+    ----------
+    relations:
+        The relations making up the instance.  Names must be unique.
+    domain:
+        Optional explicit domain ``D``.  When omitted, the active domain
+        (union of all constants appearing in some relation) is used.
+    name:
+        Optional label used in reports and benchmark output.
+    """
+
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        domain: Iterable[Any] | None = None,
+        name: str = "DB",
+    ) -> None:
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+        self._explicit_domain = frozenset(domain) if domain is not None else None
+
+    # ------------------------------------------------------------------
+    # mutation (databases are built once, then treated as read-only)
+    # ------------------------------------------------------------------
+    def add(self, relation: Relation) -> None:
+        """Add a relation; its name must not already be present."""
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name!r} already present in database")
+        self._relations[relation.name] = relation
+
+    def replace(self, relation: Relation) -> None:
+        """Replace (or add) a relation under its own name."""
+        self._relations[relation.name] = relation
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of all relations (``rel(DB)`` in the paper)."""
+        return tuple(self._relations)
+
+    def relations(self) -> tuple[Relation, ...]:
+        """All relations, in insertion order."""
+        return tuple(self._relations.values())
+
+    def get(self, name: str, default: Relation | None = None) -> Relation | None:
+        """Dictionary-style ``get``."""
+        return self._relations.get(name, default)
+
+    def schema(self) -> DatabaseSchema:
+        """The database schema induced by the stored relations."""
+        return DatabaseSchema(rel.schema for rel in self._relations.values())
+
+    def domain(self) -> frozenset[Any]:
+        """The domain ``D``: explicit if given, else the active domain."""
+        if self._explicit_domain is not None:
+            return self._explicit_domain
+        return self.active_domain()
+
+    def active_domain(self) -> frozenset[Any]:
+        """Union of the active domains of all relations."""
+        values: set[Any] = set()
+        for relation in self._relations.values():
+            values |= relation.active_domain()
+        return frozenset(values)
+
+    def arities(self) -> Mapping[str, int]:
+        """Mapping relation name -> arity."""
+        return {name: rel.arity for name, rel in self._relations.items()}
+
+    def relations_of_arity(self, arity: int) -> tuple[Relation, ...]:
+        """Relations with exactly the given arity."""
+        return tuple(r for r in self._relations.values() if r.arity == arity)
+
+    def relations_of_arity_at_least(self, arity: int) -> tuple[Relation, ...]:
+        """Relations with arity >= the given arity."""
+        return tuple(r for r in self._relations.values() if r.arity >= arity)
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations (the instance size)."""
+        return sum(len(r) for r in self._relations.values())
+
+    def largest_relation_size(self) -> int:
+        """Size ``d`` of the largest relation (used by Theorem 4.12's bound)."""
+        if not self._relations:
+            return 0
+        return max(len(r) for r in self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}[{len(rel)}]" for name, rel in self._relations.items())
+        return f"Database({self.name}: {parts})"
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        relations: Mapping[str, tuple[Sequence[str], Iterable[Sequence[Any]]]],
+        name: str = "DB",
+    ) -> "Database":
+        """Build a database from ``{name: (columns, rows)}``.
+
+        Example
+        -------
+        >>> db = Database.from_dict({
+        ...     "edge": (("src", "dst"), [(1, 2), (2, 3)]),
+        ... })
+        >>> len(db["edge"])
+        2
+        """
+        rels = [
+            Relation(RelationSchema(rel_name, columns), rows)
+            for rel_name, (columns, rows) in relations.items()
+        ]
+        return cls(rels, name=name)

@@ -1,0 +1,193 @@
+"""Project--join expression trees.
+
+The data-complexity proofs of the paper (Theorems 3.37 and 3.38) are stated
+for *project--join expressions*: relational expressions built from base
+relations with natural joins, projections and equality selections.  The
+circuit builders in :mod:`repro.circuits` compile these expression trees into
+constant-depth boolean circuit families; the engine also evaluates them
+directly against a :class:`~repro.relational.database.Database`, which the
+tests use as the reference semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.exceptions import AlgebraError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class Expression:
+    """Abstract base class of project--join expression nodes."""
+
+    def evaluate(self, db: Database) -> Relation:
+        """Evaluate the expression over the given database instance."""
+        raise NotImplementedError
+
+    def columns(self, db: Database) -> tuple[str, ...]:
+        """The output column names of the expression over ``db``'s schema."""
+        raise NotImplementedError
+
+    def base_relations(self) -> frozenset[str]:
+        """Names of the base relations the expression mentions."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the expression tree (a proxy for circuit depth)."""
+        raise NotImplementedError
+
+    # small operator-style sugar -------------------------------------------------
+    def join(self, other: "Expression") -> "Join":
+        """Natural join of two expressions."""
+        return Join(self, other)
+
+    def project(self, columns: Sequence[str]) -> "Project":
+        """Projection of this expression onto ``columns``."""
+        return Project(self, tuple(columns))
+
+    def where(self, column: str, value: Any) -> "Select":
+        """Equality selection ``column = value``."""
+        return Select(self, column, value)
+
+
+@dataclass(frozen=True)
+class BaseRelation(Expression):
+    """A leaf: a database relation, optionally with renamed columns.
+
+    ``columns`` gives the *logical* column names (typically variable names of
+    an atom); when provided, its length must match the relation arity and the
+    relation columns are positionally renamed.  Repeated logical names impose
+    an equality selection, matching the semantics of an atom with repeated
+    variables.
+    """
+
+    relation_name: str
+    rename: tuple[str, ...] | None = None
+
+    def evaluate(self, db: Database) -> Relation:
+        relation = db[self.relation_name]
+        if self.rename is None:
+            return relation
+        if len(self.rename) != relation.arity:
+            raise AlgebraError(
+                f"rename of {self.relation_name!r} has {len(self.rename)} columns, "
+                f"relation has arity {relation.arity}"
+            )
+        # Repeated names: keep the first occurrence, select equality on the rest.
+        seen: dict[str, int] = {}
+        keep_positions: list[int] = []
+        keep_names: list[str] = []
+        rows = relation.tuples
+        filtered = []
+        for row in rows:
+            ok = True
+            for pos, logical in enumerate(self.rename):
+                if logical in seen and row[seen[logical]] != row[pos]:
+                    ok = False
+                    break
+                seen.setdefault(logical, pos)
+            if ok:
+                filtered.append(row)
+            seen = {n: p for n, p in seen.items() if True}
+        # recompute keep positions deterministically
+        seen = {}
+        for pos, logical in enumerate(self.rename):
+            if logical not in seen:
+                seen[logical] = pos
+                keep_positions.append(pos)
+                keep_names.append(logical)
+        projected = {tuple(row[p] for p in keep_positions) for row in filtered}
+        schema = RelationSchema(f"{self.relation_name}", keep_names)
+        return Relation(schema, projected)
+
+    def columns(self, db: Database) -> tuple[str, ...]:
+        relation = db[self.relation_name]
+        if self.rename is None:
+            return relation.columns
+        out: list[str] = []
+        for logical in self.rename:
+            if logical not in out:
+                out.append(logical)
+        return tuple(out)
+
+    def base_relations(self) -> frozenset[str]:
+        return frozenset({self.relation_name})
+
+    def depth(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Natural join of two sub-expressions."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, db: Database) -> Relation:
+        return self.left.evaluate(db).natural_join(self.right.evaluate(db))
+
+    def columns(self, db: Database) -> tuple[str, ...]:
+        left_cols = self.left.columns(db)
+        right_cols = self.right.columns(db)
+        return left_cols + tuple(c for c in right_cols if c not in left_cols)
+
+    def base_relations(self) -> frozenset[str]:
+        return self.left.base_relations() | self.right.base_relations()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+@dataclass(frozen=True)
+class Project(Expression):
+    """Projection of a sub-expression onto a column list."""
+
+    child: Expression
+    onto: tuple[str, ...]
+
+    def evaluate(self, db: Database) -> Relation:
+        return self.child.evaluate(db).project(self.onto)
+
+    def columns(self, db: Database) -> tuple[str, ...]:
+        return self.onto
+
+    def base_relations(self) -> frozenset[str]:
+        return self.child.base_relations()
+
+    def depth(self) -> int:
+        return 1 + self.child.depth()
+
+
+@dataclass(frozen=True)
+class Select(Expression):
+    """Equality selection ``column = value`` on a sub-expression."""
+
+    child: Expression
+    column: str
+    value: Any
+
+    def evaluate(self, db: Database) -> Relation:
+        return self.child.evaluate(db).select_eq(self.column, self.value)
+
+    def columns(self, db: Database) -> tuple[str, ...]:
+        return self.child.columns(db)
+
+    def base_relations(self) -> frozenset[str]:
+        return self.child.base_relations()
+
+    def depth(self) -> int:
+        return 1 + self.child.depth()
+
+
+def join_all(expressions: Sequence[Expression]) -> Expression:
+    """Left-deep natural join of a non-empty sequence of expressions."""
+    if not expressions:
+        raise AlgebraError("join_all requires at least one expression")
+    expr = expressions[0]
+    for other in expressions[1:]:
+        expr = Join(expr, other)
+    return expr

@@ -1,0 +1,96 @@
+"""CSV / JSON import and export for relations and databases.
+
+The workload generators build databases programmatically, but downstream
+users of the library typically have data in flat files; these helpers make
+the examples runnable on external data as well.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def relation_from_csv(path: str | Path, name: str | None = None, has_header: bool = True) -> Relation:
+    """Load a relation from a CSV file.
+
+    When ``has_header`` is true the first row provides the column names;
+    otherwise columns are named ``c0, c1, ...``.  The relation name defaults
+    to the file stem.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise SchemaError(f"CSV file {path} is empty; cannot infer a schema")
+    if has_header:
+        columns, data = rows[0], rows[1:]
+    else:
+        columns, data = [f"c{i}" for i in range(len(rows[0]))], rows
+    return Relation(RelationSchema(name or path.stem, columns), data)
+
+
+def relation_to_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.columns)
+        for row in relation.to_rows():
+            writer.writerow(row)
+
+
+def database_to_json(db: Database) -> str:
+    """Serialise a database to a JSON string (columns + sorted rows per relation)."""
+    payload: dict[str, Any] = {"name": db.name, "relations": {}}
+    for relation in db:
+        payload["relations"][relation.name] = {
+            "columns": list(relation.columns),
+            "rows": [list(row) for row in relation.to_rows()],
+        }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def database_from_json(text: str) -> Database:
+    """Deserialise a database from the JSON produced by :func:`database_to_json`."""
+    payload = json.loads(text)
+    relations = []
+    for rel_name, body in payload.get("relations", {}).items():
+        relations.append(
+            Relation(RelationSchema(rel_name, body["columns"]), [tuple(r) for r in body["rows"]])
+        )
+    return Database(relations, name=payload.get("name", "DB"))
+
+
+def save_database(db: Database, directory: str | Path) -> None:
+    """Write every relation of ``db`` to ``directory`` as one CSV per relation."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in db:
+        relation_to_csv(relation, directory / f"{relation.name}.csv")
+
+
+def load_database(directory: str | Path, name: str = "DB") -> Database:
+    """Load a database from a directory of CSV files (one relation per file)."""
+    directory = Path(directory)
+    relations = [relation_from_csv(p) for p in sorted(directory.glob("*.csv"))]
+    return Database(relations, name=name)
+
+
+def database_from_mapping(
+    relations: Mapping[str, tuple[Iterable[str], Iterable[Iterable[Any]]]],
+    name: str = "DB",
+) -> Database:
+    """Alias of :meth:`Database.from_dict` kept for symmetry with the other loaders."""
+    return Database.from_dict(
+        {rel: (tuple(cols), [tuple(r) for r in rows]) for rel, (cols, rows) in relations.items()},
+        name=name,
+    )

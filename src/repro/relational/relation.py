@@ -1,0 +1,277 @@
+"""The :class:`Relation` class: an immutable set of tuples with named columns.
+
+Relations use *set semantics* (no duplicate tuples), exactly as in the paper,
+where every index is a ratio of result-set cardinalities.  All algebra
+operations return new :class:`Relation` objects and never mutate their
+operands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import AlgebraError, SchemaError
+from repro.relational.schema import Attribute, RelationSchema
+
+Tuple_ = tuple
+Row = tuple
+
+
+class Relation:
+    """An immutable relation: a schema plus a finite set of same-arity tuples.
+
+    Parameters
+    ----------
+    schema:
+        Either a :class:`RelationSchema` or a relation name (in which case
+        ``columns`` must also be given).
+    tuples:
+        Iterable of rows; each row is a sequence whose length equals the
+        schema arity.  Rows are stored as tuples in a frozenset.
+    columns:
+        Column names, used only when ``schema`` is a plain name string.
+    """
+
+    __slots__ = ("_schema", "_tuples")
+
+    def __init__(
+        self,
+        schema: RelationSchema | str,
+        tuples: Iterable[Sequence[Any]] = (),
+        columns: Sequence[str] | None = None,
+    ) -> None:
+        if isinstance(schema, str):
+            if columns is None:
+                raise SchemaError(
+                    "columns must be provided when constructing a Relation from a name"
+                )
+            schema = RelationSchema(schema, columns)
+        elif columns is not None:
+            raise SchemaError("columns must not be given together with a RelationSchema")
+        self._schema = schema
+        arity = schema.arity
+        frozen = set()
+        for row in tuples:
+            row = tuple(row)
+            if len(row) != arity:
+                raise SchemaError(
+                    f"tuple {row!r} has arity {len(row)}, relation {schema.name!r} "
+                    f"expects arity {arity}"
+                )
+            frozen.add(row)
+        self._tuples: frozenset[Row] = frozenset(frozen)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation schema (name + columns)."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._schema.name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Column names, in order."""
+        return self._schema.attribute_names
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return self._schema.arity
+
+    @property
+    def tuples(self) -> frozenset[Row]:
+        """The underlying frozenset of rows."""
+        return self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._tuples)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._tuples
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def is_empty(self) -> bool:
+        """True when the relation contains no tuples."""
+        return not self._tuples
+
+    def active_domain(self) -> frozenset[Any]:
+        """The set of constants appearing anywhere in the relation."""
+        return frozenset(value for row in self._tuples for value in row)
+
+    def __eq__(self, other: object) -> bool:
+        """Relations are equal when columns and tuple sets coincide.
+
+        The relation *name* is intentionally ignored so that derived results
+        (joins, projections) compare equal regardless of their synthetic
+        names.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self._tuples))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self._schema}, {len(self._tuples)} tuples)"
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, name: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Convenience constructor from a name, column list and rows."""
+        return cls(RelationSchema(name, columns), rows)
+
+    @classmethod
+    def empty(cls, name: str, columns: Sequence[str]) -> "Relation":
+        """An empty relation over the given columns."""
+        return cls(RelationSchema(name, columns), ())
+
+    def with_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Return a new relation with the same schema and the given rows."""
+        return Relation(self._schema, rows)
+
+    def with_name(self, name: str) -> "Relation":
+        """Return this relation under a different name (same columns/rows)."""
+        return Relation(self._schema.rename(name), self._tuples)
+
+    # ------------------------------------------------------------------
+    # algebra operations (methods; a functional API lives in algebra.py)
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Relation":
+        """Projection ``π_columns`` with duplicate elimination.
+
+        ``columns`` may reorder attributes of this relation; every column
+        name may appear at most once (the result is itself a relation with
+        uniquely named columns).
+        """
+        positions = [self._schema.position_of(c) for c in columns]
+        new_schema = RelationSchema(name or f"π({self.name})", columns)
+        rows = {tuple(row[p] for p in positions) for row in self._tuples}
+        return Relation(new_schema, rows)
+
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool], name: str | None = None) -> "Relation":
+        """Selection by an arbitrary predicate over a ``{column: value}`` dict."""
+        cols = self.columns
+        rows = [row for row in self._tuples if predicate(dict(zip(cols, row)))]
+        return Relation(self._schema.rename(name or f"σ({self.name})"), rows)
+
+    def select_eq(self, column: str, value: Any, name: str | None = None) -> "Relation":
+        """Selection ``σ_{column = value}``."""
+        pos = self._schema.position_of(column)
+        rows = [row for row in self._tuples if row[pos] == value]
+        return Relation(self._schema.rename(name or f"σ({self.name})"), rows)
+
+    def rename_columns(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        """Rename columns according to ``mapping`` (missing columns keep their name)."""
+        new_cols = [mapping.get(c, c) for c in self.columns]
+        return Relation(RelationSchema(name or self.name, new_cols), self._tuples)
+
+    def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural join on equal column names.
+
+        The result's columns are this relation's columns followed by the
+        columns of ``other`` not already present.  When the operands share no
+        columns the result is the cartesian product.
+        """
+        left_cols = self.columns
+        right_cols = other.columns
+        common = [c for c in right_cols if c in left_cols]
+        right_only = [c for c in right_cols if c not in left_cols]
+        result_cols = list(left_cols) + right_only
+
+        left_common_pos = [left_cols.index(c) for c in common]
+        right_common_pos = [right_cols.index(c) for c in common]
+        right_only_pos = [right_cols.index(c) for c in right_only]
+
+        # hash join on the common columns
+        index: dict[Row, list[Row]] = {}
+        for row in other:
+            key = tuple(row[p] for p in right_common_pos)
+            index.setdefault(key, []).append(row)
+
+        rows = []
+        for lrow in self._tuples:
+            key = tuple(lrow[p] for p in left_common_pos)
+            for rrow in index.get(key, ()):
+                rows.append(lrow + tuple(rrow[p] for p in right_only_pos))
+        schema = RelationSchema(name or f"({self.name} ⋈ {other.name})", result_cols)
+        return Relation(schema, rows)
+
+    def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Semijoin ``self ⋉ other``: tuples of ``self`` that join with ``other``."""
+        common = [c for c in self.columns if c in other.columns]
+        if not common:
+            # With no shared columns the semijoin keeps everything iff the
+            # other relation is non-empty.
+            rows = self._tuples if other else ()
+            return Relation(self._schema.rename(name or self.name), rows)
+        left_pos = [self.columns.index(c) for c in common]
+        right_pos = [other.columns.index(c) for c in common]
+        keys = {tuple(row[p] for p in right_pos) for row in other}
+        rows = [row for row in self._tuples if tuple(row[p] for p in left_pos) in keys]
+        return Relation(self._schema.rename(name or self.name), rows)
+
+    def antijoin(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Anti-semijoin ``self ▷ other``: tuples of ``self`` that do *not* join."""
+        kept = self.semijoin(other).tuples
+        rows = [row for row in self._tuples if row not in kept]
+        return Relation(self._schema.rename(name or self.name), rows)
+
+    def product(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Cartesian product; column names must be disjoint."""
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise AlgebraError(f"cartesian product requires disjoint columns, shared: {overlap}")
+        return self.natural_join(other, name=name)
+
+    def union(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set union; the operands must have identical column lists."""
+        self._require_same_columns(other, "union")
+        return Relation(self._schema.rename(name or self.name), self._tuples | other.tuples)
+
+    def difference(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set difference; the operands must have identical column lists."""
+        self._require_same_columns(other, "difference")
+        return Relation(self._schema.rename(name or self.name), self._tuples - other.tuples)
+
+    def intersection(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Set intersection; the operands must have identical column lists."""
+        self._require_same_columns(other, "intersection")
+        return Relation(self._schema.rename(name or self.name), self._tuples & other.tuples)
+
+    def _require_same_columns(self, other: "Relation", op: str) -> None:
+        if self.columns != other.columns:
+            raise AlgebraError(
+                f"{op} requires identical column lists, got {self.columns} and {other.columns}"
+            )
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[Row]:
+        """The tuples as a sorted list (sorted by string form, for stable output)."""
+        return sorted(self._tuples, key=lambda row: tuple(str(v) for v in row))
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A small ASCII rendering of the relation, for examples and debugging."""
+        header = " | ".join(self.columns)
+        lines = [f"{self.name}", header, "-" * len(header)]
+        for i, row in enumerate(self.to_rows()):
+            if i >= max_rows:
+                lines.append(f"... ({len(self) - max_rows} more rows)")
+                break
+            lines.append(" | ".join(str(v) for v in row))
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Schema objects: attributes, relation schemas and database schemas.
+
+A database, following Section 2.1 of the paper, is a tuple
+``(D, R1, ..., Rn)`` where ``D`` is a finite set of constants drawn from a
+countable universe and every ``Ri`` is a finite relation of a fixed arity.
+The schema layer records names and arities (and, optionally, attribute names)
+without storing any tuples; it is what stays *fixed* under the data
+complexity measure of Section 3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError, UnknownRelationError
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A named column of a relation.
+
+    Attributes carry only a name; the engine is untyped (every value is an
+    opaque hashable Python object), matching the paper's model where tuples
+    range over an uninterpreted domain of constants.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _normalize_attributes(attributes: Sequence[str | Attribute]) -> tuple[Attribute, ...]:
+    """Convert a mixed sequence of strings/Attributes into Attribute objects."""
+    result = []
+    for attr in attributes:
+        if isinstance(attr, Attribute):
+            result.append(attr)
+        elif isinstance(attr, str):
+            result.append(Attribute(attr))
+        else:
+            raise SchemaError(f"attribute must be a string or Attribute, got {attr!r}")
+    return tuple(result)
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The name and column list of a relation.
+
+    Parameters
+    ----------
+    name:
+        The relation name (``rel(DB)`` membership in the paper's notation).
+    attributes:
+        Ordered column names.  Column names must be unique within a schema.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __init__(self, name: str, attributes: Sequence[str | Attribute]) -> None:
+        attrs = _normalize_attributes(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in relation {name!r}: {names}")
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        """Number of columns (``a(R)`` in the paper)."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """The column names in order."""
+        return tuple(a.name for a in self.attributes)
+
+    def position_of(self, attribute: str | Attribute) -> int:
+        """Return the 0-based position of an attribute.
+
+        Raises :class:`SchemaError` if the attribute is not part of the schema.
+        """
+        name = attribute.name if isinstance(attribute, Attribute) else attribute
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """Return a copy of this schema under a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(self.attribute_names)
+        return f"{self.name}({cols})"
+
+
+class DatabaseSchema:
+    """A fixed collection of relation schemas.
+
+    Under the data-complexity measure (Section 3.2, item 2) the database
+    schema is fixed in advance while the instance varies; this class is the
+    object that gets fixed.
+    """
+
+    def __init__(self, relation_schemas: Iterable[RelationSchema] = ()) -> None:
+        self._schemas: dict[str, RelationSchema] = {}
+        for schema in relation_schemas:
+            self.add(schema)
+
+    def add(self, schema: RelationSchema) -> None:
+        """Register a relation schema; names must be unique."""
+        if schema.name in self._schemas:
+            raise SchemaError(f"relation {schema.name!r} already declared")
+        self._schemas[schema.name] = schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names, in insertion order."""
+        return tuple(self._schemas)
+
+    def arities(self) -> Mapping[str, int]:
+        """Mapping from relation name to arity."""
+        return {name: schema.arity for name, schema in self._schemas.items()}
+
+    def relations_of_arity(self, arity: int) -> tuple[RelationSchema, ...]:
+        """All relation schemas with exactly the given arity."""
+        return tuple(s for s in self._schemas.values() if s.arity == arity)
+
+    def relations_of_arity_at_least(self, arity: int) -> tuple[RelationSchema, ...]:
+        """All relation schemas with arity greater than or equal to ``arity``."""
+        return tuple(s for s in self._schemas.values() if s.arity >= arity)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._schemas == other._schemas
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DatabaseSchema({list(self._schemas.values())!r})"
+
+
+def schema_from_arities(arities: Mapping[str, int]) -> DatabaseSchema:
+    """Build a :class:`DatabaseSchema` from a ``{name: arity}`` mapping.
+
+    Attribute names are synthesised as ``c0, c1, ...``; convenient for the
+    synthetic workloads where column names carry no meaning.
+    """
+    schemas = []
+    for name, arity in arities.items():
+        if arity < 0:
+            raise SchemaError(f"arity of {name!r} must be non-negative, got {arity}")
+        schemas.append(RelationSchema(name, [f"c{i}" for i in range(arity)]))
+    return DatabaseSchema(schemas)

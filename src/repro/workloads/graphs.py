@@ -1,0 +1,158 @@
+"""Graph workloads for the hardness-reduction experiments.
+
+The NP-hardness proofs of the paper reduce from graph problems (3-COLORING
+in Theorems 3.21 and 3.35, HAMILTONIAN PATH in Theorem 3.33).  This module
+generates the graph instances those experiments sweep over: random
+Erdős–Rényi graphs, graphs guaranteed to be 3-colorable (built from a random
+3-partition), odd wheels (never 3-colorable for odd rims ≥ 5 plus hub... in
+fact W5 needs 4 colors), path graphs (trivially Hamiltonian) and random
+graphs with a planted Hamiltonian path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A simple undirected graph: a vertex tuple plus an edge set.
+
+    Edges are stored as ordered pairs ``(u, v)`` with ``u < v`` (by string
+    comparison) so that the same undirected edge is never stored twice.
+    """
+
+    vertices: tuple[str, ...]
+    edges: frozenset[tuple[str, str]]
+
+    def __init__(self, vertices: Iterable[str], edges: Iterable[tuple[str, str]]) -> None:
+        object.__setattr__(self, "vertices", tuple(vertices))
+        normalized = set()
+        vertex_set = set(self.vertices)
+        for u, v in edges:
+            if u == v:
+                continue
+            if u not in vertex_set or v not in vertex_set:
+                raise ValueError(f"edge ({u}, {v}) references an unknown vertex")
+            normalized.add((u, v) if str(u) < str(v) else (v, u))
+        object.__setattr__(self, "edges", frozenset(normalized))
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of (undirected) edges."""
+        return len(self.edges)
+
+    def neighbours(self, vertex: str) -> frozenset[str]:
+        """The neighbours of a vertex."""
+        result = set()
+        for u, v in self.edges:
+            if u == vertex:
+                result.add(v)
+            elif v == vertex:
+                result.add(u)
+        return frozenset(result)
+
+    def directed_edges(self) -> frozenset[tuple[str, str]]:
+        """Both orientations of every edge (used by the relational encodings)."""
+        return frozenset(
+            pair for u, v in self.edges for pair in ((u, v), (v, u))
+        )
+
+    def has_edge(self, u: str, v: str) -> bool:
+        """True when ``{u, v}`` is an edge."""
+        key = (u, v) if str(u) < str(v) else (v, u)
+        return key in self.edges
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``v0 - v1 - ... - v(n-1)`` (always has a Hamiltonian path)."""
+    vertices = [f"v{i}" for i in range(n)]
+    edges = [(vertices[i], vertices[i + 1]) for i in range(n - 1)]
+    return Graph(vertices, edges)
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n`` vertices (3-colorable iff ``n`` is even or ``n >= 3`` odd... odd cycles need 3 colors, still 3-colorable)."""
+    vertices = [f"v{i}" for i in range(n)]
+    edges = [(vertices[i], vertices[(i + 1) % n]) for i in range(n)]
+    return Graph(vertices, edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n`` (3-colorable iff ``n <= 3``)."""
+    vertices = [f"v{i}" for i in range(n)]
+    edges = [(vertices[i], vertices[j]) for i in range(n) for j in range(i + 1, n)]
+    return Graph(vertices, edges)
+
+
+def random_graph(n: int, edge_probability: float, seed: int = 0) -> Graph:
+    """An Erdős–Rényi ``G(n, p)`` graph."""
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(n)]
+    edges = [
+        (vertices[i], vertices[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_probability
+    ]
+    return Graph(vertices, edges)
+
+
+def random_3colorable_graph(n: int, edge_probability: float = 0.5, seed: int = 0) -> Graph:
+    """A random graph guaranteed 3-colorable: edges only across a hidden 3-partition."""
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(n)]
+    colour = {v: rng.randint(0, 2) for v in vertices}
+    edges = [
+        (vertices[i], vertices[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+        if colour[vertices[i]] != colour[vertices[j]] and rng.random() < edge_probability
+    ]
+    return Graph(vertices, edges)
+
+
+def non_3colorable_graph(extra_vertices: int = 0, seed: int = 0) -> Graph:
+    """``K4`` optionally padded with isolated extra vertices — never 3-colorable."""
+    base = complete_graph(4)
+    vertices = list(base.vertices) + [f"x{i}" for i in range(extra_vertices)]
+    return Graph(vertices, base.edges)
+
+
+def random_hamiltonian_graph(n: int, extra_edge_probability: float = 0.2, seed: int = 0) -> Graph:
+    """A random graph with a planted Hamiltonian path (a random vertex permutation)."""
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(n)]
+    order = vertices[:]
+    rng.shuffle(order)
+    edges = {(order[i], order[i + 1]) for i in range(n - 1)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < extra_edge_probability:
+                edges.add((vertices[i], vertices[j]))
+    return Graph(vertices, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """A star ``K_{1,n}`` — it has a Hamiltonian path only for ``n <= 2``."""
+    vertices = ["hub"] + [f"leaf{i}" for i in range(n)]
+    edges = [("hub", f"leaf{i}") for i in range(n)]
+    return Graph(vertices, edges)
+
+
+def disconnected_graph(component_sizes: Sequence[int]) -> Graph:
+    """A disjoint union of paths — never Hamiltonian when it has ≥ 2 components."""
+    vertices: list[str] = []
+    edges: list[tuple[str, str]] = []
+    for c, size in enumerate(component_sizes):
+        names = [f"c{c}_{i}" for i in range(size)]
+        vertices.extend(names)
+        edges.extend((names[i], names[i + 1]) for i in range(size - 1))
+    return Graph(vertices, edges)

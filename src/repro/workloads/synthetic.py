@@ -1,0 +1,216 @@
+"""Synthetic databases with planted rules and controllable scaling knobs.
+
+These generators drive the Figure 4 / Figure 5 scaling benchmarks: they let
+the harness grow the database size ``d``, the number of relations ``n`` and
+the body length ``m`` independently, which is exactly how the paper's cost
+formulas (``n^(m-1) d^c log d`` for the body phase, ``(nd)^m`` overall) are
+parameterised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.metaquery import LiteralScheme, MetaQuery
+from repro.datalog.terms import Variable
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def chain_database(
+    relations: int,
+    tuples_per_relation: int,
+    domain_size: int | None = None,
+    planted_fraction: float = 0.5,
+    seed: int = 0,
+    name: str | None = None,
+) -> Database:
+    """A database of binary relations ``r0, ..., r(n-1)`` forming a join chain.
+
+    A ``planted_fraction`` of the tuples of consecutive relations are
+    constructed to join (``r_i``'s second column feeds ``r_{i+1}``'s first
+    column), so chain metaqueries over this database have non-trivial
+    support; the rest of the tuples are uniform noise.  The relation ``r0``
+    additionally gets a "result" role: chain metaquery heads instantiated to
+    ``r0`` score a positive cover.
+    """
+    rng = random.Random(seed)
+    domain_size = domain_size or max(4, tuples_per_relation)
+    domain = [f"v{i}" for i in range(domain_size)]
+
+    rows_per_relation: list[set[tuple[str, str]]] = [set() for _ in range(relations)]
+    # planted joining chains
+    planted = int(tuples_per_relation * planted_fraction)
+    for _ in range(planted):
+        chain_values = [rng.choice(domain) for _ in range(relations + 1)]
+        for i in range(relations):
+            rows_per_relation[i].add((chain_values[i], chain_values[i + 1]))
+        # plant the "conclusion" tuple so the chain head has positive cover
+        rows_per_relation[0].add((chain_values[0], chain_values[relations]))
+    # noise
+    for i in range(relations):
+        while len(rows_per_relation[i]) < tuples_per_relation:
+            rows_per_relation[i].add((rng.choice(domain), rng.choice(domain)))
+
+    relations_list = [
+        Relation.from_rows(f"r{i}", ("a", "b"), rows) for i, rows in enumerate(rows_per_relation)
+    ]
+    return Database(relations_list, name=name or f"chain-{relations}x{tuples_per_relation}")
+
+
+def chain_metaquery(length: int) -> MetaQuery:
+    """The chain metaquery matching :func:`chain_database`.
+
+    ``R(X0, X1) <- P1(X0, X1), ..., Pm(X(m-1), Xm)`` with distinct predicate
+    variables.  The head ranges over the *first* body pattern's variables (as
+    in the paper's acyclic example ``P(X,Y) <- P(Y,Z), Q(Z,W)``), which keeps
+    the metaquery hypergraph acyclic — these are the templates of the
+    Figure 5 row 4 (tractable-case) sweeps.
+    """
+    variables = [Variable(f"X{i}") for i in range(length + 1)]
+    body = [
+        LiteralScheme.pattern(f"P{i + 1}", [variables[i], variables[i + 1]]) for i in range(length)
+    ]
+    head = LiteralScheme.pattern("R", [variables[0], variables[1]])
+    return MetaQuery(head, body, name=f"chain-mq-{length}")
+
+
+def transitive_chain_metaquery(length: int) -> MetaQuery:
+    """The transitivity-shaped variant ``R(X0, Xm) <- P1(X0,X1), ..., Pm(X(m-1),Xm)``.
+
+    Its head connects the two chain ends, which makes ``H(MQ)`` cyclic
+    (though the *body* is still width 1); used by the benchmarks to contrast
+    acyclic and cyclic templates of the same body shape.
+    """
+    variables = [Variable(f"X{i}") for i in range(length + 1)]
+    body = [
+        LiteralScheme.pattern(f"P{i + 1}", [variables[i], variables[i + 1]]) for i in range(length)
+    ]
+    head = LiteralScheme.pattern("R", [variables[0], variables[length]])
+    return MetaQuery(head, body, name=f"transitive-chain-mq-{length}")
+
+
+def cyclic_metaquery(length: int) -> MetaQuery:
+    """A cyclic variant: the last body pattern closes the loop back to ``X0``.
+
+    ``R(X0, X0') <- P1(X0, X1), ..., Pm(X(m-1), X0)`` — its body hypergraph
+    contains a cycle, forcing hypertree width 2 and exercising the general
+    (intractable) engine path.
+    """
+    if length < 3:
+        raise ValueError("a cyclic body needs at least three patterns")
+    variables = [Variable(f"X{i}") for i in range(length)]
+    body = [
+        LiteralScheme.pattern(f"P{i + 1}", [variables[i], variables[(i + 1) % length]])
+        for i in range(length)
+    ]
+    head = LiteralScheme.pattern("R", [variables[0], variables[1]])
+    return MetaQuery(head, body, name=f"cycle-mq-{length}")
+
+
+def random_database(
+    relations: int,
+    arity: int,
+    tuples_per_relation: int,
+    domain_size: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> Database:
+    """Uniformly random relations — the "no structure" control workload."""
+    rng = random.Random(seed)
+    domain = [f"v{i}" for i in range(domain_size)]
+    columns = tuple(f"c{i}" for i in range(arity))
+    relation_objects = []
+    for r in range(relations):
+        rows = set()
+        while len(rows) < min(tuples_per_relation, domain_size**arity):
+            rows.add(tuple(rng.choice(domain) for _ in range(arity)))
+        relation_objects.append(Relation.from_rows(f"r{r}", columns, rows))
+    return Database(relation_objects, name=name or f"random-{relations}x{tuples_per_relation}")
+
+
+def planted_rule_database(
+    tuples: int = 100,
+    noise: float = 0.2,
+    confidence_target: float = 0.8,
+    seed: int = 0,
+) -> Database:
+    """A three-relation database with one planted high-confidence rule.
+
+    The planted dependency is ``head(X, Z) <- left(X, Y), right(Y, Z)``:
+    roughly ``confidence_target`` of the joining (X, Z) pairs are inserted
+    into ``head``.  A ``noise`` fraction of extra random tuples is added to
+    every relation.  Used by the quickstart example and the FindRules
+    correctness benchmarks.
+    """
+    rng = random.Random(seed)
+    domain = [f"v{i}" for i in range(max(8, tuples // 2))]
+
+    left = set()
+    right = set()
+    for _ in range(tuples):
+        x, y, z = rng.choice(domain), rng.choice(domain), rng.choice(domain)
+        left.add((x, y))
+        right.add((y, z))
+    # Plant the rule: a confidence_target fraction of the (X, Z) pairs that the
+    # body join produces are inserted into the head relation.
+    joining_pairs = sorted(
+        {(x, z) for (x, y1) in left for (y2, z) in right if y1 == y2}
+    )
+    head = {pair for pair in joining_pairs if rng.random() < confidence_target}
+    noise_count = int(tuples * noise)
+    for _ in range(noise_count):
+        left.add((rng.choice(domain), rng.choice(domain)))
+        right.add((rng.choice(domain), rng.choice(domain)))
+        head.add((rng.choice(domain), rng.choice(domain)))
+    if not head:
+        head = set(joining_pairs[:1]) or {(domain[0], domain[1])}
+
+    return Database(
+        [
+            Relation.from_rows("left", ("a", "b"), left),
+            Relation.from_rows("right", ("a", "b"), right),
+            Relation.from_rows("head", ("a", "b"), head),
+        ],
+        name="planted-rule",
+    )
+
+
+def star_database(
+    rays: int,
+    tuples_per_relation: int,
+    domain_size: int | None = None,
+    seed: int = 0,
+) -> Database:
+    """Binary relations sharing their first column — the star-join workload."""
+    rng = random.Random(seed)
+    domain_size = domain_size or max(4, tuples_per_relation)
+    hubs = [f"h{i}" for i in range(domain_size)]
+    leaves = [f"l{i}" for i in range(domain_size)]
+    relation_objects = []
+    for r in range(rays):
+        rows = set()
+        while len(rows) < tuples_per_relation:
+            rows.add((rng.choice(hubs), rng.choice(leaves)))
+        relation_objects.append(Relation.from_rows(f"s{r}", ("hub", "leaf"), rows))
+    return Database(relation_objects, name=f"star-{rays}x{tuples_per_relation}")
+
+
+def widen_metaquery_arity(mq: MetaQuery, extra: int) -> MetaQuery:
+    """Append ``extra`` fresh variables to every literal scheme of a metaquery.
+
+    Used by the type-2 sweeps: the widened template is then mined over
+    databases whose relations carry the extra attributes.
+    """
+    counter = 0
+
+    def widen(scheme: LiteralScheme) -> LiteralScheme:
+        nonlocal counter
+        extra_terms = []
+        for _ in range(extra):
+            counter += 1
+            extra_terms.append(Variable(f"W{counter}"))
+        return LiteralScheme(scheme.predicate, list(scheme.terms) + extra_terms, scheme.is_pattern)
+
+    return MetaQuery(widen(mq.head), [widen(s) for s in mq.body], name=f"{mq.name}-wide{extra}")

@@ -1,0 +1,144 @@
+"""The paper's telecom example database (Figures 1 and 2) and scaled variants.
+
+``db1`` reproduces Figure 1 exactly: the relations ``UsCa`` (user/carrier),
+``CaTe`` (carrier/technology) and ``UsPT`` (user/phone-type).  ``db1_prime``
+replaces ``UsPT`` with the three-attribute version of Figure 2 (adding the
+phone ``Model``), the database used to motivate type-2 instantiations.
+
+``scaled_telecom`` generates arbitrarily large databases with the same
+schema and the same planted dependency — "users use the technologies of
+their carriers" — contaminated by a configurable noise rate, so the
+benchmark sweeps exercise realistic index values rather than all-1.0 rules.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+USCA_COLUMNS = ("User", "Carrier")
+CATE_COLUMNS = ("Carrier", "Technology")
+USPT_COLUMNS = ("User", "PhoneType")
+USPT_PRIME_COLUMNS = ("User", "PhoneType", "Model")
+
+
+def db1() -> Database:
+    """The database DB1 of Figure 1, verbatim."""
+    usca = Relation.from_rows(
+        "usca",
+        USCA_COLUMNS,
+        [
+            ("John K.", "Omnitel"),
+            ("John K.", "Tim"),
+            ("Anastasia A.", "Omnitel"),
+        ],
+    )
+    cate = Relation.from_rows(
+        "cate",
+        CATE_COLUMNS,
+        [
+            ("Tim", "ETACS"),
+            ("Tim", "GSM 900"),
+            ("Tim", "GSM 1800"),
+            ("Omnitel", "GSM 900"),
+            ("Omnitel", "GSM 1800"),
+            ("Wind", "GSM 1800"),
+        ],
+    )
+    uspt = Relation.from_rows(
+        "uspt",
+        USPT_COLUMNS,
+        [
+            ("John K.", "GSM 900"),
+            ("John K.", "GSM 1800"),
+            ("Anastasia A.", "GSM 900"),
+        ],
+    )
+    return Database([usca, cate, uspt], name="DB1")
+
+
+def db1_prime() -> Database:
+    """DB1 with the Figure 2 version of ``UsPT`` (extra ``Model`` attribute)."""
+    base = db1()
+    uspt_prime = Relation.from_rows(
+        "uspt",
+        USPT_PRIME_COLUMNS,
+        [
+            ("John K.", "GSM 900", "Nokia 6150"),
+            ("John K.", "GSM 1800", "Nokia 6150"),
+            ("Anastasia A.", "GSM 900", "Bosch 607"),
+        ],
+    )
+    return Database([base["usca"], base["cate"], uspt_prime], name="DB1'")
+
+
+def transitivity_metaquery_text() -> str:
+    """The paper's metaquery (4): ``R(X,Z) <- P(X,Y), Q(Y,Z)``."""
+    return "R(X,Z) <- P(X,Y), Q(Y,Z)"
+
+
+def scaled_telecom(
+    users: int = 50,
+    carriers: int = 5,
+    technologies: int = 4,
+    noise: float = 0.1,
+    seed: int = 0,
+    with_model: bool = False,
+) -> Database:
+    """A larger telecom database with the same planted dependency as DB1.
+
+    Every user subscribes to one or two carriers; every carrier supports a
+    subset of the technologies; a user's phone types are (mostly) the
+    technologies of their carriers, except that a ``noise`` fraction of the
+    phone-type tuples are drawn uniformly at random — these are the tuples
+    that keep confidence strictly below 1.
+
+    Parameters
+    ----------
+    users, carriers, technologies:
+        Sizes of the three entity sets.
+    noise:
+        Fraction of ``uspt`` tuples replaced by random ones.
+    seed:
+        PRNG seed; the same seed always produces the same database.
+    with_model:
+        Add the Figure 2 ``Model`` column to ``uspt`` (for type-2 sweeps).
+    """
+    rng = random.Random(seed)
+    user_names = [f"user{i}" for i in range(users)]
+    carrier_names = [f"carrier{i}" for i in range(carriers)]
+    tech_names = [f"tech{i}" for i in range(technologies)]
+    model_names = [f"model{i}" for i in range(max(2, technologies))]
+
+    usca_rows = set()
+    for user in user_names:
+        for carrier in rng.sample(carrier_names, k=rng.choice([1, 1, 2])):
+            usca_rows.add((user, carrier))
+
+    cate_rows = set()
+    for carrier in carrier_names:
+        count = rng.randint(1, technologies)
+        for tech in rng.sample(tech_names, k=count):
+            cate_rows.add((carrier, tech))
+
+    uspt_rows = set()
+    carrier_to_techs: dict[str, list[str]] = {}
+    for carrier, tech in cate_rows:
+        carrier_to_techs.setdefault(carrier, []).append(tech)
+    for user, carrier in usca_rows:
+        for tech in carrier_to_techs.get(carrier, []):
+            if rng.random() < noise:
+                tech = rng.choice(tech_names)
+            if with_model:
+                uspt_rows.add((user, tech, rng.choice(model_names)))
+            else:
+                uspt_rows.add((user, tech))
+
+    usca = Relation.from_rows("usca", USCA_COLUMNS, usca_rows)
+    cate = Relation.from_rows("cate", CATE_COLUMNS, cate_rows)
+    columns: Sequence[str] = USPT_PRIME_COLUMNS if with_model else USPT_COLUMNS
+    uspt = Relation.from_rows("uspt", columns, uspt_rows)
+    return Database([usca, cate, uspt], name=f"telecom-{users}u-{carriers}c")

@@ -1,0 +1,82 @@
+"""A university-enrolment scenario: a second realistic mining workload.
+
+The schema links students, courses, departments and instructors::
+
+    enrolled(Student, Course)
+    teaches(Instructor, Course)
+    member_of(Instructor, Department)
+    majors_in(Student, Department)
+    attends_dept(Student, Department)   -- the "discoverable" relation
+
+The planted dependency is *students attend courses taught by the department
+they major in*: ``attends_dept`` is (mostly) the composition of ``enrolled``,
+``teaches`` and ``member_of``.  The schema-driven-discovery example mines
+this database with automatically generated chain metaqueries and finds the
+dependency without being told where to look.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def university_database(
+    students: int = 40,
+    courses: int = 12,
+    instructors: int = 8,
+    departments: int = 4,
+    noise: float = 0.1,
+    seed: int = 7,
+) -> Database:
+    """Generate the university workload.
+
+    ``noise`` is the fraction of ``attends_dept`` tuples replaced by random
+    pairs; it keeps the planted rule's confidence strictly below 1 so the
+    thresholds in the example have something to do.
+    """
+    rng = random.Random(seed)
+    student_names = [f"student{i}" for i in range(students)]
+    course_names = [f"course{i}" for i in range(courses)]
+    instructor_names = [f"instructor{i}" for i in range(instructors)]
+    department_names = [f"dept{i}" for i in range(departments)]
+
+    teaches = set()
+    member_of = set()
+    for instructor in instructor_names:
+        department = rng.choice(department_names)
+        member_of.add((instructor, department))
+        for course in rng.sample(course_names, k=rng.randint(1, 3)):
+            teaches.add((instructor, course))
+
+    enrolled = set()
+    majors_in = set()
+    for student in student_names:
+        majors_in.add((student, rng.choice(department_names)))
+        for course in rng.sample(course_names, k=rng.randint(1, 4)):
+            enrolled.add((student, course))
+
+    course_to_departments: dict[str, set[str]] = {}
+    instructor_department = dict(member_of)
+    for instructor, course in teaches:
+        course_to_departments.setdefault(course, set()).add(instructor_department[instructor])
+
+    attends_dept = set()
+    for student, course in enrolled:
+        for department in course_to_departments.get(course, set()):
+            if rng.random() < noise:
+                department = rng.choice(department_names)
+            attends_dept.add((student, department))
+
+    return Database(
+        [
+            Relation.from_rows("enrolled", ("student", "course"), enrolled),
+            Relation.from_rows("teaches", ("instructor", "course"), teaches),
+            Relation.from_rows("member_of", ("instructor", "department"), member_of),
+            Relation.from_rows("majors_in", ("student", "department"), majors_in),
+            Relation.from_rows("attends_dept", ("student", "department"), attends_dept),
+        ],
+        name="university",
+    )

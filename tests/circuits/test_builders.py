@@ -1,0 +1,176 @@
+"""Tests for the data-complexity circuit constructions (Theorems 3.37 / 3.38)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits.builders import (
+    DatabaseEncoding,
+    confidence_gap_function,
+    cq_satisfaction_circuit,
+    index_threshold_circuit,
+    metaquery_threshold0_circuit,
+    tuple_count_circuit,
+)
+from repro.core.indices import all_indices, confidence
+from repro.core.metaquery import parse_metaquery
+from repro.core.naive import iter_answers, naive_decide
+from repro.datalog.counting import count_substitutions
+from repro.datalog.parser import parse_query, parse_rule
+from repro.exceptions import CircuitError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def tiny_db() -> Database:
+    return Database.from_dict(
+        {
+            "p": (("a", "b"), [(0, 1), (1, 2)]),
+            "q": (("a", "b"), [(1, 2), (2, 0)]),
+            "h": (("a", "b"), [(0, 2)]),
+        },
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def encoding(tiny_db) -> DatabaseEncoding:
+    return DatabaseEncoding.for_database(tiny_db)
+
+
+class TestDatabaseEncoding:
+    def test_bit_count(self, encoding):
+        # 3 relations of arity 2 over a domain of 3 values -> 27 bits
+        assert encoding.bit_count() == 27
+        assert len(encoding.input_bits()) == 27
+
+    def test_encode_roundtrip(self, tiny_db, encoding):
+        bits = encoding.encode(tiny_db)
+        assert bits[("p", (0, 1))] is True
+        assert bits[("p", (2, 2))] is False
+        assert sum(bits.values()) == tiny_db.total_tuples()
+
+    def test_encode_rejects_offdomain_constant(self, encoding):
+        stray = Database.from_dict({"p": (("a", "b"), [(0, 99)]), "q": (("a", "b"), []), "h": (("a", "b"), [])})
+        with pytest.raises(CircuitError):
+            encoding.encode(stray)
+
+    def test_unknown_relation(self, encoding):
+        with pytest.raises(CircuitError):
+            encoding.arity_of("zzz")
+
+    def test_schema_database_is_empty(self, encoding):
+        schema_db = encoding.schema_database()
+        assert schema_db.total_tuples() == 0
+        assert set(schema_db.relation_names) == {"p", "q", "h"}
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(CircuitError):
+            DatabaseEncoding({"p": 2}, [])
+
+
+class TestCQSatisfactionCircuit:
+    def test_matches_engine_on_satisfiable_query(self, tiny_db, encoding):
+        query = parse_query("p(X,Y), q(Y,Z)")
+        circuit = cq_satisfaction_circuit(query.atoms, encoding)
+        assert circuit.evaluate(encoding.encode(tiny_db)) is True
+        assert circuit.depth() <= 2
+
+    def test_matches_engine_on_unsatisfiable_query(self, tiny_db, encoding):
+        query = parse_query("p(X,X)")
+        circuit = cq_satisfaction_circuit(query.atoms, encoding)
+        assert circuit.evaluate(encoding.encode(tiny_db)) is False
+
+    def test_constants_in_query(self, tiny_db, encoding):
+        circuit = cq_satisfaction_circuit(parse_query("p(0, Y)").atoms, encoding)
+        assert circuit.evaluate(encoding.encode(tiny_db)) is True
+        circuit2 = cq_satisfaction_circuit(parse_query("p(2, Y)").atoms, encoding)
+        assert circuit2.evaluate(encoding.encode(tiny_db)) is False
+
+    def test_circuit_works_for_any_instance_over_schema(self, encoding):
+        """The same circuit evaluates correctly on a different database instance."""
+        other = Database.from_dict(
+            {"p": (("a", "b"), [(2, 2)]), "q": (("a", "b"), [(2, 2)]), "h": (("a", "b"), [])}
+        )
+        query = parse_query("p(X,Y), q(Y,X)")
+        circuit = cq_satisfaction_circuit(query.atoms, encoding)
+        assert circuit.evaluate(encoding.encode(other)) is True
+
+
+class TestMetaqueryThreshold0Circuit:
+    @pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+    def test_matches_naive_decision(self, tiny_db, encoding, index):
+        mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+        circuit = metaquery_threshold0_circuit(mq, encoding, index=index, itype=0)
+        expected = naive_decide(tiny_db, mq, index, 0, 0)
+        assert circuit.evaluate(encoding.encode(tiny_db)) == expected
+
+    def test_constant_depth(self, tiny_db, encoding):
+        mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+        circuit = metaquery_threshold0_circuit(mq, encoding, index="cnf", itype=0)
+        assert circuit.depth() <= 3
+        assert not circuit.uses_majority()
+
+    def test_telecom_instance(self, telecom_db):
+        encoding = DatabaseEncoding.for_database(telecom_db)
+        mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+        circuit = metaquery_threshold0_circuit(mq, encoding, index="cvr", itype=0)
+        assert circuit.evaluate(encoding.encode(telecom_db)) == naive_decide(telecom_db, mq, "cvr", 0, 0)
+
+
+class TestCountingCircuits:
+    def test_tuple_count_matches_engine(self, tiny_db, encoding):
+        query = parse_query("p(X,Y), q(Y,Z)")
+        circuit = tuple_count_circuit(query.atoms, encoding)
+        assert circuit.evaluate(encoding.encode(tiny_db)) == count_substitutions(query, tiny_db)
+
+    def test_tuple_count_single_atom(self, tiny_db, encoding):
+        circuit = tuple_count_circuit(parse_query("p(X,Y)").atoms, encoding)
+        assert circuit.evaluate(encoding.encode(tiny_db)) == 2
+
+    def test_confidence_gap_function_sign_matches_threshold(self, tiny_db, encoding):
+        rule = parse_rule("h(X,Z) <- p(X,Y), q(Y,Z)")
+        value = confidence(rule, tiny_db)
+        for k in (Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)):
+            gap = confidence_gap_function(rule, k, encoding)
+            assert gap.accepts(encoding.encode(tiny_db)) == (value > k)
+
+    def test_gap_function_requires_range_restriction(self, encoding):
+        rule = parse_rule("h(X,W) <- p(X,Y)")
+        with pytest.raises(CircuitError):
+            confidence_gap_function(rule, Fraction(1, 2), encoding)
+
+
+class TestIndexThresholdCircuit:
+    @pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+    @pytest.mark.parametrize("k", [Fraction(0), Fraction(1, 3), Fraction(1, 2), Fraction(9, 10)])
+    def test_matches_exact_index(self, tiny_db, encoding, index, k):
+        rule = parse_rule("h(X,Z) <- p(X,Y), q(Y,Z)")
+        values = all_indices(rule, tiny_db)
+        circuit = index_threshold_circuit(rule, index, k, encoding)
+        assert circuit.uses_majority()
+        assert circuit.evaluate(encoding.encode(tiny_db)) == (values[index] > k)
+
+    def test_matches_on_telecom_rule(self, telecom_db):
+        encoding = DatabaseEncoding.for_database(telecom_db)
+        mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+        answer = next(
+            a for a in iter_answers(telecom_db, mq, 0) if str(a.rule) == "uspt(X, Z) <- usca(X, Y), cate(Y, Z)"
+        )
+        bits = encoding.encode(telecom_db)
+        for k in (Fraction(1, 2), Fraction(5, 7), Fraction(6, 7)):
+            circuit = index_threshold_circuit(answer.rule, "cnf", k, encoding)
+            assert circuit.evaluate(bits) == (answer.confidence > k)
+
+    def test_invalid_threshold_rejected(self, encoding):
+        rule = parse_rule("h(X,Z) <- p(X,Y), q(Y,Z)")
+        with pytest.raises(CircuitError):
+            index_threshold_circuit(rule, "cnf", Fraction(3, 2), encoding)
+
+    def test_unknown_index_rejected(self, tiny_db, encoding):
+        from repro.exceptions import IndexError_
+
+        rule = parse_rule("h(X,Z) <- p(X,Y), q(Y,Z)")
+        with pytest.raises((CircuitError, IndexError_)):
+            index_threshold_circuit(rule, "mystery", Fraction(1, 2), encoding)

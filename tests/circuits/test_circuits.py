@@ -1,0 +1,154 @@
+"""Tests for boolean circuits, arithmetic circuits and gap functions."""
+
+import pytest
+
+from repro.circuits.arithmetic import ArithmeticCircuit, GapFunction
+from repro.circuits.circuit import BooleanCircuit, GateKind
+from repro.exceptions import CircuitError
+
+
+class TestBooleanCircuit:
+    def test_and_or_not(self):
+        circuit = BooleanCircuit()
+        a, b = circuit.input("a"), circuit.input("b")
+        circuit.set_output(circuit.or_([circuit.and_([a, b]), circuit.not_(a)]))
+        assert circuit.evaluate({"a": True, "b": True})
+        assert not circuit.evaluate({"a": True, "b": False})
+        assert circuit.evaluate({"a": False, "b": False})
+
+    def test_inputs_deduplicated(self):
+        circuit = BooleanCircuit()
+        assert circuit.input("x") == circuit.input("x")
+        assert len(circuit.input_names) == 1
+
+    def test_constants_and_empty_gates(self):
+        circuit = BooleanCircuit()
+        circuit.set_output(circuit.and_([]))
+        assert circuit.evaluate({})
+        circuit2 = BooleanCircuit()
+        circuit2.set_output(circuit2.or_([]))
+        assert not circuit2.evaluate({})
+
+    def test_majority_gate(self):
+        circuit = BooleanCircuit()
+        wires = [circuit.input(f"x{i}") for i in range(3)]
+        circuit.set_output(circuit.majority(wires))
+        assert circuit.evaluate({"x0": True, "x1": True, "x2": False})
+        assert not circuit.evaluate({"x0": True, "x1": False, "x2": False})
+
+    def test_majority_strictly_more_than_half(self):
+        circuit = BooleanCircuit()
+        wires = [circuit.input(f"x{i}") for i in range(4)]
+        circuit.set_output(circuit.majority(wires))
+        assert not circuit.evaluate({"x0": True, "x1": True, "x2": False, "x3": False})
+
+    def test_majority_requires_inputs(self):
+        with pytest.raises(CircuitError):
+            BooleanCircuit().majority([])
+
+    def test_depth_and_size(self):
+        circuit = BooleanCircuit()
+        a, b = circuit.input("a"), circuit.input("b")
+        out = circuit.or_([circuit.and_([a, b]), circuit.and_([a, circuit.not_(b)])])
+        circuit.set_output(out)
+        assert circuit.depth() == 2 or circuit.depth() == 3  # NOT adds a level on one branch
+        assert circuit.size() == 4
+        assert not circuit.uses_majority()
+
+    def test_missing_output_raises(self):
+        circuit = BooleanCircuit()
+        circuit.input("a")
+        with pytest.raises(CircuitError):
+            circuit.evaluate({"a": True})
+        with pytest.raises(CircuitError):
+            circuit.depth()
+
+    def test_missing_input_default_and_strict(self):
+        circuit = BooleanCircuit()
+        circuit.set_output(circuit.input("a"))
+        assert circuit.evaluate({}) is False
+        with pytest.raises(CircuitError):
+            circuit.evaluate({}, default=None)
+
+    def test_dangling_wire_rejected(self):
+        circuit = BooleanCircuit()
+        with pytest.raises(CircuitError):
+            circuit.and_([7])
+        with pytest.raises(CircuitError):
+            circuit.set_output(3)
+
+    def test_gate_kinds_recorded(self):
+        circuit = BooleanCircuit()
+        circuit.set_output(circuit.not_(circuit.input("a")))
+        kinds = [g.kind for g in circuit.gates]
+        assert kinds == [GateKind.INPUT, GateKind.NOT]
+
+
+class TestArithmeticCircuit:
+    def test_sum_and_product(self):
+        circuit = ArithmeticCircuit()
+        a, b = circuit.input("a"), circuit.input("b")
+        circuit.set_output(circuit.sum([circuit.product([a, b]), circuit.const(1)]))
+        assert circuit.evaluate({"a": True, "b": True}) == 2
+        assert circuit.evaluate({"a": True, "b": False}) == 1
+
+    def test_negated_input(self):
+        circuit = ArithmeticCircuit()
+        circuit.set_output(circuit.sum([circuit.negated_input("a"), circuit.input("a")]))
+        assert circuit.evaluate({"a": True}) == 1
+        assert circuit.evaluate({"a": False}) == 1
+
+    def test_constants_restricted_to_bits(self):
+        circuit = ArithmeticCircuit()
+        with pytest.raises(CircuitError):
+            circuit.const(2)
+
+    def test_number_helper(self):
+        circuit = ArithmeticCircuit()
+        circuit.set_output(circuit.number(5))
+        assert circuit.evaluate({}) == 5
+        circuit2 = ArithmeticCircuit()
+        circuit2.set_output(circuit2.number(0))
+        assert circuit2.evaluate({}) == 0
+
+    def test_number_negative_rejected(self):
+        with pytest.raises(CircuitError):
+            ArithmeticCircuit().number(-1)
+
+    def test_empty_fanin_conventions(self):
+        circuit = ArithmeticCircuit()
+        circuit.set_output(circuit.product([]))
+        assert circuit.evaluate({}) == 1
+
+    def test_depth_and_size(self):
+        circuit = ArithmeticCircuit()
+        a = circuit.input("a")
+        circuit.set_output(circuit.sum([circuit.product([a, a]), circuit.const(1)]))
+        assert circuit.depth() == 2
+        assert circuit.size() == 2
+
+    def test_missing_output(self):
+        with pytest.raises(CircuitError):
+            ArithmeticCircuit().evaluate({})
+
+
+class TestGapFunction:
+    def test_gap_evaluation_and_acceptance(self):
+        positive = ArithmeticCircuit()
+        positive.set_output(positive.sum([positive.input("a"), positive.input("b")]))
+        negative = ArithmeticCircuit()
+        negative.set_output(negative.number(1))
+        gap = GapFunction(positive, negative)
+        assert gap.evaluate({"a": True, "b": True}) == 1
+        assert gap.accepts({"a": True, "b": True})
+        assert gap.evaluate({"a": False, "b": False}) == -1
+        assert not gap.accepts({"a": True, "b": False})
+
+    def test_gap_size_and_depth(self):
+        positive = ArithmeticCircuit()
+        positive.set_output(positive.sum([positive.input("a")]))
+        negative = ArithmeticCircuit()
+        negative.set_output(negative.number(2))
+        gap = GapFunction(positive, negative)
+        assert gap.size() >= 1
+        assert gap.depth() >= 1

@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's example databases and a few tiny synthetic ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.workloads.telecom import db1, db1_prime
+
+
+@pytest.fixture
+def telecom_db() -> Database:
+    """DB1 of Figure 1."""
+    return db1()
+
+
+@pytest.fixture
+def telecom_db_prime() -> Database:
+    """DB1 with the Figure 2 three-attribute UsPT."""
+    return db1_prime()
+
+
+@pytest.fixture
+def edge_db() -> Database:
+    """A small directed-graph database with a path and a triangle."""
+    edge = Relation.from_rows(
+        "edge",
+        ("src", "dst"),
+        [(1, 2), (2, 3), (3, 4), (4, 2), (5, 5)],
+    )
+    return Database([edge], name="edge-db")
+
+
+@pytest.fixture
+def two_relation_db() -> Database:
+    """Two joinable binary relations plus a result relation."""
+    return Database.from_dict(
+        {
+            "r": (("a", "b"), [(1, 10), (2, 20), (3, 30)]),
+            "s": (("a", "b"), [(10, 100), (20, 200), (40, 400)]),
+            "t": (("a", "b"), [(1, 100), (2, 200), (9, 900)]),
+        },
+        name="two-rel",
+    )

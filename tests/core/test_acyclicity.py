@@ -1,0 +1,99 @@
+"""Tests for metaquery acyclicity / semi-acyclicity (Definition 3.31).
+
+The three worked examples of Section 3.4 are checked verbatim:
+
+* ``MQ1 = P(X,Y) <- P(Y,Z), Q(Z,W)`` is acyclic;
+* ``MQ2 = P(X,Y) <- Q(Y,Z), P(Z,W)`` is cyclic;
+* ``MQ3 = N(X) <- N(Y), E(X,Y)`` is semi-acyclic but not acyclic.
+"""
+
+import pytest
+
+from repro.core.acyclicity import (
+    body_variable_sets,
+    classify,
+    is_acyclic_metaquery,
+    is_semi_acyclic_metaquery,
+    metaquery_hypergraph,
+    metaquery_semi_hypergraph,
+    scheme_labels,
+)
+from repro.core.metaquery import parse_metaquery
+
+
+MQ1 = parse_metaquery("P(X,Y) <- P(Y,Z), Q(Z,W)")
+MQ2 = parse_metaquery("P(X,Y) <- Q(Y,Z), P(Z,W)")
+MQ3 = parse_metaquery("N(X) <- N(Y), E(X,Y)")
+
+
+def test_paper_example_mq1_is_acyclic():
+    assert is_acyclic_metaquery(MQ1)
+    assert is_semi_acyclic_metaquery(MQ1)
+    assert classify(MQ1) == "acyclic"
+
+
+def test_paper_example_mq2_is_cyclic():
+    assert not is_acyclic_metaquery(MQ2)
+
+
+def test_paper_example_mq3_semi_acyclic_not_acyclic():
+    assert not is_acyclic_metaquery(MQ3)
+    assert is_semi_acyclic_metaquery(MQ3)
+    assert classify(MQ3) == "semi-acyclic"
+
+
+def test_acyclic_implies_semi_acyclic():
+    for mq in (MQ1, MQ2, MQ3, parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")):
+        if is_acyclic_metaquery(mq):
+            assert is_semi_acyclic_metaquery(mq)
+
+
+def test_transitivity_metaquery_is_cyclic_but_body_acyclic():
+    """The paper's metaquery (4): its full hypergraph is cyclic (head closes a
+    triangle through the predicate variables), but its *body* is width-1 —
+    which is what FindRules decomposes."""
+    mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+    assert classify(mq) == "cyclic"
+    from repro.hypergraph.decomposition import hypertree_width
+
+    assert hypertree_width(body_variable_sets(mq)) == 1
+
+
+def test_hypergraph_vertices_include_predicate_variables():
+    hg = metaquery_hypergraph(MQ1)
+    assert "P" in hg.vertices
+    assert "Q" in hg.vertices
+    assert "X" in hg.vertices
+
+
+def test_semi_hypergraph_excludes_predicate_variables():
+    hg = metaquery_semi_hypergraph(MQ1)
+    assert "P" not in hg.vertices
+    assert "X" in hg.vertices
+
+
+def test_scheme_labels_are_unique_per_occurrence():
+    mq = parse_metaquery("E(X,Y) <- E(X,Y), E(Y,Z)")
+    labels = [label for label, _ in scheme_labels(mq)]
+    assert len(labels) == len(set(labels)) == 3
+
+
+def test_body_variable_sets_only_body():
+    mq = parse_metaquery("R(W,Z) <- P(X,Y), Q(Y,Z)")
+    varsets = body_variable_sets(mq)
+    assert set(varsets) == {("body", 0), ("body", 1)}
+    assert varsets[("body", 0)] == frozenset({"X", "Y"})
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("R(X,Z) <- P(X,Y), Q(Y,Z)", "cyclic"),
+        ("P(X,Y) <- P(Y,Z), Q(Z,W)", "acyclic"),
+        ("N(X) <- N(Y), E(X,Y)", "semi-acyclic"),
+        ("H(A) <- P(A,B), Q(B,C), R(C,A)", "cyclic"),
+        ("H(A,B) <- P(A,B)", "acyclic"),
+    ],
+)
+def test_classification_table(text, expected):
+    assert classify(parse_metaquery(text)) == expected

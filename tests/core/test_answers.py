@@ -1,0 +1,90 @@
+"""Tests for Thresholds, MetaqueryAnswer and AnswerSet."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.instantiation import Instantiation
+from repro.datalog.parser import parse_rule
+
+
+def make_answer(sup="1/2", cnf="3/4", cvr="1/4", rule_text="h(X) <- b(X, Y)"):
+    return MetaqueryAnswer(
+        instantiation=Instantiation({}),
+        rule=parse_rule(rule_text),
+        support=Fraction(sup),
+        confidence=Fraction(cnf),
+        cover=Fraction(cvr),
+    )
+
+
+class TestThresholds:
+    def test_accepts_strict_comparison(self):
+        thresholds = Thresholds(support=0.5, confidence=0.5, cover=0.0)
+        assert not thresholds.accepts(Fraction(1, 2), Fraction(3, 4), Fraction(1, 4))
+        assert thresholds.accepts(Fraction(3, 4), Fraction(3, 4), Fraction(1, 4))
+
+    def test_none_disables_a_threshold(self):
+        thresholds = Thresholds(support=None, confidence=0.9, cover=None)
+        assert thresholds.accepts(Fraction(0), Fraction(1), Fraction(0))
+        assert not thresholds.accepts(Fraction(1), Fraction(1, 2), Fraction(1))
+
+    def test_none_and_zero_differ(self):
+        zero = Thresholds.positive()
+        none = Thresholds.none()
+        assert none.accepts(Fraction(0), Fraction(0), Fraction(0))
+        assert not zero.accepts(Fraction(0), Fraction(0), Fraction(0))
+
+    def test_float_converted_to_fraction(self):
+        thresholds = Thresholds(support=0.5)
+        assert thresholds.support == Fraction(1, 2)
+
+    def test_str_mentions_enabled_thresholds(self):
+        assert "sup" in str(Thresholds(support=0.1))
+        assert str(Thresholds.none()) == "no thresholds"
+
+
+class TestAnswerSet:
+    def test_basic_container_behaviour(self):
+        answers = AnswerSet([make_answer()])
+        answers.append(make_answer(cnf="1/8"))
+        assert len(answers) == 2
+        assert answers[0].confidence == Fraction(3, 4)
+        assert bool(answers)
+        assert len(answers.rules()) == 2
+
+    def test_above_filters(self):
+        answers = AnswerSet([make_answer(cnf="3/4"), make_answer(cnf="1/8")])
+        kept = answers.above(Thresholds(confidence=0.5))
+        assert len(kept) == 1
+
+    def test_sorted_by_and_best(self):
+        answers = AnswerSet([make_answer(cnf="1/8"), make_answer(cnf="3/4"), make_answer(cnf="1/2")])
+        ordered = answers.sorted_by("cnf")
+        assert [a.confidence for a in ordered] == [Fraction(3, 4), Fraction(1, 2), Fraction(1, 8)]
+        assert answers.best("cnf").confidence == Fraction(3, 4)
+
+    def test_best_of_empty_is_none(self):
+        assert AnswerSet().best("cnf") is None
+
+    def test_contains_rule(self):
+        answers = AnswerSet([make_answer()])
+        assert answers.contains_rule(parse_rule("h(X) <- b(X, Y)"))
+        assert not answers.contains_rule(parse_rule("h(X) <- c(X, Y)"))
+
+    def test_to_table(self):
+        answers = AnswerSet([make_answer() for _ in range(3)])
+        table = answers.to_table(max_rows=2)
+        assert "sup" in table and "more answers" in table
+
+    def test_answer_index_lookup(self):
+        answer = make_answer()
+        assert answer.index("sup") == Fraction(1, 2)
+        assert set(answer.indices()) == {"sup", "cnf", "cvr"}
+        with pytest.raises(KeyError):
+            answer.index("nope")
+
+    def test_filter_predicate(self):
+        answers = AnswerSet([make_answer(cvr="1"), make_answer(cvr="0")])
+        assert len(answers.filter(lambda a: a.cover == 1)) == 1

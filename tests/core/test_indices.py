@@ -1,0 +1,153 @@
+"""Tests for the plausibility indices (Definitions 2.5-2.7, Proposition 3.20)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.indices import (
+    INDICES,
+    all_indices,
+    certifying_set,
+    confidence,
+    cover,
+    fraction,
+    get_index,
+    index_is_positive,
+    support,
+)
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import HornRule
+from repro.exceptions import IndexError_
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def simple_db() -> Database:
+    """A tiny database with an exactly-known dependency structure.
+
+    ``parent`` has 4 tuples; ``grand`` holds 2 of the 3 grandparent pairs, plus
+    one pair that is not a real grandparent pair.
+    """
+    parent = Relation.from_rows("parent", ("x", "y"), [("a", "b"), ("b", "c"), ("c", "d"), ("e", "f")])
+    grand = Relation.from_rows("grand", ("x", "y"), [("a", "c"), ("b", "d"), ("z", "w")])
+    return Database([parent, grand])
+
+
+GRAND_RULE = parse_rule("grand(X,Z) <- parent(X,Y), parent(Y,Z)")
+
+
+class TestFraction:
+    def test_fraction_values(self, simple_db):
+        body = [Atom("parent", ["X", "Y"]), Atom("parent", ["Y", "Z"])]
+        head = [Atom("grand", ["X", "Z"])]
+        # body join has 2 tuples (a-b-c, b-c-d); both appear in grand
+        assert fraction(body, head, simple_db) == Fraction(1)
+        # grand has 3 tuples, 2 of which are derivable
+        assert fraction(head, body, simple_db) == Fraction(2, 3)
+
+    def test_fraction_zero_when_numerator_zero(self, simple_db):
+        body = [Atom("parent", ["X", "Y"])]
+        head = [Atom("grand", ["Y", "X"])]
+        assert fraction(head, body, simple_db) == 0
+
+    def test_fraction_zero_when_left_empty(self):
+        db = Database(
+            [
+                Relation.empty("p", ("a", "b")),
+                Relation.from_rows("q", ("a", "b"), [(1, 2)]),
+            ]
+        )
+        assert fraction([Atom("p", ["X", "Y"])], [Atom("q", ["X", "Y"])], db) == 0
+
+    def test_fraction_requires_nonempty_atom_sets(self, simple_db):
+        with pytest.raises(IndexError_):
+            fraction([], [Atom("parent", ["X", "Y"])], simple_db)
+        with pytest.raises(IndexError_):
+            fraction([Atom("parent", ["X", "Y"])], [], simple_db)
+
+    def test_fraction_is_rational_in_unit_interval(self, simple_db):
+        body = [Atom("parent", ["X", "Y"]), Atom("parent", ["Y", "Z"])]
+        value = fraction([Atom("parent", ["X", "Y"])], body, simple_db)
+        assert isinstance(value, Fraction)
+        assert 0 <= value <= 1
+
+
+class TestIndices:
+    def test_confidence(self, simple_db):
+        assert confidence(GRAND_RULE, simple_db) == Fraction(1)
+
+    def test_cover(self, simple_db):
+        assert cover(GRAND_RULE, simple_db) == Fraction(2, 3)
+
+    def test_support(self, simple_db):
+        # parent ↑ body: 3 of the 4 parent tuples join (a-b, b-c, c-d minus e-f...):
+        # joining pairs: (a,b)&(b,c), (b,c)&(c,d) -> first-atom tuples {a-b, b-c},
+        # second-atom tuples {b-c, c-d}; per-atom fraction 2/4; max = 1/2.
+        assert support(GRAND_RULE, simple_db) == Fraction(1, 2)
+
+    def test_all_indices(self, simple_db):
+        values = all_indices(GRAND_RULE, simple_db)
+        assert set(values) == {"sup", "cnf", "cvr"}
+        assert values["cnf"] == Fraction(1)
+
+    def test_indices_are_zero_on_disconnected_rule(self, simple_db):
+        rule = parse_rule("grand(X,Y) <- parent(X, X)")
+        assert confidence(rule, simple_db) == 0
+        assert cover(rule, simple_db) == 0
+        assert support(rule, simple_db) == 0
+
+    def test_telecom_figure1_values(self, telecom_db):
+        rule = parse_rule("uspt(X,Z) <- usca(X,Y), cate(Y,Z)")
+        assert cover(rule, telecom_db) == Fraction(1)
+        assert confidence(rule, telecom_db) == Fraction(5, 7)
+        assert support(rule, telecom_db) == Fraction(1)
+
+    def test_cover_one_example_from_section_22(self, telecom_db_prime):
+        """The paper's type-2 example: UsCa(X,Z) <- UsPt(X,H) scores cover 1."""
+        rule = parse_rule("usca(X, Z) <- uspt(X, H, M)")
+        assert cover(rule, telecom_db_prime) == Fraction(1)
+
+    def test_index_registry(self):
+        assert set(INDICES) == {"sup", "cnf", "cvr"}
+        assert get_index("cnf") is INDICES["cnf"]
+        assert get_index(INDICES["sup"]).name == "sup"
+        with pytest.raises(IndexError_):
+            get_index("unknown")
+
+    def test_index_objects_callable(self, simple_db):
+        assert INDICES["cnf"](GRAND_RULE, simple_db) == Fraction(1)
+
+
+class TestCertifyingSets:
+    def test_certifying_set_shapes(self):
+        rule = GRAND_RULE
+        assert certifying_set(rule, "sup") == rule.body_atoms
+        assert set(certifying_set(rule, "cvr")) == set(rule.atoms)
+        assert set(certifying_set(rule, "cnf")) == set(rule.atoms)
+
+    def test_positivity_matches_certifying_set(self, simple_db):
+        """Proposition 3.20: I(r) > 0 iff the certifying set is satisfiable."""
+        for name in ("sup", "cnf", "cvr"):
+            index = get_index(name)
+            positive_rule = GRAND_RULE
+            assert index_is_positive(positive_rule, index, simple_db) == (
+                index(positive_rule, simple_db) > 0
+            )
+            negative_rule = parse_rule("grand(X,Y) <- parent(X,X), parent(Y,Y)")
+            assert index_is_positive(negative_rule, index, simple_db) == (
+                index(negative_rule, simple_db) > 0
+            )
+
+    def test_support_positive_but_cover_zero(self, simple_db):
+        rule = parse_rule("grand(Y,X) <- grand(X,Y), grand(Y, W)")
+        assert index_is_positive(rule, "sup", simple_db) or support(rule, simple_db) == 0
+        assert index_is_positive(rule, "cvr", simple_db) == (cover(rule, simple_db) > 0)
+
+    def test_unknown_index_certifying_set(self):
+        from repro.core.indices import PlausibilityIndex
+
+        custom = PlausibilityIndex("custom", lambda rule, db: Fraction(1, 2))
+        with pytest.raises(IndexError_):
+            certifying_set(GRAND_RULE, custom)

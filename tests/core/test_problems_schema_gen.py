@@ -1,0 +1,99 @@
+"""Tests for decision-problem wrappers and schema-driven metaquery generation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.acyclicity import is_acyclic_metaquery
+from repro.core.metaquery import parse_metaquery
+from repro.core.problems import MetaqueryDecisionProblem
+from repro.core.schema_gen import (
+    generate_chain_metaqueries,
+    generate_inclusion_metaqueries,
+    generate_metaqueries,
+    generate_star_metaqueries,
+)
+from repro.workloads.telecom import db1
+
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+
+
+class TestDecisionProblem:
+    def test_decide_and_witness(self, telecom_db):
+        problem = MetaqueryDecisionProblem(telecom_db, TRANSITIVITY, "cnf", Fraction(1, 2), 0)
+        assert problem.decide()
+        witness = problem.witness()
+        assert witness is not None and witness.confidence > Fraction(1, 2)
+
+    def test_no_instance(self, telecom_db):
+        problem = MetaqueryDecisionProblem(telecom_db, TRANSITIVITY, "cnf", Fraction(99, 100), 0)
+        assert not problem.decide()
+        assert problem.witness() is None
+
+    def test_invalid_threshold(self, telecom_db):
+        with pytest.raises(ValueError):
+            MetaqueryDecisionProblem(telecom_db, TRANSITIVITY, "cnf", 1, 0)
+
+    def test_structure_and_row_description(self, telecom_db):
+        problem = MetaqueryDecisionProblem(telecom_db, TRANSITIVITY, "sup", 0, 1)
+        assert problem.structure() == "cyclic"
+        row = problem.figure5_row()
+        assert "general" in row and "type-1" in row and "sup" in row and "k=0" in row
+
+    def test_size_statistics(self, telecom_db):
+        problem = MetaqueryDecisionProblem(telecom_db, TRANSITIVITY, "cvr", 0, 0)
+        size = problem.size()
+        assert size["relations"] == 3
+        assert size["tuples"] == telecom_db.total_tuples()
+        assert size["body_schemes"] == 2
+        assert size["predicate_variables"] == 3
+
+
+class TestSchemaGeneration:
+    def test_chain_metaqueries_are_acyclic(self):
+        for length in range(1, 5):
+            (mq,) = list(generate_chain_metaqueries(length))
+            assert len(mq.body) == length
+            assert mq.is_pure()
+            assert is_acyclic_metaquery(mq)
+
+    def test_chain_with_wider_arity(self):
+        (mq,) = list(generate_chain_metaqueries(2, arity=3))
+        assert all(s.arity == 3 for s in mq.literal_schemes)
+        assert is_acyclic_metaquery(mq)
+
+    def test_chain_zero_length_empty(self):
+        assert list(generate_chain_metaqueries(0)) == []
+
+    def test_star_metaqueries(self):
+        (mq,) = list(generate_star_metaqueries(3))
+        assert len(mq.body) == 3
+        assert is_acyclic_metaquery(mq)
+
+    def test_inclusion_metaqueries_cover_schema_arities(self, telecom_db_prime):
+        schema = telecom_db_prime.schema()
+        queries = list(generate_inclusion_metaqueries(schema))
+        arity_pairs = {(mq.head.arity, mq.body[0].arity) for mq in queries}
+        assert (2, 3) in arity_pairs and (3, 2) in arity_pairs
+
+    def test_generate_metaqueries_deduplicates(self):
+        schema = db1().schema()
+        queries = generate_metaqueries(schema, max_body_length=2)
+        keys = {(mq.head, mq.body) for mq in queries}
+        assert len(keys) == len(queries)
+        assert queries
+
+    def test_generate_metaqueries_shape_filter(self):
+        schema = db1().schema()
+        only_chains = generate_metaqueries(schema, max_body_length=2, shapes=("chain",))
+        assert all(mq.name.startswith("chain") for mq in only_chains)
+
+    def test_generated_metaqueries_are_answerable(self, telecom_db):
+        """Every generated template can at least be enumerated over DB1."""
+        from repro.core.naive import naive_find_rules
+        from repro.core.answers import Thresholds
+
+        for mq in generate_metaqueries(telecom_db.schema(), max_body_length=2):
+            answers = naive_find_rules(telecom_db, mq, Thresholds.positive(), 0)
+            assert answers is not None

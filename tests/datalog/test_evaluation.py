@@ -1,0 +1,119 @@
+"""Tests for conjunctive-query evaluation, BCQ and counting."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.counting import count_atoms_substitutions, count_substitutions
+from repro.datalog.evaluation import (
+    atom_relation,
+    evaluate_query,
+    ground_atom_holds,
+    ground_instance_holds,
+    is_satisfiable,
+    join_atoms,
+    project_join_onto,
+    query_answers,
+    substitutions,
+)
+from repro.datalog.parser import parse_query
+from repro.datalog.rules import ConjunctiveQuery
+from repro.datalog.terms import Variable
+from repro.exceptions import DatalogError
+
+
+class TestAtomRelation:
+    def test_plain_atom(self, edge_db):
+        relation = atom_relation(Atom("edge", ["X", "Y"]), edge_db)
+        assert relation.columns == ("X", "Y")
+        assert len(relation) == 5
+
+    def test_repeated_variable_selects_equality(self, edge_db):
+        relation = atom_relation(Atom("edge", ["X", "X"]), edge_db)
+        assert set(relation.tuples) == {(5,)}
+
+    def test_constant_selects(self, edge_db):
+        relation = atom_relation(Atom("edge", [2, "Y"]), edge_db)
+        assert set(relation.tuples) == {(3,)}
+
+    def test_ground_atom_gives_boolean_relation(self, edge_db):
+        present = atom_relation(Atom("edge", [1, 2]), edge_db)
+        absent = atom_relation(Atom("edge", [1, 3]), edge_db)
+        assert present.arity == 0
+        assert not present.is_empty()
+        assert absent.is_empty()
+
+    def test_arity_mismatch_raises(self, edge_db):
+        with pytest.raises(DatalogError):
+            atom_relation(Atom("edge", ["X"]), edge_db)
+
+
+class TestJoinAndBCQ:
+    def test_join_atoms_path(self, edge_db):
+        result = join_atoms([Atom("edge", ["X", "Y"]), Atom("edge", ["Y", "Z"])], edge_db)
+        assert set(result.columns) == {"X", "Y", "Z"}
+        # paths of length 2: 1-2-3, 2-3-4, 3-4-2, 4-2-3, 5-5-5
+        assert len(result) == 5
+
+    def test_join_atoms_empty_input_raises(self, edge_db):
+        with pytest.raises(DatalogError):
+            join_atoms([], edge_db)
+
+    def test_evaluate_query(self, edge_db):
+        query = parse_query("edge(X,Y), edge(Y,X)")
+        result = evaluate_query(query, edge_db)
+        # 2-cycles: none except the self loop (5,5)
+        assert set(result.tuples) == {(5, 5)}
+
+    def test_is_satisfiable(self, edge_db):
+        assert is_satisfiable(parse_query("edge(X,Y), edge(Y,Z), edge(Z,X)"), edge_db)
+        assert not is_satisfiable(parse_query("edge(X,1)"), edge_db)
+
+    def test_substitutions(self, edge_db):
+        subs = list(substitutions(parse_query("edge(1, Y)"), edge_db))
+        assert subs == [{Variable("Y"): 2}]
+
+    def test_ground_atom_holds(self, edge_db):
+        assert ground_atom_holds(Atom("edge", [1, 2]), edge_db)
+        assert not ground_atom_holds(Atom("edge", [2, 1]), edge_db)
+        assert not ground_atom_holds(Atom("missing", [1]), edge_db)
+
+    def test_ground_atom_holds_requires_ground(self, edge_db):
+        with pytest.raises(DatalogError):
+            ground_atom_holds(Atom("edge", ["X", 2]), edge_db)
+
+    def test_ground_instance_holds(self, edge_db):
+        assert ground_instance_holds([Atom("edge", [1, 2]), Atom("edge", [2, 3])], edge_db)
+        assert not ground_instance_holds([Atom("edge", [1, 2]), Atom("edge", [9, 9])], edge_db)
+
+    def test_project_join_onto(self, edge_db):
+        body = [Atom("edge", ["X", "Y"]), Atom("edge", ["Y", "Z"])]
+        head = [Atom("edge", ["X", "Z"])]
+        projected = project_join_onto(body, head, edge_db)
+        assert set(projected.columns) == {"X", "Z"}
+
+    def test_query_answers_projection(self, edge_db):
+        query = parse_query("edge(X,Y), edge(Y,Z)")
+        answers = query_answers(query, edge_db, [Variable("X"), Variable("Z")])
+        assert answers.columns == ("X", "Z")
+
+    def test_query_answers_unknown_variable(self, edge_db):
+        with pytest.raises(DatalogError):
+            query_answers(parse_query("edge(X,Y)"), edge_db, [Variable("W")])
+
+
+class TestCounting:
+    def test_count_all_variables(self, edge_db):
+        assert count_substitutions(parse_query("edge(X,Y)"), edge_db) == 5
+
+    def test_count_projected(self, edge_db):
+        query = parse_query("edge(X,Y)")
+        assert count_substitutions(query, edge_db, over=[Variable("X")]) == 5
+        # destination nodes: 2,3,4,2,5 -> distinct {2,3,4,5}
+        assert count_substitutions(query, edge_db, over=[Variable("Y")]) == 4
+
+    def test_count_unknown_variable(self, edge_db):
+        with pytest.raises(DatalogError):
+            count_substitutions(parse_query("edge(X,Y)"), edge_db, over=[Variable("Q")])
+
+    def test_count_atoms_wrapper(self, edge_db):
+        assert count_atoms_substitutions([Atom("edge", ["X", "Y"])], edge_db) == 5

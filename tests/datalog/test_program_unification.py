@@ -1,0 +1,104 @@
+"""Tests for the Datalog fixpoint evaluator and unification helpers."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.program import DatalogProgram, transitive_closure_program
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unification import match_atom, unify_atoms
+from repro.exceptions import DatalogError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def path_db() -> Database:
+    edge = Relation.from_rows("edge", ("a", "b"), [(1, 2), (2, 3), (3, 4)])
+    return Database([edge])
+
+
+class TestDatalogProgram:
+    def test_transitive_closure(self, path_db):
+        program = transitive_closure_program()
+        result = program.evaluate(path_db)
+        expected = {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+        assert set(result["path"].tuples) == expected
+
+    def test_input_database_untouched(self, path_db):
+        transitive_closure_program().evaluate(path_db)
+        assert "path" not in path_db
+
+    def test_idb_edb_classification(self):
+        program = transitive_closure_program()
+        assert program.idb_predicates == ("path",)
+        assert program.edb_predicates == ("edge",)
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(DatalogError):
+            DatalogProgram([parse_rule("p(X, W) <- q(X)")])
+
+    def test_inconsistent_head_arity_rejected(self, path_db):
+        rules = [parse_rule("p(X) <- edge(X, Y)"), parse_rule("p(X, Y) <- edge(X, Y)")]
+        with pytest.raises(DatalogError):
+            DatalogProgram(rules).evaluate(path_db)
+
+    def test_constants_in_head(self, path_db):
+        program = DatalogProgram([parse_rule("tagged(X, special) <- edge(X, Y)")])
+        result = program.evaluate(path_db)
+        assert (1, "special") in result["tagged"]
+
+    def test_missing_body_relation_yields_empty(self, path_db):
+        program = DatalogProgram([parse_rule("p(X) <- nosuch(X)")])
+        result = program.evaluate(path_db)
+        assert result["p"].is_empty()
+
+    def test_max_iterations_bound(self, path_db):
+        program = transitive_closure_program()
+        bounded = program.evaluate(path_db, max_iterations=1)
+        full = program.evaluate(path_db)
+        assert len(bounded["path"]) <= len(full["path"])
+
+    def test_apply_rule_once(self, path_db):
+        program = DatalogProgram(parse_program("reach(X, Z) <- edge(X, Y), edge(Y, Z)"))
+        derived = program.apply_rule_once(0, path_db)
+        assert set(derived.tuples) == {(1, 3), (2, 4)}
+
+    def test_apply_rule_once_bad_index(self, path_db):
+        program = transitive_closure_program()
+        with pytest.raises(DatalogError):
+            program.apply_rule_once(5, path_db)
+
+    def test_len_and_iter(self):
+        program = transitive_closure_program()
+        assert len(program) == 2
+        assert all(rule.head.predicate == "path" for rule in program)
+
+
+class TestUnification:
+    def test_unify_atoms_success(self):
+        mgu = unify_atoms(Atom("p", ["X", "b"]), Atom("p", ["a", "Y"]))
+        assert mgu == {Variable("X"): Constant("a"), Variable("Y"): Constant("b")}
+
+    def test_unify_atoms_failure_on_constants(self):
+        assert unify_atoms(Atom("p", ["a"]), Atom("p", ["b"])) is None
+
+    def test_unify_atoms_failure_on_predicate(self):
+        assert unify_atoms(Atom("p", ["X"]), Atom("q", ["X"])) is None
+
+    def test_unify_shared_variable(self):
+        mgu = unify_atoms(Atom("p", ["X", "X"]), Atom("p", ["a", "Y"]))
+        assert mgu is not None
+        assert mgu[Variable("X")] == Constant("a")
+        assert mgu[Variable("Y")] == Constant("a")
+
+    def test_match_atom(self):
+        binding = match_atom(Atom("p", ["X", "Y"]), Atom("p", ["a", "b"]))
+        assert binding == {Variable("X"): Constant("a"), Variable("Y"): Constant("b")}
+
+    def test_match_atom_repeated_variable(self):
+        assert match_atom(Atom("p", ["X", "X"]), Atom("p", ["a", "b"])) is None
+        assert match_atom(Atom("p", ["X", "X"]), Atom("p", ["a", "a"])) is not None
+
+    def test_match_atom_constant_mismatch(self):
+        assert match_atom(Atom("p", ["a", "X"]), Atom("p", ["b", "c"])) is None

@@ -1,0 +1,121 @@
+"""Tests for conjunctive queries, Horn rules and the parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_atom, parse_program, parse_query, parse_rule
+from repro.datalog.rules import ConjunctiveQuery, HornRule
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import DatalogError, ParseError
+
+
+class TestConjunctiveQuery:
+    def test_variables_in_order(self):
+        query = ConjunctiveQuery([Atom("r", ["X", "Y"]), Atom("s", ["Y", "Z"])])
+        assert [v.name for v in query.variables] == ["X", "Y", "Z"]
+
+    def test_predicates(self):
+        query = ConjunctiveQuery([Atom("r", ["X"]), Atom("r", ["Y"]), Atom("s", ["X"])])
+        assert query.predicates == ("r", "s")
+
+    def test_set_equality(self):
+        a = ConjunctiveQuery([Atom("r", ["X"]), Atom("s", ["X"])])
+        b = ConjunctiveQuery([Atom("s", ["X"]), Atom("r", ["X"])])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(DatalogError):
+            ConjunctiveQuery([])
+
+    def test_substitute(self):
+        query = ConjunctiveQuery([Atom("r", ["X"])])
+        grounded = query.substitute({Variable("X"): Constant(3)})
+        assert grounded.atoms[0] == Atom("r", [3])
+
+
+class TestHornRule:
+    def test_atoms_and_accessors(self):
+        rule = HornRule(Atom("h", ["X", "Z"]), [Atom("p", ["X", "Y"]), Atom("q", ["Y", "Z"])])
+        assert len(rule.atoms) == 3
+        assert rule.head_atoms == (rule.head,)
+        assert len(rule.body_atoms) == 2
+        assert [v.name for v in rule.head_variables] == ["X", "Z"]
+        assert [v.name for v in rule.body_variables] == ["X", "Y", "Z"]
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DatalogError):
+            HornRule(Atom("h", ["X"]), [])
+
+    def test_range_restriction(self):
+        safe = HornRule(Atom("h", ["X"]), [Atom("p", ["X", "Y"])])
+        unsafe = HornRule(Atom("h", ["W"]), [Atom("p", ["X", "Y"])])
+        assert safe.is_range_restricted()
+        assert not unsafe.is_range_restricted()
+
+    def test_body_and_full_queries(self):
+        rule = HornRule(Atom("h", ["X"]), [Atom("p", ["X"])])
+        assert len(rule.body_query()) == 1
+        assert len(rule.full_query()) == 2
+
+    def test_substitute(self):
+        rule = HornRule(Atom("h", ["X"]), [Atom("p", ["X"])])
+        grounded = rule.substitute({Variable("X"): Constant(1)})
+        assert grounded.head == Atom("h", [1])
+
+    def test_str(self):
+        rule = HornRule(Atom("h", ["X"]), [Atom("p", ["X", "Y"])])
+        assert str(rule) == "h(X) <- p(X, Y)"
+
+
+class TestParser:
+    def test_parse_atom(self):
+        atom = parse_atom("edge(X, 3, 'New York')")
+        assert atom.predicate == "edge"
+        assert atom.terms == (Variable("X"), Constant(3), Constant("New York"))
+
+    def test_parse_atom_lowercase_constant(self):
+        atom = parse_atom("lives(ann, rome)")
+        assert atom.terms == (Constant("ann"), Constant("rome"))
+
+    def test_parse_zero_arity_atom(self):
+        assert parse_atom("flag()").arity == 0
+
+    def test_parse_query(self):
+        query = parse_query("edge(X,Y), edge(Y,Z)")
+        assert len(query) == 2
+
+    def test_parse_rule_both_arrows(self):
+        for arrow in ("<-", ":-"):
+            rule = parse_rule(f"path(X,Z) {arrow} edge(X,Y), path(Y,Z).")
+            assert rule.head.predicate == "path"
+            assert len(rule.body) == 2
+
+    def test_parse_rule_negative_number(self):
+        rule = parse_rule("p(X) <- q(X, -5)")
+        assert rule.body[0].terms[1] == Constant(-5)
+
+    def test_parse_program_skips_comments_and_blanks(self):
+        program = parse_program(
+            """
+            % transitive closure
+            path(X,Y) <- edge(X,Y).
+
+            path(X,Z) <- edge(X,Y), path(Y,Z).
+            """
+        )
+        assert len(program) == 2
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_atom("edge(X,")
+        with pytest.raises(ParseError):
+            parse_rule("p(X) q(X)")
+        with pytest.raises(ParseError):
+            parse_atom("edge(X) trailing")
+        with pytest.raises(ParseError):
+            parse_atom("!!")
+
+    def test_roundtrip_str_parse(self):
+        rule = parse_rule("h(X, Z) <- p(X, Y), q(Y, Z)")
+        assert parse_rule(str(rule)) == rule

@@ -1,0 +1,99 @@
+"""Tests for hypertree decompositions (Definitions 4.6/4.7, Examples 4.8-4.10)."""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.decomposition import decompose, hypertree_width
+
+
+EXAMPLE_48 = {
+    "P": {"A", "B"},
+    "Q": {"B", "C"},
+    "R": {"C", "D"},
+    "S": {"B", "D"},
+}
+
+
+def test_example_48_width_is_two():
+    """Example 4.10: the hypertree width of Q_ex is 2."""
+    assert hypertree_width(EXAMPLE_48) == 2
+
+
+def test_example_48_decomposition_is_valid_and_complete():
+    decomposition = decompose(EXAMPLE_48)
+    decomposition.validate()
+    for label in EXAMPLE_48:
+        node = decomposition.covering_node(label)
+        assert label in node.lam
+
+
+def test_semi_acyclic_set_has_width_one():
+    chain = {"P": {"A", "B"}, "Q": {"B", "C"}, "R": {"C", "D"}}
+    assert hypertree_width(chain) == 1
+    decomposition = decompose(chain)
+    decomposition.validate()
+    assert all(len(node.lam) == 1 for node in decomposition.nodes)
+
+
+def test_single_scheme_decomposition():
+    decomposition = decompose({"only": {"X", "Y"}})
+    assert decomposition.width == 1
+    assert decomposition.node_count() == 1
+
+
+def test_triangle_width_two():
+    triangle = {"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "A"}}
+    decomposition = decompose(triangle)
+    decomposition.validate()
+    assert decomposition.width == 2
+
+
+def test_cycle_of_length_six_width_two():
+    cycle = {f"e{i}": {f"V{i}", f"V{(i + 1) % 6}"} for i in range(6)}
+    decomposition = decompose(cycle)
+    decomposition.validate()
+    assert decomposition.width == 2
+
+
+def test_disconnected_components():
+    edges = {"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"P", "Q"}}
+    decomposition = decompose(edges)
+    decomposition.validate()
+    assert decomposition.width == 1
+
+
+def test_max_width_too_small_raises():
+    triangle = {"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "A"}}
+    with pytest.raises(DecompositionError):
+        decompose(triangle, max_width=1)
+
+
+def test_empty_input_raises():
+    with pytest.raises(DecompositionError):
+        decompose({})
+
+
+def test_covering_node_unknown_edge():
+    decomposition = decompose({"a": {"X"}})
+    with pytest.raises(KeyError):
+        decomposition.covering_node("zzz")
+
+
+def test_duplicate_variable_sets():
+    edges = {"a": {"X", "Y"}, "b": {"X", "Y"}, "c": {"Y", "Z"}}
+    decomposition = decompose(edges)
+    decomposition.validate()
+    assert decomposition.width == 1
+
+
+def test_condition_one_every_scheme_covered():
+    decomposition = decompose(EXAMPLE_48)
+    for label, verts in EXAMPLE_48.items():
+        assert any(frozenset(verts) <= node.chi for node in decomposition.nodes)
+
+
+def test_width_never_exceeds_scheme_count():
+    clique = {f"e{i}{j}": {f"V{i}", f"V{j}"} for i in range(4) for j in range(i + 1, 4)}
+    decomposition = decompose(clique)
+    decomposition.validate()
+    assert decomposition.width <= len(clique)

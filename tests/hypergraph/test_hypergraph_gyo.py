@@ -1,0 +1,123 @@
+"""Tests for the hypergraph container and the GYO acyclicity test."""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.gyo import gyo_reduction, is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph, hypergraph_from_edge_sets
+
+
+class TestHypergraph:
+    def test_add_and_lookup(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}})
+        assert len(hg) == 2
+        assert hg.edge("e1") == frozenset({"A", "B"})
+        assert hg.vertices == frozenset({"A", "B", "C"})
+
+    def test_duplicate_label_rejected(self):
+        hg = Hypergraph({"e": {"A"}})
+        with pytest.raises(DecompositionError):
+            hg.add_edge("e", {"B"})
+
+    def test_remove_edge(self):
+        hg = Hypergraph({"e": {"A"}})
+        hg.remove_edge("e")
+        assert hg.is_empty()
+        with pytest.raises(DecompositionError):
+            hg.remove_edge("e")
+
+    def test_unknown_edge(self):
+        with pytest.raises(DecompositionError):
+            Hypergraph().edge("nope")
+
+    def test_isolated_edge(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"C"}})
+        assert hg.is_isolated("e2")
+        assert not hg.is_isolated("e1") or hg.is_isolated("e1") == hg.is_isolated("e2")
+
+    def test_single_edge_is_isolated(self):
+        hg = Hypergraph({"only": {"A", "B"}})
+        assert hg.is_isolated("only")
+
+    def test_find_witness_chain(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "D"}})
+        # e1's vertex B (the non-exclusive part) is covered by e2
+        assert hg.find_witness("e1") == "e2"
+        assert hg.find_witness("e3") == "e2"
+
+    def test_find_witness_triangle_none(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "A"}})
+        assert all(hg.find_witness(label) is None for label in hg.edge_labels)
+
+    def test_connected_components(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"X", "Y"}})
+        components = hg.connected_components()
+        assert len(components) == 2
+
+    def test_primal_graph_edges(self):
+        hg = Hypergraph({"e": {"A", "B", "C"}})
+        assert hg.primal_graph_edges() == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_copy_is_independent(self):
+        hg = Hypergraph({"e": {"A"}})
+        clone = hg.copy()
+        clone.remove_edge("e")
+        assert "e" in hg
+
+    def test_from_edge_sets(self):
+        hg = hypergraph_from_edge_sets([{"A", "B"}, {"B", "C"}])
+        assert set(hg.edge_labels) == {"e0", "e1"}
+
+    def test_edges_containing(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B"}})
+        assert set(hg.edges_containing("B")) == {"e1", "e2"}
+
+
+class TestGYO:
+    def test_chain_is_acyclic(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "D"}})
+        assert is_acyclic(hg)
+
+    def test_triangle_is_cyclic(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "A"}})
+        result = gyo_reduction(hg)
+        assert not result.acyclic
+        assert len(result.residual) == 3
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # adding an edge covering all three vertices makes the triangle acyclic
+        hg = Hypergraph(
+            {"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "A"}, "big": {"A", "B", "C"}}
+        )
+        assert is_acyclic(hg)
+
+    def test_single_edge_acyclic(self):
+        assert is_acyclic(Hypergraph({"e": {"A", "B", "C"}}))
+
+    def test_empty_hypergraph_acyclic(self):
+        assert is_acyclic(Hypergraph())
+
+    def test_disconnected_components(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"X", "Y"}, "e3": {"Y", "Z"}})
+        assert is_acyclic(hg)
+
+    def test_elimination_sequence_covers_all_edges(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "D"}})
+        result = gyo_reduction(hg)
+        removed = {label for label, _ in result.eliminations}
+        assert removed == {"e1", "e2", "e3"}
+
+    def test_input_not_modified(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}})
+        gyo_reduction(hg)
+        assert len(hg) == 2
+
+    def test_duplicate_edges_are_ears_of_each_other(self):
+        hg = Hypergraph({"e1": {"A", "B"}, "e2": {"A", "B"}})
+        assert is_acyclic(hg)
+
+    def test_cycle_of_length_four_is_cyclic(self):
+        hg = Hypergraph(
+            {"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "D"}, "e4": {"D", "A"}}
+        )
+        assert not is_acyclic(hg)

@@ -1,0 +1,93 @@
+"""Tests for join-tree construction (Definition 4.2, Figure 3 / Example 4.3)."""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import JoinTree, build_join_tree, join_tree_for_variable_sets
+
+
+@pytest.fixture
+def figure3_hypergraph() -> Hypergraph:
+    """The literal schemes of Example 4.3: {P(A,B), Q(B,C), R(C,D)}."""
+    return Hypergraph({"P": {"A", "B"}, "Q": {"B", "C"}, "R": {"C", "D"}})
+
+
+def test_figure3_join_tree_exists_and_is_valid(figure3_hypergraph):
+    tree = build_join_tree(figure3_hypergraph)
+    assert tree is not None
+    assert set(tree.nodes) == {"P", "Q", "R"}
+    assert tree.is_valid()
+
+
+def test_figure3_q_is_adjacent_to_both(figure3_hypergraph):
+    """Figure 3 shows Q(B,C) as the middle node: it must be adjacent to P and R."""
+    tree = build_join_tree(figure3_hypergraph, root="Q")
+    assert tree.root == "Q"
+    assert set(tree.children("Q")) == {"P", "R"}
+
+
+def test_cyclic_hypergraph_has_no_join_tree():
+    triangle = Hypergraph({"e1": {"A", "B"}, "e2": {"B", "C"}, "e3": {"C", "A"}})
+    assert build_join_tree(triangle) is None
+
+
+def test_empty_hypergraph_has_no_join_tree():
+    assert build_join_tree(Hypergraph()) is None
+
+
+def test_rerooting_preserves_nodes_and_validity(figure3_hypergraph):
+    tree = build_join_tree(figure3_hypergraph)
+    for node in tree.nodes:
+        rerooted = tree.rerooted(node)
+        assert rerooted.root == node
+        assert set(rerooted.nodes) == set(tree.nodes)
+        assert rerooted.is_valid()
+
+
+def test_reroot_unknown_node(figure3_hypergraph):
+    tree = build_join_tree(figure3_hypergraph)
+    with pytest.raises(DecompositionError):
+        tree.rerooted("missing")
+
+
+def test_bottom_up_visits_children_before_parents(figure3_hypergraph):
+    tree = build_join_tree(figure3_hypergraph)
+    order = tree.bottom_up()
+    positions = {label: i for i, label in enumerate(order)}
+    for parent, child in tree.tree_edges():
+        assert positions[child] < positions[parent]
+
+
+def test_disconnected_components_joined_under_one_root():
+    hg = Hypergraph({"e1": {"A", "B"}, "e2": {"X", "Y"}})
+    tree = build_join_tree(hg)
+    assert tree is not None
+    assert len(tree.nodes) == 2
+    assert tree.is_valid()
+
+
+def test_join_tree_for_variable_sets_helper():
+    tree = join_tree_for_variable_sets({"a": {"X"}, "b": {"X", "Y"}})
+    assert tree is not None
+    assert tree.is_valid()
+
+
+def test_invalid_join_tree_detected():
+    # P - R - Q breaks the connectedness of variable B? (P has B, Q has B, R does not)
+    tree = JoinTree(
+        "R",
+        {"P": "R", "Q": "R"},
+        {"P": frozenset({"A", "B"}), "Q": frozenset({"B", "C"}), "R": frozenset({"C", "D"})},
+    )
+    assert not tree.is_valid()
+
+
+def test_constructor_rejects_unknown_parent():
+    with pytest.raises(DecompositionError):
+        JoinTree("a", {"b": "zzz"}, {"a": frozenset({"X"}), "b": frozenset({"X"})})
+
+
+def test_constructor_rejects_disconnected_tree():
+    with pytest.raises(DecompositionError):
+        JoinTree("a", {}, {"a": frozenset({"X"}), "b": frozenset({"Y"})})

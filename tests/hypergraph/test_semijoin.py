@@ -1,0 +1,110 @@
+"""Tests for semijoin programs, full reducers (Example 4.5) and Yannakakis joins."""
+
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+from repro.hypergraph.semijoin import (
+    SemijoinStep,
+    execute_full_reducer,
+    execute_semijoin_program,
+    first_half,
+    full_reducer,
+    is_reduced,
+    second_half,
+    yannakakis_join,
+)
+from repro.relational.algebra import natural_join_all
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def example45():
+    """Example 4.5: Q = {p(A,B), q(B,C), r(C,D)}, join tree rooted at q."""
+    hypergraph = Hypergraph({"p": {"A", "B"}, "q": {"B", "C"}, "r": {"C", "D"}})
+    tree = build_join_tree(hypergraph, root="q")
+    relations = {
+        "p": Relation.from_rows("p", ("A", "B"), [(1, 10), (2, 20), (3, 33)]),
+        "q": Relation.from_rows("q", ("B", "C"), [(10, 100), (20, 200), (44, 400)]),
+        "r": Relation.from_rows("r", ("C", "D"), [(100, "x"), (300, "y")]),
+    }
+    return tree, relations
+
+
+def test_example45_full_reducer_shape(example45):
+    tree, _ = example45
+    steps = full_reducer(tree)
+    # first half: q absorbs both children; second half: children absorb q.
+    assert len(steps) == 4
+    assert steps[:2] == first_half(tree)
+    assert steps[2:] == second_half(tree)
+    assert all(step.target == "q" for step in first_half(tree))
+    assert all(step.source == "q" for step in second_half(tree))
+
+
+def test_second_half_is_reversed_and_flipped(example45):
+    tree, _ = example45
+    forward = first_half(tree)
+    backward = second_half(tree)
+    assert backward == [SemijoinStep(s.source, s.target) for s in reversed(forward)]
+
+
+def test_full_reducer_reduces(example45):
+    tree, relations = example45
+    reduced = execute_full_reducer(tree, relations)
+    assert is_reduced(reduced)
+    # only the chain 1-10-100-x survives
+    assert set(reduced["p"].tuples) == {(1, 10)}
+    assert set(reduced["q"].tuples) == {(10, 100)}
+    assert set(reduced["r"].tuples) == {(100, "x")}
+
+
+def test_first_half_alone_does_not_fully_reduce(example45):
+    tree, relations = example45
+    partially = execute_semijoin_program(first_half(tree), relations)
+    assert not is_reduced(partially)
+
+
+def test_inputs_not_modified(example45):
+    tree, relations = example45
+    execute_full_reducer(tree, relations)
+    assert len(relations["p"]) == 3
+
+
+def test_yannakakis_join_matches_naive(example45):
+    tree, relations = example45
+    expected = natural_join_all(list(relations.values()))
+    result = yannakakis_join(tree, relations)
+    assert len(result) == len(expected)
+    expected_rows = {frozenset(zip(expected.columns, row)) for row in expected}
+    result_rows = {frozenset(zip(result.columns, row)) for row in result}
+    assert expected_rows == result_rows
+
+
+def test_missing_relation_raises(example45):
+    tree, relations = example45
+    del relations["p"]
+    with pytest.raises(DecompositionError):
+        execute_full_reducer(tree, relations)
+
+
+def test_semijoin_program_unknown_label(example45):
+    _, relations = example45
+    with pytest.raises(DecompositionError):
+        execute_semijoin_program([SemijoinStep("p", "zzz")], relations)
+
+
+def test_empty_relation_propagates(example45):
+    tree, relations = example45
+    relations["r"] = Relation.empty("r", ("C", "D"))
+    reduced = execute_full_reducer(tree, relations)
+    assert all(rel.is_empty() for rel in reduced.values())
+
+
+def test_is_reduced_empty_mapping():
+    assert is_reduced({})
+
+
+def test_semijoin_step_str():
+    assert "⋉" in str(SemijoinStep("a", "b"))

@@ -1,0 +1,118 @@
+"""Property-based tests on the metaquery core: indices, engines, acyclicity.
+
+These are the invariants the paper's definitions promise:
+
+* every index value is a rational in [0, 1];
+* an index is strictly positive exactly when its certifying set is
+  satisfiable (Proposition 3.20);
+* FindRules and the naive engine agree on every random database;
+* GYO acyclicity is monotone under edge removal for the metaquery
+  semi-hypergraph (removing a literal scheme cannot make an acyclic body
+  cyclic in the width-1 sense used by the full reducer).
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import Thresholds
+from repro.core.findrules import find_rules
+from repro.core.indices import all_indices, get_index, index_is_positive
+from repro.core.instantiation import enumerate_instantiations
+from repro.core.metaquery import parse_metaquery
+from repro.core.naive import naive_find_rules
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+
+
+@st.composite
+def small_databases(draw):
+    """Random databases with 2-3 binary relations over a small domain."""
+    domain_size = draw(st.integers(min_value=2, max_value=4))
+    relation_count = draw(st.integers(min_value=2, max_value=3))
+    relations = []
+    for i in range(relation_count):
+        rows = draw(
+            st.frozensets(
+                st.tuples(
+                    st.integers(min_value=0, max_value=domain_size - 1),
+                    st.integers(min_value=0, max_value=domain_size - 1),
+                ),
+                min_size=0,
+                max_size=8,
+            )
+        )
+        relations.append(Relation.from_rows(f"r{i}", ("a", "b"), rows))
+    return Database(relations, name="hyp-db")
+
+
+@given(small_databases())
+@settings(max_examples=30, deadline=None)
+def test_indices_are_rationals_in_unit_interval(db):
+    for sigma in enumerate_instantiations(TRANSITIVITY, db, 0):
+        values = all_indices(sigma.apply(TRANSITIVITY), db)
+        for value in values.values():
+            assert isinstance(value, Fraction)
+            assert 0 <= value <= 1
+
+
+@given(small_databases())
+@settings(max_examples=30, deadline=None)
+def test_certifying_set_characterises_positivity(db):
+    for sigma in enumerate_instantiations(TRANSITIVITY, db, 0):
+        rule = sigma.apply(TRANSITIVITY)
+        values = all_indices(rule, db)
+        for name, value in values.items():
+            assert index_is_positive(rule, get_index(name), db) == (value > 0)
+
+
+@given(small_databases(), st.sampled_from([0, 1]))
+@settings(max_examples=25, deadline=None)
+def test_findrules_agrees_with_naive(db, itype):
+    thresholds = Thresholds(Fraction(1, 10), Fraction(1, 4), Fraction(0))
+    naive = naive_find_rules(db, TRANSITIVITY, thresholds, itype)
+    fast = find_rules(db, TRANSITIVITY, thresholds, itype)
+    naive_keys = sorted((str(a.rule), a.support, a.confidence, a.cover) for a in naive)
+    fast_keys = sorted((str(a.rule), a.support, a.confidence, a.cover) for a in fast)
+    assert naive_keys == fast_keys
+
+
+@given(small_databases())
+@settings(max_examples=25, deadline=None)
+def test_threshold_monotonicity(db):
+    """Raising a threshold can only shrink the answer set."""
+    loose = find_rules(db, TRANSITIVITY, Thresholds(confidence=Fraction(1, 10)), 0)
+    tight = find_rules(db, TRANSITIVITY, Thresholds(confidence=Fraction(1, 2)), 0)
+    loose_rules = {str(a.rule) for a in loose}
+    tight_rules = {str(a.rule) for a in tight}
+    assert tight_rules <= loose_rules
+
+
+@given(small_databases())
+@settings(max_examples=25, deadline=None)
+def test_type0_answers_are_type1_answers(db):
+    """Type-0 instantiations are a special case of type-1 (Section 2.1)."""
+    thresholds = Thresholds(0, 0, 0)
+    type0 = {str(a.rule) for a in naive_find_rules(db, TRANSITIVITY, thresholds, 0)}
+    type1 = {str(a.rule) for a in naive_find_rules(db, TRANSITIVITY, thresholds, 1)}
+    assert type0 <= type1
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_gyo_acyclicity_of_random_chains_and_cycles(seed):
+    """Chains of any length are acyclic; closing them into a cycle of length
+    >= 3 (without a covering edge) is cyclic."""
+    rng = random.Random(seed)
+    length = rng.randint(3, 7)
+    from repro.hypergraph.gyo import is_acyclic
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    chain_edges = {f"e{i}": {f"V{i}", f"V{i + 1}"} for i in range(length)}
+    assert is_acyclic(Hypergraph(chain_edges))
+    cycle_edges = {f"e{i}": {f"V{i}", f"V{(i + 1) % length}"} for i in range(length)}
+    assert not is_acyclic(Hypergraph(cycle_edges))

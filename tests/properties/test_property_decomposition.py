@@ -1,0 +1,108 @@
+"""Property-based tests for hypergraph decompositions and full reducers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.decomposition import decompose
+from repro.hypergraph.gyo import is_acyclic
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.jointree import build_join_tree
+from repro.hypergraph.semijoin import execute_full_reducer, is_reduced, yannakakis_join
+from repro.relational.algebra import natural_join_all
+from repro.relational.relation import Relation
+
+
+@st.composite
+def random_hypergraphs(draw):
+    """Small random hypergraphs over up to 6 vertices and 5 edges."""
+    vertex_count = draw(st.integers(min_value=2, max_value=6))
+    vertices = [f"V{i}" for i in range(vertex_count)]
+    edge_count = draw(st.integers(min_value=1, max_value=5))
+    edges = {}
+    for i in range(edge_count):
+        size = draw(st.integers(min_value=1, max_value=min(3, vertex_count)))
+        members = draw(
+            st.lists(st.sampled_from(vertices), min_size=size, max_size=size, unique=True)
+        )
+        edges[f"e{i}"] = frozenset(members)
+    return edges
+
+
+@given(random_hypergraphs())
+@settings(max_examples=50, deadline=None)
+def test_decomposition_is_always_valid_and_bounded(edges):
+    decomposition = decompose(edges)
+    decomposition.validate()
+    assert 1 <= decomposition.width <= len(edges)
+
+
+@given(random_hypergraphs())
+@settings(max_examples=50, deadline=None)
+def test_width_one_iff_acyclic(edges):
+    """hw(Q) = 1 exactly when the hypergraph is acyclic (semi-acyclicity)."""
+    decomposition = decompose(edges)
+    assert (decomposition.width == 1) == is_acyclic(Hypergraph(dict(edges)))
+
+
+@given(random_hypergraphs())
+@settings(max_examples=50, deadline=None)
+def test_join_tree_exists_iff_acyclic(edges):
+    hypergraph = Hypergraph(dict(edges))
+    tree = build_join_tree(hypergraph)
+    assert (tree is not None) == is_acyclic(hypergraph)
+    if tree is not None:
+        assert tree.is_valid()
+
+
+@st.composite
+def acyclic_chain_instances(draw):
+    """A chain join tree with random relation contents."""
+    length = draw(st.integers(min_value=2, max_value=4))
+    edges = {f"e{i}": {f"V{i}", f"V{i + 1}"} for i in range(length)}
+    relations = {}
+    for i in range(length):
+        rows = draw(
+            st.frozensets(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=10
+            )
+        )
+        relations[f"e{i}"] = Relation.from_rows(f"e{i}", (f"V{i}", f"V{i + 1}"), rows)
+    return edges, relations
+
+
+@given(acyclic_chain_instances())
+@settings(max_examples=50, deadline=None)
+def test_full_reducer_reduces_and_preserves_join(instance):
+    edges, relations = instance
+    tree = build_join_tree(Hypergraph(edges))
+    assert tree is not None
+    reduced = execute_full_reducer(tree, relations)
+    assert is_reduced(reduced)
+    # Reduction never changes the overall join (compare rows as column->value
+    # mappings because the two joins may order their columns differently).
+    original_join = natural_join_all(list(relations.values()))
+    reduced_join = natural_join_all(list(reduced.values()))
+    original_rows = {frozenset(zip(original_join.columns, row)) for row in original_join}
+    reduced_rows = {frozenset(zip(reduced_join.columns, row)) for row in reduced_join}
+    assert original_rows == reduced_rows
+    # Yannakakis evaluation computes exactly that join.
+    yan = yannakakis_join(tree, relations)
+    assert len(yan) == len(original_join)
+
+
+@given(acyclic_chain_instances(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_reduced_relations_are_projections_of_the_join(instance, seed):
+    edges, relations = instance
+    tree = build_join_tree(Hypergraph(edges))
+    reduced = execute_full_reducer(tree, relations)
+    joined = natural_join_all(list(relations.values()))
+    rng = random.Random(seed)
+    label = rng.choice(list(relations))
+    columns = [c for c in relations[label].columns if c in joined.columns]
+    if joined.is_empty():
+        assert reduced[label].is_empty()
+    else:
+        assert reduced[label].project(columns) == joined.project(columns)

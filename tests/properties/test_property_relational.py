@@ -1,0 +1,96 @@
+"""Property-based tests for the relational algebra engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.relation import Relation
+
+values = st.integers(min_value=0, max_value=6)
+pairs = st.tuples(values, values)
+pair_sets = st.frozensets(pairs, max_size=25)
+
+
+def rel(name, columns, rows):
+    return Relation.from_rows(name, columns, rows)
+
+
+@given(pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_projection_never_grows(rows):
+    relation = rel("r", ("a", "b"), rows)
+    assert len(relation.project(["a"])) <= len(relation)
+
+
+@given(pair_sets, pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_semijoin_is_subset_and_idempotent(left_rows, right_rows):
+    left = rel("l", ("a", "b"), left_rows)
+    right = rel("r", ("b", "c"), right_rows)
+    reduced = left.semijoin(right)
+    assert reduced.tuples <= left.tuples
+    assert reduced.semijoin(right) == reduced
+
+
+@given(pair_sets, pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_semijoin_antijoin_partition(left_rows, right_rows):
+    left = rel("l", ("a", "b"), left_rows)
+    right = rel("r", ("b", "c"), right_rows)
+    semi = left.semijoin(right)
+    anti = left.antijoin(right)
+    assert semi.tuples | anti.tuples == left.tuples
+    assert not semi.tuples & anti.tuples
+
+
+@given(pair_sets, pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_join_projection_equals_semijoin(left_rows, right_rows):
+    """π over the left columns of a natural join equals the semijoin."""
+    left = rel("l", ("a", "b"), left_rows)
+    right = rel("r", ("b", "c"), right_rows)
+    joined = left.natural_join(right)
+    if left.is_empty():
+        assert joined.is_empty()
+    else:
+        assert joined.project(["a", "b"]) == left.semijoin(right)
+
+
+@given(pair_sets, pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_join_commutes_up_to_column_order(left_rows, right_rows):
+    left = rel("l", ("a", "b"), left_rows)
+    right = rel("r", ("b", "c"), right_rows)
+    forward = left.natural_join(right)
+    backward = right.natural_join(left)
+    assert len(forward) == len(backward)
+
+
+@given(pair_sets, pair_sets, pair_sets)
+@settings(max_examples=40, deadline=None)
+def test_join_is_associative(r1_rows, r2_rows, r3_rows):
+    r1 = rel("r1", ("a", "b"), r1_rows)
+    r2 = rel("r2", ("b", "c"), r2_rows)
+    r3 = rel("r3", ("c", "d"), r3_rows)
+    left_assoc = r1.natural_join(r2).natural_join(r3)
+    right_assoc = r1.natural_join(r2.natural_join(r3))
+    assert len(left_assoc) == len(right_assoc)
+    left_rows_set = {frozenset(zip(left_assoc.columns, row)) for row in left_assoc}
+    right_rows_set = {frozenset(zip(right_assoc.columns, row)) for row in right_assoc}
+    assert left_rows_set == right_rows_set
+
+
+@given(pair_sets, pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_union_and_difference_laws(a_rows, b_rows):
+    a = rel("a", ("x", "y"), a_rows)
+    b = rel("b", ("x", "y"), b_rows)
+    assert a.union(b) == b.union(a.with_name("b"))
+    assert a.difference(b).tuples == a.tuples - b.tuples
+    assert a.intersection(b).tuples == a.tuples & b.tuples
+
+
+@given(pair_sets)
+@settings(max_examples=60, deadline=None)
+def test_self_join_on_all_columns_is_identity(rows):
+    relation = rel("r", ("a", "b"), rows)
+    assert relation.natural_join(relation) == relation

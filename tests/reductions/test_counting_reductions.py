@@ -1,0 +1,124 @@
+"""Tests for the #BCQ reduction (Prop. 3.26) and the ∃C-3SAT reductions (Thms 3.28/3.29)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog.counting import count_substitutions
+from repro.exceptions import ReductionError
+from repro.reductions.bcq import sharp_3sat_to_bcq
+from repro.reductions.ec3sat import (
+    EC3SATInstance,
+    ec3sat_holds,
+    ec3sat_reduction_type0,
+    ec3sat_reduction_type12,
+)
+from repro.reductions.sat import count_models, formula_from_ints, random_3cnf
+
+
+class TestSharpBCQ:
+    def test_parsimonious_on_random_formulas(self):
+        for seed in range(5):
+            formula = random_3cnf(variables=4, clauses=5, seed=seed)
+            instance = sharp_3sat_to_bcq(formula)
+            assert count_substitutions(instance.query, instance.db) == count_models(formula)
+
+    def test_clause_relation_has_seven_tuples(self):
+        instance = sharp_3sat_to_bcq(formula_from_ints([[1, 2, 3]]))
+        assert len(instance.db["c0"]) == 7
+
+    def test_unsatisfiable_formula_counts_zero(self):
+        formula = formula_from_ints([[1, 1, 1], [-1, -1, -1]])
+        instance = sharp_3sat_to_bcq(formula)
+        assert count_substitutions(instance.query, instance.db) == 0
+
+    def test_shared_variables_are_shared_query_variables(self):
+        formula = formula_from_ints([[1, 2, 3], [-1, 2, 3]])
+        instance = sharp_3sat_to_bcq(formula)
+        assert len(instance.query.variables) == 3
+
+    def test_short_clauses_are_padded(self):
+        formula = formula_from_ints([[1, 2]])
+        instance = sharp_3sat_to_bcq(formula)
+        assert count_substitutions(instance.query, instance.db) == count_models(formula) == 3
+
+    def test_non_3cnf_rejected(self):
+        with pytest.raises(ReductionError):
+            sharp_3sat_to_bcq(formula_from_ints([[1, 2, 3, 4]]))
+
+
+@pytest.fixture
+def small_instance() -> EC3SATInstance:
+    formula = formula_from_ints([[1, 3, 4], [-1, 2, -3], [2, 3, -4]])
+    return EC3SATInstance(formula, 3, ("x1", "x2"), ("x3", "x4"))
+
+
+class TestEC3SATInstance:
+    def test_threshold(self, small_instance):
+        assert small_instance.threshold == Fraction(2, 4)
+
+    def test_validation(self):
+        formula = formula_from_ints([[1, 2]])
+        with pytest.raises(ReductionError):
+            EC3SATInstance(formula, 1, ("x1",), ("x1",))  # overlap
+        with pytest.raises(ReductionError):
+            EC3SATInstance(formula, 1, ("x1",), ())  # x2 unaccounted
+        with pytest.raises(ReductionError):
+            EC3SATInstance(formula, 0, ("x1",), ("x2",))  # k' < 1
+        with pytest.raises(ReductionError):
+            EC3SATInstance(formula_from_ints([[1, 2, 3, 4]]), 1, ("x1", "x2"), ("x3", "x4"))
+
+    def test_reference_solver(self, small_instance):
+        # x1 = x2 = True satisfies every clause regardless of x3/x4, so all
+        # four counting assignments work and the instance is a YES instance.
+        assert ec3sat_holds(small_instance) is True
+
+
+class TestEC3SATReductions:
+    def test_type0_equivalence(self, small_instance):
+        expected = ec3sat_holds(small_instance)
+        assert ec3sat_reduction_type0(small_instance).decide() == expected
+
+    @pytest.mark.parametrize("itype", [1, 2])
+    def test_type12_equivalence(self, small_instance, itype):
+        expected = ec3sat_holds(small_instance)
+        assert ec3sat_reduction_type12(small_instance, itype=itype).decide() == expected
+
+    def test_yes_and_no_instances(self):
+        formula = formula_from_ints([[1, 2, 2], [1, -2, -2]])  # satisfied iff x1 or (x2 xor...) — brute checked below
+        easy_yes = EC3SATInstance(formula, 2, ("x1",), ("x2",))
+        hard_no = EC3SATInstance(formula, 2, ("x2",), ("x1",))
+        assert ec3sat_holds(easy_yes) == ec3sat_reduction_type0(easy_yes).decide()
+        assert ec3sat_holds(hard_no) == ec3sat_reduction_type0(hard_no).decide()
+
+    def test_threshold_value_passed_through(self, small_instance):
+        problem = ec3sat_reduction_type0(small_instance)
+        assert problem.k == small_instance.threshold
+        assert problem.index.name == "cnf"
+
+    def test_type0_requires_pi_variables(self):
+        formula = formula_from_ints([[1, 2, 2]])
+        instance = EC3SATInstance(formula, 1, (), ("x1", "x2"))
+        with pytest.raises(ReductionError):
+            ec3sat_reduction_type0(instance)
+        with pytest.raises(ReductionError):
+            ec3sat_reduction_type12(instance)
+
+    def test_type12_rejects_type0(self, small_instance):
+        with pytest.raises(ReductionError):
+            ec3sat_reduction_type12(small_instance, itype=0)
+
+    def test_counting_blocks_matter(self):
+        """Raising k' past the best achievable count flips the answer.
+
+        The clause ``x2 ∨ x3`` is satisfied by exactly 3 of the 4 assignments
+        of the counting block {x2, x3}, whatever the existential block does,
+        so k' = 3 is a YES instance and k' = 4 a NO instance.
+        """
+        formula = formula_from_ints([[2, 3, 3]])
+        low = EC3SATInstance(formula, 3, ("x1",), ("x2", "x3"))
+        high = EC3SATInstance(formula, 4, ("x1",), ("x2", "x3"))
+        assert ec3sat_holds(low)
+        assert ec3sat_reduction_type0(low).decide()
+        assert not ec3sat_holds(high)
+        assert not ec3sat_reduction_type0(high).decide()

@@ -1,0 +1,154 @@
+"""Tests for the 3-coloring and Hamiltonian-path reductions (Thms 3.21, 3.33, 3.35)."""
+
+import pytest
+
+from repro.core.acyclicity import classify
+from repro.exceptions import ReductionError
+from repro.reductions.coloring import (
+    coloring_database,
+    coloring_metaquery,
+    coloring_reduction,
+    find_3coloring,
+    is_3colorable,
+    semi_acyclic_coloring_reduction,
+)
+from repro.reductions.hamiltonian import (
+    find_hamiltonian_path,
+    hamiltonian_path_reduction,
+    has_hamiltonian_path,
+)
+from repro.workloads.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disconnected_graph,
+    path_graph,
+    random_3colorable_graph,
+    random_graph,
+    random_hamiltonian_graph,
+    star_graph,
+)
+
+
+class TestColoringSolver:
+    def test_triangle_colorable(self):
+        colouring = find_3coloring(complete_graph(3))
+        assert colouring is not None
+        assert len(set(colouring.values())) == 3
+
+    def test_k4_not_colorable(self):
+        assert not is_3colorable(complete_graph(4))
+
+    def test_odd_cycle_colorable(self):
+        assert is_3colorable(cycle_graph(5))
+
+    def test_coloring_is_proper(self):
+        graph = random_3colorable_graph(8, seed=5)
+        colouring = find_3coloring(graph)
+        for u, v in graph.edges:
+            assert colouring[u] != colouring[v]
+
+
+class TestColoringReduction:
+    def test_database_shape(self):
+        db = coloring_database()
+        assert len(db["e"]) == 6
+
+    def test_metaquery_encodes_edges(self):
+        graph = complete_graph(3)
+        mq = coloring_metaquery(graph)
+        assert len(mq.body) == graph.edge_count
+        assert mq.predicate_variables == ("E",)
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(ReductionError):
+            coloring_metaquery(Graph(["a", "b"], []))
+
+    @pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+    @pytest.mark.parametrize("itype", [0, 1, 2])
+    def test_equivalence_on_small_graphs(self, index, itype):
+        for graph in (complete_graph(3), complete_graph(4)):
+            problem = coloring_reduction(graph, index=index, itype=itype)
+            assert problem.decide() == is_3colorable(graph)
+
+    def test_equivalence_on_random_graphs(self):
+        for seed in range(3):
+            graph = random_graph(5, 0.6, seed=seed)
+            if graph.edge_count == 0:
+                continue
+            problem = coloring_reduction(graph)
+            assert problem.decide() == is_3colorable(graph)
+
+    def test_witness_encodes_coloring(self):
+        graph = cycle_graph(4)
+        witness = coloring_reduction(graph).witness()
+        assert witness is not None
+
+
+class TestSemiAcyclicColoringReduction:
+    def test_metaquery_is_semi_acyclic_not_acyclic(self):
+        graph = complete_graph(3)
+        problem = semi_acyclic_coloring_reduction(graph)
+        assert classify(problem.mq) == "semi-acyclic"
+
+    @pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+    def test_equivalence(self, index):
+        for graph, expected in ((complete_graph(3), True), (complete_graph(4), False), (cycle_graph(5), True)):
+            problem = semi_acyclic_coloring_reduction(graph, index=index)
+            assert problem.decide() == expected
+
+    def test_per_node_predicate_variables(self):
+        graph = cycle_graph(4)
+        problem = semi_acyclic_coloring_reduction(graph)
+        assert len(problem.mq.predicate_variables) == graph.vertex_count
+
+
+class TestHamiltonianSolver:
+    def test_path_graph_has_path(self):
+        assert find_hamiltonian_path(path_graph(5)) is not None
+
+    def test_star_has_no_path(self):
+        assert not has_hamiltonian_path(star_graph(3))
+
+    def test_disconnected_has_no_path(self):
+        assert not has_hamiltonian_path(disconnected_graph([3, 3]))
+
+    def test_found_path_is_valid(self):
+        graph = random_hamiltonian_graph(7, seed=11)
+        path = find_hamiltonian_path(graph)
+        assert path is not None
+        assert sorted(path) == sorted(graph.vertices)
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+
+
+class TestHamiltonianReduction:
+    def test_metaquery_is_acyclic(self):
+        problem = hamiltonian_path_reduction(path_graph(4))
+        assert classify(problem.mq) == "acyclic"
+
+    def test_type0_rejected(self):
+        with pytest.raises(ReductionError):
+            hamiltonian_path_reduction(path_graph(4), itype=0)
+
+    def test_small_graph_rejected(self):
+        with pytest.raises(ReductionError):
+            hamiltonian_path_reduction(path_graph(2))
+
+    @pytest.mark.parametrize("itype", [1, 2])
+    @pytest.mark.parametrize("index", ["sup", "cnf", "cvr"])
+    def test_equivalence(self, itype, index):
+        cases = [
+            (path_graph(4), True),
+            (star_graph(3), False),
+            (disconnected_graph([2, 2]), False),
+            (random_hamiltonian_graph(4, seed=1), True),
+        ]
+        for graph, expected in cases:
+            problem = hamiltonian_path_reduction(graph, index=index, itype=itype)
+            assert problem.decide() == expected == has_hamiltonian_path(graph)
+
+    def test_database_contains_both_orientations(self):
+        problem = hamiltonian_path_reduction(path_graph(4))
+        edge = problem.db["e"]
+        assert ("v0", "v1") in edge and ("v1", "v0") in edge

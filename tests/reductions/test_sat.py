@@ -1,0 +1,107 @@
+"""Tests for the CNF machinery, the DPLL solver and the exact model counter."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.reductions.sat import (
+    CNFFormula,
+    Clause,
+    Literal,
+    clause_from_ints,
+    count_models,
+    dpll,
+    formula_from_ints,
+    is_satisfiable_formula,
+    iter_assignments,
+    random_3cnf,
+)
+
+
+class TestConstruction:
+    def test_literal_negation(self):
+        lit = Literal("x", True)
+        assert lit.negate() == Literal("x", False)
+        assert lit.negate().negate() == lit
+
+    def test_clause_and_formula_variables(self):
+        formula = formula_from_ints([[1, -2], [2, 3]])
+        assert formula.variables == ("x1", "x2", "x3")
+        assert formula.clauses[0].variables == frozenset({"x1", "x2"})
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            Clause([])
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ReductionError):
+            CNFFormula([])
+
+    def test_dimacs_zero_rejected(self):
+        with pytest.raises(ReductionError):
+            clause_from_ints([0])
+
+    def test_is_3cnf(self):
+        assert formula_from_ints([[1, 2, 3]]).is_3cnf()
+        assert not formula_from_ints([[1, 2, 3, 4]]).is_3cnf()
+
+    def test_satisfied_by(self):
+        formula = formula_from_ints([[1, -2]])
+        assert formula.satisfied_by({"x1": True, "x2": True})
+        assert not formula.satisfied_by({"x1": False, "x2": True})
+
+    def test_str_rendering(self):
+        formula = formula_from_ints([[1, -2]])
+        assert "~x2" in str(formula)
+
+
+class TestSolving:
+    def test_satisfiable_formula(self):
+        formula = formula_from_ints([[1, 2], [-1, 2], [1, -2]])
+        model = dpll(formula)
+        assert model is not None
+        assert formula.satisfied_by(model)
+
+    def test_unsatisfiable_formula(self):
+        formula = formula_from_ints([[1], [-1]])
+        assert dpll(formula) is None
+        assert not is_satisfiable_formula(formula)
+
+    def test_all_clause_combinations_unsat(self):
+        formula = formula_from_ints([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert not is_satisfiable_formula(formula)
+
+    def test_dpll_agrees_with_brute_force_on_random_formulas(self):
+        for seed in range(8):
+            formula = random_3cnf(variables=5, clauses=8, seed=seed)
+            brute = count_models(formula) > 0
+            assert is_satisfiable_formula(formula) == brute
+
+    def test_model_covers_all_variables(self):
+        formula = formula_from_ints([[1, 2, 3]])
+        model = dpll(formula)
+        assert set(model) == {"x1", "x2", "x3"}
+
+
+class TestCounting:
+    def test_iter_assignments_count(self):
+        assert len(list(iter_assignments(["a", "b", "c"]))) == 8
+
+    def test_count_models_simple(self):
+        # x1 OR x2 has 3 satisfying assignments over 2 variables
+        assert count_models(formula_from_ints([[1, 2]])) == 3
+
+    def test_count_models_with_extra_variables(self):
+        formula = formula_from_ints([[1]])
+        assert count_models(formula, over=["x1", "x2"]) == 2
+
+    def test_count_models_missing_variable_rejected(self):
+        formula = formula_from_ints([[1, 2]])
+        with pytest.raises(ReductionError):
+            count_models(formula, over=["x1"])
+
+    def test_count_models_unsat_is_zero(self):
+        assert count_models(formula_from_ints([[1], [-1]])) == 0
+
+    def test_random_3cnf_reproducible(self):
+        assert str(random_3cnf(4, 6, seed=3)) == str(random_3cnf(4, 6, seed=3))
+        assert str(random_3cnf(4, 6, seed=3)) != str(random_3cnf(4, 6, seed=4))

@@ -1,0 +1,79 @@
+"""Tests for the functional algebra API, especially the multi-way join."""
+
+import pytest
+
+from repro.exceptions import AlgebraError
+from repro.relational import algebra
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def chain():
+    r1 = Relation.from_rows("r1", ("a", "b"), [(1, 2), (2, 3)])
+    r2 = Relation.from_rows("r2", ("b", "c"), [(2, 4), (3, 5)])
+    r3 = Relation.from_rows("r3", ("c", "d"), [(4, 6), (5, 7)])
+    return r1, r2, r3
+
+
+def test_natural_join_all_chain(chain):
+    result = algebra.natural_join_all(chain)
+    assert set(result.columns) == {"a", "b", "c", "d"}
+    assert len(result) == 2
+
+
+def test_natural_join_all_single(chain):
+    assert algebra.natural_join_all([chain[0]]) == chain[0]
+
+
+def test_natural_join_all_empty_raises():
+    with pytest.raises(AlgebraError):
+        algebra.natural_join_all([])
+
+
+def test_natural_join_all_order_invariance(chain):
+    forward = algebra.natural_join_all(list(chain))
+    backward = algebra.natural_join_all(list(reversed(chain)))
+    assert len(forward) == len(backward)
+    forward_rows = {frozenset(zip(forward.columns, row)) for row in forward}
+    backward_rows = {frozenset(zip(backward.columns, row)) for row in backward}
+    assert forward_rows == backward_rows
+
+
+def test_natural_join_all_disconnected_is_product():
+    left = Relation.from_rows("l", ("a",), [(1,), (2,)])
+    right = Relation.from_rows("r", ("b",), [(3,)])
+    assert len(algebra.natural_join_all([left, right])) == 2
+
+
+def test_join_and_project(chain):
+    result = algebra.join_and_project(chain, ["a", "d"])
+    assert set(result.tuples) == {(1, 6), (2, 7)}
+
+
+def test_functional_wrappers_match_methods(chain):
+    r1, r2, _ = chain
+    assert algebra.natural_join(r1, r2) == r1.natural_join(r2)
+    assert algebra.semijoin(r1, r2) == r1.semijoin(r2)
+    assert algebra.antijoin(r1, r2) == r1.antijoin(r2)
+    assert algebra.project(r1, ["a"]) == r1.project(["a"])
+    assert algebra.select_eq(r1, "a", 1) == r1.select_eq("a", 1)
+    assert algebra.rename(r1, {"a": "x"}) == r1.rename_columns({"a": "x"})
+
+
+def test_union_difference_wrappers():
+    r1 = Relation.from_rows("r", ("a",), [(1,), (2,)])
+    r2 = Relation.from_rows("r", ("a",), [(2,), (3,)])
+    assert len(algebra.union(r1, r2)) == 3
+    assert len(algebra.difference(r1, r2)) == 1
+
+
+def test_intersect_all():
+    r1 = Relation.from_rows("r", ("a",), [(1,), (2,), (3,)])
+    r2 = Relation.from_rows("r", ("a",), [(2,), (3,)])
+    r3 = Relation.from_rows("r", ("a",), [(3,), (4,)])
+    assert set(algebra.intersect_all([r1, r2, r3]).tuples) == {(3,)}
+
+
+def test_intersect_all_empty_raises():
+    with pytest.raises(AlgebraError):
+        algebra.intersect_all([])

@@ -1,0 +1,75 @@
+"""Tests for the Database container."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def test_add_and_lookup(two_relation_db):
+    assert "r" in two_relation_db
+    assert len(two_relation_db["s"]) == 3
+    assert len(two_relation_db) == 3
+
+
+def test_duplicate_name_rejected(two_relation_db):
+    with pytest.raises(SchemaError):
+        two_relation_db.add(Relation.from_rows("r", ("a",), [(1,)]))
+
+
+def test_replace(two_relation_db):
+    two_relation_db.replace(Relation.from_rows("r", ("a", "b"), [(9, 90)]))
+    assert len(two_relation_db["r"]) == 1
+
+
+def test_unknown_relation(two_relation_db):
+    with pytest.raises(UnknownRelationError):
+        two_relation_db["nope"]
+    assert two_relation_db.get("nope") is None
+
+
+def test_relation_names_order(two_relation_db):
+    assert two_relation_db.relation_names == ("r", "s", "t")
+
+
+def test_schema_roundtrip(two_relation_db):
+    schema = two_relation_db.schema()
+    assert schema.arities() == {"r": 2, "s": 2, "t": 2}
+
+
+def test_active_domain(edge_db):
+    assert edge_db.active_domain() == frozenset({1, 2, 3, 4, 5})
+
+
+def test_explicit_domain():
+    db = Database([Relation.from_rows("r", ("a",), [(1,)])], domain=[1, 2, 3])
+    assert db.domain() == frozenset({1, 2, 3})
+    assert db.active_domain() == frozenset({1})
+
+
+def test_relations_of_arity(telecom_db_prime):
+    assert [r.name for r in telecom_db_prime.relations_of_arity(3)] == ["uspt"]
+    assert len(telecom_db_prime.relations_of_arity(2)) == 2
+    assert len(telecom_db_prime.relations_of_arity_at_least(2)) == 3
+
+
+def test_total_and_largest(telecom_db):
+    assert telecom_db.total_tuples() == 3 + 6 + 3
+    assert telecom_db.largest_relation_size() == 6
+
+
+def test_largest_of_empty_database():
+    assert Database([]).largest_relation_size() == 0
+
+
+def test_from_dict_and_equality():
+    a = Database.from_dict({"r": (("x",), [(1,), (2,)])})
+    b = Database.from_dict({"r": (("x",), [(2,), (1,)])})
+    c = Database.from_dict({"r": (("x",), [(3,)])})
+    assert a == b
+    assert a != c
+
+
+def test_iteration(two_relation_db):
+    assert [rel.name for rel in two_relation_db] == ["r", "s", "t"]

@@ -1,0 +1,74 @@
+"""Tests for project--join expression trees."""
+
+import pytest
+
+from repro.exceptions import AlgebraError
+from repro.relational.expressions import BaseRelation, Join, Project, Select, join_all
+
+
+def test_base_relation_evaluate(two_relation_db):
+    expr = BaseRelation("r")
+    result = expr.evaluate(two_relation_db)
+    assert len(result) == 3
+    assert expr.columns(two_relation_db) == ("a", "b")
+    assert expr.base_relations() == frozenset({"r"})
+    assert expr.depth() == 1
+
+
+def test_base_relation_rename(two_relation_db):
+    expr = BaseRelation("r", rename=("x", "y"))
+    result = expr.evaluate(two_relation_db)
+    assert result.columns == ("x", "y")
+
+
+def test_base_relation_rename_arity_mismatch(two_relation_db):
+    with pytest.raises(AlgebraError):
+        BaseRelation("r", rename=("x",)).evaluate(two_relation_db)
+
+
+def test_base_relation_repeated_logical_name(edge_db):
+    # edge(X, X) keeps only the self-loop tuple (5, 5)
+    expr = BaseRelation("edge", rename=("X", "X"))
+    result = expr.evaluate(edge_db)
+    assert set(result.tuples) == {(5,)}
+    assert result.columns == ("X",)
+
+
+def test_join_expression(two_relation_db):
+    expr = Join(BaseRelation("r", rename=("x", "y")), BaseRelation("s", rename=("y", "z")))
+    result = expr.evaluate(two_relation_db)
+    assert set(result.tuples) == {(1, 10, 100), (2, 20, 200)}
+    assert expr.columns(two_relation_db) == ("x", "y", "z")
+    assert expr.depth() == 2
+
+
+def test_project_expression(two_relation_db):
+    expr = Project(BaseRelation("r"), ("a",))
+    assert len(expr.evaluate(two_relation_db)) == 3
+    assert expr.columns(two_relation_db) == ("a",)
+
+
+def test_select_expression(two_relation_db):
+    expr = Select(BaseRelation("r"), "a", 1)
+    assert set(expr.evaluate(two_relation_db).tuples) == {(1, 10)}
+
+
+def test_fluent_builders(two_relation_db):
+    expr = (
+        BaseRelation("r", rename=("x", "y"))
+        .join(BaseRelation("s", rename=("y", "z")))
+        .where("x", 1)
+        .project(["z"])
+    )
+    assert set(expr.evaluate(two_relation_db).tuples) == {(100,)}
+    assert expr.base_relations() == frozenset({"r", "s"})
+
+
+def test_join_all(two_relation_db):
+    expr = join_all([BaseRelation("r", rename=("x", "y")), BaseRelation("s", rename=("y", "z"))])
+    assert len(expr.evaluate(two_relation_db)) == 2
+
+
+def test_join_all_empty_raises():
+    with pytest.raises(AlgebraError):
+        join_all([])

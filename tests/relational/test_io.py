@@ -1,0 +1,61 @@
+"""Tests for CSV / JSON import and export."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.database import Database
+from repro.relational.io import (
+    database_from_json,
+    database_from_mapping,
+    database_to_json,
+    load_database,
+    relation_from_csv,
+    relation_to_csv,
+    save_database,
+)
+from repro.relational.relation import Relation
+
+
+def test_relation_csv_roundtrip(tmp_path):
+    relation = Relation.from_rows("people", ("name", "city"), [("ann", "rome"), ("bob", "oslo")])
+    path = tmp_path / "people.csv"
+    relation_to_csv(relation, path)
+    loaded = relation_from_csv(path)
+    assert loaded.columns == ("name", "city")
+    assert set(loaded.tuples) == {("ann", "rome"), ("bob", "oslo")}
+    assert loaded.name == "people"
+
+
+def test_relation_csv_without_header(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("1,2\n3,4\n")
+    loaded = relation_from_csv(path, has_header=False)
+    assert loaded.columns == ("c0", "c1")
+    assert len(loaded) == 2
+
+
+def test_empty_csv_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError):
+        relation_from_csv(path)
+
+
+def test_database_json_roundtrip(telecom_db):
+    text = database_to_json(telecom_db)
+    restored = database_from_json(text)
+    assert restored.relation_names == telecom_db.relation_names
+    assert len(restored["cate"]) == len(telecom_db["cate"])
+
+
+def test_database_csv_directory_roundtrip(tmp_path, telecom_db):
+    save_database(telecom_db, tmp_path / "out")
+    restored = load_database(tmp_path / "out", name="telecom")
+    assert set(restored.relation_names) == set(telecom_db.relation_names)
+    assert restored.total_tuples() == telecom_db.total_tuples()
+
+
+def test_database_from_mapping():
+    db = database_from_mapping({"r": (("a",), [(1,), (2,)])})
+    assert isinstance(db, Database)
+    assert len(db["r"]) == 2

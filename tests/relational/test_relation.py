@@ -1,0 +1,176 @@
+"""Tests for the Relation class and its algebra methods."""
+
+import pytest
+
+from repro.exceptions import AlgebraError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def r() -> Relation:
+    return Relation.from_rows("r", ("a", "b"), [(1, 10), (2, 20), (3, 30)])
+
+
+@pytest.fixture
+def s() -> Relation:
+    return Relation.from_rows("s", ("b", "c"), [(10, "x"), (20, "y"), (99, "z")])
+
+
+class TestConstruction:
+    def test_from_rows(self, r):
+        assert len(r) == 3
+        assert (1, 10) in r
+        assert (9, 9) not in r
+
+    def test_duplicates_removed(self):
+        rel = Relation.from_rows("r", ("a",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows("r", ("a", "b"), [(1,)])
+
+    def test_name_and_columns_constructor(self):
+        rel = Relation("r", [(1, 2)], columns=("a", "b"))
+        assert rel.columns == ("a", "b")
+
+    def test_name_without_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", [(1, 2)])
+
+    def test_columns_with_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(RelationSchema("r", ["a"]), [(1,)], columns=("a",))
+
+    def test_empty_relation(self):
+        rel = Relation.empty("r", ("a", "b"))
+        assert rel.is_empty()
+        assert not rel
+
+    def test_with_rows_and_with_name(self, r):
+        renamed = r.with_name("other")
+        assert renamed.name == "other"
+        assert renamed.tuples == r.tuples
+        replaced = r.with_rows([(7, 70)])
+        assert len(replaced) == 1
+
+    def test_active_domain(self, r):
+        assert r.active_domain() == frozenset({1, 2, 3, 10, 20, 30})
+
+    def test_equality_ignores_name(self, r):
+        other = Relation.from_rows("different_name", ("a", "b"), [(1, 10), (2, 20), (3, 30)])
+        assert r == other
+        assert hash(r) == hash(other)
+
+    def test_equality_respects_columns(self, r):
+        other = Relation.from_rows("r", ("a", "c"), [(1, 10), (2, 20), (3, 30)])
+        assert r != other
+
+
+class TestProjectionSelection:
+    def test_project_single_column(self, r):
+        projected = r.project(["a"])
+        assert projected.columns == ("a",)
+        assert set(projected.tuples) == {(1,), (2,), (3,)}
+
+    def test_project_deduplicates(self):
+        rel = Relation.from_rows("r", ("a", "b"), [(1, 10), (1, 20)])
+        assert len(rel.project(["a"])) == 1
+
+    def test_project_reorder(self, r):
+        projected = r.project(["b", "a"])
+        assert projected.columns == ("b", "a")
+        assert (10, 1) in projected
+
+    def test_project_duplicate_column_rejected(self, r):
+        with pytest.raises(SchemaError):
+            r.project(["b", "a", "b"])
+
+    def test_project_unknown_column(self, r):
+        with pytest.raises(SchemaError):
+            r.project(["zzz"])
+
+    def test_select_eq(self, r):
+        assert set(r.select_eq("a", 2).tuples) == {(2, 20)}
+
+    def test_select_predicate(self, r):
+        selected = r.select(lambda row: row["b"] > 15)
+        assert len(selected) == 2
+
+    def test_rename_columns(self, r):
+        renamed = r.rename_columns({"a": "x"})
+        assert renamed.columns == ("x", "b")
+
+
+class TestJoins:
+    def test_natural_join(self, r, s):
+        joined = r.natural_join(s)
+        assert joined.columns == ("a", "b", "c")
+        assert set(joined.tuples) == {(1, 10, "x"), (2, 20, "y")}
+
+    def test_join_no_common_columns_is_product(self):
+        left = Relation.from_rows("l", ("a",), [(1,), (2,)])
+        right = Relation.from_rows("r", ("b",), [(10,), (20,)])
+        assert len(left.natural_join(right)) == 4
+
+    def test_join_with_empty_is_empty(self, r):
+        empty = Relation.empty("e", ("b", "c"))
+        assert r.natural_join(empty).is_empty()
+
+    def test_semijoin(self, r, s):
+        reduced = r.semijoin(s)
+        assert set(reduced.tuples) == {(1, 10), (2, 20)}
+        assert reduced.columns == r.columns
+
+    def test_semijoin_no_common_columns_nonempty_other(self, r):
+        other = Relation.from_rows("o", ("zzz",), [(5,)])
+        assert r.semijoin(other) == r
+
+    def test_semijoin_no_common_columns_empty_other(self, r):
+        other = Relation.empty("o", ("zzz",))
+        assert r.semijoin(other).is_empty()
+
+    def test_antijoin(self, r, s):
+        anti = r.antijoin(s)
+        assert set(anti.tuples) == {(3, 30)}
+
+    def test_product_requires_disjoint_columns(self, r):
+        with pytest.raises(AlgebraError):
+            r.product(r)
+
+    def test_join_is_commutative_on_tuple_sets(self, r, s):
+        left = r.natural_join(s)
+        right = s.natural_join(r)
+        # same rows up to column ordering
+        assert len(left) == len(right)
+        left_sorted = {tuple(sorted(map(str, row))) for row in left}
+        right_sorted = {tuple(sorted(map(str, row))) for row in right}
+        assert left_sorted == right_sorted
+
+
+class TestSetOperations:
+    def test_union(self, r):
+        other = Relation.from_rows("r2", ("a", "b"), [(4, 40)])
+        assert len(r.union(other)) == 4
+
+    def test_difference(self, r):
+        other = Relation.from_rows("r2", ("a", "b"), [(1, 10)])
+        assert len(r.difference(other)) == 2
+
+    def test_intersection(self, r):
+        other = Relation.from_rows("r2", ("a", "b"), [(1, 10), (9, 90)])
+        assert set(r.intersection(other).tuples) == {(1, 10)}
+
+    def test_union_requires_same_columns(self, r, s):
+        with pytest.raises(AlgebraError):
+            r.union(s)
+
+    def test_pretty_contains_rows(self, r):
+        text = r.pretty()
+        assert "a | b" in text
+        assert "1 | 10" in text
+
+    def test_pretty_truncates(self):
+        rel = Relation.from_rows("big", ("a",), [(i,) for i in range(30)])
+        assert "more rows" in rel.pretty(max_rows=5)

@@ -1,0 +1,96 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    schema_from_arities,
+)
+
+
+class TestRelationSchema:
+    def test_arity_and_names(self):
+        schema = RelationSchema("person", ["name", "age"])
+        assert schema.arity == 2
+        assert schema.attribute_names == ("name", "age")
+
+    def test_accepts_attribute_objects(self):
+        schema = RelationSchema("r", [Attribute("x"), "y"])
+        assert schema.attribute_names == ("x", "y")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_position_of(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        assert schema.position_of("b") == 1
+        assert schema.position_of(Attribute("c")) == 2
+
+    def test_position_of_missing_attribute(self):
+        schema = RelationSchema("r", ["a"])
+        with pytest.raises(SchemaError):
+            schema.position_of("z")
+
+    def test_rename(self):
+        schema = RelationSchema("r", ["a", "b"]).rename("s")
+        assert schema.name == "s"
+        assert schema.attribute_names == ("a", "b")
+
+    def test_zero_arity_schema(self):
+        schema = RelationSchema("unit", [])
+        assert schema.arity == 0
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [42])  # type: ignore[list-item]
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        db_schema = DatabaseSchema([RelationSchema("r", ["a"]), RelationSchema("s", ["a", "b"])])
+        assert "r" in db_schema
+        assert db_schema["s"].arity == 2
+        assert len(db_schema) == 2
+
+    def test_duplicate_relation_rejected(self):
+        db_schema = DatabaseSchema([RelationSchema("r", ["a"])])
+        with pytest.raises(SchemaError):
+            db_schema.add(RelationSchema("r", ["b"]))
+
+    def test_unknown_relation(self):
+        db_schema = DatabaseSchema()
+        with pytest.raises(UnknownRelationError):
+            db_schema["missing"]
+
+    def test_arities_mapping(self):
+        db_schema = schema_from_arities({"r": 2, "s": 3})
+        assert db_schema.arities() == {"r": 2, "s": 3}
+
+    def test_relations_of_arity(self):
+        db_schema = schema_from_arities({"r": 2, "s": 3, "t": 2})
+        names = [schema.name for schema in db_schema.relations_of_arity(2)]
+        assert names == ["r", "t"]
+
+    def test_relations_of_arity_at_least(self):
+        db_schema = schema_from_arities({"r": 2, "s": 3, "t": 1})
+        names = [schema.name for schema in db_schema.relations_of_arity_at_least(2)]
+        assert names == ["r", "s"]
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_arities({"r": -1})
+
+    def test_equality(self):
+        a = schema_from_arities({"r": 2})
+        b = schema_from_arities({"r": 2})
+        c = schema_from_arities({"r": 3})
+        assert a == b
+        assert a != c

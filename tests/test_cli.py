@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.relational.io import save_database
+from repro.workloads.telecom import db1
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    directory = tmp_path / "telecom"
+    save_database(db1(), directory)
+    return str(directory)
+
+
+def test_mine_finds_the_paper_rule(data_dir, capsys):
+    exit_code = main(
+        [
+            "mine",
+            data_dir,
+            "R(X,Z) <- P(X,Y), Q(Y,Z)",
+            "--support",
+            "0.3",
+            "--confidence",
+            "0.5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "uspt(X, Z) <- usca(X, Y), cate(Y, Z)" in out
+    assert "0.714" in out
+
+
+def test_mine_with_type1_and_limit(data_dir, capsys):
+    exit_code = main(
+        [
+            "mine",
+            data_dir,
+            "R(X,Z) <- P(X,Y), Q(Y,Z)",
+            "--type",
+            "1",
+            "--confidence",
+            "0.5",
+            "--limit",
+            "3",
+            "--algorithm",
+            "findrules",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "type-1" in out
+
+
+def test_info_lists_relations(data_dir, capsys):
+    exit_code = main(["info", data_dir])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "usca(User, Carrier)" in out
+    assert "tuples: 12" in out
+
+
+def test_classify_reports_structure(capsys):
+    exit_code = main(["classify", "P(X,Y) <- P(Y,Z), Q(Z,W)"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "classification: acyclic" in out
+
+
+def test_classify_with_relation_names(capsys):
+    exit_code = main(["classify", "Edge(X,Y) <- Edge(Y,X)", "--relation-names", "Edge"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "predicate variables: (none)" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
