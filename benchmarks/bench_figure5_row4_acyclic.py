@@ -17,7 +17,7 @@ import pytest
 from repro.core.acyclicity import classify
 from repro.core.answers import Thresholds
 from repro.core.findrules import find_rules
-from repro.core.naive import naive_decide
+from repro.core.naive import naive_decide, naive_find_rules
 from repro.workloads.synthetic import chain_database, chain_metaquery
 
 THRESHOLD0 = Thresholds(0, 0, 0)
@@ -41,6 +41,19 @@ def test_acyclic_type0_query_scaling(benchmark, record, length):
     verdict = benchmark(lambda: naive_decide(db, mq, "sup", 0, 0))
     assert verdict
     record(chain_length=length, verdict=verdict)
+
+
+@pytest.mark.parametrize("cache", [True, False])
+def test_ablation_cache_on_acyclic_chain(benchmark, record, cache):
+    """The acyclic workload of the cache/fast-path ablation: the chain
+    metaquery's body joins are acyclic, so the memoized layer also takes the
+    Yannakakis full-reducer path."""
+    db = chain_database(relations=6, tuples_per_relation=40, planted_fraction=0.3, seed=2)
+    mq = chain_metaquery(3)
+    assert classify(mq) == "acyclic"
+    thresholds = Thresholds(support=0.1, confidence=0.0, cover=0.0)
+    answers = benchmark(lambda: naive_find_rules(db, mq, thresholds, 0, cache=cache))
+    record(cache=cache, answers=len(answers))
 
 
 def test_polynomial_shape_of_data_scaling(benchmark, record):

@@ -1,0 +1,159 @@
+"""Record the cache/fast-path ablation required by the acceptance criteria.
+
+Times the Figure-4 naive baseline and an acyclic chain workload with the
+evaluation acceleration subsystem on and off, asserts the answers are
+identical either way, and writes the measurements to a ``BENCH_*.json``.
+The "off" arm disables both EvaluationContext memoization and the acyclic
+Yannakakis fast path (via a caching-disabled context carrying
+``fast_path=False``); the per-relation hash indexes have no off switch —
+they replace the per-call hash builds the seed code did anyway.
+
+Usage::
+
+    python benchmarks/run_cache_ablation.py                  # full run
+    python benchmarks/run_cache_ablation.py --smoke          # CI smoke sizes
+    python benchmarks/run_cache_ablation.py --output FILE    # custom path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.answers import Thresholds
+from repro.core.findrules import find_rules
+from repro.core.metaquery import parse_metaquery
+from repro.core.naive import naive_find_rules
+from repro.datalog.context import EvaluationContext
+from repro.workloads.synthetic import chain_database, chain_metaquery
+from repro.workloads.telecom import scaled_telecom
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+
+
+def subsystem_ctx(db, on: bool):
+    """A fresh context with the whole subsystem on, or fully off.
+
+    The off arm still needs a context object: it is the carrier that turns
+    the Yannakakis fast path off (with no context, join_atoms defaults the
+    fast path on).
+    """
+    return EvaluationContext(db, fast_path=on, caching=on)
+
+
+def _answer_keys(answers):
+    return sorted((str(a.rule), a.support, a.confidence, a.cover) for a in answers)
+
+
+def _time(fn, repeats: int):
+    """Best-of-N wall-clock time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_scenario(name: str, run, repeats: int) -> dict:
+    """Time ``run(on: bool)`` with the subsystem on and off."""
+    on_seconds, on_answers = _time(lambda: run(True), repeats)
+    off_seconds, off_answers = _time(lambda: run(False), repeats)
+    if _answer_keys(on_answers) != _answer_keys(off_answers):
+        raise AssertionError(f"{name}: cache on/off answers differ")
+    speedup = off_seconds / on_seconds if on_seconds else None
+    print(
+        f"{name:<40} on={on_seconds:.4f}s  off={off_seconds:.4f}s  "
+        f"speedup={speedup:.2f}x  answers={len(on_answers)}"
+    )
+    return {
+        "scenario": name,
+        "cache_on_seconds": round(on_seconds, 6),
+        "cache_off_seconds": round(off_seconds, 6),
+        "speedup": round(speedup, 3),
+        "answers": len(on_answers),
+        "answers_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--output", default=None, help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    output = Path(args.output) if args.output else repo_root / "BENCH_cache_ablation.json"
+
+    users = 25 if args.smoke else 40
+    chain_tuples = 25 if args.smoke else 40
+    repeats = 1 if args.smoke else args.repeats
+
+    telecom_db = scaled_telecom(users=users, carriers=6, technologies=5, noise=0.1, seed=1)
+    telecom_thresholds = Thresholds(support=0.2, confidence=0.3, cover=0.1)
+
+    chain_db = chain_database(
+        relations=6, tuples_per_relation=chain_tuples, planted_fraction=0.3, seed=2
+    )
+    chain_mq = chain_metaquery(3)
+    chain_thresholds = Thresholds(support=0.1, confidence=0.0, cover=0.0)
+
+    scenarios = [
+        run_scenario(
+            "figure4_naive_baseline_telecom",
+            lambda on: naive_find_rules(
+                telecom_db, TRANSITIVITY, telecom_thresholds, 0,
+                ctx=subsystem_ctx(telecom_db, on),
+            ),
+            repeats,
+        ),
+        run_scenario(
+            "acyclic_chain_naive",
+            lambda on: naive_find_rules(
+                chain_db, chain_mq, chain_thresholds, 0, ctx=subsystem_ctx(chain_db, on)
+            ),
+            repeats,
+        ),
+        run_scenario(
+            "acyclic_chain_findrules",
+            lambda on: find_rules(
+                chain_db, chain_mq, chain_thresholds, 0, ctx=subsystem_ctx(chain_db, on)
+            ),
+            repeats,
+        ),
+    ]
+
+    payload = {
+        "benchmark": "cache_fast_path_ablation",
+        "description": (
+            "EvaluationContext memoization + acyclic Yannakakis fast path on vs "
+            "off (both disabled together in the off arm; the per-relation hash "
+            "indexes are structural and stay on)"
+        ),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "scenarios": scenarios,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if not args.smoke:
+        required = {"figure4_naive_baseline_telecom", "acyclic_chain_naive"}
+        for scenario in scenarios:
+            if scenario["scenario"] in required and scenario["speedup"] < 3.0:
+                print(f"WARNING: {scenario['scenario']} speedup below 3x", file=sys.stderr)
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ from repro.core import (
 )
 from repro.relational import Database, Relation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MetaqueryEngine",

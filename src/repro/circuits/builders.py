@@ -29,6 +29,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.circuits.arithmetic import ArithmeticCircuit, GapFunction
 from repro.circuits.circuit import BooleanCircuit
+from repro.core.answers import validate_threshold
 from repro.core.indices import certifying_set, get_index
 from repro.core.instantiation import InstantiationType, enumerate_instantiations
 from repro.core.metaquery import MetaQuery
@@ -345,9 +346,7 @@ def index_threshold_circuit(
     one MAJORITY comparator per ratio, and (for support) an OR over the
     per-body-atom comparators.
     """
-    k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
-    if not 0 <= k < 1:
-        raise CircuitError(f"threshold must satisfy 0 <= k < 1, got {k}")
+    k = validate_threshold(k, exc=CircuitError)
     name = get_index(index).name
     circuit = BooleanCircuit()
 

@@ -20,7 +20,7 @@ from typing import Sequence
 
 from repro.core.acyclicity import classify
 from repro.core.answers import Thresholds
-from repro.core.engine import MetaqueryEngine
+from repro.core.engine import ALGORITHMS, MetaqueryEngine
 from repro.core.metaquery import parse_metaquery
 from repro.relational.io import load_database
 
@@ -40,9 +40,13 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--cover", type=float, default=None, help="cover threshold (strict >)")
     mine.add_argument("--type", dest="itype", type=int, choices=(0, 1, 2), default=0,
                       help="instantiation type (default 0)")
-    mine.add_argument("--algorithm", choices=("auto", "naive", "findrules"), default="auto")
+    mine.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
     mine.add_argument("--sort-by", choices=("sup", "cnf", "cvr"), default="cnf")
     mine.add_argument("--limit", type=int, default=None, help="print at most this many answers")
+    mine.add_argument("--no-cache", action="store_true",
+                      help="disable evaluation memoization (ablation baseline)")
+    mine.add_argument("--no-fast-path", action="store_true",
+                      help="disable the acyclic Yannakakis join fast path")
 
     info = subparsers.add_parser("info", help="show the schema and sizes of a CSV database directory")
     info.add_argument("data_dir")
@@ -56,13 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _run_mine(args: argparse.Namespace) -> int:
     db = load_database(args.data_dir)
-    engine = MetaqueryEngine(db, default_itype=args.itype)
+    engine = MetaqueryEngine(
+        db,
+        default_itype=args.itype,
+        cache=not args.no_cache,
+        fast_path=not args.no_fast_path,
+    )
     thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
     answers = engine.find_rules(args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm)
     ordered = answers.sorted_by(args.sort_by)
     print(f"# database: {args.data_dir} ({len(db)} relations, {db.total_tuples()} tuples)")
     print(f"# metaquery: {args.metaquery}")
-    print(f"# thresholds: {thresholds}   type-{args.itype}   algorithm={args.algorithm}")
+    print(
+        f"# thresholds: {thresholds}   type-{args.itype}   "
+        f"algorithm={answers.algorithm} (requested {args.algorithm})   "
+        f"cache={'off' if args.no_cache else 'on'}"
+    )
     print(ordered.to_table(max_rows=args.limit))
     return 0
 

@@ -10,14 +10,42 @@ from repro.core.instantiation import Instantiation
 from repro.datalog.rules import HornRule
 
 
-def _as_fraction(value: float | int | str | Fraction | None) -> Fraction | None:
-    if value is None:
-        return None
+def exact_fraction(value: float | int | str | Fraction) -> Fraction:
+    """Coerce a threshold to an *exact* :class:`Fraction`.
+
+    Floats are converted through their shortest round-trip decimal
+    representation (``Fraction(str(value))``), so ``0.3`` becomes exactly
+    ``3/10`` and ``1e-10`` exactly ``1/10**10``.  Never use
+    ``limit_denominator``: rounding a threshold can silently flip the
+    paper's strict ``I(σ(MQ)) > k`` comparisons (e.g. a denominator cap of
+    ``10**9`` collapses ``1e-10`` to ``0``, turning a ``> 1e-10`` test into
+    ``> 0``).  Fractions pass through unchanged; ints and numeric strings go
+    straight to :class:`Fraction`.
+    """
     if isinstance(value, Fraction):
         return value
     if isinstance(value, float):
-        return Fraction(value).limit_denominator(10**9)
+        return Fraction(str(value))
     return Fraction(value)
+
+
+def validate_threshold(
+    value: float | int | str | Fraction, exc: type[Exception] = ValueError
+) -> Fraction:
+    """Exactly coerce a decision threshold and enforce the paper's ``0 <= k < 1``.
+
+    ``exc`` lets callers raise their domain-specific exception type.
+    """
+    k = exact_fraction(value)
+    if not 0 <= k < 1:
+        raise exc(f"threshold must satisfy 0 <= k < 1, got {k}")
+    return k
+
+
+def _as_fraction(value: float | int | str | Fraction | None) -> Fraction | None:
+    if value is None:
+        return None
+    return exact_fraction(value)
 
 
 @dataclass(frozen=True)
@@ -98,10 +126,19 @@ class MetaqueryAnswer:
 
 
 class AnswerSet:
-    """A collection of metaquery answers with convenience filters and reports."""
+    """A collection of metaquery answers with convenience filters and reports.
 
-    def __init__(self, answers: Iterable[MetaqueryAnswer] = ()) -> None:
+    ``algorithm`` records which engine actually produced the answers
+    (``"naive"`` or ``"findrules"``); :meth:`MetaqueryEngine.find_rules`
+    sets it so that ``algorithm="auto"`` runs cannot be mislabelled in
+    benchmark ablations.  It is ``None`` for hand-built sets.
+    """
+
+    def __init__(
+        self, answers: Iterable[MetaqueryAnswer] = (), algorithm: str | None = None
+    ) -> None:
         self._answers = list(answers)
+        self.algorithm = algorithm
 
     def __len__(self) -> int:
         return len(self._answers)
@@ -125,7 +162,7 @@ class AnswerSet:
 
     def filter(self, predicate: Callable[[MetaqueryAnswer], bool]) -> "AnswerSet":
         """A new answer set keeping only answers satisfying the predicate."""
-        return AnswerSet(a for a in self._answers if predicate(a))
+        return AnswerSet((a for a in self._answers if predicate(a)), algorithm=self.algorithm)
 
     def above(self, thresholds: Thresholds) -> "AnswerSet":
         """Answers passing the given thresholds."""
@@ -134,7 +171,8 @@ class AnswerSet:
     def sorted_by(self, index_name: str, descending: bool = True) -> "AnswerSet":
         """Answers sorted by one index (``sup``/``cnf``/``cvr``)."""
         return AnswerSet(
-            sorted(self._answers, key=lambda a: a.index(index_name), reverse=descending)
+            sorted(self._answers, key=lambda a: a.index(index_name), reverse=descending),
+            algorithm=self.algorithm,
         )
 
     def best(self, index_name: str) -> MetaqueryAnswer | None:

@@ -7,10 +7,18 @@
 * ``"findrules"`` — the Figure 4 algorithm;
 * ``"auto"`` — FindRules whenever at least one threshold is enabled,
   otherwise naive (FindRules' pruning needs a threshold to be sound).
+
+The engine also owns a persistent
+:class:`~repro.datalog.context.EvaluationContext` (``cache=True``, the
+default) shared by every call, so repeated metaqueries over the same
+database reuse memoized atom relations, joins and fractions.  The database
+is treated as read-only; call :meth:`invalidate_cache` after mutating it in
+place.
 """
 
 from __future__ import annotations
 
+import logging
 from fractions import Fraction
 
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
@@ -19,7 +27,13 @@ from repro.core.indices import PlausibilityIndex, get_index
 from repro.core.instantiation import InstantiationType
 from repro.core.metaquery import MetaQuery, parse_metaquery
 from repro.core.naive import naive_decide, naive_find_rules, naive_witness
+from repro.datalog.context import EvaluationContext
 from repro.relational.database import Database
+
+logger = logging.getLogger(__name__)
+
+#: The algorithm names accepted by :meth:`MetaqueryEngine.find_rules`.
+ALGORITHMS = ("auto", "naive", "findrules")
 
 
 class MetaqueryEngine:
@@ -31,11 +45,29 @@ class MetaqueryEngine:
         The database to mine.
     default_itype:
         The instantiation type used when a call does not specify one.
+    cache:
+        Memoize evaluation results across calls (default on).
+    fast_path:
+        Enable the acyclic Yannakakis fast path in ``join_atoms`` (default
+        on; independent of ``cache``).
     """
 
-    def __init__(self, db: Database, default_itype: InstantiationType | int = InstantiationType.TYPE_0) -> None:
+    def __init__(
+        self,
+        db: Database,
+        default_itype: InstantiationType | int = InstantiationType.TYPE_0,
+        cache: bool = True,
+        fast_path: bool = True,
+    ) -> None:
         self.db = db
         self.default_itype = InstantiationType.coerce(default_itype)
+        # The context doubles as the configuration carrier: with cache=False
+        # it stores nothing but still propagates the fast_path switch.
+        self.context = EvaluationContext(db, fast_path=fast_path, caching=cache)
+
+    def invalidate_cache(self) -> None:
+        """Drop memoized results (required after mutating the database in place)."""
+        self.context.clear()
 
     # ------------------------------------------------------------------
     def parse(self, text: str, name: str | None = None) -> MetaQuery:
@@ -52,8 +84,15 @@ class MetaqueryEngine:
     ) -> AnswerSet:
         """All instantiated rules passing the thresholds.
 
-        ``mq`` may be a :class:`MetaQuery` or its textual form.
+        ``mq`` may be a :class:`MetaQuery` or its textual form.  The returned
+        :class:`AnswerSet` carries the algorithm that actually ran in its
+        ``algorithm`` attribute (``"auto"`` is resolved before dispatch), so
+        ablation runs cannot mislabel which engine produced the numbers.
         """
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; use 'auto', 'naive' or 'findrules'"
+            )
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
@@ -64,11 +103,18 @@ class MetaqueryEngine:
                 t is not None for t in (thresholds.support, thresholds.confidence, thresholds.cover)
             )
             algorithm = "findrules" if has_threshold else "naive"
+            logger.info(
+                "find_rules: algorithm 'auto' resolved to %r (%s)",
+                algorithm,
+                "thresholds enabled" if has_threshold else
+                "all thresholds None; FindRules' pruning needs a threshold to be sound",
+            )
         if algorithm == "naive":
-            return naive_find_rules(self.db, mq, thresholds, itype)
-        if algorithm == "findrules":
-            return find_rules(self.db, mq, thresholds, itype)
-        raise ValueError(f"unknown algorithm {algorithm!r}; use 'auto', 'naive' or 'findrules'")
+            answers = naive_find_rules(self.db, mq, thresholds, itype, ctx=self.context)
+        else:
+            answers = find_rules(self.db, mq, thresholds, itype, ctx=self.context)
+        answers.algorithm = algorithm
+        return answers
 
     # ------------------------------------------------------------------
     def decide(
@@ -82,7 +128,7 @@ class MetaqueryEngine:
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        return naive_decide(self.db, mq, index, k, itype)
+        return naive_decide(self.db, mq, index, k, itype, ctx=self.context)
 
     def witness(
         self,
@@ -95,4 +141,4 @@ class MetaqueryEngine:
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        return naive_witness(self.db, mq, get_index(index), k, itype)
+        return naive_witness(self.db, mq, get_index(index), k, itype, ctx=self.context)

@@ -39,7 +39,8 @@ from repro.core.instantiation import (
 )
 from repro.core.metaquery import LiteralScheme, MetaQuery
 from repro.datalog.atoms import Atom
-from repro.datalog.evaluation import atom_relation
+from repro.datalog.context import EvaluationContext
+from repro.datalog.evaluation import atom_relation, join_atoms
 from repro.exceptions import MetaqueryError
 from repro.hypergraph.decomposition import HypertreeDecomposition, HypertreeNode, decompose
 from repro.relational.algebra import natural_join_all
@@ -76,13 +77,15 @@ class _FindRulesRun:
         prune_empty: bool,
         use_full_reducer: bool,
         decomposition: HypertreeDecomposition | None,
+        ctx: EvaluationContext | None = None,
     ) -> None:
         self.db = db
         self.mq = mq
         self.thresholds = thresholds
         self.itype = itype
         self.use_full_reducer = use_full_reducer
-        self.answers = AnswerSet()
+        self.ctx = ctx
+        self.answers = AnswerSet(algorithm="findrules")
 
         no_filtering = (
             thresholds.support is None
@@ -123,7 +126,7 @@ class _FindRulesRun:
             if atom.predicate not in self.db or self.db[atom.predicate].arity != atom.arity:
                 return None
             atoms.append(atom)
-        joined = natural_join_all([atom_relation(atom, self.db) for atom in atoms])
+        joined = join_atoms(atoms, self.db, self.ctx)
         chi_columns = [c for c in joined.columns if c in node.chi]
         return joined.project(chi_columns)
 
@@ -174,7 +177,7 @@ class _FindRulesRun:
         best = Fraction(0)
         for label, scheme in self.label_to_scheme.items():
             atom = sigma_b.image(scheme)
-            base = atom_relation(atom, self.db)
+            base = atom_relation(atom, self.db, self.ctx)
             denominator = len(base)
             if denominator == 0:
                 continue
@@ -198,7 +201,7 @@ class _FindRulesRun:
         if not self.use_full_reducer:
             # Ablation: recompute the body join from the raw atom relations.
             atoms = [sigma_b.image(s) for s in self.label_to_scheme.values()]
-            body = natural_join_all([atom_relation(a, self.db) for a in atoms])
+            body = natural_join_all([atom_relation(a, self.db, self.ctx) for a in atoms])
         else:
             body = self._body_join(reduced)
 
@@ -207,7 +210,7 @@ class _FindRulesRun:
             head_atom = sigma.image(self.mq.head)
             if head_atom.predicate not in self.db or self.db[head_atom.predicate].arity != head_atom.arity:
                 continue
-            head = atom_relation(head_atom, self.db)
+            head = atom_relation(head_atom, self.db, self.ctx)
             head_reduced = head.semijoin(body)
             cover_value = _ratio(len(head_reduced), len(head))
             if self.thresholds.cover is not None and not cover_value > self.thresholds.cover:
@@ -235,6 +238,8 @@ def find_rules(
     prune_empty: bool = True,
     use_full_reducer: bool = True,
     decomposition: HypertreeDecomposition | None = None,
+    cache: bool = True,
+    ctx: EvaluationContext | None = None,
 ) -> AnswerSet:
     """Run the FindRules algorithm (Figure 4).
 
@@ -255,16 +260,27 @@ def find_rules(
         join is recomputed from the raw relations (ablation baseline).
     decomposition:
         A pre-computed body decomposition to reuse across calls.
+    cache, ctx:
+        Evaluation caching (default on): per-node joins, atom relations and
+        head relations are memoized in an
+        :class:`~repro.datalog.context.EvaluationContext` shared across the
+        whole search, so branches revisiting the same (node, relation
+        choice) combination reuse the materialized relation.  An explicit
+        ``ctx`` (e.g. the engine's persistent one) overrides ``cache``.
     """
     thresholds = thresholds or Thresholds.none()
     itype = InstantiationType.coerce(itype)
     if itype in (InstantiationType.TYPE_0, InstantiationType.TYPE_1) and not mq.is_pure():
         raise MetaqueryError(f"type-{int(itype)} instantiations require a pure metaquery")
-    run = _FindRulesRun(db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition)
+    if ctx is None and cache:
+        ctx = EvaluationContext(db)
+    run = _FindRulesRun(db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition, ctx)
     return run.run()
 
 
-def support_via_decomposition(rule_body_atoms: Sequence[Atom], db: Database) -> Fraction:
+def support_via_decomposition(
+    rule_body_atoms: Sequence[Atom], db: Database, ctx: EvaluationContext | None = None
+) -> Fraction:
     """Compute ``sup`` of an (already instantiated) body via Theorem 4.12's recipe.
 
     Builds the hypertree decomposition of the body, materialises the node
@@ -287,7 +303,7 @@ def support_via_decomposition(rule_body_atoms: Sequence[Atom], db: Database) -> 
     relations: dict[int, Relation] = {}
     for i, node in enumerate(order):
         atoms = [atom_by_label[label] for label in sorted(node.lam, key=str)]
-        joined = natural_join_all([atom_relation(a, db) for a in atoms])
+        joined = natural_join_all([atom_relation(a, db, ctx) for a in atoms])
         rel = joined.project([c for c in joined.columns if c in node.chi])
         for child in node.children:
             rel = rel.semijoin(relations[position[id(child)]])
@@ -303,7 +319,7 @@ def support_via_decomposition(rule_body_atoms: Sequence[Atom], db: Database) -> 
     best = Fraction(0)
     for label, atom in atom_by_label.items():
         node = decomposition.covering_node(label)
-        base = atom_relation(atom, db)
+        base = atom_relation(atom, db, ctx)
         if len(base) == 0:
             continue
         joined = reduced[position[id(node)]].natural_join(base)

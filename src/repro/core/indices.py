@@ -19,9 +19,10 @@ experiments.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.datalog.atoms import Atom, variables_of
 from repro.datalog.evaluation import is_satisfiable, join_atoms
@@ -29,21 +30,43 @@ from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.exceptions import IndexError_
 from repro.relational.database import Database
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datalog.context import EvaluationContext
 
-def fraction(r_atoms: Sequence[Atom], s_atoms: Sequence[Atom], db: Database) -> Fraction:
+
+def fraction(
+    r_atoms: Sequence[Atom],
+    s_atoms: Sequence[Atom],
+    db: Database,
+    ctx: "EvaluationContext | None" = None,
+) -> Fraction:
     """The fraction of ``R`` in ``S`` (Definition 2.6): ``R ↑ S``.
 
     ``r_atoms`` and ``s_atoms`` are the two atom sets; the database supplies
-    their relations.  Returns an exact rational in ``[0, 1]``.
+    their relations.  Returns an exact rational in ``[0, 1]``.  With a
+    context, the value is memoized keyed by the normalized shape of the atom
+    pair, and the component joins take the context's caches and acyclicity
+    fast path.
     """
     if not r_atoms:
         raise IndexError_("the left-hand atom set of a fraction must be non-empty")
     if not s_atoms:
         raise IndexError_("the right-hand atom set of a fraction must be non-empty")
-    jr = join_atoms(r_atoms, db)
+    if ctx is not None and ctx.applies_to(db):
+        return ctx.fraction(r_atoms, s_atoms, lambda: _fraction_direct(r_atoms, s_atoms, db, ctx))
+    return _fraction_direct(r_atoms, s_atoms, db, None)
+
+
+def _fraction_direct(
+    r_atoms: Sequence[Atom],
+    s_atoms: Sequence[Atom],
+    db: Database,
+    ctx: "EvaluationContext | None",
+) -> Fraction:
+    jr = join_atoms(r_atoms, db, ctx)
     if jr.is_empty():
         return Fraction(0)
-    js = join_atoms(s_atoms, db)
+    js = join_atoms(s_atoms, db, ctx)
     joined = jr.natural_join(js)
     att_r = [v.name for v in variables_of(r_atoms)]
     numerator = len(joined.project(att_r)) if att_r else (1 if not joined.is_empty() else 0)
@@ -52,17 +75,17 @@ def fraction(r_atoms: Sequence[Atom], s_atoms: Sequence[Atom], db: Database) -> 
     return Fraction(numerator, len(jr))
 
 
-def confidence(rule: HornRule, db: Database) -> Fraction:
+def confidence(rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None) -> Fraction:
     """``cnf(r) = b(r) ↑ h(r)``: how often a satisfied body implies the head."""
-    return fraction(rule.body_atoms, rule.head_atoms, db)
+    return fraction(rule.body_atoms, rule.head_atoms, db, ctx)
 
 
-def cover(rule: HornRule, db: Database) -> Fraction:
+def cover(rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None) -> Fraction:
     """``cvr(r) = h(r) ↑ b(r)``: the share of head tuples the body implies."""
-    return fraction(rule.head_atoms, rule.body_atoms, db)
+    return fraction(rule.head_atoms, rule.body_atoms, db, ctx)
 
 
-def support(rule: HornRule, db: Database) -> Fraction:
+def support(rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None) -> Fraction:
     """``sup(r) = max_{a ∈ b(r)} ({a} ↑ b(r))``.
 
     The best fraction, over the body atoms, of an atom's tuples that take
@@ -70,18 +93,18 @@ def support(rule: HornRule, db: Database) -> Fraction:
     """
     best = Fraction(0)
     for atom in rule.body_atoms:
-        value = fraction([atom], rule.body_atoms, db)
+        value = fraction([atom], rule.body_atoms, db, ctx)
         if value > best:
             best = value
     return best
 
 
-def all_indices(rule: HornRule, db: Database) -> dict[str, Fraction]:
+def all_indices(rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None) -> dict[str, Fraction]:
     """Support, confidence and cover of a rule, as a dictionary."""
     return {
-        "sup": support(rule, db),
-        "cnf": confidence(rule, db),
-        "cvr": cover(rule, db),
+        "sup": support(rule, db, ctx),
+        "cnf": confidence(rule, db, ctx),
+        "cvr": cover(rule, db, ctx),
     }
 
 
@@ -90,17 +113,39 @@ def all_indices(rule: HornRule, db: Database) -> dict[str, Fraction]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PlausibilityIndex:
-    """A named plausibility index: a function from (rule, database) to [0, 1].
+    """A named plausibility index: ``(rule, database[, context]) -> [0, 1]``.
 
     The paper's Definition 2.5 only requires the value to be a rational in
     ``[0, 1]``; user-defined indices may be registered alongside the three
-    standard ones.
+    standard ones.  ``compute`` may accept an optional third argument, the
+    :class:`~repro.datalog.context.EvaluationContext`; plain two-argument
+    ``(rule, db)`` callables are also supported (they simply cannot share
+    the caches).
     """
 
     name: str
-    compute: Callable[[HornRule, Database], Fraction]
+    compute: Callable[..., Fraction]
 
-    def __call__(self, rule: HornRule, db: Database) -> Fraction:
+    def __post_init__(self) -> None:
+        try:
+            parameters = inspect.signature(self.compute).parameters.values()
+            accepts_ctx = (
+                sum(
+                    p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+                    for p in parameters
+                )
+                >= 3
+                or any(p.kind == p.VAR_POSITIONAL for p in parameters)
+            )
+        except (TypeError, ValueError):  # builtins/callables without a signature
+            accepts_ctx = True
+        object.__setattr__(self, "_accepts_ctx", accepts_ctx)
+
+    def __call__(
+        self, rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None
+    ) -> Fraction:
+        if self._accepts_ctx:
+            return self.compute(rule, db, ctx)
         return self.compute(rule, db)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -149,7 +194,12 @@ def certifying_set(rule: HornRule, index: str | PlausibilityIndex) -> tuple[Atom
     raise IndexError_(f"no certifying set known for custom index {name!r}")
 
 
-def index_is_positive(rule: HornRule, index: str | PlausibilityIndex, db: Database) -> bool:
+def index_is_positive(
+    rule: HornRule,
+    index: str | PlausibilityIndex,
+    db: Database,
+    ctx: "EvaluationContext | None" = None,
+) -> bool:
     """Decide ``I(r) > 0`` via the certifying set, without computing the ratio.
 
     This is the polynomial-verifiable certificate used in the membership
@@ -157,4 +207,4 @@ def index_is_positive(rule: HornRule, index: str | PlausibilityIndex, db: Databa
     satisfiable as a Boolean conjunctive query.
     """
     atoms = certifying_set(rule, index)
-    return is_satisfiable(ConjunctiveQuery(atoms), db)
+    return is_satisfiable(ConjunctiveQuery(atoms), db, ctx)

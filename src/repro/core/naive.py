@@ -8,6 +8,13 @@ size but serves two purposes:
 
 * it is the reference implementation against which FindRules is tested, and
 * it is the baseline of the Figure 4 benchmarks.
+
+All entry points accept ``cache=`` (default on): a shared
+:class:`~repro.datalog.context.EvaluationContext` memoizes atom relations,
+body joins and fractions across instantiations, so e.g. the body join of a
+rule is computed once rather than once per head instantiation.  Pass
+``cache=False`` (or ``ctx=None`` explicitly with ``cache=False``) for the
+uncached ablation baseline.
 """
 
 from __future__ import annotations
@@ -15,10 +22,11 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterator
 
-from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds, validate_threshold
 from repro.core.indices import PlausibilityIndex, all_indices, get_index, index_is_positive
 from repro.core.instantiation import InstantiationType, enumerate_instantiations
 from repro.core.metaquery import MetaQuery
+from repro.datalog.context import EvaluationContext
 from repro.datalog.rules import HornRule
 from repro.relational.database import Database
 
@@ -33,17 +41,29 @@ def _rule_is_evaluable(rule: HornRule, db: Database) -> bool:
     return True
 
 
+def _make_context(
+    db: Database, cache: bool, ctx: EvaluationContext | None
+) -> EvaluationContext | None:
+    """Resolve the caching switch: an explicit context wins, else build one."""
+    if ctx is not None:
+        return ctx
+    return EvaluationContext(db) if cache else None
+
+
 def iter_answers(
     db: Database,
     mq: MetaQuery,
     itype: InstantiationType | int = InstantiationType.TYPE_0,
+    cache: bool = True,
+    ctx: EvaluationContext | None = None,
 ) -> Iterator[MetaqueryAnswer]:
     """Yield an answer (with all three indices) for every evaluable instantiation."""
+    ctx = _make_context(db, cache, ctx)
     for instantiation in enumerate_instantiations(mq, db, itype):
         rule = instantiation.apply(mq)
         if not _rule_is_evaluable(rule, db):
             continue
-        values = all_indices(rule, db)
+        values = all_indices(rule, db, ctx)
         yield MetaqueryAnswer(
             instantiation=instantiation,
             rule=rule,
@@ -58,6 +78,8 @@ def naive_find_rules(
     mq: MetaQuery,
     thresholds: Thresholds | None = None,
     itype: InstantiationType | int = InstantiationType.TYPE_0,
+    cache: bool = True,
+    ctx: EvaluationContext | None = None,
 ) -> AnswerSet:
     """All instantiations whose indices pass the thresholds.
 
@@ -65,8 +87,8 @@ def naive_find_rules(
     full answer space of a small database).
     """
     thresholds = thresholds or Thresholds.none()
-    answers = AnswerSet()
-    for answer in iter_answers(db, mq, itype):
+    answers = AnswerSet(algorithm="naive")
+    for answer in iter_answers(db, mq, itype, cache=cache, ctx=ctx):
         if thresholds.accepts(answer.support, answer.confidence, answer.cover):
             answers.append(answer)
     return answers
@@ -78,6 +100,8 @@ def naive_decide(
     index: str | PlausibilityIndex,
     k: Fraction | float | int,
     itype: InstantiationType | int = InstantiationType.TYPE_0,
+    cache: bool = True,
+    ctx: EvaluationContext | None = None,
 ) -> bool:
     """Decide the metaquerying problem ``⟨DB, MQ, I, k, T⟩`` (Section 3.2).
 
@@ -86,18 +110,17 @@ def naive_decide(
     Boolean conjunctive-query satisfiability rather than counting.
     """
     index_obj = get_index(index)
-    k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
-    if not 0 <= k < 1:
-        raise ValueError(f"threshold must satisfy 0 <= k < 1, got {k}")
+    k = validate_threshold(k)
+    ctx = _make_context(db, cache, ctx)
     for instantiation in enumerate_instantiations(mq, db, itype):
         rule = instantiation.apply(mq)
         if not _rule_is_evaluable(rule, db):
             continue
         if k == 0:
-            if index_is_positive(rule, index_obj, db):
+            if index_is_positive(rule, index_obj, db, ctx):
                 return True
         else:
-            if index_obj(rule, db) > k:
+            if index_obj(rule, db, ctx) > k:
                 return True
     return False
 
@@ -108,11 +131,38 @@ def naive_witness(
     index: str | PlausibilityIndex,
     k: Fraction | float | int,
     itype: InstantiationType | int = InstantiationType.TYPE_0,
+    cache: bool = True,
+    ctx: EvaluationContext | None = None,
 ) -> MetaqueryAnswer | None:
-    """A witnessing answer for the decision problem, or None when it is a NO instance."""
+    """A witnessing answer for the decision problem, or None when it is a NO instance.
+
+    Mirrors :func:`naive_decide` exactly — the same ``0 <= k < 1``
+    validation, the same certifying-set shortcut of Proposition 3.20 at
+    ``k = 0``, and the same per-rule ``index > k`` test (which also works
+    for custom indices outside {sup, cnf, cvr}) — so the two can never
+    disagree on the same instance (``naive_witness`` is not None iff
+    ``naive_decide`` is True).
+    """
     index_obj = get_index(index)
-    k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
-    for answer in iter_answers(db, mq, itype):
-        if answer.index(index_obj.name) > k:
-            return answer
+    k = validate_threshold(k)
+    ctx = _make_context(db, cache, ctx)
+    for instantiation in enumerate_instantiations(mq, db, itype):
+        rule = instantiation.apply(mq)
+        if not _rule_is_evaluable(rule, db):
+            continue
+        if k == 0:
+            # Certifying-set shortcut: witness by satisfiability alone, then
+            # compute the indices once for the report.
+            hit = index_is_positive(rule, index_obj, db, ctx)
+        else:
+            hit = index_obj(rule, db, ctx) > k
+        if hit:
+            values = all_indices(rule, db, ctx)
+            return MetaqueryAnswer(
+                instantiation=instantiation,
+                rule=rule,
+                support=values["sup"],
+                confidence=values["cnf"],
+                cover=values["cvr"],
+            )
     return None

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.core.acyclicity import classify
-from repro.core.answers import MetaqueryAnswer
+from repro.core.answers import MetaqueryAnswer, validate_threshold
 from repro.core.indices import PlausibilityIndex, get_index
 from repro.core.instantiation import InstantiationType
 from repro.core.metaquery import MetaQuery
@@ -44,9 +44,7 @@ class MetaqueryDecisionProblem:
         self.db = db
         self.mq = mq
         self.index = get_index(index)
-        self.k = k if isinstance(k, Fraction) else Fraction(k).limit_denominator(10**9)
-        if not 0 <= self.k < 1:
-            raise ValueError(f"threshold must satisfy 0 <= k < 1, got {self.k}")
+        self.k = validate_threshold(k)
         self.itype = InstantiationType.coerce(itype)
         self.label = label
 

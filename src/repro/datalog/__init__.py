@@ -17,6 +17,7 @@ built on:
 
 from repro.datalog.terms import Constant, Term, Variable, term
 from repro.datalog.atoms import Atom
+from repro.datalog.context import EvaluationContext
 from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.datalog.parser import parse_atom, parse_query, parse_rule, parse_program
 from repro.datalog.evaluation import (
@@ -35,6 +36,7 @@ __all__ = [
     "Constant",
     "term",
     "Atom",
+    "EvaluationContext",
     "ConjunctiveQuery",
     "HornRule",
     "parse_atom",

@@ -1,0 +1,204 @@
+"""A memoization context for conjunctive-query evaluation.
+
+Both metaquery engines evaluate exponentially many instantiations of the
+same literal schemes over one fixed database, and the indices of a single
+rule re-join the same body several times (once per index, once per body
+atom for support).  :class:`EvaluationContext` makes that redundancy cheap:
+
+* ``atom_relation`` results are cached keyed by the atom's *shape* — the
+  predicate plus, per argument position, either the constant value or the
+  first-occurrence index of the variable.  Two atoms that differ only in
+  variable naming share one cache entry; the hit is renamed to the caller's
+  variable names in O(1) (renamed views share tuples and hash indexes).
+* ``join_atoms`` results are cached the same way, with the variable
+  numbering taken across the whole atom list, so the body join of a rule is
+  computed once no matter how many head instantiations it is paired with.
+* ``fraction`` values (exact :class:`~fractions.Fraction` ratios) are cached
+  keyed by the normalized shape of the pair of atom sets.
+
+A context is bound to one :class:`~repro.relational.database.Database` and
+assumes it is *not mutated* while the context is alive; call :meth:`clear`
+after changing the database in place.  The ``fast_path`` flag enables the
+Yannakakis full-reducer pipeline for acyclic atom sets in
+:func:`repro.datalog.evaluation.join_atoms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Hashable, Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Variable
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+#: Normalized shape of one atom: (predicate, (("v", i) | ("c", value), ...)).
+AtomKey = tuple[str, tuple[tuple[str, Hashable], ...]]
+
+
+def _shape_key(atom: Atom, var_ids: dict[Variable, int]) -> AtomKey:
+    """The shape of ``atom`` under the shared variable numbering ``var_ids``.
+
+    ``var_ids`` is extended in place: variables are numbered by first
+    occurrence across every atom keyed with the same dictionary.
+    """
+    parts: list[tuple[str, Hashable]] = []
+    for t in atom.terms:
+        if isinstance(t, Variable):
+            number = var_ids.setdefault(t, len(var_ids))
+            parts.append(("v", number))
+        else:
+            parts.append(("c", t.value))
+    return (atom.predicate, tuple(parts))
+
+
+def _atoms_key(atoms: Sequence[Atom]) -> tuple[tuple[AtomKey, ...], list[str]]:
+    """Normalize a whole atom list; returns the key and the variable names
+    of the actual atoms in numbering order (for un-renaming cache hits)."""
+    var_ids: dict[Variable, int] = {}
+    keys = tuple(_shape_key(atom, var_ids) for atom in atoms)
+    names = [v.name for v, _ in sorted(var_ids.items(), key=lambda kv: kv[1])]
+    return keys, names
+
+
+def _normalized_view(relation: Relation, n_variables: int) -> Relation:
+    """The relation with its columns renamed to the canonical ``__v{i}`` names."""
+    schema = RelationSchema(relation.name, [f"__v{i}" for i in range(n_variables)])
+    if relation._index_cache is None:
+        relation._index_cache = {}
+    return Relation._from_frozen(schema, relation.tuples, relation._index_cache)
+
+
+def _actual_view(relation: Relation, names: Sequence[str]) -> Relation:
+    """A cached normalized relation renamed back to the caller's variable names."""
+    schema = RelationSchema(relation.name, list(names))
+    if relation._index_cache is None:
+        relation._index_cache = {}
+    return Relation._from_frozen(schema, relation.tuples, relation._index_cache)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, mostly for benchmarks and debugging."""
+
+    atom_hits: int = 0
+    atom_misses: int = 0
+    join_hits: int = 0
+    join_misses: int = 0
+    fraction_hits: int = 0
+    fraction_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "atom_hits": self.atom_hits,
+            "atom_misses": self.atom_misses,
+            "join_hits": self.join_hits,
+            "join_misses": self.join_misses,
+            "fraction_hits": self.fraction_hits,
+            "fraction_misses": self.fraction_misses,
+        }
+
+
+class EvaluationContext:
+    """Shared caches for evaluating many queries over one fixed database.
+
+    Parameters
+    ----------
+    db:
+        The database the cached results are valid for.  Evaluation
+        functions receiving a context for a *different* database silently
+        bypass it.
+    fast_path:
+        Enable the acyclicity fast path (Yannakakis full reducer) in
+        :func:`repro.datalog.evaluation.join_atoms`.
+    caching:
+        When False, the context still carries configuration (``fast_path``)
+        but never stores or serves memoized results — the full uncached
+        ablation baseline.
+    """
+
+    def __init__(self, db: Database, fast_path: bool = True, caching: bool = True) -> None:
+        self.db = db
+        self.fast_path = fast_path
+        self.caching = caching
+        self.stats = CacheStats()
+        self._atoms: dict[AtomKey, Relation] = {}
+        self._joins: dict[tuple[AtomKey, ...], Relation] = {}
+        self._fractions: dict[tuple[int, tuple[AtomKey, ...]], Fraction] = {}
+
+    def clear(self) -> None:
+        """Drop every cached result (required after mutating the database)."""
+        self._atoms.clear()
+        self._joins.clear()
+        self._fractions.clear()
+
+    def applies_to(self, db: Database) -> bool:
+        """True when this context's caches are valid for the given database."""
+        return self.db is db
+
+    # ------------------------------------------------------------------
+    def atom_relation(self, atom: Atom, compute: Callable[[Atom], Relation]) -> Relation:
+        """The memoized relation of one atom (columns = its variable names)."""
+        if not self.caching:
+            return compute(atom)
+        var_ids: dict[Variable, int] = {}
+        key = _shape_key(atom, var_ids)
+        names = [v.name for v, _ in sorted(var_ids.items(), key=lambda kv: kv[1])]
+        cached = self._atoms.get(key)
+        if cached is None:
+            self.stats.atom_misses += 1
+            result = compute(atom)
+            self._atoms[key] = _normalized_view(result, len(names))
+            return result
+        self.stats.atom_hits += 1
+        return _actual_view(cached, names)
+
+    def join_atoms(
+        self, atoms: Sequence[Atom], compute: Callable[[], Relation]
+    ) -> Relation:
+        """The memoized join of an atom list.
+
+        ``compute`` must return the join with columns in first-occurrence
+        variable order (the canonical order produced by
+        :func:`repro.datalog.evaluation.join_atoms`).
+        """
+        if not self.caching:
+            return compute()
+        key, names = _atoms_key(atoms)
+        cached = self._joins.get(key)
+        if cached is None:
+            self.stats.join_misses += 1
+            result = compute()
+            self._joins[key] = _normalized_view(result, len(names))
+            return result
+        self.stats.join_hits += 1
+        return _actual_view(cached, names)
+
+    def fraction(
+        self,
+        r_atoms: Sequence[Atom],
+        s_atoms: Sequence[Atom],
+        compute: Callable[[], Fraction],
+    ) -> Fraction:
+        """The memoized fraction ``R ↑ S`` of a pair of atom sets."""
+        if not self.caching:
+            return compute()
+        joint_key, _ = _atoms_key(tuple(r_atoms) + tuple(s_atoms))
+        key = (len(r_atoms), joint_key)
+        cached = self._fractions.get(key)
+        if cached is None:
+            self.stats.fraction_misses += 1
+            cached = self._fractions[key] = compute()
+        else:
+            self.stats.fraction_hits += 1
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvaluationContext(db={self.db.name!r}, fast_path={self.fast_path}, "
+            f"atoms={len(self._atoms)}, joins={len(self._joins)}, "
+            f"fractions={len(self._fractions)})"
+        )

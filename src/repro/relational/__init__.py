@@ -12,6 +12,8 @@ the library.  It provides:
   cartesian product);
 * :class:`~repro.relational.database.Database` — a collection of relations
   over a common domain, as defined in Section 2.1 of the paper;
+* :mod:`~repro.relational.indexes` — lazily built, cached hash indexes on
+  column subsets, shared by joins, semijoins and equality selections;
 * :mod:`~repro.relational.expressions` — project--join expression trees used
   by the data-complexity circuit constructions;
 * :mod:`~repro.relational.io` — CSV / JSON loading and dumping.
@@ -21,6 +23,7 @@ from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.relational.relation import Relation
 from repro.relational.database import Database
 from repro.relational import algebra
+from repro.relational import indexes
 from repro.relational.expressions import (
     BaseRelation,
     Expression,
@@ -36,6 +39,7 @@ __all__ = [
     "Relation",
     "Database",
     "algebra",
+    "indexes",
     "Expression",
     "BaseRelation",
     "Join",

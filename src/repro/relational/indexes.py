@@ -1,0 +1,51 @@
+"""Lazily built, cached hash indexes on column subsets of a relation.
+
+Every :class:`~repro.relational.relation.Relation` owns a small cache
+(``Relation._index_cache``) mapping a tuple of column *positions* to a hash
+index ``{key_tuple: [row, ...]}`` over its tuples.  The cache is built on
+first use and reused by every subsequent ``natural_join`` / ``semijoin`` /
+``select_eq`` touching the same column subset — which is the common case in
+the metaquery engines, where the same base relations are probed once per
+instantiation.
+
+Keys are *positions* rather than column names so that renamed views created
+via :meth:`Relation.rename_columns` / :meth:`Relation.with_name` (which keep
+the column order) can share the cache of the relation they were derived
+from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, KeysView, Mapping, Sequence
+
+Row = tuple
+
+
+def build_index(
+    rows: Iterable[Row], positions: Sequence[int]
+) -> dict[tuple[Any, ...], list[Row]]:
+    """Build a hash index ``{key: [rows]}`` grouping rows by the given positions."""
+    index: dict[tuple[Any, ...], list[Row]] = {}
+    if len(positions) == 1:
+        pos = positions[0]
+        for row in rows:
+            index.setdefault((row[pos],), []).append(row)
+    else:
+        for row in rows:
+            index.setdefault(tuple(row[p] for p in positions), []).append(row)
+    return index
+
+
+def index_for(relation, columns: Sequence[str]) -> Mapping[tuple[Any, ...], list[Row]]:
+    """The (cached) hash index of ``relation`` on the given columns.
+
+    The returned mapping must be treated as read-only; it is shared between
+    all operations probing the same column subset.
+    """
+    positions = tuple(relation.schema.position_of(c) for c in columns)
+    return relation._hash_index(positions)
+
+
+def key_set(relation, columns: Sequence[str]) -> KeysView:
+    """The distinct key tuples of ``relation`` on the given columns."""
+    return index_for(relation, columns).keys()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import AlgebraError, SchemaError
+from repro.relational import indexes
 from repro.relational.schema import Attribute, RelationSchema
 
 Tuple_ = tuple
@@ -32,7 +33,7 @@ class Relation:
         Column names, used only when ``schema`` is a plain name string.
     """
 
-    __slots__ = ("_schema", "_tuples")
+    __slots__ = ("_schema", "_tuples", "_index_cache")
 
     def __init__(
         self,
@@ -60,6 +61,36 @@ class Relation:
                 )
             frozen.add(row)
         self._tuples: frozenset[Row] = frozenset(frozen)
+        self._index_cache: dict[tuple[int, ...], dict] | None = None
+
+    @classmethod
+    def _from_frozen(
+        cls,
+        schema: RelationSchema,
+        tuples: frozenset[Row],
+        index_cache: dict[tuple[int, ...], dict] | None = None,
+    ) -> "Relation":
+        """Internal fast constructor for rows already validated against ``schema``.
+
+        ``index_cache`` may be the cache of a relation over the same tuples
+        with the same column *order* (e.g. a renamed view), since indexes are
+        keyed by column positions.
+        """
+        rel = cls.__new__(cls)
+        rel._schema = schema
+        rel._tuples = tuples
+        rel._index_cache = index_cache
+        return rel
+
+    def _hash_index(self, positions: tuple[int, ...]) -> dict:
+        """The lazily built hash index on the given column positions."""
+        cache = self._index_cache
+        if cache is None:
+            cache = self._index_cache = {}
+        index = cache.get(positions)
+        if index is None:
+            index = cache[positions] = indexes.build_index(self._tuples, positions)
+        return index
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -145,7 +176,9 @@ class Relation:
 
     def with_name(self, name: str) -> "Relation":
         """Return this relation under a different name (same columns/rows)."""
-        return Relation(self._schema.rename(name), self._tuples)
+        if self._index_cache is None:
+            self._index_cache = {}
+        return Relation._from_frozen(self._schema.rename(name), self._tuples, self._index_cache)
 
     # ------------------------------------------------------------------
     # algebra operations (methods; a functional API lives in algebra.py)
@@ -159,25 +192,33 @@ class Relation:
         """
         positions = [self._schema.position_of(c) for c in columns]
         new_schema = RelationSchema(name or f"π({self.name})", columns)
-        rows = {tuple(row[p] for p in positions) for row in self._tuples}
-        return Relation(new_schema, rows)
+        rows = frozenset(tuple(row[p] for p in positions) for row in self._tuples)
+        return Relation._from_frozen(new_schema, rows)
 
     def select(self, predicate: Callable[[Mapping[str, Any]], bool], name: str | None = None) -> "Relation":
         """Selection by an arbitrary predicate over a ``{column: value}`` dict."""
         cols = self.columns
-        rows = [row for row in self._tuples if predicate(dict(zip(cols, row)))]
-        return Relation(self._schema.rename(name or f"σ({self.name})"), rows)
+        rows = frozenset(row for row in self._tuples if predicate(dict(zip(cols, row))))
+        return Relation._from_frozen(self._schema.rename(name or f"σ({self.name})"), rows)
 
     def select_eq(self, column: str, value: Any, name: str | None = None) -> "Relation":
-        """Selection ``σ_{column = value}``."""
+        """Selection ``σ_{column = value}`` (answered from the cached hash index)."""
         pos = self._schema.position_of(column)
-        rows = [row for row in self._tuples if row[pos] == value]
-        return Relation(self._schema.rename(name or f"σ({self.name})"), rows)
+        rows = frozenset(self._hash_index((pos,)).get((value,), ()))
+        return Relation._from_frozen(self._schema.rename(name or f"σ({self.name})"), rows)
 
     def rename_columns(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
-        """Rename columns according to ``mapping`` (missing columns keep their name)."""
+        """Rename columns according to ``mapping`` (missing columns keep their name).
+
+        The renamed view shares this relation's tuples and index cache
+        (indexes are keyed by column positions, which renaming preserves).
+        """
         new_cols = [mapping.get(c, c) for c in self.columns]
-        return Relation(RelationSchema(name or self.name, new_cols), self._tuples)
+        if self._index_cache is None:
+            self._index_cache = {}
+        return Relation._from_frozen(
+            RelationSchema(name or self.name, new_cols), self._tuples, self._index_cache
+        )
 
     def natural_join(self, other: "Relation", name: str | None = None) -> "Relation":
         """Natural join on equal column names.
@@ -193,22 +234,18 @@ class Relation:
         result_cols = list(left_cols) + right_only
 
         left_common_pos = [left_cols.index(c) for c in common]
-        right_common_pos = [right_cols.index(c) for c in common]
+        right_common_pos = tuple(right_cols.index(c) for c in common)
         right_only_pos = [right_cols.index(c) for c in right_only]
 
-        # hash join on the common columns
-        index: dict[Row, list[Row]] = {}
-        for row in other:
-            key = tuple(row[p] for p in right_common_pos)
-            index.setdefault(key, []).append(row)
-
+        # hash join on the common columns, probing other's cached index
+        index = other._hash_index(right_common_pos)
         rows = []
         for lrow in self._tuples:
             key = tuple(lrow[p] for p in left_common_pos)
             for rrow in index.get(key, ()):
                 rows.append(lrow + tuple(rrow[p] for p in right_only_pos))
         schema = RelationSchema(name or f"({self.name} ⋈ {other.name})", result_cols)
-        return Relation(schema, rows)
+        return Relation._from_frozen(schema, frozenset(rows))
 
     def semijoin(self, other: "Relation", name: str | None = None) -> "Relation":
         """Semijoin ``self ⋉ other``: tuples of ``self`` that join with ``other``."""
@@ -216,19 +253,20 @@ class Relation:
         if not common:
             # With no shared columns the semijoin keeps everything iff the
             # other relation is non-empty.
-            rows = self._tuples if other else ()
-            return Relation(self._schema.rename(name or self.name), rows)
+            rows = self._tuples if other else frozenset()
+            return Relation._from_frozen(self._schema.rename(name or self.name), rows)
         left_pos = [self.columns.index(c) for c in common]
-        right_pos = [other.columns.index(c) for c in common]
-        keys = {tuple(row[p] for p in right_pos) for row in other}
-        rows = [row for row in self._tuples if tuple(row[p] for p in left_pos) in keys]
-        return Relation(self._schema.rename(name or self.name), rows)
+        right_pos = tuple(other.columns.index(c) for c in common)
+        keys = other._hash_index(right_pos).keys()
+        rows = frozenset(
+            row for row in self._tuples if tuple(row[p] for p in left_pos) in keys
+        )
+        return Relation._from_frozen(self._schema.rename(name or self.name), rows)
 
     def antijoin(self, other: "Relation", name: str | None = None) -> "Relation":
         """Anti-semijoin ``self ▷ other``: tuples of ``self`` that do *not* join."""
         kept = self.semijoin(other).tuples
-        rows = [row for row in self._tuples if row not in kept]
-        return Relation(self._schema.rename(name or self.name), rows)
+        return Relation._from_frozen(self._schema.rename(name or self.name), self._tuples - kept)
 
     def product(self, other: "Relation", name: str | None = None) -> "Relation":
         """Cartesian product; column names must be disjoint."""
@@ -240,17 +278,17 @@ class Relation:
     def union(self, other: "Relation", name: str | None = None) -> "Relation":
         """Set union; the operands must have identical column lists."""
         self._require_same_columns(other, "union")
-        return Relation(self._schema.rename(name or self.name), self._tuples | other.tuples)
+        return Relation._from_frozen(self._schema.rename(name or self.name), self._tuples | other.tuples)
 
     def difference(self, other: "Relation", name: str | None = None) -> "Relation":
         """Set difference; the operands must have identical column lists."""
         self._require_same_columns(other, "difference")
-        return Relation(self._schema.rename(name or self.name), self._tuples - other.tuples)
+        return Relation._from_frozen(self._schema.rename(name or self.name), self._tuples - other.tuples)
 
     def intersection(self, other: "Relation", name: str | None = None) -> "Relation":
         """Set intersection; the operands must have identical column lists."""
         self._require_same_columns(other, "intersection")
-        return Relation(self._schema.rename(name or self.name), self._tuples & other.tuples)
+        return Relation._from_frozen(self._schema.rename(name or self.name), self._tuples & other.tuples)
 
     def _require_same_columns(self, other: "Relation", op: str) -> None:
         if self.columns != other.columns:
