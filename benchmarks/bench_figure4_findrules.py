@@ -10,6 +10,12 @@ records the raw timings for EXPERIMENTS.md.
 
 Ablations (DESIGN.md section 5): disabling empty-branch pruning and
 disabling the full reducer.
+
+Both engines run with their production defaults (evaluation memoization
+*and* shape-grouped batching on), so the comparison is between the shipped
+engines, not the paper's unaccelerated procedures; the subsystem-isolating
+timings live in ``run_cache_ablation.py`` (``batch=False`` pinned) and
+``run_batch_ablation.py`` (memoized arm vs batched arm).
 """
 
 import time

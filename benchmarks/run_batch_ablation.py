@@ -1,18 +1,22 @@
-"""Record the cache/fast-path ablation required by the acceptance criteria.
+"""Record the batched-evaluation ablation required by the acceptance criteria.
 
-Times the Figure-4 naive baseline and an acyclic chain workload with the
-evaluation acceleration subsystem on and off, asserts the answers are
-identical either way, and writes the measurements to a ``BENCH_*.json``.
-The "off" arm disables both EvaluationContext memoization and the acyclic
-Yannakakis fast path (via a caching-disabled context carrying
-``fast_path=False``); the per-relation hash indexes have no off switch —
-they replace the per-call hash builds the seed code did anyway.
+Times the Figure-4 naive baseline (and FindRules / type-2 variants) with
+shape-grouped batched instantiation evaluation on and off.  Both arms keep
+the PR-1 evaluation acceleration subsystem fully on (EvaluationContext
+memoization + acyclic Yannakakis fast path), so the "off" arm is exactly
+the PR-1 memoized engine and the measured speedup is attributable to
+batching alone: materializing each body shape's canonical join once and
+answering every head instantiation of the group by cached-hash-index
+intersection instead of per-pair joins.
+
+Answers are asserted byte-identical across the two arms before any
+measurement is reported.
 
 Usage::
 
-    python benchmarks/run_cache_ablation.py                  # full run
-    python benchmarks/run_cache_ablation.py --smoke          # CI smoke sizes
-    python benchmarks/run_cache_ablation.py --output FILE    # custom path
+    python benchmarks/run_batch_ablation.py                  # full run
+    python benchmarks/run_batch_ablation.py --smoke          # CI smoke sizes
+    python benchmarks/run_batch_ablation.py --output FILE    # custom path
 """
 
 from __future__ import annotations
@@ -37,18 +41,8 @@ from repro.workloads.telecom import scaled_telecom
 TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
 
 
-def subsystem_ctx(db, on: bool):
-    """A fresh context with the whole subsystem on, or fully off.
-
-    The off arm still needs a context object: it is the carrier that turns
-    the Yannakakis fast path off (with no context, join_atoms defaults the
-    fast path on).
-    """
-    return EvaluationContext(db, fast_path=on, caching=on)
-
-
 def _answer_keys(answers):
-    return sorted((str(a.rule), a.support, a.confidence, a.cover) for a in answers)
+    return [(str(a.rule), a.support, a.confidence, a.cover) for a in answers]
 
 
 def _time(fn, repeats: int):
@@ -63,20 +57,24 @@ def _time(fn, repeats: int):
 
 
 def run_scenario(name: str, run, repeats: int) -> dict:
-    """Time ``run(on: bool)`` with the subsystem on and off."""
+    """Time ``run(batch: bool)`` with batching on and off.
+
+    Both arms get a fresh memoized EvaluationContext per call (built inside
+    ``run``), so neither benefits from the other's warm caches.
+    """
     on_seconds, on_answers = _time(lambda: run(True), repeats)
     off_seconds, off_answers = _time(lambda: run(False), repeats)
     if _answer_keys(on_answers) != _answer_keys(off_answers):
-        raise AssertionError(f"{name}: cache on/off answers differ")
+        raise AssertionError(f"{name}: batch on/off answers differ")
     speedup = off_seconds / on_seconds if on_seconds else None
     print(
-        f"{name:<40} on={on_seconds:.4f}s  off={off_seconds:.4f}s  "
+        f"{name:<40} batched={on_seconds:.4f}s  memoized={off_seconds:.4f}s  "
         f"speedup={speedup:.2f}x  answers={len(on_answers)}"
     )
     return {
         "scenario": name,
-        "cache_on_seconds": round(on_seconds, 6),
-        "cache_off_seconds": round(off_seconds, 6),
+        "batch_on_seconds": round(on_seconds, 6),
+        "batch_off_seconds": round(off_seconds, 6),
         "speedup": round(speedup, 3),
         "answers": len(on_answers),
         "answers_identical": True,
@@ -91,7 +89,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     repo_root = Path(__file__).resolve().parent.parent
-    output = Path(args.output) if args.output else repo_root / "BENCH_cache_ablation.json"
+    output = Path(args.output) if args.output else repo_root / "BENCH_batch_ablation.json"
 
     users = 25 if args.smoke else 40
     chain_tuples = 25 if args.smoke else 40
@@ -106,42 +104,47 @@ def main(argv=None) -> int:
     chain_mq = chain_metaquery(3)
     chain_thresholds = Thresholds(support=0.1, confidence=0.0, cover=0.0)
 
-    # batch=False in every arm: this ablation isolates the PR-1 memoization
-    # subsystem; the batching layer has its own ablation
-    # (run_batch_ablation.py) measured against the memoized arm.
     scenarios = [
         run_scenario(
             "figure4_naive_baseline_telecom",
-            lambda on: naive_find_rules(
+            lambda batch: naive_find_rules(
                 telecom_db, TRANSITIVITY, telecom_thresholds, 0,
-                ctx=subsystem_ctx(telecom_db, on), batch=False,
+                ctx=EvaluationContext(telecom_db), batch=batch,
+            ),
+            repeats,
+        ),
+        run_scenario(
+            "figure4_naive_type2_telecom",
+            lambda batch: naive_find_rules(
+                telecom_db, TRANSITIVITY, telecom_thresholds, 2,
+                ctx=EvaluationContext(telecom_db), batch=batch,
             ),
             repeats,
         ),
         run_scenario(
             "acyclic_chain_naive",
-            lambda on: naive_find_rules(
+            lambda batch: naive_find_rules(
                 chain_db, chain_mq, chain_thresholds, 0,
-                ctx=subsystem_ctx(chain_db, on), batch=False,
+                ctx=EvaluationContext(chain_db), batch=batch,
             ),
             repeats,
         ),
         run_scenario(
             "acyclic_chain_findrules",
-            lambda on: find_rules(
+            lambda batch: find_rules(
                 chain_db, chain_mq, chain_thresholds, 0,
-                ctx=subsystem_ctx(chain_db, on), batch=False,
+                ctx=EvaluationContext(chain_db), batch=batch,
             ),
             repeats,
         ),
     ]
 
     payload = {
-        "benchmark": "cache_fast_path_ablation",
+        "benchmark": "batch_ablation",
         "description": (
-            "EvaluationContext memoization + acyclic Yannakakis fast path on vs "
-            "off (both disabled together in the off arm; the per-relation hash "
-            "indexes are structural and stay on)"
+            "Shape-grouped batched instantiation evaluation on vs off; both "
+            "arms keep the PR-1 memoized EvaluationContext and Yannakakis "
+            "fast path on, so the off arm is the PR-1 engine"
         ),
         "python": platform.python_version(),
         "smoke": args.smoke,
@@ -152,10 +155,10 @@ def main(argv=None) -> int:
     print(f"wrote {output}")
 
     if not args.smoke:
-        required = {"figure4_naive_baseline_telecom", "acyclic_chain_naive"}
+        required = {"figure4_naive_baseline_telecom"}
         for scenario in scenarios:
-            if scenario["scenario"] in required and scenario["speedup"] < 3.0:
-                print(f"WARNING: {scenario['scenario']} speedup below 3x", file=sys.stderr)
+            if scenario["scenario"] in required and scenario["speedup"] < 1.5:
+                print(f"WARNING: {scenario['scenario']} speedup below 1.5x", file=sys.stderr)
                 return 1
     return 0
 

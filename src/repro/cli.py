@@ -47,6 +47,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="disable evaluation memoization (ablation baseline)")
     mine.add_argument("--no-fast-path", action="store_true",
                       help="disable the acyclic Yannakakis join fast path")
+    mine.add_argument("--no-batch", action="store_true",
+                      help="disable shape-grouped batched instantiation evaluation")
 
     info = subparsers.add_parser("info", help="show the schema and sizes of a CSV database directory")
     info.add_argument("data_dir")
@@ -65,6 +67,7 @@ def _run_mine(args: argparse.Namespace) -> int:
         default_itype=args.itype,
         cache=not args.no_cache,
         fast_path=not args.no_fast_path,
+        batch=not args.no_batch,
     )
     thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
     answers = engine.find_rules(args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm)
@@ -74,7 +77,8 @@ def _run_mine(args: argparse.Namespace) -> int:
     print(
         f"# thresholds: {thresholds}   type-{args.itype}   "
         f"algorithm={answers.algorithm} (requested {args.algorithm})   "
-        f"cache={'off' if args.no_cache else 'on'}"
+        f"cache={'off' if args.no_cache else 'on'}   "
+        f"batch={'off' if args.no_batch else 'on'}"
     )
     print(ordered.to_table(max_rows=args.limit))
     return 0

@@ -11,9 +11,12 @@
 The engine also owns a persistent
 :class:`~repro.datalog.context.EvaluationContext` (``cache=True``, the
 default) shared by every call, so repeated metaqueries over the same
-database reuse memoized atom relations, joins and fractions.  The database
-is treated as read-only; call :meth:`invalidate_cache` after mutating it in
-place.
+database reuse memoized atom relations, joins and fractions, and — with
+``batch=True``, also the default — a persistent
+:class:`~repro.datalog.batching.BatchEvaluator` that evaluates whole
+shape groups of instantiations from one materialized canonical join.  The
+database is treated as read-only; call :meth:`invalidate_cache` after
+mutating it in place.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.core.indices import PlausibilityIndex, get_index
 from repro.core.instantiation import InstantiationType
 from repro.core.metaquery import MetaQuery, parse_metaquery
 from repro.core.naive import naive_decide, naive_find_rules, naive_witness
+from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
 from repro.relational.database import Database
 
@@ -50,6 +54,9 @@ class MetaqueryEngine:
     fast_path:
         Enable the acyclic Yannakakis fast path in ``join_atoms`` (default
         on; independent of ``cache``).
+    batch:
+        Evaluate shape groups of instantiations in one batched pass
+        (default on; independent of ``cache`` and ``fast_path``).
     """
 
     def __init__(
@@ -58,16 +65,23 @@ class MetaqueryEngine:
         default_itype: InstantiationType | int = InstantiationType.TYPE_0,
         cache: bool = True,
         fast_path: bool = True,
+        batch: bool = True,
     ) -> None:
         self.db = db
         self.default_itype = InstantiationType.coerce(default_itype)
         # The context doubles as the configuration carrier: with cache=False
         # it stores nothing but still propagates the fast_path switch.
         self.context = EvaluationContext(db, fast_path=fast_path, caching=cache)
+        self.batch = batch
+        # Persistent across calls, like the context, so repeated metaqueries
+        # reuse materialized shape groups.
+        self.batcher = BatchEvaluator(db, ctx=self.context) if batch else None
 
     def invalidate_cache(self) -> None:
         """Drop memoized results (required after mutating the database in place)."""
         self.context.clear()
+        if self.batcher is not None:
+            self.batcher.clear()
 
     # ------------------------------------------------------------------
     def parse(self, text: str, name: str | None = None) -> MetaQuery:
@@ -110,9 +124,15 @@ class MetaqueryEngine:
                 "all thresholds None; FindRules' pruning needs a threshold to be sound",
             )
         if algorithm == "naive":
-            answers = naive_find_rules(self.db, mq, thresholds, itype, ctx=self.context)
+            answers = naive_find_rules(
+                self.db, mq, thresholds, itype,
+                ctx=self.context, batch=self.batch, batcher=self.batcher,
+            )
         else:
-            answers = find_rules(self.db, mq, thresholds, itype, ctx=self.context)
+            answers = find_rules(
+                self.db, mq, thresholds, itype,
+                ctx=self.context, batch=self.batch, batcher=self.batcher,
+            )
         answers.algorithm = algorithm
         return answers
 
@@ -128,7 +148,10 @@ class MetaqueryEngine:
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        return naive_decide(self.db, mq, index, k, itype, ctx=self.context)
+        return naive_decide(
+            self.db, mq, index, k, itype,
+            ctx=self.context, batch=self.batch, batcher=self.batcher,
+        )
 
     def witness(
         self,
@@ -141,4 +164,7 @@ class MetaqueryEngine:
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        return naive_witness(self.db, mq, get_index(index), k, itype, ctx=self.context)
+        return naive_witness(
+            self.db, mq, get_index(index), k, itype,
+            ctx=self.context, batch=self.batch, batcher=self.batcher,
+        )

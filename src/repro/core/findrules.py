@@ -19,10 +19,14 @@ prescribes (Section 4):
    agrees with the body instantiation test cover (``|h ⋉ b| / |h|``) and
    confidence (``|b ⋉ h'| / |b|``).
 
-Two ablation switches quantify the design choices (used by the ablation
-benchmarks): ``prune_empty`` disables step 2's pruning and
+Three ablation switches quantify the design choices (used by the ablation
+benchmarks): ``prune_empty`` disables step 2's pruning,
 ``use_full_reducer`` replaces step 3's semijoin program by recomputing the
-body join from scratch.
+body join from scratch (support is then read off that recomputed join —
+the half-reduced node relations would overestimate it), and ``batch``
+controls whether step 4 answers the head instantiations from a shared
+:class:`~repro.datalog.batching.BatchEvaluator` shape group or by per-head
+semijoins.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from typing import Sequence
 
 from repro.core.acyclicity import body_scheme_labels, body_variable_sets
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
+from repro.core.indices import support_from_join
 from repro.core.instantiation import (
     Instantiation,
     InstantiationType,
@@ -39,6 +44,7 @@ from repro.core.instantiation import (
 )
 from repro.core.metaquery import LiteralScheme, MetaQuery
 from repro.datalog.atoms import Atom
+from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
 from repro.datalog.evaluation import atom_relation, join_atoms
 from repro.exceptions import MetaqueryError
@@ -78,6 +84,7 @@ class _FindRulesRun:
         use_full_reducer: bool,
         decomposition: HypertreeDecomposition | None,
         ctx: EvaluationContext | None = None,
+        batcher: BatchEvaluator | None = None,
     ) -> None:
         self.db = db
         self.mq = mq
@@ -85,6 +92,7 @@ class _FindRulesRun:
         self.itype = itype
         self.use_full_reducer = use_full_reducer
         self.ctx = ctx
+        self.batcher = batcher if (batcher is not None and batcher.applies_to(db)) else None
         self.answers = AnswerSet(algorithm="findrules")
 
         no_filtering = (
@@ -158,7 +166,13 @@ class _FindRulesRun:
             self._find_bodies(index + 1, combined, relations)
 
     def _reduce_and_find_heads(self, sigma_b: Instantiation, relations: dict[int, Relation]) -> None:
-        """Second half of the full reducer followed by ``findHeads``."""
+        """Second half of the full reducer followed by ``findHeads``.
+
+        In the ``use_full_reducer=False`` ablation arm the top-down pass is
+        skipped entirely and ``findHeads`` works from the recomputed body
+        join; the half-reduced node relations must *not* be used for support
+        (they overestimate it — see ``_find_heads``).
+        """
         n = len(self.order)
         reduced: dict[int, Relation] = {n - 1: relations[n - 1]}
         for j in range(n - 2, -1, -1):
@@ -189,35 +203,89 @@ class _FindRulesRun:
                 best = value
         return best
 
-    def _body_join(self, reduced: dict[int, Relation]) -> Relation:
-        """The body join ``b = J(σ_b(body(MQ)))`` assembled from the reduced relations."""
-        return natural_join_all(list(reduced.values()))
+    def _body_join(self, body_atoms: Sequence[Atom], reduced: dict[int, Relation]) -> Relation:
+        """The body join ``b = J(σ_b(body(MQ)))`` assembled from the reduced relations.
+
+        The node relations are projected onto ``χ`` — the *metaquery's*
+        ordinary variables — so any type-2 padding column was dropped during
+        ``findBodies``.  Definition 2.6 counts over the full ``J(b)``
+        (padding variables included: a body atom whose padding positions
+        take several values contributes several joint tuples), so atoms
+        with projected-away variables are joined back in; the reduced
+        χ-join acts as the filter.  Without padding this is exactly the
+        plain join of the reduced relations.
+        """
+        body = natural_join_all(list(reduced.values()))
+        padded = [
+            atom
+            for atom in body_atoms
+            if any(v.name not in body.columns for v in atom.variables)
+        ]
+        if padded:
+            body = natural_join_all(
+                [body] + [atom_relation(a, self.db, self.ctx) for a in padded]
+            )
+        return body
 
     def _find_heads(self, sigma_b: Instantiation, reduced: dict[int, Relation]) -> None:
         """The ``findHeads`` procedure: support gate, then cover/confidence tests."""
-        support_value = self._support_of_body(sigma_b, reduced)
-        if self.thresholds.support is not None and not support_value > self.thresholds.support:
-            return
-        if not self.use_full_reducer:
-            # Ablation: recompute the body join from the raw atom relations.
-            atoms = [sigma_b.image(s) for s in self.label_to_scheme.values()]
-            body = natural_join_all([atom_relation(a, self.db, self.ctx) for a in atoms])
+        body_atoms = [sigma_b.image(s) for s in self.label_to_scheme.values()]
+        # Batched arm: the shape group is materialized once — seeded lazily,
+        # so on a group hit the body join is not rebuilt — and every
+        # agreeing head instantiation is answered from the shared key
+        # indexes instead of per-head semijoins.  ``body`` is only
+        # materialized on the unbatched path (the group replaces it).
+        group = body = None
+        if self.use_full_reducer:
+            support_value = self._support_of_body(sigma_b, reduced)
+            if self.thresholds.support is not None and not support_value > self.thresholds.support:
+                return
+            if self.batcher is not None:
+                group = self.batcher.body_group(
+                    body_atoms, precomputed=lambda: self._body_join(body_atoms, reduced)
+                )
+            else:
+                body = self._body_join(body_atoms, reduced)
         else:
-            body = self._body_join(reduced)
+            # Ablation: recompute the body join from the raw atom relations.
+            # Support must come from this recomputed join too — the node
+            # relations are only *half*-reduced here (no top-down semijoin
+            # pass), so reading support off them can overestimate it and
+            # admit instantiations the reference engine rejects.
+            def recompute() -> Relation:
+                return natural_join_all(
+                    [atom_relation(a, self.db, self.ctx) for a in body_atoms]
+                )
+
+            if self.batcher is not None:
+                group = self.batcher.body_group(body_atoms, precomputed=recompute)
+                support_value = group.support
+            else:
+                body = recompute()
+                support_value = support_from_join(body_atoms, body, self.db, self.ctx)
+            if self.thresholds.support is not None and not support_value > self.thresholds.support:
+                return
 
         for sigma_h in enumerate_scheme_instantiations([self.mq.head], self.db, self.itype, base=sigma_b):
             sigma = sigma_b.compose(sigma_h)
             head_atom = sigma.image(self.mq.head)
             if head_atom.predicate not in self.db or self.db[head_atom.predicate].arity != head_atom.arity:
                 continue
-            head = atom_relation(head_atom, self.db, self.ctx)
-            head_reduced = head.semijoin(body)
-            cover_value = _ratio(len(head_reduced), len(head))
-            if self.thresholds.cover is not None and not cover_value > self.thresholds.cover:
-                continue
-            confidence_value = _ratio(len(body.semijoin(head_reduced)), len(body))
-            if self.thresholds.confidence is not None and not confidence_value > self.thresholds.confidence:
-                continue
+            if group is not None:
+                cover_value, confidence_value = self.batcher.head_indices(group, head_atom)
+                if self.thresholds.cover is not None and not cover_value > self.thresholds.cover:
+                    continue
+                if self.thresholds.confidence is not None and not confidence_value > self.thresholds.confidence:
+                    continue
+            else:
+                head = atom_relation(head_atom, self.db, self.ctx)
+                head_reduced = head.semijoin(body)
+                cover_value = _ratio(len(head_reduced), len(head))
+                if self.thresholds.cover is not None and not cover_value > self.thresholds.cover:
+                    continue
+                confidence_value = _ratio(len(body.semijoin(head_reduced)), len(body))
+                if self.thresholds.confidence is not None and not confidence_value > self.thresholds.confidence:
+                    continue
             rule = sigma.apply(self.mq)
             self.answers.append(
                 MetaqueryAnswer(
@@ -240,6 +308,8 @@ def find_rules(
     decomposition: HypertreeDecomposition | None = None,
     cache: bool = True,
     ctx: EvaluationContext | None = None,
+    batch: bool = True,
+    batcher: BatchEvaluator | None = None,
 ) -> AnswerSet:
     """Run the FindRules algorithm (Figure 4).
 
@@ -267,6 +337,14 @@ def find_rules(
         whole search, so branches revisiting the same (node, relation
         choice) combination reuse the materialized relation.  An explicit
         ``ctx`` (e.g. the engine's persistent one) overrides ``cache``.
+    batch, batcher:
+        Batched instantiation evaluation (default on): ``findHeads`` seeds a
+        :class:`~repro.datalog.batching.BatchEvaluator` shape group with the
+        materialized body join and answers every agreeing head
+        instantiation from the group's shared key indexes in one grouped
+        semijoin pass.  An explicit ``batcher`` (e.g. the engine's
+        persistent one) overrides ``batch``; pass ``batch=False`` for the
+        per-head ablation baseline.
     """
     thresholds = thresholds or Thresholds.none()
     itype = InstantiationType.coerce(itype)
@@ -274,7 +352,11 @@ def find_rules(
         raise MetaqueryError(f"type-{int(itype)} instantiations require a pure metaquery")
     if ctx is None and cache:
         ctx = EvaluationContext(db)
-    run = _FindRulesRun(db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition, ctx)
+    if batcher is None and batch:
+        batcher = BatchEvaluator(db, ctx)
+    run = _FindRulesRun(
+        db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition, ctx, batcher
+    )
     return run.run()
 
 

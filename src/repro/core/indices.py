@@ -25,10 +25,12 @@ from fractions import Fraction
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.datalog.atoms import Atom, variables_of
-from repro.datalog.evaluation import is_satisfiable, join_atoms
+from repro.datalog.evaluation import atom_relation, is_satisfiable, join_atoms
 from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.exceptions import IndexError_
+from repro.relational import indexes
 from repro.relational.database import Database
+from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datalog.context import EvaluationContext
@@ -99,6 +101,41 @@ def support(rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None
     return best
 
 
+def support_from_join(
+    body_atoms: Sequence[Atom],
+    body_join: Relation,
+    db: Database,
+    ctx: "EvaluationContext | None" = None,
+) -> Fraction:
+    """``sup`` of an instantiated body, read off an already-materialized ``J(b)``.
+
+    Since every body atom ``a`` satisfies ``J({a}) ⋈ J(b) = J(b)``, the
+    fraction ``{a} ↑ b`` is ``|π_var(a)(J(b))| / |J({a})|`` — no further
+    joins are needed once the body join is in hand.  Agrees exactly with
+    :func:`support` (the projection of a non-empty relation onto zero
+    columns has cardinality 1, matching the ground-atom convention of
+    :func:`fraction`).  The projection cardinality is the key count of the
+    join's cached hash index on the atom's variable columns, so repeated
+    calls over one join (or its renamed views) share the index.
+    :meth:`repro.datalog.batching.BatchEvaluator._support` is the
+    canonical-column twin of this loop.
+    """
+    best = Fraction(0)
+    for atom in body_atoms:
+        base = atom_relation(atom, db, ctx)
+        denominator = len(base)
+        if denominator == 0:
+            continue
+        names = [v.name for v in atom.variables]
+        numerator = len(indexes.index_for(body_join, names))
+        if numerator == 0:
+            continue
+        value = Fraction(numerator, denominator)
+        if value > best:
+            best = value
+    return best
+
+
 def all_indices(rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None) -> dict[str, Fraction]:
     """Support, confidence and cover of a rule, as a dictionary."""
     return {
@@ -127,25 +164,36 @@ class PlausibilityIndex:
     compute: Callable[..., Fraction]
 
     def __post_init__(self) -> None:
+        # How to hand the context to ``compute``: as a third positional
+        # argument, as the ``ctx=`` keyword, or not at all.  Keyword-only
+        # ``ctx`` parameters (common on ``functools.partial``-bound
+        # callables, whose reported signature turns bound parameters
+        # keyword-only) must be detected explicitly: counting positional
+        # parameters alone either drops cache sharing or passes a third
+        # positional argument the callable rejects with a TypeError.
         try:
             parameters = inspect.signature(self.compute).parameters.values()
-            accepts_ctx = (
-                sum(
-                    p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
-                    for p in parameters
-                )
-                >= 3
-                or any(p.kind == p.VAR_POSITIONAL for p in parameters)
-            )
         except (TypeError, ValueError):  # builtins/callables without a signature
-            accepts_ctx = True
-        object.__setattr__(self, "_accepts_ctx", accepts_ctx)
+            ctx_mode = "positional"
+        else:
+            positional = sum(
+                p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD) for p in parameters
+            )
+            if positional >= 3 or any(p.kind == p.VAR_POSITIONAL for p in parameters):
+                ctx_mode = "positional"
+            elif any(p.name == "ctx" and p.kind == p.KEYWORD_ONLY for p in parameters):
+                ctx_mode = "keyword"
+            else:
+                ctx_mode = "none"
+        object.__setattr__(self, "_ctx_mode", ctx_mode)
 
     def __call__(
         self, rule: HornRule, db: Database, ctx: "EvaluationContext | None" = None
     ) -> Fraction:
-        if self._accepts_ctx:
+        if self._ctx_mode == "positional":
             return self.compute(rule, db, ctx)
+        if self._ctx_mode == "keyword":
+            return self.compute(rule, db, ctx=ctx)
         return self.compute(rule, db)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,6 +21,7 @@ instantiations (Definition 4.13), which the FindRules algorithm relies on.
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterable, Iterator, Mapping, Sequence
@@ -144,11 +145,44 @@ class Instantiation:
         return True
 
     def compose(self, other: "Instantiation") -> "Instantiation":
-        """Union of two agreeing instantiations (``σ ∘ μ`` in the paper)."""
+        """Union of two agreeing instantiations (``σ ∘ μ`` in the paper).
+
+        Type-2 padding variables must stay fresh across the union
+        (Definition 2.4): a ``_T2_*`` name introduced by this instantiation
+        must not reappear in an atom ``other`` contributes for a *different*
+        pattern — the "fresh" variable would silently become a join
+        variable.  Colliding padding variables on ``other``'s side are
+        renamed to names unused by either operand; shared patterns (whose
+        atoms agree, padding included) are left untouched.
+        """
         if not self.agrees_with(other):
             raise InstantiationError("cannot compose instantiations that do not agree")
         merged = dict(self.mapping)
-        merged.update(other.as_dict())
+        other_dict = other.as_dict()
+
+        mine = self.fresh_variables()
+        clashes: set[Variable] = set()
+        for scheme, atom in other_dict.items():
+            if scheme in merged:
+                continue  # shared pattern: atoms agree, same padding is legal
+            for t in atom.terms:
+                if isinstance(t, Variable) and t in mine and t.name.startswith("_T2_"):
+                    clashes.add(t)
+        if clashes:
+            counter = max(
+                (_padding_index(v.name) for v in mine | other.fresh_variables()),
+                default=0,
+            )
+            renaming: dict[Variable, Variable] = {}
+            for v in sorted(clashes, key=lambda v: (_padding_index(v.name), v.name)):
+                counter += 1
+                renaming[v] = Variable(f"_T2_{counter}")
+            other_dict = {
+                scheme: (atom if scheme in merged else atom.substitute(renaming))
+                for scheme, atom in other_dict.items()
+            }
+
+        merged.update(other_dict)
         return Instantiation(merged)
 
     def fresh_variables(self) -> frozenset[Variable]:
@@ -241,11 +275,31 @@ def is_valid_image(
 # ----------------------------------------------------------------------
 # enumeration
 # ----------------------------------------------------------------------
+_PADDING_NAME = re.compile(r"_T2_(\d+)\Z")
+
+
+def _padding_index(name: str) -> int:
+    """The numeric suffix of a ``_T2_*`` padding variable name, or 0."""
+    match = _PADDING_NAME.match(name)
+    return int(match.group(1)) if match else 0
+
+
 class _FreshPadding:
     """Produces rule-wide unique padding variables for type-2 images."""
 
-    def __init__(self) -> None:
-        self._counter = 0
+    def __init__(self, start: int = 0) -> None:
+        self._counter = start
+
+    @classmethod
+    def avoiding(cls, variables: Iterable[Variable]) -> "_FreshPadding":
+        """A source whose names come strictly after every given ``_T2_*`` name.
+
+        Used when extending a partial instantiation (Definition 2.4 requires
+        the padding variables of the *whole* instantiated rule to be
+        distinct, so the extension must not restart at ``_T2_1``).
+        """
+        start = max((_padding_index(v.name) for v in variables), default=0)
+        return cls(start)
 
     def next(self) -> Variable:
         self._counter += 1
@@ -324,13 +378,17 @@ def enumerate_scheme_instantiations(
     db: Database,
     itype: InstantiationType | int,
     base: Instantiation | None = None,
+    padding: _FreshPadding | None = None,
 ) -> Iterator[Instantiation]:
     """All instantiations of the patterns occurring in ``schemes``.
 
     The result instantiations are defined exactly on the distinct patterns
     of ``schemes`` and agree with ``base`` (patterns already covered by
     ``base`` keep their image; predicate variables fixed by ``base`` keep
-    their relation).
+    their relation).  Type-2 padding variables are drawn from ``padding``;
+    by default the source starts strictly after every ``_T2_*`` name already
+    used by ``base``, so composing a result with ``base`` can never turn a
+    padding variable into an accidental join variable (Definition 2.4).
     """
     itype = InstantiationType.coerce(itype)
     base_dict = base.as_dict() if base is not None else {}
@@ -341,7 +399,12 @@ def enumerate_scheme_instantiations(
         if scheme.is_pattern and scheme not in patterns:
             patterns.append(scheme)
 
-    padding = _FreshPadding()
+    if padding is None:
+        padding = (
+            _FreshPadding.avoiding(base.fresh_variables())
+            if base is not None
+            else _FreshPadding()
+        )
 
     def backtrack(index: int, current: dict[LiteralScheme, Atom], assignment: dict[str, str]) -> Iterator[Instantiation]:
         if index == len(patterns):

@@ -9,12 +9,21 @@ size but serves two purposes:
 * it is the reference implementation against which FindRules is tested, and
 * it is the baseline of the Figure 4 benchmarks.
 
-All entry points accept ``cache=`` (default on): a shared
-:class:`~repro.datalog.context.EvaluationContext` memoizes atom relations,
-body joins and fractions across instantiations, so e.g. the body join of a
-rule is computed once rather than once per head instantiation.  Pass
-``cache=False`` (or ``ctx=None`` explicitly with ``cache=False``) for the
-uncached ablation baseline.
+All entry points accept two independent acceleration switches (both
+default on):
+
+* ``cache=`` — a shared :class:`~repro.datalog.context.EvaluationContext`
+  memoizes atom relations, body joins and fractions across instantiations,
+  so e.g. the body join of a rule is computed once rather than once per
+  head instantiation;
+* ``batch=`` — a :class:`~repro.datalog.batching.BatchEvaluator` groups
+  instantiations sharing a normalized body shape, materializes each
+  group's canonical join once and answers every member (all head
+  instantiations of one body, support included) from the group's shared
+  key indexes instead of issuing per-pair join queries.
+
+Pass ``cache=False``/``batch=False`` (or explicit ``ctx=``/``batcher=``
+objects, which win over the booleans) for the ablation baselines.
 """
 
 from __future__ import annotations
@@ -23,9 +32,18 @@ from fractions import Fraction
 from typing import Iterator
 
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds, validate_threshold
-from repro.core.indices import PlausibilityIndex, all_indices, get_index, index_is_positive
+from repro.core.indices import (
+    CONFIDENCE,
+    COVER,
+    SUPPORT,
+    PlausibilityIndex,
+    all_indices,
+    get_index,
+    index_is_positive,
+)
 from repro.core.instantiation import InstantiationType, enumerate_instantiations
 from repro.core.metaquery import MetaQuery
+from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
 from repro.datalog.rules import HornRule
 from repro.relational.database import Database
@@ -50,26 +68,56 @@ def _make_context(
     return EvaluationContext(db) if cache else None
 
 
+def _make_batcher(
+    db: Database,
+    batch: bool,
+    batcher: BatchEvaluator | None,
+    ctx: EvaluationContext | None,
+) -> BatchEvaluator | None:
+    """Resolve the batching switch: an explicit (valid) evaluator wins."""
+    if batcher is not None and batcher.applies_to(db):
+        return batcher
+    return BatchEvaluator(db, ctx) if batch else None
+
+
+def _rule_indices(
+    rule: HornRule,
+    db: Database,
+    ctx: EvaluationContext | None,
+    batcher: BatchEvaluator | None,
+) -> tuple[Fraction, Fraction, Fraction]:
+    """``(sup, cnf, cvr)`` of one rule, batched when an evaluator is given."""
+    if batcher is not None:
+        group = batcher.body_group(rule.body_atoms)
+        cover, confidence = batcher.head_indices(group, rule.head)
+        return group.support, confidence, cover
+    values = all_indices(rule, db, ctx)
+    return values["sup"], values["cnf"], values["cvr"]
+
+
 def iter_answers(
     db: Database,
     mq: MetaQuery,
     itype: InstantiationType | int = InstantiationType.TYPE_0,
     cache: bool = True,
     ctx: EvaluationContext | None = None,
+    batch: bool = True,
+    batcher: BatchEvaluator | None = None,
 ) -> Iterator[MetaqueryAnswer]:
     """Yield an answer (with all three indices) for every evaluable instantiation."""
     ctx = _make_context(db, cache, ctx)
+    batcher = _make_batcher(db, batch, batcher, ctx)
     for instantiation in enumerate_instantiations(mq, db, itype):
         rule = instantiation.apply(mq)
         if not _rule_is_evaluable(rule, db):
             continue
-        values = all_indices(rule, db, ctx)
+        support, confidence, cover = _rule_indices(rule, db, ctx, batcher)
         yield MetaqueryAnswer(
             instantiation=instantiation,
             rule=rule,
-            support=values["sup"],
-            confidence=values["cnf"],
-            cover=values["cvr"],
+            support=support,
+            confidence=confidence,
+            cover=cover,
         )
 
 
@@ -80,6 +128,8 @@ def naive_find_rules(
     itype: InstantiationType | int = InstantiationType.TYPE_0,
     cache: bool = True,
     ctx: EvaluationContext | None = None,
+    batch: bool = True,
+    batcher: BatchEvaluator | None = None,
 ) -> AnswerSet:
     """All instantiations whose indices pass the thresholds.
 
@@ -88,10 +138,53 @@ def naive_find_rules(
     """
     thresholds = thresholds or Thresholds.none()
     answers = AnswerSet(algorithm="naive")
-    for answer in iter_answers(db, mq, itype, cache=cache, ctx=ctx):
+    for answer in iter_answers(db, mq, itype, cache=cache, ctx=ctx, batch=batch, batcher=batcher):
         if thresholds.accepts(answer.support, answer.confidence, answer.cover):
             answers.append(answer)
     return answers
+
+
+def _first_hit(
+    db: Database,
+    mq: MetaQuery,
+    index_obj: PlausibilityIndex,
+    k: Fraction,
+    itype: InstantiationType | int,
+    ctx: EvaluationContext | None,
+    batcher: BatchEvaluator | None,
+):
+    """The first instantiation with ``I(σ(MQ)) > k``, shared by decide/witness.
+
+    Returns ``(instantiation, rule)`` or ``None``.  For the three
+    standard indices the batched path answers each test from the body's
+    shape group; at ``k = 0`` it degenerates to the certifying-set
+    satisfiability test of Proposition 3.20 (``sup > 0`` iff the body join
+    is non-empty, ``cnf/cvr > 0`` iff some body key meets a head key) —
+    exactly the shortcut the unbatched path takes via
+    :func:`~repro.core.indices.index_is_positive`.  Custom indices always
+    go through their own ``compute`` callable.
+    """
+    standard = index_obj is SUPPORT or index_obj is CONFIDENCE or index_obj is COVER
+    for instantiation in enumerate_instantiations(mq, db, itype):
+        rule = instantiation.apply(mq)
+        if not _rule_is_evaluable(rule, db):
+            continue
+        if batcher is not None and standard:
+            group = batcher.body_group(rule.body_atoms)
+            if index_obj is SUPPORT:
+                hit = group.size > 0 if k == 0 else group.support > k
+            elif k == 0:
+                hit = batcher.head_joins(group, rule.head)
+            else:
+                cover, confidence = batcher.head_indices(group, rule.head)
+                hit = (cover if index_obj is COVER else confidence) > k
+        elif k == 0:
+            hit = index_is_positive(rule, index_obj, db, ctx)
+        else:
+            hit = index_obj(rule, db, ctx) > k
+        if hit:
+            return instantiation, rule
+    return None
 
 
 def naive_decide(
@@ -102,6 +195,8 @@ def naive_decide(
     itype: InstantiationType | int = InstantiationType.TYPE_0,
     cache: bool = True,
     ctx: EvaluationContext | None = None,
+    batch: bool = True,
+    batcher: BatchEvaluator | None = None,
 ) -> bool:
     """Decide the metaquerying problem ``⟨DB, MQ, I, k, T⟩`` (Section 3.2).
 
@@ -112,17 +207,8 @@ def naive_decide(
     index_obj = get_index(index)
     k = validate_threshold(k)
     ctx = _make_context(db, cache, ctx)
-    for instantiation in enumerate_instantiations(mq, db, itype):
-        rule = instantiation.apply(mq)
-        if not _rule_is_evaluable(rule, db):
-            continue
-        if k == 0:
-            if index_is_positive(rule, index_obj, db, ctx):
-                return True
-        else:
-            if index_obj(rule, db, ctx) > k:
-                return True
-    return False
+    batcher = _make_batcher(db, batch, batcher, ctx)
+    return _first_hit(db, mq, index_obj, k, itype, ctx, batcher) is not None
 
 
 def naive_witness(
@@ -133,6 +219,8 @@ def naive_witness(
     itype: InstantiationType | int = InstantiationType.TYPE_0,
     cache: bool = True,
     ctx: EvaluationContext | None = None,
+    batch: bool = True,
+    batcher: BatchEvaluator | None = None,
 ) -> MetaqueryAnswer | None:
     """A witnessing answer for the decision problem, or None when it is a NO instance.
 
@@ -146,23 +234,16 @@ def naive_witness(
     index_obj = get_index(index)
     k = validate_threshold(k)
     ctx = _make_context(db, cache, ctx)
-    for instantiation in enumerate_instantiations(mq, db, itype):
-        rule = instantiation.apply(mq)
-        if not _rule_is_evaluable(rule, db):
-            continue
-        if k == 0:
-            # Certifying-set shortcut: witness by satisfiability alone, then
-            # compute the indices once for the report.
-            hit = index_is_positive(rule, index_obj, db, ctx)
-        else:
-            hit = index_obj(rule, db, ctx) > k
-        if hit:
-            values = all_indices(rule, db, ctx)
-            return MetaqueryAnswer(
-                instantiation=instantiation,
-                rule=rule,
-                support=values["sup"],
-                confidence=values["cnf"],
-                cover=values["cvr"],
-            )
-    return None
+    batcher = _make_batcher(db, batch, batcher, ctx)
+    found = _first_hit(db, mq, index_obj, k, itype, ctx, batcher)
+    if found is None:
+        return None
+    instantiation, rule = found
+    support, confidence, cover = _rule_indices(rule, db, ctx, batcher)
+    return MetaqueryAnswer(
+        instantiation=instantiation,
+        rule=rule,
+        support=support,
+        confidence=confidence,
+        cover=cover,
+    )

@@ -17,6 +17,7 @@ built on:
 
 from repro.datalog.terms import Constant, Term, Variable, term
 from repro.datalog.atoms import Atom
+from repro.datalog.batching import BatchEvaluator, BodyGroup
 from repro.datalog.context import EvaluationContext
 from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.datalog.parser import parse_atom, parse_query, parse_rule, parse_program
@@ -36,6 +37,8 @@ __all__ = [
     "Constant",
     "term",
     "Atom",
+    "BatchEvaluator",
+    "BodyGroup",
     "EvaluationContext",
     "ConjunctiveQuery",
     "HornRule",

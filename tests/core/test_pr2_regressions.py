@@ -1,0 +1,228 @@
+"""Regression tests for the PR-2 bugfixes.
+
+Three correctness bugs are pinned here:
+
+1. **Type-2 freshness** — FindRules enumerated head (and per-node body)
+   instantiations with a padding counter restarting at ``_T2_1``, so a
+   "fresh" padding variable could collide with one already used by the
+   partial body instantiation; composing the two silently turned it into a
+   join variable, violating Definition 2.4 and corrupting cover/confidence.
+2. **Ablation answer drift** — with ``use_full_reducer=False`` the support
+   gate read the *half*-reduced node relations (no top-down semijoin pass),
+   overestimating support and admitting instantiations the reference
+   engine rejects.
+3. **Index ctx detection** — ``PlausibilityIndex`` miscounted callables
+   whose ``ctx`` parameter is keyword-only (e.g. after ``functools.partial``
+   binding), either dropping cache sharing or raising ``TypeError``.
+
+Plus the padded-fiber variant of bug 1 discovered while fixing it: the
+FindRules body join was assembled from χ-projected node relations, which
+drop type-2 padding columns, so ``|J(b)|`` (the confidence denominator) was
+wrong whenever a body atom's padding positions took several values per
+χ-tuple.
+"""
+
+import functools
+import re
+from fractions import Fraction
+
+import pytest
+
+from repro.core.answers import Thresholds
+from repro.core.findrules import find_rules
+from repro.core.indices import PlausibilityIndex, support
+from repro.core.instantiation import (
+    Instantiation,
+    enumerate_scheme_instantiations,
+)
+from repro.core.metaquery import LiteralScheme, parse_metaquery
+from repro.core.naive import naive_find_rules
+from repro.datalog.context import EvaluationContext
+from repro.datalog.parser import parse_atom, parse_rule
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def canonical_key(answer):
+    """Answer key with padding variables renamed by first occurrence.
+
+    ``_T2_*`` names are arbitrary (each engine numbers them differently),
+    so cross-engine comparisons must be up to a consistent renaming.
+    """
+    mapping = {}
+
+    def rename(match):
+        return mapping.setdefault(match.group(0), f"_F{len(mapping) + 1}")
+
+    return (
+        re.sub(r"_T2_\d+", rename, str(answer.rule)),
+        answer.support,
+        answer.confidence,
+        answer.cover,
+    )
+
+
+def canonical_keys(answers):
+    return sorted(canonical_key(a) for a in answers)
+
+
+# ----------------------------------------------------------------------
+# bug 1: type-2 padding freshness
+# ----------------------------------------------------------------------
+class TestType2Freshness:
+    @pytest.fixture
+    def ternary_db(self):
+        return Database(
+            [
+                Relation.from_rows("p", ("a", "b", "c"), [(1, 2, 9), (1, 3, 8), (1, 2, 5)]),
+                Relation.from_rows("q", ("a", "b", "c"), [(2, 4, 7), (3, 5, 7), (2, 4, 1)]),
+            ],
+            name="ternary",
+        )
+
+    def test_head_enumeration_avoids_base_padding(self, ternary_db):
+        head = LiteralScheme.pattern("R", ("X", "Z"))
+        body = LiteralScheme.pattern("P", ("X", "Y"))
+        for sigma_b in enumerate_scheme_instantiations([body], ternary_db, 2):
+            body_padding = sigma_b.fresh_variables()
+            for sigma_h in enumerate_scheme_instantiations([head], ternary_db, 2, base=sigma_b):
+                assert not (sigma_h.fresh_variables() & body_padding)
+
+    def test_findrules_matches_naive_on_multinode_type2(self, ternary_db):
+        """Head + two body patterns, each padded; decomposition has two nodes,
+        so the old code also collided padding *between* body nodes."""
+        mq = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+        naive = naive_find_rules(ternary_db, mq, None, 2)
+        fast = find_rules(ternary_db, mq, None, 2)
+        assert canonical_keys(naive) == canonical_keys(fast)
+
+    def test_findrules_padded_fiber_confidence(self):
+        """cnf counts over the full J(b), padding columns included: two body
+        tuples share the χ-projection (a, b) here, and both must count."""
+        db = Database(
+            [
+                Relation.from_rows("p3", ("a", "b", "c"), [("a", "b", 1), ("a", "b", 2), ("d", "e", 1)]),
+                Relation.from_rows("r2", ("a", "b"), [("a", "x")]),
+            ],
+            name="fiber",
+        )
+        mq = parse_metaquery("R(X) <- P(X)")
+        naive = naive_find_rules(db, mq, None, 2)
+        fast = find_rules(db, mq, None, 2)
+        assert canonical_keys(naive) == canonical_keys(fast)
+        # the specific corrupted value: body p3(X, _, _) has |J(b)| = 3, and
+        # 2 of the 3 tuples join the head r2(X, _), so cnf = 2/3 (not 1/2,
+        # which the χ-projected body join used to give).
+        target = [k for k in canonical_keys(naive) if k[0].startswith("r2(X, _F1) <- p3(X")]
+        assert target and target[0][2] == Fraction(2, 3)
+
+    def test_compose_renames_colliding_padding(self):
+        sigma_b = Instantiation({LiteralScheme.pattern("P", ("X",)): parse_atom("p(X, _T2_1)")})
+        sigma_h = Instantiation({LiteralScheme.pattern("R", ("X",)): parse_atom("r(X, _T2_1)")})
+        composed = sigma_b.compose(sigma_h)
+        atoms = [atom for _, atom in composed.mapping]
+        padding = [t.name for atom in atoms for t in atom.terms if t.name.startswith("_T2_")]
+        assert len(padding) == len(set(padding)), "padding variable reused across atoms"
+
+    def test_compose_keeps_shared_pattern_padding(self):
+        pattern = LiteralScheme.pattern("P", ("X",))
+        atom = parse_atom("p(X, _T2_1)")
+        sigma = Instantiation({pattern: atom})
+        composed = sigma.compose(Instantiation({pattern: atom}))
+        assert composed.image(pattern) == atom
+
+
+# ----------------------------------------------------------------------
+# bug 2: ablation answer drift
+# ----------------------------------------------------------------------
+class TestHalfReducerAnswerDrift:
+    @pytest.fixture
+    def chain_db(self):
+        """Each relation has one chain tuple plus one dangling tuple; the
+        dangling tuples survive the bottom-up pass in the leaf nodes, so the
+        half-reduced relations overestimate support (1 instead of 1/2)."""
+        return Database(
+            [
+                Relation.from_rows("p", ("a", "b"), [("a", "b"), ("z1", "z2")]),
+                Relation.from_rows("q", ("a", "b"), [("b", "c"), ("y1", "y2")]),
+                Relation.from_rows("s", ("a", "b"), [("c", "d"), ("w1", "w2")]),
+            ],
+            name="drift",
+        )
+
+    MQ = parse_metaquery("R(X,W) <- P(X,Y), Q(Y,Z), S(Z,W)")
+
+    def test_arms_admit_identical_answers(self, chain_db):
+        thresholds = Thresholds(support=0.6)
+        full = find_rules(chain_db, self.MQ, thresholds, 0, use_full_reducer=True)
+        half = find_rules(chain_db, self.MQ, thresholds, 0, use_full_reducer=False)
+        naive = naive_find_rules(chain_db, self.MQ, thresholds, 0)
+        assert canonical_keys(full) == canonical_keys(half) == canonical_keys(naive)
+
+    def test_reported_support_is_exact_in_both_arms(self, chain_db):
+        thresholds = Thresholds(support=0.0)
+        full = find_rules(chain_db, self.MQ, thresholds, 0, use_full_reducer=True)
+        half = find_rules(chain_db, self.MQ, thresholds, 0, use_full_reducer=False)
+        assert canonical_keys(full) == canonical_keys(half)
+        assert all(a.support == Fraction(1, 2) for a in half)
+
+
+# ----------------------------------------------------------------------
+# bug 3: keyword-only ctx detection
+# ----------------------------------------------------------------------
+class TestIndexCtxDetection:
+    RULE = parse_rule("r(X) <- p(X, Y)")
+
+    @pytest.fixture
+    def db(self):
+        return Database(
+            [
+                Relation.from_rows("p", ("a", "b"), [(1, 2), (1, 3), (4, 5)]),
+                Relation.from_rows("r", ("a",), [(1,), (9,)]),
+            ],
+            name="idx",
+        )
+
+    def test_keyword_only_ctx_receives_the_context(self, db):
+        received = {}
+
+        def compute(rule, database, *, ctx=None):
+            received["ctx"] = ctx
+            return support(rule, database, ctx)
+
+        index = PlausibilityIndex("kw", compute)
+        ctx = EvaluationContext(db)
+        value = index(self.RULE, db, ctx)
+        assert received["ctx"] is ctx
+        assert value == support(self.RULE, db)
+
+    def test_partial_bound_callable_does_not_raise(self, db):
+        def weighted(scale, rule, database, ctx=None):
+            return support(rule, database, ctx) * scale
+
+        index = PlausibilityIndex("weighted", functools.partial(weighted, Fraction(1, 2)))
+        assert index(self.RULE, db, EvaluationContext(db)) == support(self.RULE, db) / 2
+
+    def test_partial_with_keyword_bound_ctx_param(self, db):
+        """partial(f, ...) turning ctx keyword-only must go through ctx=."""
+
+        def compute(rule, database, extra=None, *, ctx=None):
+            return support(rule, database, ctx)
+
+        index = PlausibilityIndex("kwbound", functools.partial(compute, extra="x"))
+        assert index(self.RULE, db, EvaluationContext(db)) == support(self.RULE, db)
+
+    def test_plain_two_argument_callable_gets_no_ctx(self, db):
+        index = PlausibilityIndex("plain", lambda rule, database: Fraction(1, 3))
+        assert index(self.RULE, db, EvaluationContext(db)) == Fraction(1, 3)
+
+    def test_positional_ctx_still_positional(self, db):
+        received = {}
+
+        def compute(rule, database, ctx=None):
+            received["ctx"] = ctx
+            return Fraction(0)
+
+        ctx = EvaluationContext(db)
+        PlausibilityIndex("pos", compute)(self.RULE, db, ctx)
+        assert received["ctx"] is ctx
