@@ -1,0 +1,227 @@
+"""Record the shard-ablation benchmark required by the acceptance criteria.
+
+Times the Figure-4 workloads (telecom naive baseline, telecom type-2 and
+the acyclic chain, for both engines) with the instantiation space sharded
+across 1, 2 and 4 worker processes.  Every arm keeps the full serial
+acceleration stack on (EvaluationContext memoization + Yannakakis fast
+path + shape-grouped batching), so the ``workers=1`` arm is exactly the
+PR-2 serial batched engine and any speedup is attributable to sharding
+alone: distributing whole shape groups over per-worker
+``BatchEvaluator``/``EvaluationContext`` pairs.
+
+Answers are asserted **byte-identical** across all worker counts before
+any measurement is reported — sharding must be observationally invisible.
+
+Parallel arms use one persistent :class:`ShardedEvaluator` per
+(scenario, worker-count): the pool starts on the first repeat and is
+reused by the rest, matching how the ``MetaqueryEngine`` deploys the pool,
+and best-of-N timing reports the warm-pool figure.
+
+A genuine parallel speedup needs hardware parallelism: the payload records
+``cpu_count``, and the ≥1.5x speedup gate is only enforced when the host
+actually exposes multiple CPUs (on a single-CPU host the parallel arms
+measure pure sharding overhead, which is also worth recording).
+
+Usage::
+
+    python benchmarks/run_shard_ablation.py                  # full run
+    python benchmarks/run_shard_ablation.py --smoke          # CI smoke sizes
+    python benchmarks/run_shard_ablation.py --output FILE    # custom path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.answers import Thresholds
+from repro.core.findrules import find_rules
+from repro.core.metaquery import parse_metaquery
+from repro.core.naive import naive_find_rules
+from repro.datalog.context import EvaluationContext
+from repro.datalog.sharding import ShardedEvaluator
+from repro.workloads.synthetic import chain_database, chain_metaquery
+from repro.workloads.telecom import scaled_telecom
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+
+WORKER_ARMS = (1, 2, 4)
+
+
+def _answer_keys(answers):
+    return [(str(a.rule), a.support, a.confidence, a.cover) for a in answers]
+
+
+def _time(fn, repeats: int, before=None):
+    """Best-of-N wall-clock time and the last result.
+
+    ``before`` runs untimed ahead of every repeat (used to reset the worker
+    pool to cold caches, so no repeat benefits from a previous one).
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        if before is not None:
+            before()
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_scenario(name: str, db, run, repeats: int) -> dict:
+    """Time ``run(sharder)`` for each worker arm (``sharder=None`` is serial).
+
+    Every repeat of every arm evaluates from cold caches: the serial arm
+    builds a fresh memoized context per call (inside ``run``), and the
+    parallel arms restart their pool between repeats — ``reset()`` drops
+    the workers' contexts and batchers, ``warm_up()`` then brings the new
+    pool online *outside* the timed region, so timings compare cold
+    evaluation with a running pool (the persistent-engine deployment
+    model), not warm caches against cold ones.  Answers must be
+    byte-identical across every arm.
+    """
+    times: dict[int, float] = {}
+    serial_keys = None
+    for workers in WORKER_ARMS:
+        if workers == 1:
+            seconds, answers = _time(lambda: run(None), repeats)
+        else:
+            with ShardedEvaluator(db, workers) as sharder:
+
+                def cold_pool():
+                    sharder.reset()
+                    sharder.warm_up()
+
+                seconds, answers = _time(lambda: run(sharder), repeats, before=cold_pool)
+        keys = _answer_keys(answers)
+        if serial_keys is None:
+            serial_keys = keys
+        elif keys != serial_keys:
+            raise AssertionError(f"{name}: workers={workers} answers differ from serial")
+        times[workers] = seconds
+    speedups = {w: times[1] / times[w] if times[w] else None for w in WORKER_ARMS}
+    print(
+        f"{name:<36} "
+        + "  ".join(f"w{w}={times[w]:.4f}s" for w in WORKER_ARMS)
+        + f"  speedup@4={speedups[4]:.2f}x  answers={len(serial_keys)}"
+    )
+    return {
+        "scenario": name,
+        "seconds": {str(w): round(times[w], 6) for w in WORKER_ARMS},
+        "speedup_vs_serial": {str(w): round(speedups[w], 3) for w in WORKER_ARMS},
+        "answers": len(serial_keys),
+        "answers_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--output", default=None, help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    output = Path(args.output) if args.output else repo_root / "BENCH_shard_ablation.json"
+    cpus = os.cpu_count() or 1
+
+    users = 25 if args.smoke else 45
+    chain_tuples = 25 if args.smoke else 40
+    repeats = 1 if args.smoke else args.repeats
+
+    telecom_db = scaled_telecom(users=users, carriers=6, technologies=5, noise=0.1, seed=1)
+    telecom_thresholds = Thresholds(support=0.2, confidence=0.3, cover=0.1)
+
+    chain_db = chain_database(
+        relations=6, tuples_per_relation=chain_tuples, planted_fraction=0.3, seed=2
+    )
+    chain_mq = chain_metaquery(3)
+    chain_thresholds = Thresholds(support=0.1, confidence=0.0, cover=0.0)
+
+    scenarios = [
+        run_scenario(
+            "figure4_naive_baseline_telecom",
+            telecom_db,
+            lambda sharder: naive_find_rules(
+                telecom_db, TRANSITIVITY, telecom_thresholds, 0,
+                ctx=EvaluationContext(telecom_db), sharder=sharder,
+            ),
+            repeats,
+        ),
+        run_scenario(
+            "figure4_naive_type2_telecom",
+            telecom_db,
+            lambda sharder: naive_find_rules(
+                telecom_db, TRANSITIVITY, telecom_thresholds, 2,
+                ctx=EvaluationContext(telecom_db), sharder=sharder,
+            ),
+            repeats,
+        ),
+        run_scenario(
+            "acyclic_chain_naive",
+            chain_db,
+            lambda sharder: naive_find_rules(
+                chain_db, chain_mq, chain_thresholds, 0,
+                ctx=EvaluationContext(chain_db), sharder=sharder,
+            ),
+            repeats,
+        ),
+        run_scenario(
+            "acyclic_chain_findrules",
+            chain_db,
+            lambda sharder: find_rules(
+                chain_db, chain_mq, chain_thresholds, 0,
+                ctx=EvaluationContext(chain_db), sharder=sharder,
+            ),
+            repeats,
+        ),
+    ]
+
+    best_at_4 = max(s["speedup_vs_serial"]["4"] for s in scenarios)
+    payload = {
+        "benchmark": "shard_ablation",
+        "description": (
+            "Shape groups sharded across 1/2/4 worker processes; every arm "
+            "keeps memoization, the Yannakakis fast path and batching on, so "
+            "workers=1 is the PR-2 serial batched engine and the speedup is "
+            "attributable to sharding alone.  Answers are byte-identical "
+            "across all worker counts."
+        ),
+        "python": platform.python_version(),
+        "cpu_count": cpus,
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "worker_arms": list(WORKER_ARMS),
+        "best_speedup_at_4_workers": round(best_at_4, 3),
+        "scenarios": scenarios,
+    }
+    if cpus < 2:
+        payload["note"] = (
+            "single-CPU host: worker processes time-slice one core, so the "
+            "parallel arms measure sharding overhead, not parallel speedup; "
+            "run on a multi-core host for the Figure-4 scaling numbers"
+        )
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output} (cpu_count={cpus})")
+
+    if not args.smoke and cpus >= 2:
+        if best_at_4 < 1.5:
+            print(
+                f"WARNING: best speedup at 4 workers is {best_at_4:.2f}x "
+                f"(< 1.5x) on a {cpus}-CPU host",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,20 @@ Usage (also available as ``python -m repro``)::
     python -m repro mine DATA_DIR "R(X,Z) <- P(X,Y), Q(Y,Z)" \
         --support 0.2 --confidence 0.5 --cover 0.0 --type 1
 
+    python -m repro mine DATA_DIR "R(X,Z) <- P(X,Y), Q(Y,Z)" --workers 4
     python -m repro info DATA_DIR
     python -m repro classify "R(X,Z) <- P(X,Y), Q(Y,Z)"
 
 ``DATA_DIR`` must contain one CSV file per relation (header row = column
 names), as produced by :func:`repro.relational.io.save_database`.
+
+The ``mine`` subcommand exposes the engine's four ablation switches:
+``--no-cache`` (evaluation memoization), ``--no-fast-path`` (acyclic
+Yannakakis joins), ``--no-batch`` (shape-grouped batched evaluation) and
+``--workers N`` (shard shape groups across N worker processes; the default
+``--workers 1`` is fully serial and never spawns a pool).  All switches
+only change speed, never answers — see ``docs/architecture.md`` for the
+full matrix.
 """
 
 from __future__ import annotations
@@ -49,6 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="disable the acyclic Yannakakis join fast path")
     mine.add_argument("--no-batch", action="store_true",
                       help="disable shape-grouped batched instantiation evaluation")
+    mine.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="shard shape groups across N worker processes "
+                           "(default 1: serial, no pool is spawned)")
 
     info = subparsers.add_parser("info", help="show the schema and sizes of a CSV database directory")
     info.add_argument("data_dir")
@@ -61,16 +73,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _run_mine(args: argparse.Namespace) -> int:
+    """``mine``: answer one metaquery over a CSV database directory.
+
+    Builds a :class:`~repro.core.engine.MetaqueryEngine` with the requested
+    ablation switches (``--no-cache``/``--no-fast-path``/``--no-batch``/
+    ``--workers``), runs ``find_rules`` and prints a sorted answer table.
+    The engine is used as a context manager so a ``--workers N`` pool is
+    always released, even when mining raises.
+    """
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
     db = load_database(args.data_dir)
-    engine = MetaqueryEngine(
+    with MetaqueryEngine(
         db,
         default_itype=args.itype,
         cache=not args.no_cache,
         fast_path=not args.no_fast_path,
         batch=not args.no_batch,
-    )
-    thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
-    answers = engine.find_rules(args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm)
+        workers=args.workers,
+    ) as engine:
+        thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
+        answers = engine.find_rules(args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm)
     ordered = answers.sorted_by(args.sort_by)
     print(f"# database: {args.data_dir} ({len(db)} relations, {db.total_tuples()} tuples)")
     print(f"# metaquery: {args.metaquery}")
@@ -78,13 +102,15 @@ def _run_mine(args: argparse.Namespace) -> int:
         f"# thresholds: {thresholds}   type-{args.itype}   "
         f"algorithm={answers.algorithm} (requested {args.algorithm})   "
         f"cache={'off' if args.no_cache else 'on'}   "
-        f"batch={'off' if args.no_batch else 'on'}"
+        f"batch={'off' if args.no_batch else 'on'}   "
+        f"workers={args.workers}"
     )
     print(ordered.to_table(max_rows=args.limit))
     return 0
 
 
 def _run_info(args: argparse.Namespace) -> int:
+    """``info``: print the schema, per-relation sizes and domain of a database."""
     db = load_database(args.data_dir)
     print(f"database directory: {args.data_dir}")
     print(f"relations: {len(db)}   tuples: {db.total_tuples()}   domain size: {len(db.active_domain())}")
@@ -94,6 +120,11 @@ def _run_info(args: argparse.Namespace) -> int:
 
 
 def _run_classify(args: argparse.Namespace) -> int:
+    """``classify``: report purity and the acyclic/semi-acyclic/cyclic class.
+
+    The classification drives which complexity results of the paper apply
+    (acyclic metaqueries admit the polynomial Figure-4 fast paths).
+    """
     mq = parse_metaquery(args.metaquery, relation_names=args.relation_names)
     print(f"metaquery: {mq}")
     print(f"pure: {mq.is_pure()}")

@@ -56,6 +56,24 @@ class Thresholds:
     ``index > k`` (matching the decision problems of Section 3.2).  A value
     of ``None`` disables filtering on that index; note that ``None`` and
     ``0`` differ: ``0`` still excludes rules whose index is exactly zero.
+    Floats are coerced to exact fractions through their shortest decimal
+    representation (see :func:`exact_fraction`), so ``support=0.2`` means
+    exactly ``sup > 1/5`` — never a rounded binary float.
+
+    Thresholds also steer :meth:`MetaqueryEngine.find_rules`'s
+    ``algorithm="auto"`` dispatch: with at least one threshold enabled the
+    engine runs FindRules (whose pruning needs a threshold to be sound),
+    with ``Thresholds.none()`` it falls back to the naive engine.
+
+    Examples
+    --------
+    >>> t = Thresholds(support=0.2, confidence=0.5)
+    >>> t.support
+    Fraction(1, 5)
+    >>> t.accepts(Fraction(1, 4), Fraction(3, 4), Fraction(0))
+    True
+    >>> t.accepts(Fraction(1, 5), Fraction(3, 4), Fraction(0))  # strict >
+    False
     """
 
     support: Fraction | None = None
@@ -132,6 +150,18 @@ class AnswerSet:
     (``"naive"`` or ``"findrules"``); :meth:`MetaqueryEngine.find_rules`
     sets it so that ``algorithm="auto"`` runs cannot be mislabelled in
     benchmark ablations.  It is ``None`` for hand-built sets.
+
+    Answers keep the engine's emission order, which is deterministic for a
+    given database/metaquery/type — identical across the ``cache``,
+    ``fast_path``, ``batch`` and ``workers`` ablation arms — so two answer
+    sets from equivalent runs compare byte-for-byte; the ablation
+    benchmarks and sharding property tests rely on exactly that.
+
+    Examples
+    --------
+    >>> answers = engine.find_rules(mq, Thresholds(support=0.2))  # doctest: +SKIP
+    >>> answers.sorted_by("cnf").best("cnf")                      # doctest: +SKIP
+    >>> print(answers.above(Thresholds.positive()).to_table())    # doctest: +SKIP
     """
 
     def __init__(

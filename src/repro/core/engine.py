@@ -8,15 +8,23 @@
 * ``"auto"`` — FindRules whenever at least one threshold is enabled,
   otherwise naive (FindRules' pruning needs a threshold to be sound).
 
-The engine also owns a persistent
-:class:`~repro.datalog.context.EvaluationContext` (``cache=True``, the
-default) shared by every call, so repeated metaqueries over the same
-database reuse memoized atom relations, joins and fractions, and — with
-``batch=True``, also the default — a persistent
-:class:`~repro.datalog.batching.BatchEvaluator` that evaluates whole
-shape groups of instantiations from one materialized canonical join.  The
-database is treated as read-only; call :meth:`invalidate_cache` after
-mutating it in place.
+The engine also owns the persistent acceleration state shared by every
+call:
+
+* an :class:`~repro.datalog.context.EvaluationContext` (``cache=True``,
+  the default), so repeated metaqueries over the same database reuse
+  memoized atom relations, joins and fractions;
+* with ``batch=True`` (also the default), a persistent
+  :class:`~repro.datalog.batching.BatchEvaluator` that evaluates whole
+  shape groups of instantiations from one materialized canonical join;
+* with ``workers > 1``, a persistent
+  :class:`~repro.datalog.sharding.ShardedEvaluator` whose worker pool is
+  reused across calls and released by :meth:`MetaqueryEngine.close` (or a
+  ``with`` block).
+
+The database is treated as read-only; call :meth:`invalidate_cache` after
+mutating it in place (it also restarts the worker pool, whose processes
+hold their own database snapshots).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.core.metaquery import MetaQuery, parse_metaquery
 from repro.core.naive import naive_decide, naive_find_rules, naive_witness
 from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
+from repro.datalog.sharding import ShardedEvaluator
 from repro.relational.database import Database
 
 logger = logging.getLogger(__name__)
@@ -43,20 +52,51 @@ ALGORITHMS = ("auto", "naive", "findrules")
 class MetaqueryEngine:
     """Answer metaqueries over one database instance.
 
+    The four acceleration switches are independent and compose; all are
+    observationally invisible (same answers, same order, same exact
+    :class:`~fractions.Fraction` values) — they only change how fast the
+    answers arrive.
+
     Parameters
     ----------
     db:
-        The database to mine.
+        The database to mine.  Treated as read-only; call
+        :meth:`invalidate_cache` after mutating it in place.
     default_itype:
-        The instantiation type used when a call does not specify one.
+        The instantiation type used when a call does not specify one
+        (type 0, the paper's Definition 2.2, by default).
     cache:
-        Memoize evaluation results across calls (default on).
+        Memoize atom relations, joins and fractions across calls in a
+        persistent :class:`~repro.datalog.context.EvaluationContext`
+        (default on).
     fast_path:
-        Enable the acyclic Yannakakis fast path in ``join_atoms`` (default
-        on; independent of ``cache``).
+        Enable the acyclic Yannakakis full-reducer fast path in
+        ``join_atoms`` (default on; independent of ``cache``).
     batch:
-        Evaluate shape groups of instantiations in one batched pass
+        Evaluate shape groups of instantiations in one batched pass over a
+        persistent :class:`~repro.datalog.batching.BatchEvaluator`
         (default on; independent of ``cache`` and ``fast_path``).
+    workers:
+        Shard shape groups across a ``multiprocessing`` pool of this many
+        worker processes (default 1 = serial, no pool is ever spawned).
+        The pool is created lazily on the first parallel call, persists
+        across calls, and is released by :meth:`close` — engines with
+        ``workers > 1`` are best used as context managers.
+
+    Examples
+    --------
+    >>> from repro.workloads.telecom import db1
+    >>> engine = MetaqueryEngine(db1())
+    >>> answers = engine.find_rules("R(X,Z) <- P(X,Y), Q(Y,Z)",
+    ...                             Thresholds(support=0.2), itype=1)
+    >>> answers.algorithm
+    'findrules'
+
+    Parallel mining with an explicit lifecycle::
+
+        with MetaqueryEngine(db, workers=4) as engine:
+            answers = engine.find_rules(mq, Thresholds(support=0.2))
+        # pool released here; answers identical to the workers=1 run
     """
 
     def __init__(
@@ -66,6 +106,7 @@ class MetaqueryEngine:
         cache: bool = True,
         fast_path: bool = True,
         batch: bool = True,
+        workers: int = 1,
     ) -> None:
         self.db = db
         self.default_itype = InstantiationType.coerce(default_itype)
@@ -76,12 +117,47 @@ class MetaqueryEngine:
         # Persistent across calls, like the context, so repeated metaqueries
         # reuse materialized shape groups.
         self.batcher = BatchEvaluator(db, ctx=self.context) if batch else None
+        # Persistent worker pool (lazily started); None on the serial path so
+        # workers=1 can never spawn processes.
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.sharder = (
+            ShardedEvaluator(db, self.workers, fast_path=fast_path, cache=cache, batch=batch)
+            if self.workers > 1
+            else None
+        )
 
     def invalidate_cache(self) -> None:
-        """Drop memoized results (required after mutating the database in place)."""
+        """Drop memoized results (required after mutating the database in place).
+
+        Clears the context and batcher caches and restarts the worker pool
+        (each worker process holds its own snapshot of the database, taken
+        when the pool started, plus its own private caches).
+        """
         self.context.clear()
         if self.batcher is not None:
             self.batcher.clear()
+        if self.sharder is not None:
+            self.sharder.reset()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (no-op for serial engines).  Idempotent.
+
+        The engine remains usable for serial evaluation afterwards: a
+        closed sharder is ignored by the dispatch helpers, so calls fall
+        back to the ``workers=1`` path rather than failing.
+        """
+        if self.sharder is not None:
+            self.sharder.close()
+
+    def __enter__(self) -> "MetaqueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Release worker processes on normal exit and on exceptions alike.
+        self.close()
 
     # ------------------------------------------------------------------
     def parse(self, text: str, name: str | None = None) -> MetaQuery:
@@ -127,11 +203,13 @@ class MetaqueryEngine:
             answers = naive_find_rules(
                 self.db, mq, thresholds, itype,
                 ctx=self.context, batch=self.batch, batcher=self.batcher,
+                sharder=self.sharder,
             )
         else:
             answers = find_rules(
                 self.db, mq, thresholds, itype,
                 ctx=self.context, batch=self.batch, batcher=self.batcher,
+                sharder=self.sharder,
             )
         answers.algorithm = algorithm
         return answers
@@ -151,6 +229,7 @@ class MetaqueryEngine:
         return naive_decide(
             self.db, mq, index, k, itype,
             ctx=self.context, batch=self.batch, batcher=self.batcher,
+            sharder=self.sharder,
         )
 
     def witness(
@@ -167,4 +246,5 @@ class MetaqueryEngine:
         return naive_witness(
             self.db, mq, get_index(index), k, itype,
             ctx=self.context, batch=self.batch, batcher=self.batcher,
+            sharder=self.sharder,
         )

@@ -19,14 +19,16 @@ prescribes (Section 4):
    agrees with the body instantiation test cover (``|h ⋉ b| / |h|``) and
    confidence (``|b ⋉ h'| / |b|``).
 
-Three ablation switches quantify the design choices (used by the ablation
+Four ablation switches quantify the design choices (used by the ablation
 benchmarks): ``prune_empty`` disables step 2's pruning,
 ``use_full_reducer`` replaces step 3's semijoin program by recomputing the
 body join from scratch (support is then read off that recomputed join —
-the half-reduced node relations would overestimate it), and ``batch``
+the half-reduced node relations would overestimate it), ``batch``
 controls whether step 4 answers the head instantiations from a shared
 :class:`~repro.datalog.batching.BatchEvaluator` shape group or by per-head
-semijoins.
+semijoins, and ``workers`` distributes whole first-level ``findBodies``
+branches across a :class:`~repro.datalog.sharding.ShardedEvaluator`
+worker pool (byte-identical answers, see :func:`_sharded_find_rules`).
 """
 
 from __future__ import annotations
@@ -44,9 +46,15 @@ from repro.core.instantiation import (
 )
 from repro.core.metaquery import LiteralScheme, MetaQuery
 from repro.datalog.atoms import Atom
-from repro.datalog.batching import BatchEvaluator
+from repro.datalog.batching import BatchEvaluator, body_shape
 from repro.datalog.context import EvaluationContext
 from repro.datalog.evaluation import atom_relation, join_atoms
+from repro.datalog.sharding import (
+    ShardedEvaluator,
+    partition,
+    resolve_sharder,
+    worker_state,
+)
 from repro.exceptions import MetaqueryError
 from repro.hypergraph.decomposition import HypertreeDecomposition, HypertreeNode, decompose
 from repro.relational.algebra import natural_join_all
@@ -153,17 +161,52 @@ class _FindRulesRun:
         node = self.order[index]
         schemes = self.node_schemes(node)
         for sigma_i in enumerate_scheme_instantiations(schemes, self.db, self.itype, base=sigma_b):
-            combined = sigma_b.compose(sigma_i)
-            relation = self.instantiated_node_relation(node, combined)
-            if relation is None:
-                continue
-            for child in node.children:
-                child_pos = self.position[id(child)]
-                relation = relation.semijoin(relations[child_pos])
-            if self.prune_empty and relation.is_empty():
-                continue
-            relations[index] = relation
-            self._find_bodies(index + 1, combined, relations)
+            self._expand(index, sigma_b, sigma_i, relations)
+
+    def _expand(
+        self,
+        index: int,
+        sigma_b: Instantiation,
+        sigma_i: Instantiation,
+        relations: dict[int, Relation],
+    ) -> None:
+        """One ``findBodies`` branch: extend ``sigma_b`` by ``sigma_i`` at one node.
+
+        Factored out of :meth:`_find_bodies` so the sharded path can replay
+        a pre-enumerated first-level instantiation inside a worker process.
+        """
+        node = self.order[index]
+        combined = sigma_b.compose(sigma_i)
+        relation = self.instantiated_node_relation(node, combined)
+        if relation is None:
+            return
+        for child in node.children:
+            child_pos = self.position[id(child)]
+            relation = relation.semijoin(relations[child_pos])
+        if self.prune_empty and relation.is_empty():
+            return
+        relations[index] = relation
+        self._find_bodies(index + 1, combined, relations)
+
+    def first_level_instantiations(self) -> list[Instantiation]:
+        """The first-level (deepest-node) instantiations, in serial order.
+
+        These are the branch roots of the ``findBodies`` search — the unit
+        the sharded path distributes.  They are enumerated once, in the
+        parent, because the type-2 padding counter advances across the
+        enumeration: re-enumerating a subset inside a worker would assign
+        different ``_T2_*`` names and break byte-identity with the serial
+        path.  Deeper levels re-enumerate deterministically per branch (the
+        padding source depends only on the branch's base instantiation).
+        """
+        if not self.order:
+            return []
+        schemes = self.node_schemes(self.order[0])
+        return list(
+            enumerate_scheme_instantiations(
+                schemes, self.db, self.itype, base=Instantiation({})
+            )
+        )
 
     def _reduce_and_find_heads(self, sigma_b: Instantiation, relations: dict[int, Relation]) -> None:
         """Second half of the full reducer followed by ``findHeads``.
@@ -298,6 +341,70 @@ class _FindRulesRun:
             )
 
 
+# ----------------------------------------------------------------------
+# sharded execution (module-level task so the pool can pickle it by name)
+# ----------------------------------------------------------------------
+#: One sharded FindRules payload: the run configuration plus this shard's
+#: ``(position, first_level_instantiation)`` jobs.
+_BranchPayload = tuple[
+    MetaQuery, Thresholds, InstantiationType, bool, bool, list[tuple[int, Instantiation]]
+]
+
+
+def _shard_branches_task(payload: _BranchPayload) -> list[tuple[int, list[MetaqueryAnswer]]]:
+    """Worker task: run whole ``findBodies`` branches of one shard.
+
+    The worker rebuilds the run (its hypertree decomposition is a pure
+    function of the metaquery, so it matches the parent's) over its private
+    context/batcher pair, then replays each pre-enumerated first-level
+    instantiation.  Answers come back tagged with the branch position so
+    the parent can restore the exact serial emission order.
+    """
+    mq, thresholds, itype, prune_empty, use_full_reducer, jobs = payload
+    db, ctx, batcher = worker_state()
+    run = _FindRulesRun(
+        db, mq, thresholds, itype, prune_empty, use_full_reducer, None, ctx, batcher
+    )
+    out: list[tuple[int, list[MetaqueryAnswer]]] = []
+    for position, sigma_i in jobs:
+        run.answers = AnswerSet(algorithm="findrules")
+        run._expand(0, Instantiation({}), sigma_i, {})
+        out.append((position, list(run.answers)))
+    return out
+
+
+def _sharded_find_rules(run: _FindRulesRun, sharder: ShardedEvaluator) -> AnswerSet:
+    """Distribute a run's first-level branches over the worker pool and merge.
+
+    Branches are sharded by the normalized shape of their instantiated
+    first-node atoms (the same key family the batching layer groups by), so
+    branches whose node joins coincide land on the same worker and share
+    its caches.  The merge is a stable sort by branch position — the
+    result is byte-identical to :meth:`_FindRulesRun.run`.
+    """
+    first_level = run.first_level_instantiations()
+    if not first_level:
+        return run.run()
+    schemes = run.node_schemes(run.order[0])
+    keys = [
+        body_shape([sigma_i.image(s) for s in schemes])[0] for sigma_i in first_level
+    ]
+    buckets = partition(first_level, keys, sharder.workers)
+    payloads = [
+        (run.mq, run.thresholds, run.itype, run.prune_empty, run.use_full_reducer, bucket)
+        for bucket in buckets
+    ]
+    merged: dict[int, list[MetaqueryAnswer]] = {}
+    for chunk in sharder.map(_shard_branches_task, payloads, item_count=len(first_level)):
+        for position, answers in chunk:
+            merged[position] = answers
+    out = AnswerSet(algorithm="findrules")
+    for position in range(len(first_level)):
+        for answer in merged[position]:
+            out.append(answer)
+    return out
+
+
 def find_rules(
     db: Database,
     mq: MetaQuery,
@@ -310,6 +417,8 @@ def find_rules(
     ctx: EvaluationContext | None = None,
     batch: bool = True,
     batcher: BatchEvaluator | None = None,
+    workers: int = 1,
+    sharder: ShardedEvaluator | None = None,
 ) -> AnswerSet:
     """Run the FindRules algorithm (Figure 4).
 
@@ -345,6 +454,14 @@ def find_rules(
         semijoin pass.  An explicit ``batcher`` (e.g. the engine's
         persistent one) overrides ``batch``; pass ``batch=False`` for the
         per-head ablation baseline.
+    workers, sharder:
+        Sharded execution (default off): with ``workers > 1`` (or an
+        explicit open :class:`~repro.datalog.sharding.ShardedEvaluator`)
+        the first-level ``findBodies`` branches are distributed across a
+        worker pool, sharded by instantiated-node shape, and the merged
+        answer set is byte-identical to the serial run's.  Runs with an
+        explicit ``decomposition`` stay serial (workers rebuild their own
+        decomposition from the metaquery, which must match the parent's).
     """
     thresholds = thresholds or Thresholds.none()
     itype = InstantiationType.coerce(itype)
@@ -357,6 +474,18 @@ def find_rules(
     run = _FindRulesRun(
         db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition, ctx, batcher
     )
+    if decomposition is None:
+        resolved, owned = resolve_sharder(
+            db, workers, sharder,
+            fast_path=ctx.fast_path if ctx is not None else True,
+            cache=cache, batch=batch,
+        )
+        if resolved is not None:
+            try:
+                return _sharded_find_rules(run, resolved)
+            finally:
+                if owned:
+                    resolved.close()
     return run.run()
 
 

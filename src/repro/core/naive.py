@@ -9,21 +9,29 @@ size but serves two purposes:
 * it is the reference implementation against which FindRules is tested, and
 * it is the baseline of the Figure 4 benchmarks.
 
-All entry points accept two independent acceleration switches (both
-default on):
+All entry points accept three independent acceleration switches:
 
-* ``cache=`` — a shared :class:`~repro.datalog.context.EvaluationContext`
-  memoizes atom relations, body joins and fractions across instantiations,
-  so e.g. the body join of a rule is computed once rather than once per
-  head instantiation;
-* ``batch=`` — a :class:`~repro.datalog.batching.BatchEvaluator` groups
-  instantiations sharing a normalized body shape, materializes each
-  group's canonical join once and answers every member (all head
-  instantiations of one body, support included) from the group's shared
-  key indexes instead of issuing per-pair join queries.
+* ``cache=`` (default on) — a shared
+  :class:`~repro.datalog.context.EvaluationContext` memoizes atom
+  relations, body joins and fractions across instantiations, so e.g. the
+  body join of a rule is computed once rather than once per head
+  instantiation;
+* ``batch=`` (default on) — a
+  :class:`~repro.datalog.batching.BatchEvaluator` groups instantiations
+  sharing a normalized body shape, materializes each group's canonical
+  join once and answers every member (all head instantiations of one
+  body, support included) from the group's shared key indexes instead of
+  issuing per-pair join queries;
+* ``workers=`` (default 1, i.e. off) — a
+  :class:`~repro.datalog.sharding.ShardedEvaluator` distributes whole
+  shape groups across a ``multiprocessing`` worker pool; every worker
+  owns a private context/batcher pair and the merged answers are
+  byte-identical to the serial path's (same enumeration, same order,
+  same exact fractions).  ``workers=1`` never spawns a pool.
 
-Pass ``cache=False``/``batch=False`` (or explicit ``ctx=``/``batcher=``
-objects, which win over the booleans) for the ablation baselines.
+Pass ``cache=False``/``batch=False`` (or explicit ``ctx=``/``batcher=``/
+``sharder=`` objects, which win over the switches) for the ablation
+baselines.
 """
 
 from __future__ import annotations
@@ -41,11 +49,17 @@ from repro.core.indices import (
     get_index,
     index_is_positive,
 )
-from repro.core.instantiation import InstantiationType, enumerate_instantiations
+from repro.core.instantiation import Instantiation, InstantiationType, enumerate_instantiations
 from repro.core.metaquery import MetaQuery
-from repro.datalog.batching import BatchEvaluator
+from repro.datalog.batching import BatchEvaluator, body_shape
 from repro.datalog.context import EvaluationContext
 from repro.datalog.rules import HornRule
+from repro.datalog.sharding import (
+    ShardedEvaluator,
+    partition,
+    resolve_sharder,
+    worker_state,
+)
 from repro.relational.database import Database
 
 
@@ -80,6 +94,11 @@ def _make_batcher(
     return BatchEvaluator(db, ctx) if batch else None
 
 
+#: Resolve the sharding switch (see :func:`repro.datalog.sharding.resolve_sharder`);
+#: named like the sibling :func:`_make_context` / :func:`_make_batcher` resolvers.
+_make_sharder = resolve_sharder
+
+
 def _rule_indices(
     rule: HornRule,
     db: Database,
@@ -95,6 +114,149 @@ def _rule_indices(
     return values["sup"], values["cnf"], values["cvr"]
 
 
+def _enumerate_evaluable(
+    db: Database, mq: MetaQuery, itype: InstantiationType | int
+) -> Iterator[tuple[Instantiation, HornRule]]:
+    """Instantiations (with their rules) whose predicates the database can evaluate."""
+    for instantiation in enumerate_instantiations(mq, db, itype):
+        rule = instantiation.apply(mq)
+        if _rule_is_evaluable(rule, db):
+            yield instantiation, rule
+
+
+# ----------------------------------------------------------------------
+# sharded worker tasks (module-level so the pool can pickle them by name)
+# ----------------------------------------------------------------------
+def _shard_indices_task(
+    bucket: list[tuple[int, HornRule]],
+) -> list[tuple[int, Fraction, Fraction, Fraction]]:
+    """Worker task: evaluate one shard's ``(position, rule)`` items.
+
+    Runs inside a pool process; all rules of one shape group are in the same
+    bucket, so the worker's private batcher materializes each group's
+    canonical join exactly once, as the serial batched path would.
+    """
+    db, ctx, batcher = worker_state()
+    out = []
+    for position, rule in bucket:
+        support, confidence, cover = _rule_indices(rule, db, ctx, batcher)
+        out.append((position, support, confidence, cover))
+    return out
+
+
+def _index_exceeds(
+    rule: HornRule,
+    index_obj: PlausibilityIndex,
+    k: Fraction,
+    db: Database,
+    ctx: EvaluationContext | None,
+    batcher: BatchEvaluator | None,
+) -> bool:
+    """``index_obj(rule) > k`` via the cheapest applicable path.
+
+    Shared by the serial and sharded first-hit searches.  For the three
+    standard indices the batched path answers the test from the body's
+    shape group; at ``k = 0`` it degenerates to the certifying-set
+    satisfiability test of Proposition 3.20 (``sup > 0`` iff the body join
+    is non-empty, ``cnf/cvr > 0`` iff some body key meets a head key) —
+    exactly the shortcut the unbatched path takes via
+    :func:`~repro.core.indices.index_is_positive`.  Custom indices always
+    go through their own ``compute`` callable.
+    """
+    standard = index_obj is SUPPORT or index_obj is CONFIDENCE or index_obj is COVER
+    if batcher is not None and standard:
+        group = batcher.body_group(rule.body_atoms)
+        if index_obj is SUPPORT:
+            return group.size > 0 if k == 0 else group.support > k
+        if k == 0:
+            return batcher.head_joins(group, rule.head)
+        cover, confidence = batcher.head_indices(group, rule.head)
+        return (cover if index_obj is COVER else confidence) > k
+    if k == 0:
+        return index_is_positive(rule, index_obj, db, ctx)
+    return index_obj(rule, db, ctx) > k
+
+
+def _shard_first_hit_task(
+    payload: tuple[list[tuple[int, HornRule]], str, Fraction],
+) -> int | None:
+    """Worker task: the first position in this shard with ``index > k``.
+
+    Applies :func:`_index_exceeds` with the worker's private evaluator
+    pair; buckets arrive in ascending position order, so the worker can
+    short-circuit on its first hit and the parent takes the minimum over
+    shards.
+    """
+    bucket, index_name, k = payload
+    db, ctx, batcher = worker_state()
+    index_obj = get_index(index_name)
+    for position, rule in bucket:
+        if _index_exceeds(rule, index_obj, k, db, ctx, batcher):
+            return position
+    return None
+
+
+def _shard_items(
+    db: Database, mq: MetaQuery, itype: InstantiationType | int, sharder: ShardedEvaluator
+) -> tuple[list[tuple[Instantiation, HornRule]], list[list[tuple[int, HornRule]]]]:
+    """Enumerate serially, then partition the rules by body-shape group key.
+
+    Enumeration stays in the parent so type-2 padding counters advance
+    exactly as on the serial path (the names are part of byte-identity);
+    only the small instantiated rules are pickled to the workers.
+    """
+    items = list(_enumerate_evaluable(db, mq, itype))
+    rules = [rule for _, rule in items]
+    keys = [body_shape(rule.body_atoms)[0] for rule in rules]
+    return items, partition(rules, keys, sharder.workers)
+
+
+def _sharded_answers(
+    db: Database, mq: MetaQuery, itype: InstantiationType | int, sharder: ShardedEvaluator
+) -> Iterator[MetaqueryAnswer]:
+    """The sharded arm of :func:`iter_answers`: evaluate per shard, merge by position."""
+    items, buckets = _shard_items(db, mq, itype, sharder)
+    values: dict[int, tuple[Fraction, Fraction, Fraction]] = {}
+    for chunk in sharder.map(_shard_indices_task, buckets, item_count=len(items)):
+        for position, support, confidence, cover in chunk:
+            values[position] = (support, confidence, cover)
+    for position, (instantiation, rule) in enumerate(items):
+        support, confidence, cover = values[position]
+        yield MetaqueryAnswer(
+            instantiation=instantiation,
+            rule=rule,
+            support=support,
+            confidence=confidence,
+            cover=cover,
+        )
+
+
+def _sharded_first_hit(
+    db: Database,
+    mq: MetaQuery,
+    index_obj: PlausibilityIndex,
+    k: Fraction,
+    itype: InstantiationType | int,
+    sharder: ShardedEvaluator,
+) -> tuple[Instantiation, HornRule] | None:
+    """Sharded :func:`_first_hit`: per-shard short-circuit, global min position.
+
+    Every shard stops at its own first hit; the minimum over shards is the
+    globally first hitting position of the serial enumeration order, so the
+    witness is identical to the serial path's.
+    """
+    items, buckets = _shard_items(db, mq, itype, sharder)
+    payloads = [(bucket, index_obj.name, k) for bucket in buckets]
+    hits = [
+        hit
+        for hit in sharder.map(_shard_first_hit_task, payloads, item_count=len(items))
+        if hit is not None
+    ]
+    if not hits:
+        return None
+    return items[min(hits)]
+
+
 def iter_answers(
     db: Database,
     mq: MetaQuery,
@@ -103,14 +265,31 @@ def iter_answers(
     ctx: EvaluationContext | None = None,
     batch: bool = True,
     batcher: BatchEvaluator | None = None,
+    workers: int = 1,
+    sharder: ShardedEvaluator | None = None,
 ) -> Iterator[MetaqueryAnswer]:
-    """Yield an answer (with all three indices) for every evaluable instantiation."""
+    """Yield an answer (with all three indices) for every evaluable instantiation.
+
+    With ``workers > 1`` (or an explicit ``sharder``) the instantiations are
+    evaluated by the worker pool and yielded in the exact serial order; the
+    sharded arm materializes the enumeration up front, so it is no longer
+    lazy, but the answers themselves are byte-identical.
+    """
+    resolved, owned = _make_sharder(
+        db, workers, sharder,
+        fast_path=ctx.fast_path if ctx is not None else True,
+        cache=cache, batch=batch,
+    )
+    if resolved is not None:
+        try:
+            yield from _sharded_answers(db, mq, itype, resolved)
+        finally:
+            if owned:
+                resolved.close()
+        return
     ctx = _make_context(db, cache, ctx)
     batcher = _make_batcher(db, batch, batcher, ctx)
-    for instantiation in enumerate_instantiations(mq, db, itype):
-        rule = instantiation.apply(mq)
-        if not _rule_is_evaluable(rule, db):
-            continue
+    for instantiation, rule in _enumerate_evaluable(db, mq, itype):
         support, confidence, cover = _rule_indices(rule, db, ctx, batcher)
         yield MetaqueryAnswer(
             instantiation=instantiation,
@@ -130,6 +309,8 @@ def naive_find_rules(
     ctx: EvaluationContext | None = None,
     batch: bool = True,
     batcher: BatchEvaluator | None = None,
+    workers: int = 1,
+    sharder: ShardedEvaluator | None = None,
 ) -> AnswerSet:
     """All instantiations whose indices pass the thresholds.
 
@@ -138,7 +319,10 @@ def naive_find_rules(
     """
     thresholds = thresholds or Thresholds.none()
     answers = AnswerSet(algorithm="naive")
-    for answer in iter_answers(db, mq, itype, cache=cache, ctx=ctx, batch=batch, batcher=batcher):
+    for answer in iter_answers(
+        db, mq, itype, cache=cache, ctx=ctx, batch=batch, batcher=batcher,
+        workers=workers, sharder=sharder,
+    ):
         if thresholds.accepts(answer.support, answer.confidence, answer.cover):
             answers.append(answer)
     return answers
@@ -155,34 +339,13 @@ def _first_hit(
 ):
     """The first instantiation with ``I(σ(MQ)) > k``, shared by decide/witness.
 
-    Returns ``(instantiation, rule)`` or ``None``.  For the three
-    standard indices the batched path answers each test from the body's
-    shape group; at ``k = 0`` it degenerates to the certifying-set
-    satisfiability test of Proposition 3.20 (``sup > 0`` iff the body join
-    is non-empty, ``cnf/cvr > 0`` iff some body key meets a head key) —
-    exactly the shortcut the unbatched path takes via
-    :func:`~repro.core.indices.index_is_positive`.  Custom indices always
-    go through their own ``compute`` callable.
+    Returns ``(instantiation, rule)`` or ``None``; the per-rule test is
+    :func:`_index_exceeds` (batched shape-group path for the standard
+    indices, certifying-set shortcut at ``k = 0``, ``compute`` callable
+    for custom indices).
     """
-    standard = index_obj is SUPPORT or index_obj is CONFIDENCE or index_obj is COVER
-    for instantiation in enumerate_instantiations(mq, db, itype):
-        rule = instantiation.apply(mq)
-        if not _rule_is_evaluable(rule, db):
-            continue
-        if batcher is not None and standard:
-            group = batcher.body_group(rule.body_atoms)
-            if index_obj is SUPPORT:
-                hit = group.size > 0 if k == 0 else group.support > k
-            elif k == 0:
-                hit = batcher.head_joins(group, rule.head)
-            else:
-                cover, confidence = batcher.head_indices(group, rule.head)
-                hit = (cover if index_obj is COVER else confidence) > k
-        elif k == 0:
-            hit = index_is_positive(rule, index_obj, db, ctx)
-        else:
-            hit = index_obj(rule, db, ctx) > k
-        if hit:
+    for instantiation, rule in _enumerate_evaluable(db, mq, itype):
+        if _index_exceeds(rule, index_obj, k, db, ctx, batcher):
             return instantiation, rule
     return None
 
@@ -197,15 +360,34 @@ def naive_decide(
     ctx: EvaluationContext | None = None,
     batch: bool = True,
     batcher: BatchEvaluator | None = None,
+    workers: int = 1,
+    sharder: ShardedEvaluator | None = None,
 ) -> bool:
     """Decide the metaquerying problem ``⟨DB, MQ, I, k, T⟩`` (Section 3.2).
 
     True iff some type-T instantiation has ``I(σ(MQ)) > k``.  For ``k = 0``
     the certifying-set shortcut of Proposition 3.20 is used, which only needs
     Boolean conjunctive-query satisfiability rather than counting.
+
+    With ``workers > 1`` the instantiation space is sharded by body shape;
+    every shard short-circuits at its first hit and the answer is the same
+    as the serial path's.  Custom (non sup/cnf/cvr) indices always run
+    serially — their ``compute`` callables may not survive pickling.
     """
     index_obj = get_index(index)
     k = validate_threshold(k)
+    if index_obj is SUPPORT or index_obj is CONFIDENCE or index_obj is COVER:
+        resolved, owned = _make_sharder(
+            db, workers, sharder,
+            fast_path=ctx.fast_path if ctx is not None else True,
+            cache=cache, batch=batch,
+        )
+        if resolved is not None:
+            try:
+                return _sharded_first_hit(db, mq, index_obj, k, itype, resolved) is not None
+            finally:
+                if owned:
+                    resolved.close()
     ctx = _make_context(db, cache, ctx)
     batcher = _make_batcher(db, batch, batcher, ctx)
     return _first_hit(db, mq, index_obj, k, itype, ctx, batcher) is not None
@@ -221,21 +403,40 @@ def naive_witness(
     ctx: EvaluationContext | None = None,
     batch: bool = True,
     batcher: BatchEvaluator | None = None,
+    workers: int = 1,
+    sharder: ShardedEvaluator | None = None,
 ) -> MetaqueryAnswer | None:
     """A witnessing answer for the decision problem, or None when it is a NO instance.
 
     Mirrors :func:`naive_decide` exactly — the same ``0 <= k < 1``
     validation, the same certifying-set shortcut of Proposition 3.20 at
-    ``k = 0``, and the same per-rule ``index > k`` test (which also works
-    for custom indices outside {sup, cnf, cvr}) — so the two can never
-    disagree on the same instance (``naive_witness`` is not None iff
+    ``k = 0``, the same per-rule ``index > k`` test (which also works
+    for custom indices outside {sup, cnf, cvr}) and the same sharded
+    first-hit search with ``workers > 1`` — so the two can never disagree
+    on the same instance (``naive_witness`` is not None iff
     ``naive_decide`` is True).
     """
     index_obj = get_index(index)
     k = validate_threshold(k)
     ctx = _make_context(db, cache, ctx)
     batcher = _make_batcher(db, batch, batcher, ctx)
-    found = _first_hit(db, mq, index_obj, k, itype, ctx, batcher)
+    found = None
+    searched_sharded = False
+    if index_obj is SUPPORT or index_obj is CONFIDENCE or index_obj is COVER:
+        resolved, owned = _make_sharder(
+            db, workers, sharder,
+            fast_path=ctx.fast_path if ctx is not None else True,
+            cache=cache, batch=batch,
+        )
+        if resolved is not None:
+            try:
+                found = _sharded_first_hit(db, mq, index_obj, k, itype, resolved)
+                searched_sharded = True
+            finally:
+                if owned:
+                    resolved.close()
+    if not searched_sharded:
+        found = _first_hit(db, mq, index_obj, k, itype, ctx, batcher)
     if found is None:
         return None
     instantiation, rule = found

@@ -19,6 +19,7 @@ from repro.datalog.terms import Constant, Term, Variable, term
 from repro.datalog.atoms import Atom
 from repro.datalog.batching import BatchEvaluator, BodyGroup
 from repro.datalog.context import EvaluationContext
+from repro.datalog.sharding import ShardedEvaluator
 from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.datalog.parser import parse_atom, parse_query, parse_rule, parse_program
 from repro.datalog.evaluation import (
@@ -40,6 +41,7 @@ __all__ = [
     "BatchEvaluator",
     "BodyGroup",
     "EvaluationContext",
+    "ShardedEvaluator",
     "ConjunctiveQuery",
     "HornRule",
     "parse_atom",

@@ -1,0 +1,355 @@
+"""Shard batched shape-groups across a ``multiprocessing`` worker pool.
+
+PR 2's :class:`~repro.datalog.batching.BatchEvaluator` reduced metaquery
+evaluation to many *shape groups*: instantiations sharing a normalized body
+shape are answered from one materialized canonical join.  Groups are the
+natural unit of distribution — the group key (a tuple of
+:data:`~repro.datalog.context.AtomKey`) is picklable, and each group's
+materialization touches only the database, never another group's caches.
+
+This module distributes whole groups across a pool of worker processes:
+
+* :func:`assign_shards` / :func:`partition` deterministically map group
+  keys to shard ids (distinct keys round-robin in first-seen order, so the
+  same inputs always produce the same placement and members of one group
+  always land on the same worker, preserving batching's share-one-join
+  property within each shard);
+* each worker process owns a private
+  :class:`~repro.datalog.batching.BatchEvaluator` /
+  :class:`~repro.datalog.context.EvaluationContext` pair, built once per
+  pool by the initializer — there are **no shared mutable caches**, so no
+  locks and no cross-process invalidation protocol;
+* :class:`ShardedEvaluator` owns the pool (created lazily, reused across
+  calls, released by :meth:`ShardedEvaluator.close` or a ``with`` block)
+  and runs picklable task callables over per-shard payloads, returning
+  results in payload order so callers can merge deterministically.
+
+Determinism contract: callers tag every work item with its position in the
+serial enumeration order, shard by group key, and re-assemble results by
+position (a stable sort by instantiation key).  Because every index value
+is an exact :class:`~fractions.Fraction` and the instantiations themselves
+are enumerated once in the parent (type-2 padding counters included), the
+merged answers are **byte-identical** to the serial path's for any worker
+count — the property the shard-ablation benchmark and the sharding property
+tests assert.
+
+The engine-facing entry points live with their engines
+(:mod:`repro.core.naive` ships index-evaluation and first-hit tasks,
+:mod:`repro.core.findrules` ships whole first-level search branches); this
+module only provides the pool plumbing plus :func:`worker_state`, the
+accessor those task functions use to reach the worker-local evaluator pair.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.datalog.batching import BatchEvaluator
+from repro.datalog.context import EvaluationContext
+from repro.exceptions import ShardingError
+from repro.relational.database import Database
+
+# ----------------------------------------------------------------------
+# worker-process state
+# ----------------------------------------------------------------------
+# Populated by _init_worker inside each pool process.  Parent processes
+# never touch these; worker task functions reach them via worker_state().
+_WORKER_DB: Database | None = None
+_WORKER_CTX: EvaluationContext | None = None
+_WORKER_BATCHER: BatchEvaluator | None = None
+
+
+def _init_worker(db: Database, fast_path: bool, caching: bool, batch: bool) -> None:
+    """Pool initializer: build this worker's private evaluator pair.
+
+    Runs once per worker process.  The database arrives pickled through the
+    pool's init arguments (identical under ``fork`` and ``spawn`` start
+    methods), so every worker evaluates against its own consistent snapshot.
+    The three serial ablation switches are forwarded so e.g. a
+    ``cache=False, workers=4`` run really measures sharding over the
+    uncached evaluator (``batch=False`` leaves the batcher ``None``).
+    """
+    global _WORKER_DB, _WORKER_CTX, _WORKER_BATCHER
+    _WORKER_DB = db
+    _WORKER_CTX = EvaluationContext(db, fast_path=fast_path, caching=caching)
+    _WORKER_BATCHER = BatchEvaluator(db, _WORKER_CTX) if batch else None
+
+
+def worker_state() -> tuple[Database, EvaluationContext, BatchEvaluator | None]:
+    """The ``(db, ctx, batcher)`` triple of the current worker process.
+
+    ``batcher`` is ``None`` when the pool was configured with
+    ``batch=False``.  Only meaningful inside a task dispatched by a
+    :class:`ShardedEvaluator`; raises
+    :class:`~repro.exceptions.ShardingError` elsewhere.
+    """
+    if _WORKER_DB is None or _WORKER_CTX is None:
+        raise ShardingError("worker_state() is only available inside a sharding worker")
+    return _WORKER_DB, _WORKER_CTX, _WORKER_BATCHER
+
+
+# ----------------------------------------------------------------------
+# deterministic shard assignment
+# ----------------------------------------------------------------------
+def assign_shards(keys: Iterable[Hashable], shards: int) -> list[int]:
+    """A deterministic shard id for each item of ``keys``.
+
+    Distinct keys are assigned round-robin in first-seen order, so (a) the
+    assignment is a pure function of the key sequence — no salted string
+    hashing, identical across processes and runs — and (b) items sharing a
+    key always land on the same shard, keeping every shape group whole on
+    one worker.  Round-robin over *distinct* keys balances groups, the unit
+    whose materialization dominates the cost, rather than raw items.
+    """
+    if shards < 1:
+        raise ShardingError(f"shard count must be >= 1, got {shards}")
+    assignment: dict[Hashable, int] = {}
+    out: list[int] = []
+    for key in keys:
+        shard = assignment.get(key)
+        if shard is None:
+            shard = assignment[key] = len(assignment) % shards
+        out.append(shard)
+    return out
+
+
+def partition(
+    items: Sequence[Any], keys: Sequence[Hashable], shards: int
+) -> list[list[tuple[int, Any]]]:
+    """Partition ``items`` into per-shard buckets of ``(position, item)``.
+
+    ``keys[i]`` is the shard key of ``items[i]`` (typically the normalized
+    body-shape group key).  Positions index the original sequence, so a
+    caller can restore the exact serial order after the per-shard results
+    come back.  Empty buckets are dropped — no task is dispatched for them.
+    """
+    if len(items) != len(keys):
+        raise ShardingError(
+            f"got {len(items)} items but {len(keys)} shard keys"
+        )
+    buckets: list[list[tuple[int, Any]]] = [[] for _ in range(shards)]
+    for position, (item, shard) in enumerate(zip(items, assign_shards(keys, shards))):
+        buckets[shard].append((position, item))
+    return [bucket for bucket in buckets if bucket]
+
+
+def _noop_task(payload: Any) -> Any:
+    """A do-nothing task used by :meth:`ShardedEvaluator.warm_up`."""
+    return payload
+
+
+def resolve_sharder(
+    db: Database,
+    workers: int,
+    sharder: "ShardedEvaluator | None",
+    fast_path: bool = True,
+    cache: bool = True,
+    batch: bool = True,
+) -> tuple["ShardedEvaluator | None", bool]:
+    """Resolve an engine's sharding switch: an explicit (valid, open) evaluator wins.
+
+    Returns ``(sharder, owned)``; an owned evaluator was built here for a
+    single call — configured with the caller's serial ablation switches so
+    the workers evaluate exactly like the serial path would — and must be
+    closed by the caller when the call finishes.  Evaluators bound to a
+    different database (or already closed) are silently ignored, mirroring
+    how the evaluation functions treat foreign contexts and batchers.
+    ``workers=1`` resolves to ``(None, False)`` — no pool is ever spawned
+    on the serial path.
+    """
+    if sharder is not None and sharder.applies_to(db) and sharder.active:
+        return sharder, False
+    if int(workers) > 1:
+        return (
+            ShardedEvaluator(
+                db, int(workers), fast_path=fast_path, cache=cache, batch=batch
+            ),
+            True,
+        )
+    return None, False
+
+
+@dataclass
+class ShardStats:
+    """Counters for benchmarks, tests and debugging."""
+
+    pool_starts: int = 0  # worker pools created (1 across reuse = pool was shared)
+    dispatches: int = 0  # map() calls issued
+    tasks: int = 0  # per-shard tasks shipped
+    items: int = 0  # work items shipped inside those tasks
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pool_starts": self.pool_starts,
+            "dispatches": self.dispatches,
+            "tasks": self.tasks,
+            "items": self.items,
+        }
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap, no re-import), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardedEvaluator:
+    """A persistent worker pool evaluating disjoint shape-group shards.
+
+    Parameters
+    ----------
+    db:
+        The database the workers evaluate against.  Each worker receives its
+        own copy when the pool starts; mutate the parent's database in place
+        and the copies go stale — call :meth:`reset` (the engine's
+        ``invalidate_cache`` does) to restart the pool against fresh state.
+    workers:
+        Number of worker processes.  ``workers=1`` builds a degenerate
+        evaluator whose :attr:`active` property is False and which never
+        spawns a pool — callers fall back to their serial path.
+    fast_path, cache, batch:
+        Forwarded to each worker's private evaluator pair (``batch=False``
+        builds no worker batcher at all), so the serial ablation switches
+        compose with sharding exactly as they do serially.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when the
+        platform offers it and ``spawn`` otherwise.
+
+    The pool is created lazily on the first :meth:`map` and reused across
+    calls until :meth:`close` (also invoked by ``with`` blocks and, as a
+    last resort, the finalizer).  A task exception propagates to the caller
+    but leaves the pool healthy, so one failing metaquery does not tear
+    down the evaluator shared by subsequent calls.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        workers: int = 2,
+        fast_path: bool = True,
+        cache: bool = True,
+        batch: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ShardingError(f"worker count must be >= 1, got {workers}")
+        self.db = db
+        self.workers = workers
+        self.fast_path = fast_path
+        self.cache = cache
+        self.batch = batch
+        self.start_method = start_method or _default_start_method()
+        self.stats = ShardStats()
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when dispatching to this evaluator parallelizes anything."""
+        return self.workers > 1 and not self._closed
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed evaluator cannot dispatch."""
+        return self._closed
+
+    def applies_to(self, db: Database) -> bool:
+        """True when this evaluator's workers hold (copies of) the given database."""
+        return self.db is db
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.db, self.fast_path, self.cache, self.batch),
+            )
+            self.stats.pool_starts += 1
+        return self._pool
+
+    def map(
+        self,
+        task: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        item_count: int | None = None,
+    ) -> list[Any]:
+        """Run ``task(payload)`` in the pool for every payload, in order.
+
+        ``task`` must be a module-level (picklable) callable; each payload
+        is typically one shard's bucket from :func:`partition`.  Results
+        come back in payload order regardless of which worker finished
+        first, which is what makes the caller's position-sort merge exact.
+
+        ``item_count`` feeds the :attr:`stats` work-item counter; payload
+        shapes vary by caller (bare buckets, config tuples wrapping a
+        bucket), so only the caller knows how many work items a dispatch
+        carries.
+        """
+        if self._closed:
+            raise ShardingError("ShardedEvaluator is closed")
+        if not payloads:
+            return []
+        self.stats.dispatches += 1
+        self.stats.tasks += len(payloads)
+        if item_count is not None:
+            self.stats.items += item_count
+        # chunksize=1: payloads are already shard-sized, one task per shard.
+        return self._ensure_pool().map(task, payloads, chunksize=1)
+
+    def warm_up(self) -> None:
+        """Start the pool (if needed) and wait until it answers a no-op task.
+
+        Benchmarks call this so pool start-up — a one-time deployment cost
+        for a persistent engine — is excluded from per-metaquery timings
+        without letting warm worker *caches* leak between repeats (pair
+        with :meth:`reset`, which drops pool and caches together).
+        """
+        if self._closed:
+            raise ShardingError("ShardedEvaluator is closed")
+        self._ensure_pool().map(_noop_task, [None])
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Discard the pool (and the workers' database snapshots and caches).
+
+        The evaluator stays usable: the next :meth:`map` starts a fresh pool
+        against the database's current state.  This is the sharded analogue
+        of :meth:`EvaluationContext.clear` after an in-place mutation.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool permanently.  Idempotent."""
+        self.reset()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedEvaluator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Close on normal exit *and* on exceptions: a crashed mining run
+        # must not leave worker processes behind.
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - finalizer timing varies
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("idle" if self._pool is None else "pooled")
+        return (
+            f"ShardedEvaluator(db={self.db.name!r}, workers={self.workers}, "
+            f"{state}, stats={self.stats.as_dict()})"
+        )

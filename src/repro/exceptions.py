@@ -68,6 +68,15 @@ class DecompositionError(ReproError):
     """A hypertree decomposition or join tree could not be constructed."""
 
 
+class ShardingError(ReproError):
+    """A sharded evaluation could not be set up or dispatched.
+
+    Raised when a :class:`~repro.datalog.sharding.ShardedEvaluator` is used
+    after being closed, is bound to a different database than the call's, or
+    is asked for worker-local state outside a worker process.
+    """
+
+
 class CircuitError(ReproError):
     """A circuit is malformed (dangling wires, wrong input size, cycles)."""
 

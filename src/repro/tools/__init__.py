@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the package (doc checks, CI helpers).
+
+Nothing here is imported by the library itself; the modules are entry
+points run as ``python -m repro.tools.<name>``.
+"""
