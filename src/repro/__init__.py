@@ -30,20 +30,26 @@ Quickstart
 
 from repro.core import (
     AnswerSet,
+    AsyncMetaqueryEngine,
     InstantiationType,
     MetaQuery,
     MetaqueryAnswer,
     MetaqueryDecisionProblem,
     MetaqueryEngine,
+    MetaqueryRequest,
+    PreparedMetaquery,
     Thresholds,
     parse_metaquery,
 )
 from repro.relational import Database, Relation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MetaqueryEngine",
+    "AsyncMetaqueryEngine",
+    "MetaqueryRequest",
+    "PreparedMetaquery",
     "MetaQuery",
     "parse_metaquery",
     "InstantiationType",

@@ -18,7 +18,9 @@ Yannakakis joins), ``--no-batch`` (shape-grouped batched evaluation) and
 ``--workers N`` (shard shape groups across N worker processes; the default
 ``--workers 1`` is fully serial and never spawns a pool).  All switches
 only change speed, never answers — see ``docs/architecture.md`` for the
-full matrix.
+full matrix.  ``--stream`` prints answers incrementally as the engine
+confirms them (with ``--limit`` as an early stop) and ``--stats`` reports
+the cache/batch/shard telemetry counters after mining.
 """
 
 from __future__ import annotations
@@ -61,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--workers", type=int, default=1, metavar="N",
                       help="shard shape groups across N worker processes "
                            "(default 1: serial, no pool is spawned)")
+    mine.add_argument("--stream", action="store_true",
+                      help="print answers incrementally as the engine confirms them "
+                           "(emission order; --sort-by is ignored, --limit stops early)")
+    mine.add_argument("--stats", action="store_true",
+                      help="print cache/batch/shard telemetry counters after mining")
 
     info = subparsers.add_parser("info", help="show the schema and sizes of a CSV database directory")
     info.add_argument("data_dir")
@@ -72,14 +79,25 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_stats(engine: MetaqueryEngine) -> None:
+    """Print the engine's telemetry counters (``mine --stats``)."""
+    print("# stats:")
+    for section, counters in engine.stats().items():
+        rendered = "  ".join(f"{key}={value}" for key, value in counters.items())
+        print(f"#   {section}: {rendered}")
+
+
 def _run_mine(args: argparse.Namespace) -> int:
     """``mine``: answer one metaquery over a CSV database directory.
 
     Builds a :class:`~repro.core.engine.MetaqueryEngine` with the requested
     ablation switches (``--no-cache``/``--no-fast-path``/``--no-batch``/
-    ``--workers``), runs ``find_rules`` and prints a sorted answer table.
-    The engine is used as a context manager so a ``--workers N`` pool is
-    always released, even when mining raises.
+    ``--workers``), runs the request pipeline and prints a sorted answer
+    table — or, with ``--stream``, each answer the moment the engine
+    confirms it (time-to-first-answer instead of full-collection latency;
+    ``--limit`` then stops the evaluation early).  The engine is used as a
+    context manager so a ``--workers N`` pool is always released, even when
+    mining raises.
     """
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
@@ -94,18 +112,33 @@ def _run_mine(args: argparse.Namespace) -> int:
         workers=args.workers,
     ) as engine:
         thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
-        answers = engine.find_rules(args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm)
-    ordered = answers.sorted_by(args.sort_by)
-    print(f"# database: {args.data_dir} ({len(db)} relations, {db.total_tuples()} tuples)")
-    print(f"# metaquery: {args.metaquery}")
-    print(
-        f"# thresholds: {thresholds}   type-{args.itype}   "
-        f"algorithm={answers.algorithm} (requested {args.algorithm})   "
-        f"cache={'off' if args.no_cache else 'on'}   "
-        f"batch={'off' if args.no_batch else 'on'}   "
-        f"workers={args.workers}"
-    )
-    print(ordered.to_table(max_rows=args.limit))
+        prepared = engine.prepare(
+            args.metaquery, thresholds, itype=args.itype, algorithm=args.algorithm
+        )
+        print(f"# database: {args.data_dir} ({len(db)} relations, {db.total_tuples()} tuples)")
+        print(f"# metaquery: {args.metaquery}")
+        print(
+            f"# thresholds: {thresholds}   type-{args.itype}   "
+            f"algorithm={prepared.algorithm} (requested {args.algorithm})   "
+            f"cache={'off' if args.no_cache else 'on'}   "
+            f"batch={'off' if args.no_batch else 'on'}   "
+            f"workers={args.workers}"
+        )
+        if args.stream:
+            printed = 0
+            for answer in prepared.stream():
+                print(answer, flush=True)
+                printed += 1
+                if args.limit is not None and printed >= args.limit:
+                    print(f"... (stopped after {printed} answers)")
+                    break
+            else:
+                print(f"# {printed} answers (streamed in emission order)")
+        else:
+            answers = prepared.collect()
+            print(answers.sorted_by(args.sort_by).to_table(max_rows=args.limit))
+        if args.stats:
+            _print_stats(engine)
     return 0
 
 

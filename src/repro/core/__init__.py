@@ -15,6 +15,11 @@ This package implements the paper's primary contribution:
 * :mod:`~repro.core.naive` — the baseline enumerate-and-test engine;
 * :mod:`~repro.core.findrules` — the FindRules algorithm of Figure 4;
 * :mod:`~repro.core.engine` — a small facade choosing between the two;
+* :mod:`~repro.core.requests` — the request pipeline: validated
+  :class:`MetaqueryRequest` objects, ``engine.prepare`` planning and
+  incremental :meth:`PreparedMetaquery.stream` answer delivery;
+* :mod:`~repro.core.aio` — :class:`AsyncMetaqueryEngine`, the asyncio
+  front-end overlapping many concurrent metaqueries over one engine;
 * :mod:`~repro.core.problems` — the decision problems ``⟨DB, MQ, I, k, T⟩``
   whose complexity the paper charts (Figure 5);
 * :mod:`~repro.core.schema_gen` — schema-driven automatic generation of
@@ -42,9 +47,11 @@ from repro.core.indices import (
     support,
 )
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
-from repro.core.naive import naive_decide, naive_find_rules
-from repro.core.findrules import find_rules
+from repro.core.naive import iter_answers, naive_decide, naive_find_rules
+from repro.core.findrules import find_rules, iter_find_rules
+from repro.core.requests import MetaqueryRequest, PreparedMetaquery
 from repro.core.engine import MetaqueryEngine
+from repro.core.aio import AsyncMetaqueryEngine
 from repro.core.problems import MetaqueryDecisionProblem
 from repro.core.schema_gen import generate_chain_metaqueries, generate_metaqueries
 
@@ -70,8 +77,13 @@ __all__ = [
     "AnswerSet",
     "naive_find_rules",
     "naive_decide",
+    "iter_answers",
     "find_rules",
+    "iter_find_rules",
+    "MetaqueryRequest",
+    "PreparedMetaquery",
     "MetaqueryEngine",
+    "AsyncMetaqueryEngine",
     "MetaqueryDecisionProblem",
     "generate_metaqueries",
     "generate_chain_metaqueries",

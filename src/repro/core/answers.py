@@ -170,6 +170,20 @@ class AnswerSet:
         self._answers = list(answers)
         self.algorithm = algorithm
 
+    @classmethod
+    def collect(
+        cls, stream: Iterable[MetaqueryAnswer], algorithm: str | None = None
+    ) -> "AnswerSet":
+        """Materialize a (possibly streaming) answer iterator into a set.
+
+        The inverse of streaming: ``AnswerSet.collect(prepared.stream())``
+        is byte-identical to the one-shot ``find_rules`` result, because the
+        streaming paths emit in exactly the materialized order.  Spelled as
+        a named constructor so call sites read as the request lifecycle's
+        final step (request → prepare → stream → *collect*).
+        """
+        return cls(stream, algorithm=algorithm)
+
     def __len__(self) -> int:
         return len(self._answers)
 

@@ -1,7 +1,10 @@
 """A small facade over the two metaquery engines.
 
-``MetaqueryEngine`` owns a database and exposes ``find_rules`` /
-``decide`` with an ``algorithm`` switch:
+``MetaqueryEngine`` owns a database and exposes the request pipeline
+(:meth:`~MetaqueryEngine.prepare` → ``PreparedMetaquery.stream()`` /
+``collect()``) plus the classic one-shot calls ``find_rules`` / ``decide``
+/ ``witness``, which are thin shims over that pipeline.  The ``algorithm``
+switch:
 
 * ``"naive"`` — enumerate-and-test (the membership-proof procedure);
 * ``"findrules"`` — the Figure 4 algorithm;
@@ -29,24 +32,37 @@ hold their own database snapshots).
 
 from __future__ import annotations
 
-import logging
 from fractions import Fraction
+from typing import Iterator
 
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
-from repro.core.findrules import find_rules
 from repro.core.indices import PlausibilityIndex, get_index
 from repro.core.instantiation import InstantiationType
 from repro.core.metaquery import MetaQuery, parse_metaquery
-from repro.core.naive import naive_decide, naive_find_rules, naive_witness
+from repro.core.naive import naive_decide, naive_witness
+from repro.core.requests import (
+    ALGORITHMS,
+    MetaqueryRequest,
+    PreparedMetaquery,
+    prepare_request,
+)
 from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
 from repro.datalog.sharding import ShardedEvaluator
+from repro.exceptions import EngineError
 from repro.relational.database import Database
 
-logger = logging.getLogger(__name__)
+__all__ = ["ALGORITHMS", "MetaqueryEngine"]
 
-#: The algorithm names accepted by :meth:`MetaqueryEngine.find_rules`.
-ALGORITHMS = ("auto", "naive", "findrules")
+
+def _require_bool(value: object, name: str) -> bool:
+    """Reject truthy non-booleans: ``cache="no"`` silently enabling caching
+    is exactly the kind of misconfiguration the request API should catch."""
+    if not isinstance(value, bool):
+        raise EngineError(
+            f"{name} must be a bool, got {type(value).__name__} ({value!r})"
+        )
+    return value
 
 
 class MetaqueryEngine:
@@ -110,6 +126,17 @@ class MetaqueryEngine:
     ) -> None:
         self.db = db
         self.default_itype = InstantiationType.coerce(default_itype)
+        cache = _require_bool(cache, "cache")
+        fast_path = _require_bool(fast_path, "fast_path")
+        batch = _require_bool(batch, "batch")
+        # bool is an int subclass: reject True/False before the range check
+        # so `workers=False` reads as a type error, not "workers must be >= 1".
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise EngineError(
+                f"workers must be an int, got {type(workers).__name__} ({workers!r})"
+            )
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
         # The context doubles as the configuration carrier: with cache=False
         # it stores nothing but still propagates the fast_path switch.
         self.context = EvaluationContext(db, fast_path=fast_path, caching=cache)
@@ -119,9 +146,7 @@ class MetaqueryEngine:
         self.batcher = BatchEvaluator(db, ctx=self.context) if batch else None
         # Persistent worker pool (lazily started); None on the serial path so
         # workers=1 can never spawn processes.
-        self.workers = int(workers)
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
         self.sharder = (
             ShardedEvaluator(db, self.workers, fast_path=fast_path, cache=cache, batch=batch)
             if self.workers > 1
@@ -140,6 +165,33 @@ class MetaqueryEngine:
             self.batcher.clear()
         if self.sharder is not None:
             self.sharder.reset()
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Telemetry counters of the engine's acceleration subsystems.
+
+        Returns a dictionary with up to three sections:
+
+        * ``"cache"`` — the :class:`~repro.datalog.context.CacheStats`
+          hit/miss counters of the persistent context (always present);
+        * ``"batch"`` — the batcher's group counters plus ``group_count``,
+          the number of shape groups currently materialized (only with
+          ``batch=True``);
+        * ``"shard"`` — pool/dispatch counters (only with ``workers > 1``).
+
+        First step toward the ROADMAP cache-eviction item: hit rates and
+        live group counts are what an eviction policy will be tuned on.
+        Counters accumulate across calls; ``invalidate_cache()`` drops the
+        cached state but deliberately keeps the counters.
+        """
+        stats: dict[str, dict[str, int]] = {"cache": self.context.stats.as_dict()}
+        if self.batcher is not None:
+            stats["batch"] = {
+                **self.batcher.stats.as_dict(),
+                "group_count": self.batcher.group_count,
+            }
+        if self.sharder is not None:
+            stats["shard"] = self.sharder.stats.as_dict()
+        return stats
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -165,54 +217,87 @@ class MetaqueryEngine:
         return parse_metaquery(text, relation_names=self.db.relation_names, name=name)
 
     # ------------------------------------------------------------------
+    def request(
+        self,
+        mq: MetaqueryRequest | MetaQuery | str,
+        thresholds: Thresholds | None = None,
+        itype: InstantiationType | int | None = None,
+        algorithm: str = "auto",
+    ) -> MetaqueryRequest:
+        """Coerce the classic ``(mq, thresholds, itype, algorithm)`` spelling
+        into a validated :class:`MetaqueryRequest` (passed through if ``mq``
+        already is one; ``itype=None`` means the engine's default)."""
+        if isinstance(mq, MetaqueryRequest):
+            # A request already carries thresholds/itype/algorithm; silently
+            # ignoring competing overrides would return wrong (unfiltered /
+            # wrongly-typed) answers, so reject the ambiguity outright.
+            if thresholds is not None or itype is not None or algorithm != "auto":
+                raise EngineError(
+                    "thresholds/itype/algorithm cannot be overridden when passing a "
+                    "MetaqueryRequest; build a new request with the desired values"
+                )
+            return mq
+        return MetaqueryRequest(
+            mq,
+            thresholds=thresholds,
+            itype=self.default_itype if itype is None else itype,
+            algorithm=algorithm,
+        )
+
+    def prepare(
+        self,
+        mq: MetaqueryRequest | MetaQuery | str,
+        thresholds: Thresholds | None = None,
+        itype: InstantiationType | int | None = None,
+        algorithm: str = "auto",
+    ) -> PreparedMetaquery:
+        """Parse, classify and plan a request once; reuse it across calls.
+
+        The returned :class:`~repro.core.requests.PreparedMetaquery` caches
+        everything that does not depend on the instantiation space — the
+        parsed metaquery, the resolved algorithm, the acyclicity class and
+        (for FindRules) the hypertree body decomposition — so repeated or
+        parametrized mining skips re-planning.  Call
+        :meth:`~repro.core.requests.PreparedMetaquery.stream` for
+        incremental answers or
+        :meth:`~repro.core.requests.PreparedMetaquery.collect` for the
+        materialized :class:`AnswerSet`.
+        """
+        return prepare_request(self, self.request(mq, thresholds, itype, algorithm))
+
+    def stream(
+        self,
+        mq: MetaqueryRequest | MetaQuery | str,
+        thresholds: Thresholds | None = None,
+        itype: InstantiationType | int | None = None,
+        algorithm: str = "auto",
+    ) -> Iterator[MetaqueryAnswer]:
+        """Stream threshold-passing answers incrementally.
+
+        ``engine.stream(...)`` is ``engine.prepare(...).stream()``: answers
+        arrive as the engine confirms them, in an order byte-identical to
+        :meth:`find_rules`, and breaking out early is cheap.
+        """
+        return self.prepare(mq, thresholds, itype, algorithm).stream()
+
     def find_rules(
         self,
-        mq: MetaQuery | str,
+        mq: MetaqueryRequest | MetaQuery | str,
         thresholds: Thresholds | None = None,
         itype: InstantiationType | int | None = None,
         algorithm: str = "auto",
     ) -> AnswerSet:
         """All instantiated rules passing the thresholds.
 
-        ``mq`` may be a :class:`MetaQuery` or its textual form.  The returned
-        :class:`AnswerSet` carries the algorithm that actually ran in its
-        ``algorithm`` attribute (``"auto"`` is resolved before dispatch), so
-        ablation runs cannot mislabel which engine produced the numbers.
+        ``mq`` may be a :class:`MetaQuery`, its textual form or a
+        :class:`MetaqueryRequest`.  A thin shim over the request pipeline —
+        ``find_rules(...) == prepare(...).collect()``, i.e. the materialized
+        stream.  The returned :class:`AnswerSet` carries the algorithm that
+        actually ran in its ``algorithm`` attribute (``"auto"`` is resolved
+        at prepare time), so ablation runs cannot mislabel which engine
+        produced the numbers.
         """
-        if algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; use 'auto', 'naive' or 'findrules'"
-            )
-        if isinstance(mq, str):
-            mq = self.parse(mq)
-        itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        thresholds = thresholds or Thresholds.none()
-
-        if algorithm == "auto":
-            has_threshold = any(
-                t is not None for t in (thresholds.support, thresholds.confidence, thresholds.cover)
-            )
-            algorithm = "findrules" if has_threshold else "naive"
-            logger.info(
-                "find_rules: algorithm 'auto' resolved to %r (%s)",
-                algorithm,
-                "thresholds enabled" if has_threshold else
-                "all thresholds None; FindRules' pruning needs a threshold to be sound",
-            )
-        if algorithm == "naive":
-            answers = naive_find_rules(
-                self.db, mq, thresholds, itype,
-                ctx=self.context, batch=self.batch, batcher=self.batcher,
-                sharder=self.sharder,
-            )
-        else:
-            answers = find_rules(
-                self.db, mq, thresholds, itype,
-                ctx=self.context, batch=self.batch, batcher=self.batcher,
-                sharder=self.sharder,
-            )
-        answers.algorithm = algorithm
-        return answers
+        return self.prepare(mq, thresholds, itype, algorithm).collect()
 
     # ------------------------------------------------------------------
     def decide(

@@ -34,7 +34,7 @@ worker pool (byte-identical answers, see :func:`_sharded_find_rules`).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.acyclicity import body_scheme_labels, body_variable_sets
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
@@ -50,6 +50,7 @@ from repro.datalog.batching import BatchEvaluator, body_shape
 from repro.datalog.context import EvaluationContext
 from repro.datalog.evaluation import atom_relation, join_atoms
 from repro.datalog.sharding import (
+    ReorderBuffer,
     ShardedEvaluator,
     partition,
     resolve_sharder,
@@ -101,7 +102,6 @@ class _FindRulesRun:
         self.use_full_reducer = use_full_reducer
         self.ctx = ctx
         self.batcher = batcher if (batcher is not None and batcher.applies_to(db)) else None
-        self.answers = AnswerSet(algorithm="findrules")
 
         no_filtering = (
             thresholds.support is None
@@ -148,20 +148,29 @@ class _FindRulesRun:
 
     # ------------------------------------------------------------------
     def run(self) -> AnswerSet:
-        """Execute the algorithm and return the accumulated answer set."""
-        relations: dict[int, Relation] = {}
-        self._find_bodies(0, Instantiation({}), relations)
-        return self.answers
+        """Execute the algorithm and return the materialized answer set."""
+        return AnswerSet(self.iter_run(), algorithm="findrules")
 
-    def _find_bodies(self, index: int, sigma_b: Instantiation, relations: dict[int, Relation]) -> None:
+    def iter_run(self) -> Iterator[MetaqueryAnswer]:
+        """The generator core: answers are yielded as branches confirm them.
+
+        The emission order is exactly the order :meth:`run` materializes —
+        answers stream out the moment ``findHeads`` accepts them, instead of
+        after the whole search finishes.
+        """
+        yield from self._find_bodies(0, Instantiation({}), {})
+
+    def _find_bodies(
+        self, index: int, sigma_b: Instantiation, relations: dict[int, Relation]
+    ) -> Iterator[MetaqueryAnswer]:
         """The recursive ``findBodies`` procedure (first half of the reducer)."""
         if index >= len(self.order):
-            self._reduce_and_find_heads(sigma_b, relations)
+            yield from self._reduce_and_find_heads(sigma_b, relations)
             return
         node = self.order[index]
         schemes = self.node_schemes(node)
         for sigma_i in enumerate_scheme_instantiations(schemes, self.db, self.itype, base=sigma_b):
-            self._expand(index, sigma_b, sigma_i, relations)
+            yield from self._expand(index, sigma_b, sigma_i, relations)
 
     def _expand(
         self,
@@ -169,7 +178,7 @@ class _FindRulesRun:
         sigma_b: Instantiation,
         sigma_i: Instantiation,
         relations: dict[int, Relation],
-    ) -> None:
+    ) -> Iterator[MetaqueryAnswer]:
         """One ``findBodies`` branch: extend ``sigma_b`` by ``sigma_i`` at one node.
 
         Factored out of :meth:`_find_bodies` so the sharded path can replay
@@ -186,7 +195,7 @@ class _FindRulesRun:
         if self.prune_empty and relation.is_empty():
             return
         relations[index] = relation
-        self._find_bodies(index + 1, combined, relations)
+        yield from self._find_bodies(index + 1, combined, relations)
 
     def first_level_instantiations(self) -> list[Instantiation]:
         """The first-level (deepest-node) instantiations, in serial order.
@@ -208,7 +217,9 @@ class _FindRulesRun:
             )
         )
 
-    def _reduce_and_find_heads(self, sigma_b: Instantiation, relations: dict[int, Relation]) -> None:
+    def _reduce_and_find_heads(
+        self, sigma_b: Instantiation, relations: dict[int, Relation]
+    ) -> Iterator[MetaqueryAnswer]:
         """Second half of the full reducer followed by ``findHeads``.
 
         In the ``use_full_reducer=False`` ablation arm the top-down pass is
@@ -226,7 +237,7 @@ class _FindRulesRun:
                 reduced[j] = relations[j].semijoin(reduced[parent_pos])
             else:
                 reduced[j] = relations[j]
-        self._find_heads(sigma_b, reduced)
+        yield from self._find_heads(sigma_b, reduced)
 
     # ------------------------------------------------------------------
     def _support_of_body(self, sigma_b: Instantiation, reduced: dict[int, Relation]) -> Fraction:
@@ -270,7 +281,9 @@ class _FindRulesRun:
             )
         return body
 
-    def _find_heads(self, sigma_b: Instantiation, reduced: dict[int, Relation]) -> None:
+    def _find_heads(
+        self, sigma_b: Instantiation, reduced: dict[int, Relation]
+    ) -> Iterator[MetaqueryAnswer]:
         """The ``findHeads`` procedure: support gate, then cover/confidence tests."""
         body_atoms = [sigma_b.image(s) for s in self.label_to_scheme.values()]
         # Batched arm: the shape group is materialized once — seeded lazily,
@@ -330,14 +343,12 @@ class _FindRulesRun:
                 if self.thresholds.confidence is not None and not confidence_value > self.thresholds.confidence:
                     continue
             rule = sigma.apply(self.mq)
-            self.answers.append(
-                MetaqueryAnswer(
-                    instantiation=sigma,
-                    rule=rule,
-                    support=support_value,
-                    confidence=confidence_value,
-                    cover=cover_value,
-                )
+            yield MetaqueryAnswer(
+                instantiation=sigma,
+                rule=rule,
+                support=support_value,
+                confidence=confidence_value,
+                cover=cover_value,
             )
 
 
@@ -367,24 +378,27 @@ def _shard_branches_task(payload: _BranchPayload) -> list[tuple[int, list[Metaqu
     )
     out: list[tuple[int, list[MetaqueryAnswer]]] = []
     for position, sigma_i in jobs:
-        run.answers = AnswerSet(algorithm="findrules")
-        run._expand(0, Instantiation({}), sigma_i, {})
-        out.append((position, list(run.answers)))
+        out.append((position, list(run._expand(0, Instantiation({}), sigma_i, {}))))
     return out
 
 
-def _sharded_find_rules(run: _FindRulesRun, sharder: ShardedEvaluator) -> AnswerSet:
-    """Distribute a run's first-level branches over the worker pool and merge.
+def _sharded_iter_find_rules(
+    run: _FindRulesRun, sharder: ShardedEvaluator
+) -> Iterator[MetaqueryAnswer]:
+    """Distribute a run's first-level branches over the pool, stream the merge.
 
     Branches are sharded by the normalized shape of their instantiated
     first-node atoms (the same key family the batching layer groups by), so
     branches whose node joins coincide land on the same worker and share
-    its caches.  The merge is a stable sort by branch position — the
-    result is byte-identical to :meth:`_FindRulesRun.run`.
+    its caches.  Shard results arrive in completion order and pass through
+    a position-keyed :class:`~repro.datalog.sharding.ReorderBuffer`, so
+    answers are emitted incrementally as branches finish while the overall
+    order stays byte-identical to :meth:`_FindRulesRun.iter_run`.
     """
     first_level = run.first_level_instantiations()
     if not first_level:
-        return run.run()
+        yield from run.iter_run()
+        return
     schemes = run.node_schemes(run.order[0])
     keys = [
         body_shape([sigma_i.image(s) for s in schemes])[0] for sigma_i in first_level
@@ -394,15 +408,79 @@ def _sharded_find_rules(run: _FindRulesRun, sharder: ShardedEvaluator) -> Answer
         (run.mq, run.thresholds, run.itype, run.prune_empty, run.use_full_reducer, bucket)
         for bucket in buckets
     ]
-    merged: dict[int, list[MetaqueryAnswer]] = {}
-    for chunk in sharder.map(_shard_branches_task, payloads, item_count=len(first_level)):
+    buffer = ReorderBuffer()
+    for chunk in sharder.imap_unordered(
+        _shard_branches_task, payloads, item_count=len(first_level)
+    ):
         for position, answers in chunk:
-            merged[position] = answers
-    out = AnswerSet(algorithm="findrules")
-    for position in range(len(first_level)):
-        for answer in merged[position]:
-            out.append(answer)
-    return out
+            buffer.push(position, answers)
+        for answers in buffer.drain():
+            yield from answers
+    assert not buffer, "sharded FindRules merge left unconsumed branch positions"
+
+
+def iter_find_rules(
+    db: Database,
+    mq: MetaQuery,
+    thresholds: Thresholds | None = None,
+    itype: InstantiationType | int = InstantiationType.TYPE_0,
+    prune_empty: bool = True,
+    use_full_reducer: bool = True,
+    decomposition: HypertreeDecomposition | None = None,
+    cache: bool = True,
+    ctx: EvaluationContext | None = None,
+    batch: bool = True,
+    batcher: BatchEvaluator | None = None,
+    workers: int = 1,
+    sharder: ShardedEvaluator | None = None,
+) -> Iterator[MetaqueryAnswer]:
+    """Stream FindRules answers incrementally (the generator core).
+
+    Same parameters and *exactly* the same answers in the same order as
+    :func:`find_rules` — this is the function :func:`find_rules` collects.
+    Validation (purity for type-0/1) happens eagerly at call time, before
+    the first answer is requested; the returned iterator then yields each
+    answer as ``findHeads`` confirms it (serially per branch, or as shard
+    chunks complete and pass through the reorder buffer with
+    ``workers > 1``).  Abandoning the iterator early closes an ephemeral
+    pool via the generator's ``finally`` clause.
+    """
+    thresholds = thresholds or Thresholds.none()
+    itype = InstantiationType.coerce(itype)
+    if itype in (InstantiationType.TYPE_0, InstantiationType.TYPE_1) and not mq.is_pure():
+        raise MetaqueryError(f"type-{int(itype)} instantiations require a pure metaquery")
+    if ctx is None and cache:
+        ctx = EvaluationContext(db)
+    if batcher is None and batch:
+        batcher = BatchEvaluator(db, ctx)
+    run = _FindRulesRun(
+        db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition, ctx, batcher
+    )
+    if decomposition is None:
+        resolved, owned = resolve_sharder(
+            db, workers, sharder,
+            fast_path=ctx.fast_path if ctx is not None else True,
+            cache=cache, batch=batch,
+        )
+        if resolved is not None:
+            return _close_after(_sharded_iter_find_rules(run, resolved), resolved, owned)
+    return run.iter_run()
+
+
+def _close_after(
+    answers: Iterator[MetaqueryAnswer], sharder: ShardedEvaluator, owned: bool
+) -> Iterator[MetaqueryAnswer]:
+    """Yield from ``answers``, closing an owned ephemeral sharder at the end.
+
+    The ``finally`` clause also runs when the consumer abandons the stream
+    (generator close / garbage collection), so early-stopped one-shot
+    ``workers > 1`` calls never leak a pool.
+    """
+    try:
+        yield from answers
+    finally:
+        if owned:
+            sharder.close()
 
 
 def find_rules(
@@ -420,7 +498,11 @@ def find_rules(
     workers: int = 1,
     sharder: ShardedEvaluator | None = None,
 ) -> AnswerSet:
-    """Run the FindRules algorithm (Figure 4).
+    """Run the FindRules algorithm (Figure 4) and materialize every answer.
+
+    A thin collector over :func:`iter_find_rules` — ``find_rules(...)`` is
+    ``AnswerSet(iter_find_rules(...))``, so the streaming and materialized
+    paths can never drift apart.
 
     Parameters
     ----------
@@ -463,30 +545,15 @@ def find_rules(
         explicit ``decomposition`` stay serial (workers rebuild their own
         decomposition from the metaquery, which must match the parent's).
     """
-    thresholds = thresholds or Thresholds.none()
-    itype = InstantiationType.coerce(itype)
-    if itype in (InstantiationType.TYPE_0, InstantiationType.TYPE_1) and not mq.is_pure():
-        raise MetaqueryError(f"type-{int(itype)} instantiations require a pure metaquery")
-    if ctx is None and cache:
-        ctx = EvaluationContext(db)
-    if batcher is None and batch:
-        batcher = BatchEvaluator(db, ctx)
-    run = _FindRulesRun(
-        db, mq, thresholds, itype, prune_empty, use_full_reducer, decomposition, ctx, batcher
+    return AnswerSet(
+        iter_find_rules(
+            db, mq, thresholds, itype,
+            prune_empty=prune_empty, use_full_reducer=use_full_reducer,
+            decomposition=decomposition, cache=cache, ctx=ctx,
+            batch=batch, batcher=batcher, workers=workers, sharder=sharder,
+        ),
+        algorithm="findrules",
     )
-    if decomposition is None:
-        resolved, owned = resolve_sharder(
-            db, workers, sharder,
-            fast_path=ctx.fast_path if ctx is not None else True,
-            cache=cache, batch=batch,
-        )
-        if resolved is not None:
-            try:
-                return _sharded_find_rules(run, resolved)
-            finally:
-                if owned:
-                    resolved.close()
-    return run.run()
 
 
 def support_via_decomposition(

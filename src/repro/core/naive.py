@@ -55,6 +55,7 @@ from repro.datalog.batching import BatchEvaluator, body_shape
 from repro.datalog.context import EvaluationContext
 from repro.datalog.rules import HornRule
 from repro.datalog.sharding import (
+    ReorderBuffer,
     ShardedEvaluator,
     partition,
     resolve_sharder,
@@ -214,21 +215,31 @@ def _shard_items(
 def _sharded_answers(
     db: Database, mq: MetaQuery, itype: InstantiationType | int, sharder: ShardedEvaluator
 ) -> Iterator[MetaqueryAnswer]:
-    """The sharded arm of :func:`iter_answers`: evaluate per shard, merge by position."""
+    """The sharded arm of :func:`iter_answers`: stream shards through a reorder buffer.
+
+    Shard chunks arrive in completion order (``imap_unordered``); each
+    evaluated position is parked in a
+    :class:`~repro.datalog.sharding.ReorderBuffer` and answers are emitted
+    the moment the serial-order prefix is complete — incremental delivery
+    with an emission order byte-identical to the serial path's.
+    """
     items, buckets = _shard_items(db, mq, itype, sharder)
-    values: dict[int, tuple[Fraction, Fraction, Fraction]] = {}
-    for chunk in sharder.map(_shard_indices_task, buckets, item_count=len(items)):
+    buffer = ReorderBuffer()
+    for chunk in sharder.imap_unordered(_shard_indices_task, buckets, item_count=len(items)):
         for position, support, confidence, cover in chunk:
-            values[position] = (support, confidence, cover)
-    for position, (instantiation, rule) in enumerate(items):
-        support, confidence, cover = values[position]
-        yield MetaqueryAnswer(
-            instantiation=instantiation,
-            rule=rule,
-            support=support,
-            confidence=confidence,
-            cover=cover,
-        )
+            instantiation, rule = items[position]
+            buffer.push(
+                position,
+                MetaqueryAnswer(
+                    instantiation=instantiation,
+                    rule=rule,
+                    support=support,
+                    confidence=confidence,
+                    cover=cover,
+                ),
+            )
+        yield from buffer.drain()
+    assert not buffer, "sharded merge left unconsumed answer positions"
 
 
 def _sharded_first_hit(
@@ -271,9 +282,12 @@ def iter_answers(
     """Yield an answer (with all three indices) for every evaluable instantiation.
 
     With ``workers > 1`` (or an explicit ``sharder``) the instantiations are
-    evaluated by the worker pool and yielded in the exact serial order; the
-    sharded arm materializes the enumeration up front, so it is no longer
-    lazy, but the answers themselves are byte-identical.
+    evaluated by the worker pool and yielded in the exact serial order: the
+    sharded arm enumerates up front (padding determinism), dispatches the
+    shards and streams results through a position-keyed reorder buffer, so
+    answers are emitted as shards complete and are byte-identical to the
+    serial path's.  This generator is the core the streaming API
+    (``PreparedMetaquery.stream``) builds on.
     """
     resolved, owned = _make_sharder(
         db, workers, sharder,

@@ -186,6 +186,12 @@ class BatchEvaluator:
         """True when this evaluator's groups are valid for the given database."""
         return self.db is db
 
+    @property
+    def group_count(self) -> int:
+        """Number of shape groups currently materialized (telemetry for
+        ``MetaqueryEngine.stats()`` and, later, an eviction policy)."""
+        return len(self._groups)
+
     def clear(self) -> None:
         """Drop every materialized group (required after mutating the database)."""
         self._groups.clear()

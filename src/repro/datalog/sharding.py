@@ -22,7 +22,12 @@ This module distributes whole groups across a pool of worker processes:
 * :class:`ShardedEvaluator` owns the pool (created lazily, reused across
   calls, released by :meth:`ShardedEvaluator.close` or a ``with`` block)
   and runs picklable task callables over per-shard payloads, returning
-  results in payload order so callers can merge deterministically.
+  results in payload order (:meth:`ShardedEvaluator.map`) or in completion
+  order (:meth:`ShardedEvaluator.imap_unordered`, the streaming twin);
+* :class:`ReorderBuffer` re-serializes completion-order results back into
+  the exact serial emission order, which is how the streaming entry points
+  (``PreparedMetaquery.stream``) emit answers incrementally while staying
+  byte-identical to the materialized path.
 
 Determinism contract: callers tag every work item with its position in the
 serial enumeration order, shard by group key, and re-assemble results by
@@ -139,6 +144,52 @@ def partition(
 def _noop_task(payload: Any) -> Any:
     """A do-nothing task used by :meth:`ShardedEvaluator.warm_up`."""
     return payload
+
+
+class ReorderBuffer:
+    """Re-serialize position-tagged results arriving out of order.
+
+    Streaming consumers of :meth:`ShardedEvaluator.imap_unordered` receive
+    per-shard chunks in *completion* order, but the public contract of the
+    engines is byte-identity with the serial path — answers must be emitted
+    in the exact serial enumeration order.  The buffer bridges the two:
+    :meth:`push` accepts ``(position, item)`` pairs in any order and
+    :meth:`drain` yields the longest contiguous run starting at the next
+    expected position, holding everything else back.
+
+    Positions must form a gap-free range starting at ``start`` once all
+    results have arrived; :meth:`push` rejects duplicates and positions
+    already emitted.  ``len(buffer)`` is the number of items parked waiting
+    for an earlier position to arrive.
+    """
+
+    __slots__ = ("_next", "_pending")
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+        self._pending: dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def next_position(self) -> int:
+        """The position the buffer is waiting for."""
+        return self._next
+
+    def push(self, position: int, item: Any) -> None:
+        """Park one result under its serial position."""
+        if position < self._next or position in self._pending:
+            raise ShardingError(
+                f"position {position} was already emitted or is already buffered"
+            )
+        self._pending[position] = item
+
+    def drain(self):
+        """Yield parked items in serial order until the next gap."""
+        while self._next in self._pending:
+            yield self._pending.pop(self._next)
+            self._next += 1
 
 
 def resolve_sharder(
@@ -292,16 +343,47 @@ class ShardedEvaluator:
         bucket), so only the caller knows how many work items a dispatch
         carries.
         """
+        if not self._begin_dispatch(payloads, item_count):
+            return []
+        # chunksize=1: payloads are already shard-sized, one task per shard.
+        return self._ensure_pool().map(task, payloads, chunksize=1)
+
+    def _begin_dispatch(self, payloads: Sequence[Any], item_count: int | None) -> bool:
+        """Shared dispatch preamble: closed guard + stats accounting.
+
+        Returns False for an empty dispatch (nothing to ship, counters
+        untouched), keeping :meth:`map` and :meth:`imap_unordered` in
+        lockstep on what a "dispatch" means.
+        """
         if self._closed:
             raise ShardingError("ShardedEvaluator is closed")
         if not payloads:
-            return []
+            return False
         self.stats.dispatches += 1
         self.stats.tasks += len(payloads)
         if item_count is not None:
             self.stats.items += item_count
-        # chunksize=1: payloads are already shard-sized, one task per shard.
-        return self._ensure_pool().map(task, payloads, chunksize=1)
+        return True
+
+    def imap_unordered(
+        self,
+        task: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        item_count: int | None = None,
+    ) -> "Iterable[Any]":
+        """Like :meth:`map`, but yield each payload's result as it completes.
+
+        The streaming twin of :meth:`map`: results arrive in *completion*
+        order, so callers that need the serial order feed them through a
+        :class:`ReorderBuffer` keyed by the positions embedded in the
+        results.  Dispatch happens eagerly (the returned iterator is the
+        pool's); abandoning it early simply discards the not-yet-consumed
+        results while the pool stays healthy for subsequent calls — that is
+        what makes early-stopping streams cheap.
+        """
+        if not self._begin_dispatch(payloads, item_count):
+            return iter(())
+        return self._ensure_pool().imap_unordered(task, payloads, chunksize=1)
 
     def warm_up(self) -> None:
         """Start the pool (if needed) and wait until it answers a no-op task.

@@ -68,6 +68,18 @@ class DecompositionError(ReproError):
     """A hypertree decomposition or join tree could not be constructed."""
 
 
+class EngineError(ReproError, ValueError):
+    """An engine request or configuration is invalid.
+
+    Raised by :class:`~repro.core.engine.MetaqueryEngine` and
+    :class:`~repro.core.requests.MetaqueryRequest` construction when an
+    argument is out of range (``workers < 1``), of the wrong type (the
+    ``cache``/``fast_path``/``batch`` switches must be real booleans) or
+    names an unknown algorithm.  Subclasses :class:`ValueError` so callers
+    that predate the request API keep working unchanged.
+    """
+
+
 class ShardingError(ReproError):
     """A sharded evaluation could not be set up or dispatched.
 

@@ -1,0 +1,205 @@
+"""Tests for the asyncio front-end (:mod:`repro.core.aio`).
+
+The async facade must be a pure concurrency wrapper: every result —
+including streamed answer order — byte-identical to the wrapped sync
+engine's, with bounded concurrency, clean early-exit and correct
+owned/borrowed lifecycle.
+
+The tests drive coroutines through ``asyncio.run`` so they execute under
+plain pytest; with ``pytest-asyncio`` installed (the ``test`` extra used
+in CI) the same module runs unmodified — no event-loop fixtures are
+required.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.aio import AsyncMetaqueryEngine
+from repro.core.answers import Thresholds
+from repro.core.engine import MetaqueryEngine
+from repro.core.metaquery import parse_metaquery
+from repro.exceptions import EngineError
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+ONE_PATTERN = parse_metaquery("R(X,Y) <- P(Y,X)")
+THRESHOLDS = Thresholds(support=0.1, confidence=0.1, cover=0.0)
+
+
+def exact_table(answers):
+    return [(str(a.rule), a.support, a.confidence, a.cover) for a in answers]
+
+
+class TestConstruction:
+    def test_owned_engine_from_database(self, telecom_db):
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db, workers=1) as engine:
+                assert isinstance(engine.engine, MetaqueryEngine)
+                assert engine.engine.db is telecom_db
+
+        asyncio.run(main())
+
+    def test_borrowed_engine_is_not_closed(self, telecom_db):
+        sync_engine = MetaqueryEngine(telecom_db, workers=2)
+
+        async def main():
+            async with AsyncMetaqueryEngine(sync_engine) as engine:
+                await engine.find_rules(TRANSITIVITY, THRESHOLDS)
+
+        asyncio.run(main())
+        # Borrowed: the caller still owns the pool.
+        assert not sync_engine.sharder.closed
+        sync_engine.close()
+
+    def test_owned_engine_closed_on_exit(self, telecom_db):
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db, workers=2) as engine:
+                await engine.find_rules(TRANSITIVITY, THRESHOLDS)
+                return engine.engine
+
+        sync_engine = asyncio.run(main())
+        assert sync_engine.sharder.closed
+
+    def test_engine_kwargs_rejected_for_borrowed_engine(self, telecom_db):
+        sync_engine = MetaqueryEngine(telecom_db)
+        with pytest.raises(EngineError):
+            AsyncMetaqueryEngine(sync_engine, cache=False)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.0])
+    def test_max_concurrency_validated(self, telecom_db, bad):
+        with pytest.raises(EngineError):
+            AsyncMetaqueryEngine(telecom_db, max_concurrency=bad)
+
+    def test_invalid_engine_config_propagates(self, telecom_db):
+        with pytest.raises(EngineError):
+            AsyncMetaqueryEngine(telecom_db, workers=0)
+
+
+class TestAsyncMatchesSync:
+    @pytest.mark.parametrize("itype", [0, 1, 2])
+    def test_find_rules_matches_sync(self, telecom_db, itype):
+        sync = MetaqueryEngine(telecom_db).find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db) as engine:
+                return await engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+
+        result = asyncio.run(main())
+        assert result.algorithm == sync.algorithm
+        assert exact_table(result) == exact_table(sync)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_stream_matches_sync_order(self, telecom_db, workers):
+        with MetaqueryEngine(telecom_db, workers=workers) as sync_engine:
+            reference = exact_table(sync_engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1))
+
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db, workers=workers) as engine:
+                return [a async for a in engine.stream(TRANSITIVITY, THRESHOLDS, itype=1)]
+
+        assert exact_table(asyncio.run(main())) == reference
+
+    def test_decide_and_witness_match_sync(self, telecom_db):
+        sync_engine = MetaqueryEngine(telecom_db)
+        expected_decide = sync_engine.decide(TRANSITIVITY, "cnf", 0.5, itype=0)
+        expected_witness = sync_engine.witness(TRANSITIVITY, "cnf", 0.5, itype=0)
+
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db) as engine:
+                return (
+                    await engine.decide(TRANSITIVITY, "cnf", 0.5, itype=0),
+                    await engine.witness(TRANSITIVITY, "cnf", 0.5, itype=0),
+                )
+
+        decided, witnessed = asyncio.run(main())
+        assert decided == expected_decide
+        assert exact_table([witnessed]) == exact_table([expected_witness])
+
+    def test_prepared_metaquery_can_be_streamed_async(self, telecom_db):
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db) as engine:
+                prepared = await engine.prepare(TRANSITIVITY, THRESHOLDS, itype=1)
+                streamed = [a async for a in engine.stream(prepared)]
+                return exact_table(streamed), exact_table(prepared.collect())
+
+        streamed, collected = asyncio.run(main())
+        assert streamed == collected
+
+
+class TestConcurrency:
+    def test_concurrent_metaqueries_over_one_engine(self, telecom_db):
+        """The facade's raison d'être: overlapping requests share one engine
+        and still each match their serial twin exactly."""
+        serial = MetaqueryEngine(telecom_db)
+        references = {
+            (str(mq), itype): exact_table(serial.find_rules(mq, THRESHOLDS, itype=itype))
+            for mq in (TRANSITIVITY, ONE_PATTERN)
+            for itype in (0, 1)
+        }
+
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db, max_concurrency=3) as engine:
+                jobs = [
+                    (str(mq), itype, engine.find_rules(mq, THRESHOLDS, itype=itype))
+                    for mq in (TRANSITIVITY, ONE_PATTERN)
+                    for itype in (0, 1)
+                ]
+                results = await asyncio.gather(*(job[2] for job in jobs))
+                return {(name, itype): exact_table(r)
+                        for (name, itype, _), r in zip(jobs, results)}
+
+        assert asyncio.run(main()) == references
+
+    def test_concurrent_streams_do_not_interleave_answers(self, telecom_db):
+        serial = MetaqueryEngine(telecom_db)
+        ref_a = exact_table(serial.find_rules(TRANSITIVITY, THRESHOLDS, itype=2))
+        ref_b = exact_table(serial.find_rules(ONE_PATTERN, THRESHOLDS, itype=2))
+
+        async def consume(engine, mq):
+            return [a async for a in engine.stream(mq, THRESHOLDS, itype=2)]
+
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db, max_concurrency=2) as engine:
+                a, b = await asyncio.gather(
+                    consume(engine, TRANSITIVITY), consume(engine, ONE_PATTERN)
+                )
+                return exact_table(a), exact_table(b)
+
+        got_a, got_b = asyncio.run(main())
+        assert got_a == ref_a
+        assert got_b == ref_b
+
+    def test_semaphore_bounds_in_flight_requests(self, telecom_db):
+        """With max_concurrency=1, two streams still both complete (the
+        second waits for the first's semaphore slot)."""
+
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db, max_concurrency=1) as engine:
+                first = [a async for a in engine.stream(TRANSITIVITY, THRESHOLDS)]
+                second = [a async for a in engine.stream(TRANSITIVITY, THRESHOLDS)]
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert exact_table(first) == exact_table(second)
+        assert first
+
+
+class TestEarlyExit:
+    def test_break_out_of_stream(self, telecom_db):
+        async def main():
+            async with AsyncMetaqueryEngine(telecom_db) as engine:
+                stream = engine.stream(TRANSITIVITY, THRESHOLDS, itype=1)
+                got = []
+                async for answer in stream:
+                    got.append(answer)
+                    if len(got) == 2:
+                        break
+                await stream.aclose()
+                # The engine must still answer after an abandoned stream.
+                rest = await engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+                return got, rest
+
+        got, rest = asyncio.run(main())
+        assert exact_table(got) == exact_table(list(rest)[:2])

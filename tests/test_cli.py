@@ -75,6 +75,74 @@ def test_classify_with_relation_names(capsys):
     assert "predicate variables: (none)" in out
 
 
+def test_mine_stream_prints_answers_incrementally(data_dir, capsys):
+    exit_code = main(
+        [
+            "mine",
+            data_dir,
+            "R(X,Z) <- P(X,Y), Q(Y,Z)",
+            "--support",
+            "0.3",
+            "--confidence",
+            "0.5",
+            "--stream",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "uspt(X, Z) <- uspt(X, Y), uspt(Y, Z)" in out or "uspt" in out
+    assert "streamed in emission order" in out
+
+
+def test_mine_stream_with_limit_stops_early(data_dir, capsys):
+    exit_code = main(
+        [
+            "mine",
+            data_dir,
+            "R(X,Z) <- P(X,Y), Q(Y,Z)",
+            "--stream",
+            "--limit",
+            "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "stopped after 2 answers" in out
+
+
+def test_mine_stream_matches_collected_answer_count(data_dir, capsys):
+    main(["mine", data_dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", "--support", "0.3", "--stream"])
+    streamed = capsys.readouterr().out
+    main(["mine", data_dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", "--support", "0.3"])
+    collected = capsys.readouterr().out
+    streamed_rules = [line for line in streamed.splitlines() if "<-" in line and "[sup=" in line]
+    collected_rules = [
+        line for line in collected.splitlines()
+        if "<-" in line and not line.startswith(("#", "rule"))
+    ]
+    assert len(streamed_rules) == len(collected_rules) > 0
+
+
+def test_mine_stats_prints_telemetry(data_dir, capsys):
+    exit_code = main(
+        ["mine", data_dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", "--support", "0.3", "--stats"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "# stats:" in out
+    assert "cache:" in out and "atom_hits=" in out
+    assert "batch:" in out and "group_count=" in out
+
+
+def test_mine_workers_zero_rejected(data_dir, capsys):
+    exit_code = main(
+        ["mine", data_dir, "R(X,Z) <- P(X,Y), Q(Y,Z)", "--workers", "0"]
+    )
+    err = capsys.readouterr().err
+    assert exit_code == 2
+    assert "--workers must be >= 1" in err
+
+
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
