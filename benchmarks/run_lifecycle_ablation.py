@@ -1,0 +1,241 @@
+"""Record the cache-lifecycle ablation (PR-5 acceptance criteria).
+
+Three scenarios over the Figure-4 telecom workload:
+
+* **Warm-cache retention** — warm one engine per arm, mutate a *single*
+  relation in place, re-run the workload.  The incremental arm relies on
+  generation-counter invalidation (only entries reading the mutated
+  relation are dropped); the full-clear arm calls ``invalidate_cache()``,
+  the pre-lifecycle behaviour.  Both arms must stay byte-identical to a
+  cold engine on the mutated database; the incremental arm must retain at
+  least one cache hit — and, being warm, should be faster.
+* **Bounded memory ceiling** — run the workload with a small
+  ``cache_limit`` versus unbounded.  The bounded arm's live entry count
+  (``group_count + len(_atoms) + len(_joins) + len(_fractions)``) is
+  sampled after every call and must stay under the cap for the whole
+  workload while matching the unbounded arm's answers byte-for-byte.
+* **Request-cache replay** — repeat one completed request; the replay is
+  served from the request-level answer cache (O(1)) and must beat the
+  evaluated run.
+
+Usage::
+
+    python benchmarks/run_lifecycle_ablation.py                  # full run
+    python benchmarks/run_lifecycle_ablation.py --smoke          # CI smoke sizes
+    python benchmarks/run_lifecycle_ablation.py --output FILE    # custom path
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.answers import Thresholds
+from repro.core.engine import MetaqueryEngine
+from repro.core.metaquery import parse_metaquery
+from repro.relational.relation import Relation
+from repro.workloads.telecom import scaled_telecom
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+THRESHOLDS = Thresholds(support=0.2, confidence=0.3, cover=0.1)
+
+
+def _answer_keys(answers):
+    return [(str(a.rule), a.support, a.confidence, a.cover) for a in answers]
+
+
+def build_db(users: int):
+    return scaled_telecom(users=users, carriers=6, technologies=5, noise=0.1, seed=1)
+
+
+def run_workload(engine, itypes=(0, 1)) -> list:
+    """The Figure-4 workload: the transitivity metaquery across types."""
+    tables = []
+    for itype in itypes:
+        tables.extend(
+            _answer_keys(engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype))
+        )
+    return tables
+
+
+def mutate_one_relation(db) -> None:
+    """Grow the (small) carrier-technology relation by one tuple, in place."""
+    cate = db["cate"]
+    db.replace(cate.with_rows(list(cate.tuples) + [("NewCarrier", "NewTech")]))
+
+
+def live_entries(engine) -> int:
+    """The acceptance-criterion gauge: groups + atoms + joins (+ fractions)."""
+    ctx = engine.context
+    group_count = engine.batcher.group_count if engine.batcher is not None else 0
+    return group_count + len(ctx._atoms) + len(ctx._joins) + len(ctx._fractions)
+
+
+def scenario_warm_retention(users: int) -> dict:
+    """Incremental invalidation vs full clear after a single-relation mutation."""
+    results = {}
+    reference = None
+    for arm in ("incremental", "full_clear"):
+        db = build_db(users)
+        engine = MetaqueryEngine(db, request_cache=None)
+        run_workload(engine)  # warm every cache
+        hits_before = engine.stats()["cache"]["atom_hits"]
+        mutate_one_relation(db)
+        if arm == "full_clear":
+            engine.invalidate_cache()
+        start = time.perf_counter()
+        table = run_workload(engine)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats()
+        cold = MetaqueryEngine(db, request_cache=None)
+        cold_table = run_workload(cold)
+        if table != cold_table:
+            raise AssertionError(f"{arm}: warmed answers differ from the cold engine's")
+        if reference is None:
+            reference = table
+        elif table != reference:
+            raise AssertionError("incremental and full-clear arms disagree")
+        results[arm] = {
+            "seconds": round(elapsed, 6),
+            "atom_hits_during_rerun": stats["cache"]["atom_hits"] - hits_before,
+            "invalidated_entries": stats["lifecycle"]["invalidated_entries"],
+            "answers": len(table),
+        }
+    retained = results["incremental"]["atom_hits_during_rerun"]
+    if retained < 1:
+        raise AssertionError(
+            "incremental arm retained no cache hits after a single-relation mutation"
+        )
+    speedup = (
+        results["full_clear"]["seconds"] / results["incremental"]["seconds"]
+        if results["incremental"]["seconds"]
+        else None
+    )
+    print(
+        f"{'warm_retention':<28} incremental={results['incremental']['seconds']:.4f}s  "
+        f"full_clear={results['full_clear']['seconds']:.4f}s  "
+        f"speedup={speedup:.2f}x  retained_hits={retained}"
+    )
+    return {
+        "scenario": "warm_retention_after_single_relation_mutation",
+        "arms": results,
+        "retention_speedup": round(speedup, 3),
+        "answers_identical": True,
+    }
+
+
+def scenario_bounded_memory(users: int, cap: int) -> dict:
+    """A tiny cache_limit must bound live entries without changing answers."""
+    db = build_db(users)
+    unbounded = MetaqueryEngine(db, request_cache=None)
+    bounded = MetaqueryEngine(db, cache_limit=cap, request_cache=None)
+    peak_bounded = peak_unbounded = 0
+    for itype in (0, 1, 2):
+        reference = _answer_keys(
+            unbounded.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+        )
+        peak_unbounded = max(peak_unbounded, live_entries(unbounded))
+        table = _answer_keys(bounded.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype))
+        gauge = live_entries(bounded)
+        peak_bounded = max(peak_bounded, gauge)
+        if gauge > cap:
+            raise AssertionError(f"bounded arm exceeded the cap: {gauge} > {cap}")
+        if table != reference:
+            raise AssertionError(f"bounded answers differ at type {itype}")
+    stats = bounded.stats()["lifecycle"]
+    print(
+        f"{'bounded_memory':<28} cap={cap}  peak_bounded={peak_bounded}  "
+        f"peak_unbounded={peak_unbounded}  evictions={stats['evictions']}"
+    )
+    return {
+        "scenario": "bounded_vs_unbounded_memory_ceiling",
+        "cache_limit": cap,
+        "peak_live_entries_bounded": peak_bounded,
+        "peak_live_entries_unbounded": peak_unbounded,
+        "evictions": stats["evictions"],
+        "evicted_tuples": stats["evicted_tuples"],
+        "answers_identical": True,
+    }
+
+
+def scenario_request_replay(users: int) -> dict:
+    """A repeated request is served from the answer cache in O(1)."""
+    db = build_db(users)
+    engine = MetaqueryEngine(db)
+    start = time.perf_counter()
+    first = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+    evaluated = time.perf_counter() - start
+    start = time.perf_counter()
+    replay = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+    replayed = time.perf_counter() - start
+    if engine.stats()["request"]["hits"] != 1:
+        raise AssertionError("replay did not come from the request cache")
+    if _answer_keys(replay) != _answer_keys(first):
+        raise AssertionError("replayed answers differ from the evaluated run")
+    speedup = evaluated / replayed if replayed else float("inf")
+    print(
+        f"{'request_replay':<28} evaluated={evaluated:.4f}s  replayed={replayed:.6f}s  "
+        f"speedup={min(speedup, 10**6):.0f}x"
+    )
+    return {
+        "scenario": "request_cache_replay",
+        "evaluated_seconds": round(evaluated, 6),
+        "replayed_seconds": round(replayed, 6),
+        "hits": engine.stats()["request"]["hits"],
+        "answers": len(first),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--output", default=None, help="output JSON path")
+    parser.add_argument("--cache-limit", type=int, default=8,
+                        help="entry cap for the bounded-memory scenario")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    output = Path(args.output) if args.output else repo_root / "BENCH_lifecycle_ablation.json"
+
+    users = 20 if args.smoke else 35
+
+    scenarios = [
+        scenario_warm_retention(users),
+        scenario_bounded_memory(users, args.cache_limit),
+        scenario_request_replay(users),
+    ]
+
+    payload = {
+        "benchmark": "lifecycle_ablation",
+        "description": (
+            "Cache lifecycle: warm-cache retention under incremental "
+            "relation-scoped invalidation vs full clear after a single-"
+            "relation mutation; bounded (LRU cache_limit) vs unbounded "
+            "memory ceiling; request-level answer-cache replay"
+        ),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "scenarios": scenarios,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if not args.smoke:
+        retention = scenarios[0]["retention_speedup"]
+        if retention < 1.0:
+            print(
+                f"WARNING: incremental re-run slower than full clear ({retention}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

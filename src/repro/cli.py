@@ -16,11 +16,14 @@ The ``mine`` subcommand exposes the engine's four ablation switches:
 ``--no-cache`` (evaluation memoization), ``--no-fast-path`` (acyclic
 Yannakakis joins), ``--no-batch`` (shape-grouped batched evaluation) and
 ``--workers N`` (shard shape groups across N worker processes; the default
-``--workers 1`` is fully serial and never spawns a pool).  All switches
-only change speed, never answers — see ``docs/architecture.md`` for the
-full matrix.  ``--stream`` prints answers incrementally as the engine
-confirms them (with ``--limit`` as an early stop) and ``--stats`` reports
-the cache/batch/shard telemetry counters after mining.
+``--workers 1`` is fully serial and never spawns a pool), plus the cache
+lifecycle knobs ``--cache-limit N`` (LRU-bound the memoization caches for
+long-running use) and ``--no-request-cache`` (disable the request-level
+answer cache).  All switches only change speed, never answers — see
+``docs/architecture.md`` for the full matrix.  ``--stream`` prints answers
+incrementally as the engine confirms them (with ``--limit`` as an early
+stop) and ``--stats`` reports the cache/batch/lifecycle/request/shard
+telemetry counters after mining.
 """
 
 from __future__ import annotations
@@ -63,6 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--workers", type=int, default=1, metavar="N",
                       help="shard shape groups across N worker processes "
                            "(default 1: serial, no pool is spawned)")
+    mine.add_argument("--cache-limit", type=int, default=None, metavar="N",
+                      help="bound the memoization caches to N entries total "
+                           "(atoms + joins + fractions + shape groups, LRU "
+                           "eviction; default: unbounded)")
+    mine.add_argument("--no-request-cache", action="store_true",
+                      help="disable the request-level answer cache (repeat "
+                           "requests re-evaluate instead of replaying)")
     mine.add_argument("--stream", action="store_true",
                       help="print answers incrementally as the engine confirms them "
                            "(emission order; --sort-by is ignored, --limit stops early)")
@@ -102,6 +112,9 @@ def _run_mine(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.cache_limit is not None and args.cache_limit < 1:
+        print(f"error: --cache-limit must be >= 1, got {args.cache_limit}", file=sys.stderr)
+        return 2
     db = load_database(args.data_dir)
     with MetaqueryEngine(
         db,
@@ -110,6 +123,8 @@ def _run_mine(args: argparse.Namespace) -> int:
         fast_path=not args.no_fast_path,
         batch=not args.no_batch,
         workers=args.workers,
+        cache_limit=args.cache_limit,
+        request_cache=None if args.no_request_cache else 128,
     ) as engine:
         thresholds = Thresholds(support=args.support, confidence=args.confidence, cover=args.cover)
         prepared = engine.prepare(

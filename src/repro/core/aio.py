@@ -10,21 +10,30 @@ each answer as the engine confirms it.
 
 Why this is safe over one shared engine:
 
-* the engine's caches (:class:`~repro.datalog.context.EvaluationContext`,
-  :class:`~repro.datalog.batching.BatchEvaluator`, per-relation hash
-  indexes) are *monotone* memo tables over an immutable database — a race
-  between two threads at worst computes the same deterministic entry twice
-  and stores identical values, never a wrong answer (the stats counters may
-  undercount under contention, which is acceptable for telemetry);
+* the engine's caches store deterministic values: a race between two
+  threads at worst computes the same entry twice and stores identical
+  results, never a wrong answer (the stats counters may undercount under
+  contention, which is acceptable for telemetry).  The shared
+  :class:`~repro.datalog.lifecycle.LifecycleCache` additionally locks its
+  state transitions, because an LRU store — unlike the pre-lifecycle
+  monotone dicts — mutates recency on reads and evicts on writes; the
+  request-level :class:`~repro.datalog.lifecycle.RequestCache` locks
+  likewise;
 * :class:`multiprocessing.pool.Pool` is thread-safe, so concurrent
   metaqueries can share the engine's persistent worker pool;
 * per-call state (enumeration order, type-2 padding counters, reorder
   buffers) lives on the call stack, so concurrent streams cannot perturb
   each other's byte-identity with the serial path.
 
-Do **not** mutate the database or call ``invalidate_cache()`` while
-requests are in flight — the same rule the sync engine has, only easier to
-violate from concurrent code.
+Mutating the database **between** requests is safe: the generation-counter
+lifecycle (see :mod:`repro.datalog.lifecycle`) invalidates the memoization
+caches relation-by-relation and the request-level answer cache by
+generation vector, so the next request always evaluates against current
+state.  Do **not** mutate the database while requests are *in flight* —
+the same rule the sync engine has, only easier to violate from concurrent
+code.  Repeated identical requests (a hot endpoint replaying one
+metaquery) are served from the engine's request cache in O(1) until a
+mutation bumps the generation vector.
 
 Example
 -------
@@ -133,6 +142,12 @@ class AsyncMetaqueryEngine:
     def stats(self) -> dict[str, dict[str, int]]:
         """The wrapped engine's telemetry counters (:meth:`MetaqueryEngine.stats`)."""
         return self._engine.stats()
+
+    async def invalidate_cache(self) -> None:
+        """Async :meth:`MetaqueryEngine.invalidate_cache` — the explicit full
+        reset (rarely needed now that mutations auto-invalidate; see the
+        module docstring).  Only call with no requests in flight."""
+        await asyncio.to_thread(self._engine.invalidate_cache)
 
     # ------------------------------------------------------------------
     async def prepare(

@@ -25,9 +25,13 @@ call:
   reused across calls and released by :meth:`MetaqueryEngine.close` (or a
   ``with`` block).
 
-The database is treated as read-only; call :meth:`invalidate_cache` after
-mutating it in place (it also restarts the worker pool, whose processes
-hold their own database snapshots).
+In-place database mutations *between* calls are safe: the database's
+per-relation generation counters let every cache invalidate itself
+incrementally (only entries touching mutated relations are dropped, worker
+pools are refreshed by shipping the changed relations, and the
+request-level answer cache compares generation vectors on lookup).
+:meth:`invalidate_cache` remains as the explicit full reset.  Mutating the
+database while a call is *in flight* is still unsupported.
 """
 
 from __future__ import annotations
@@ -48,11 +52,12 @@ from repro.core.requests import (
 )
 from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
+from repro.datalog.lifecycle import CacheLimit, RequestCache
 from repro.datalog.sharding import ShardedEvaluator
 from repro.exceptions import EngineError
 from repro.relational.database import Database
 
-__all__ = ["ALGORITHMS", "MetaqueryEngine"]
+__all__ = ["ALGORITHMS", "CacheLimit", "MetaqueryEngine"]
 
 
 def _require_bool(value: object, name: str) -> bool:
@@ -76,8 +81,9 @@ class MetaqueryEngine:
     Parameters
     ----------
     db:
-        The database to mine.  Treated as read-only; call
-        :meth:`invalidate_cache` after mutating it in place.
+        The database to mine.  May be mutated in place *between* calls —
+        the caches detect it through the generation counters and invalidate
+        only what the mutation touched; never mutate it mid-call.
     default_itype:
         The instantiation type used when a call does not specify one
         (type 0, the paper's Definition 2.2, by default).
@@ -98,6 +104,24 @@ class MetaqueryEngine:
         The pool is created lazily on the first parallel call, persists
         across calls, and is released by :meth:`close` — engines with
         ``workers > 1`` are best used as context managers.
+    cache_limit:
+        Bound the memoization caches for long-running use: an int caps the
+        total entry count across the context's atoms/joins/fractions and
+        the batcher's shape groups (they share one LRU store), a
+        ``(max_entries, max_tuples)`` pair or
+        :class:`~repro.datalog.lifecycle.CacheLimit` also caps the summed
+        cached-relation sizes.  Evicted entries recompute on demand —
+        answers never change, only speed.  Worker processes apply the same
+        limit to their private stores.  Default ``None``: unbounded, the
+        historical behaviour.
+    request_cache:
+        Size of the request-level answer cache (completed
+        :class:`AnswerSet` objects keyed by the prepared request, guarded
+        by the database's generation vector so any mutation invalidates
+        them automatically).  Repeat requests replay the recorded answers
+        — an answer-count-bounded copy instead of re-running the
+        exponential search.  ``None`` or ``0`` disables it; default 128
+        entries.
 
     Examples
     --------
@@ -123,6 +147,8 @@ class MetaqueryEngine:
         fast_path: bool = True,
         batch: bool = True,
         workers: int = 1,
+        cache_limit: CacheLimit | int | tuple | None = None,
+        request_cache: int | None = 128,
     ) -> None:
         self.db = db
         self.default_itype = InstantiationType.coerce(default_itype)
@@ -137,58 +163,108 @@ class MetaqueryEngine:
             )
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
+        self.cache_limit = CacheLimit.coerce(cache_limit)
+        if request_cache is not None and (
+            isinstance(request_cache, bool) or not isinstance(request_cache, int)
+        ):
+            raise EngineError(
+                f"request_cache must be an int or None, got {type(request_cache).__name__}"
+            )
+        if request_cache is not None and request_cache < 0:
+            raise EngineError(f"request_cache must be >= 0, got {request_cache}")
         # The context doubles as the configuration carrier: with cache=False
         # it stores nothing but still propagates the fast_path switch.
-        self.context = EvaluationContext(db, fast_path=fast_path, caching=cache)
+        self.context = EvaluationContext(
+            db, fast_path=fast_path, caching=cache, cache_limit=self.cache_limit
+        )
         self.batch = batch
         # Persistent across calls, like the context, so repeated metaqueries
-        # reuse materialized shape groups.
+        # reuse materialized shape groups.  Shares the context's lifecycle
+        # store, so cache_limit caps atoms + joins + fractions + groups with
+        # one global LRU order.
         self.batcher = BatchEvaluator(db, ctx=self.context) if batch else None
         # Persistent worker pool (lazily started); None on the serial path so
         # workers=1 can never spawn processes.
         self.workers = workers
         self.sharder = (
-            ShardedEvaluator(db, self.workers, fast_path=fast_path, cache=cache, batch=batch)
+            ShardedEvaluator(
+                db, self.workers, fast_path=fast_path, cache=cache, batch=batch,
+                cache_limit=self.cache_limit,
+            )
             if self.workers > 1
             else None
         )
+        #: Completed answer sets, auto-invalidated by the db generation
+        #: vector; consulted by PreparedMetaquery.stream()/collect().
+        self.request_cache = RequestCache(request_cache) if request_cache else None
 
     def invalidate_cache(self) -> None:
-        """Drop memoized results (required after mutating the database in place).
+        """Drop every memoized result — the explicit full reset.
 
-        Clears the context and batcher caches and restarts the worker pool
-        (each worker process holds its own snapshot of the database, taken
-        when the pool started, plus its own private caches).
+        No longer *required* after in-place mutation: the generation
+        counters let the context/batcher drop exactly the entries touching
+        mutated relations, the sharder ships the changed relations to its
+        workers with the next dispatch, and the request cache compares
+        generation vectors on lookup.  This method remains the manual
+        nuclear option: it clears the context and batcher stores, drops the
+        request cache and restarts the worker pool.
         """
         self.context.clear()
         if self.batcher is not None:
             self.batcher.clear()
         if self.sharder is not None:
             self.sharder.reset()
+        if self.request_cache is not None:
+            self.request_cache.clear()
 
     def stats(self) -> dict[str, dict[str, int]]:
         """Telemetry counters of the engine's acceleration subsystems.
 
-        Returns a dictionary with up to three sections:
+        Returns a dictionary with up to five sections:
 
         * ``"cache"`` — the :class:`~repro.datalog.context.CacheStats`
-          hit/miss counters of the persistent context (always present);
-        * ``"batch"`` — the batcher's group counters plus ``group_count``,
-          the number of shape groups currently materialized (only with
-          ``batch=True``);
-        * ``"shard"`` — pool/dispatch counters (only with ``workers > 1``).
+          hit/miss counters (always present).  With ``workers > 1`` the
+          per-task counter deltas reported back by the worker processes are
+          aggregated in, so sharded runs no longer read as ~zero cache
+          activity (each worker's private context does the actual work);
+        * ``"batch"`` — the batcher's group counters (worker deltas
+          aggregated in likewise) plus ``group_count``, the number of shape
+          groups live in *this* process (only with ``batch=True``);
+        * ``"lifecycle"`` — eviction/invalidation counters of the shared
+          store (worker deltas included) plus live ``entries``/``tuples``
+          gauges of the parent store (always present);
+        * ``"request"`` — answer-cache hits/misses/evictions/invalidations
+          (only when the request cache is enabled);
+        * ``"shard"`` — pool/dispatch/sync counters (only with
+          ``workers > 1``).
 
-        First step toward the ROADMAP cache-eviction item: hit rates and
-        live group counts are what an eviction policy will be tuned on.
         Counters accumulate across calls; ``invalidate_cache()`` drops the
         cached state but deliberately keeps the counters.
         """
-        stats: dict[str, dict[str, int]] = {"cache": self.context.stats.as_dict()}
+
+        def merged(own: dict[str, int], section: str) -> dict[str, int]:
+            if self.sharder is None:
+                return own
+            # dict() snapshot: a concurrent request thread may be merging
+            # new counter keys into worker_counters while we iterate.
+            for key, value in dict(self.sharder.worker_counters.get(section, {})).items():
+                own[key] = own.get(key, 0) + value
+            return own
+
+        stats: dict[str, dict[str, int]] = {
+            "cache": merged(self.context.stats.as_dict(), "cache")
+        }
         if self.batcher is not None:
             stats["batch"] = {
-                **self.batcher.stats.as_dict(),
+                **merged(self.batcher.stats.as_dict(), "batch"),
                 "group_count": self.batcher.group_count,
             }
+        stats["lifecycle"] = {
+            **merged(self.context.store.stats.as_dict(), "lifecycle"),
+            **self.context.store.gauges(),
+        }
+        if self.request_cache is not None:
+            stats["request"] = self.request_cache.stats.as_dict()
         if self.sharder is not None:
             stats["shard"] = self.sharder.stats.as_dict()
         return stats

@@ -205,6 +205,18 @@ class PreparedMetaquery:
         self.decomposition = decomposition
 
     # ------------------------------------------------------------------
+    def _answer_cache_key(self) -> tuple:
+        """The request-cache key: the *prepared* identity of this metaquery.
+
+        Built from the parsed metaquery (so the textual and parsed
+        spellings of one request share an entry), the thresholds, the
+        instantiation type and the resolved algorithm.  The database's
+        mutation state is deliberately not part of the key — the
+        :class:`~repro.datalog.lifecycle.RequestCache` guards entries with
+        the generation vector instead, dropping stale ones on lookup.
+        """
+        return (self.mq, self.request.thresholds, int(self.request.itype), self.algorithm)
+
     def stream(self) -> Iterator[MetaqueryAnswer]:
         """Yield threshold-passing answers incrementally, in ``collect`` order.
 
@@ -214,8 +226,32 @@ class PreparedMetaquery:
         buffer, order byte-identical to serial) when the engine has an
         active worker pool.  Breaking out of the loop early is supported
         and cheap — remaining work on a persistent pool is simply never
-        consumed.  Each call starts an independent evaluation.
+        consumed.
+
+        With the engine's request cache enabled, a repeat of an already
+        completed request replays the recorded answers (same order — the
+        emission order is deterministic) without re-evaluating, and a
+        stream consumed to exhaustion records its answers for future
+        repeats; early-stopped streams record nothing.
         """
+        cache = self.engine.request_cache
+        if cache is None:
+            yield from self._evaluate()
+            return
+        key = self._answer_cache_key()
+        vector = self.engine.db.generation_vector()
+        cached = cache.get(key, vector)
+        if cached is not None:
+            yield from cached
+            return
+        collected: list[MetaqueryAnswer] = []
+        for answer in self._evaluate():
+            collected.append(answer)
+            yield answer
+        cache.put(key, vector, AnswerSet(collected, algorithm=self.algorithm))
+
+    def _evaluate(self) -> Iterator[MetaqueryAnswer]:
+        """The uncached evaluation core; each call runs an independent search."""
         # Late imports keep the module free of a requests → naive/findrules →
         # engine import cycle at load time.
         from repro.core.findrules import iter_find_rules
@@ -247,8 +283,27 @@ class PreparedMetaquery:
 
     def collect(self) -> AnswerSet:
         """Materialize the stream into an :class:`AnswerSet` (tagged with
-        the algorithm that actually ran) — byte-identical to the stream."""
-        return AnswerSet.collect(self.stream(), algorithm=self.algorithm)
+        the algorithm that actually ran) — byte-identical to the stream.
+
+        A repeat of an already completed request is served from the
+        engine's request cache without re-evaluating — an
+        answer-count-bounded copy instead of an exponential search — as
+        long as the database's generation vector still matches the one the
+        evaluation started from.  The cache keeps private snapshots and
+        every call returns a fresh :class:`AnswerSet`, so mutating a result
+        in place (``AnswerSet.append``) cannot poison later replays.
+        """
+        cache = self.engine.request_cache
+        if cache is None:
+            return AnswerSet.collect(self._evaluate(), algorithm=self.algorithm)
+        key = self._answer_cache_key()
+        vector = self.engine.db.generation_vector()
+        cached = cache.get(key, vector)
+        if cached is not None:
+            return AnswerSet(cached, algorithm=cached.algorithm)
+        answers = AnswerSet.collect(self._evaluate(), algorithm=self.algorithm)
+        cache.put(key, vector, AnswerSet(answers, algorithm=self.algorithm))
+        return answers
 
     def __iter__(self) -> Iterator[MetaqueryAnswer]:
         """Iterating a prepared metaquery streams it."""

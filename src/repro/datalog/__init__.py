@@ -19,6 +19,7 @@ from repro.datalog.terms import Constant, Term, Variable, term
 from repro.datalog.atoms import Atom
 from repro.datalog.batching import BatchEvaluator, BodyGroup
 from repro.datalog.context import EvaluationContext
+from repro.datalog.lifecycle import CacheLimit, LifecycleCache, RequestCache
 from repro.datalog.sharding import ShardedEvaluator
 from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.datalog.parser import parse_atom, parse_query, parse_rule, parse_program
@@ -40,7 +41,10 @@ __all__ = [
     "Atom",
     "BatchEvaluator",
     "BodyGroup",
+    "CacheLimit",
     "EvaluationContext",
+    "LifecycleCache",
+    "RequestCache",
     "ShardedEvaluator",
     "ConjunctiveQuery",
     "HornRule",

@@ -26,9 +26,14 @@ then answered from the shared result by key-set intersection:
   of two natural joins per head.
 
 A :class:`BatchEvaluator` is bound to one database and optionally shares an
-:class:`EvaluationContext` (for atom relations and the canonical joins).
-Like the context, it assumes the database is not mutated while it is alive;
-call :meth:`BatchEvaluator.clear` otherwise.
+:class:`EvaluationContext` (for atom relations and the canonical joins) —
+and, when it does, also the context's
+:class:`~repro.datalog.lifecycle.LifecycleCache` store, so a
+``cache_limit`` caps the combined atoms + joins + fractions + groups
+footprint with one global LRU order.  Like the context, it detects
+in-place database mutations through the generation counters and drops only
+the groups touching mutated relations (:meth:`BatchEvaluator.refresh`);
+mutating the database *during* one evaluation remains unsupported.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.datalog.context import (
     _shape_key,
 )
 from repro.datalog.evaluation import atom_relation, join_atoms
+from repro.datalog.lifecycle import CacheLimit, GenerationWatcher, LifecycleCache
 from repro.datalog.terms import Variable
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -123,6 +129,15 @@ class _GroupCore:
         self.size = len(join)
         self.support = support
 
+    def release(self) -> None:
+        """Release the canonical join's cached hash indexes (LRU eviction hook).
+
+        Clears the index dict *in place* so member views sharing it stop
+        pinning the built indexes; any survivor rebuilds lazily.
+        """
+        if self.join._index_cache is not None:
+            self.join._index_cache.clear()
+
     def key_index(self, numbers: tuple[int, ...]) -> dict:
         """The cached hash index of the canonical join on the given variable numbers."""
         return self.join._hash_index(numbers)
@@ -173,14 +188,30 @@ class BatchEvaluator:
     ctx:
         Optional :class:`EvaluationContext` used for atom relations and the
         canonical joins (contexts bound to a different database are silently
-        ignored, mirroring the evaluation functions).
+        ignored, mirroring the evaluation functions).  A usable context also
+        contributes its :class:`~repro.datalog.lifecycle.LifecycleCache`, so
+        groups and memoized relations share one LRU budget.
+    cache_limit:
+        Bounds a *privately built* store (no usable ``ctx``); coerced
+        through :meth:`~repro.datalog.lifecycle.CacheLimit.coerce`.
     """
 
-    def __init__(self, db: Database, ctx: EvaluationContext | None = None) -> None:
+    def __init__(
+        self,
+        db: Database,
+        ctx: EvaluationContext | None = None,
+        cache_limit: "CacheLimit | int | tuple | None" = None,
+    ) -> None:
         self.db = db
         self.ctx = ctx if (ctx is not None and ctx.applies_to(db)) else None
         self.stats = BatchStats()
-        self._groups: dict[GroupKey, _GroupCore] = {}
+        self.store = (
+            self.ctx.store
+            if self.ctx is not None
+            else LifecycleCache(CacheLimit.coerce(cache_limit))
+        )
+        self._groups = self.store.section("group")
+        self._watcher = GenerationWatcher(db)
 
     def applies_to(self, db: Database) -> bool:
         """True when this evaluator's groups are valid for the given database."""
@@ -189,12 +220,30 @@ class BatchEvaluator:
     @property
     def group_count(self) -> int:
         """Number of shape groups currently materialized (telemetry for
-        ``MetaqueryEngine.stats()`` and, later, an eviction policy)."""
+        ``MetaqueryEngine.stats()`` and the eviction policy)."""
         return len(self._groups)
 
     def clear(self) -> None:
-        """Drop every materialized group (required after mutating the database)."""
+        """Drop every materialized group, releasing the shared hash indexes.
+
+        No longer *required* after an in-place mutation (:meth:`refresh`
+        auto-invalidates incrementally); kept as the explicit full reset.
+        """
         self._groups.clear()
+        self._watcher.resync()
+
+    def refresh(self) -> frozenset[str]:
+        """Drop only the groups reading mutated relations (see
+        :meth:`EvaluationContext.refresh`, the identical protocol)."""
+        # peek → invalidate → resync, like the context: the snapshot must
+        # not look fresh to a concurrent thread before stale entries are
+        # gone.  A shared store may already have been swept by the
+        # context's own refresh; invalidation is idempotent either way.
+        changed = self._watcher.peek()
+        if changed:
+            self.store.invalidate_relations(changed)
+            self._watcher.resync()
+        return changed
 
     # ------------------------------------------------------------------
     def body_group(
@@ -210,6 +259,7 @@ class BatchEvaluator:
         in any order.  Pass a zero-argument callable to defer that work to
         the cache miss — on a group hit it is never invoked.
         """
+        self.refresh()
         key, names, atom_numbers = body_shape(body_atoms)
         core = self._groups.get(key)
         if core is None:
@@ -224,7 +274,13 @@ class BatchEvaluator:
                 join = precomputed
             canonical = _normalized_view(join, len(names))
             support = self._support(body_atoms, atom_numbers, canonical)
-            core = self._groups[key] = _GroupCore(canonical, support)
+            core = _GroupCore(canonical, support)
+            self._groups.put(
+                key,
+                core,
+                relations=frozenset(atom_key[0] for atom_key in key),
+                weight=core.size,
+            )
         else:
             self.stats.group_hits += 1
         return BodyGroup(core, {name: i for i, name in enumerate(names)})

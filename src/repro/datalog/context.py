@@ -16,10 +16,18 @@ atom for support).  :class:`EvaluationContext` makes that redundancy cheap:
 * ``fraction`` values (exact :class:`~fractions.Fraction` ratios) are cached
   keyed by the normalized shape of the pair of atom sets.
 
-A context is bound to one :class:`~repro.relational.database.Database` and
-assumes it is *not mutated* while the context is alive; call :meth:`clear`
-after changing the database in place.  The ``fast_path`` flag enables the
-Yannakakis full-reducer pipeline for acyclic atom sets in
+A context is bound to one :class:`~repro.relational.database.Database`.
+In-place mutations between calls are detected automatically through the
+database's per-relation generation counters: on its next use the context
+drops exactly the entries that read a mutated relation (the shape keys
+name every predicate an entry touches) and keeps the rest warm — see
+:meth:`EvaluationContext.refresh`.  Mutating the database *during* a
+single evaluation remains unsupported, as before.  Entries live in a
+:class:`~repro.datalog.lifecycle.LifecycleCache`, optionally bounded by a
+:class:`~repro.datalog.lifecycle.CacheLimit` (LRU eviction across the
+atom/join/fraction sections and any sharing
+:class:`~repro.datalog.batching.BatchEvaluator`).  The ``fast_path`` flag
+enables the Yannakakis full-reducer pipeline for acyclic atom sets in
 :func:`repro.datalog.evaluation.join_atoms`.
 """
 
@@ -30,6 +38,7 @@ from fractions import Fraction
 from typing import Callable, Hashable, Sequence
 
 from repro.datalog.atoms import Atom
+from repro.datalog.lifecycle import CacheLimit, GenerationWatcher, LifecycleCache
 from repro.datalog.terms import Variable
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -118,32 +127,82 @@ class EvaluationContext:
         When False, the context still carries configuration (``fast_path``)
         but never stores or serves memoized results — the full uncached
         ablation baseline.
+    cache_limit:
+        Optional :class:`~repro.datalog.lifecycle.CacheLimit` (or the int /
+        pair spellings it coerces) bounding the store; ignored when an
+        explicit ``store`` is shared.
+    store:
+        An existing :class:`~repro.datalog.lifecycle.LifecycleCache` to
+        share (the engine shares one store between its context and batcher
+        so the limit caps their *combined* footprint).
     """
 
-    def __init__(self, db: Database, fast_path: bool = True, caching: bool = True) -> None:
+    def __init__(
+        self,
+        db: Database,
+        fast_path: bool = True,
+        caching: bool = True,
+        cache_limit: "CacheLimit | int | tuple | None" = None,
+        store: LifecycleCache | None = None,
+    ) -> None:
         self.db = db
         self.fast_path = fast_path
         self.caching = caching
         self.stats = CacheStats()
-        self._atoms: dict[AtomKey, Relation] = {}
-        self._joins: dict[tuple[AtomKey, ...], Relation] = {}
-        self._fractions: dict[tuple[int, tuple[AtomKey, ...]], Fraction] = {}
+        self.store = store if store is not None else LifecycleCache(CacheLimit.coerce(cache_limit))
+        self._atoms = self.store.section("atom")
+        self._joins = self.store.section("join")
+        self._fractions = self.store.section("fraction")
+        self._watcher = GenerationWatcher(db)
 
     def clear(self) -> None:
-        """Drop every cached result (required after mutating the database)."""
+        """Drop every cached result and release the cached hash indexes.
+
+        No longer *required* after an in-place mutation (:meth:`refresh`
+        auto-invalidates incrementally) but still the explicit full reset
+        used by ``MetaqueryEngine.invalidate_cache``.
+        """
         self._atoms.clear()
         self._joins.clear()
         self._fractions.clear()
+        self._watcher.resync()
 
     def applies_to(self, db: Database) -> bool:
-        """True when this context's caches are valid for the given database."""
+        """True when this context's caches are valid for the given database.
+
+        Identity is still the test — a context never serves results for a
+        *different* database object.  Staleness of the *same* object after
+        in-place mutation is handled separately by :meth:`refresh`, which
+        every memoized lookup runs first.
+        """
         return self.db is db
+
+    def refresh(self) -> frozenset[str]:
+        """Detect in-place database mutations; drop only affected entries.
+
+        An O(1) probe of ``db.mutation_count`` when nothing changed.  On a
+        mismatch the per-relation generations are diffed against the last
+        snapshot (:class:`~repro.datalog.lifecycle.GenerationWatcher`) and
+        entries reading a changed relation are invalidated — entries over
+        untouched relations stay warm.  Returns the changed relation names
+        (mostly for tests and telemetry).
+        """
+        # Invalidate *before* advancing the snapshot: under the async
+        # facade another thread's O(1) probe must not see a fresh snapshot
+        # while stale entries are still in the store.  Double invalidation
+        # from concurrent refreshes is idempotent.
+        changed = self._watcher.peek()
+        if changed:
+            self.store.invalidate_relations(changed)
+            self._watcher.resync()
+        return changed
 
     # ------------------------------------------------------------------
     def atom_relation(self, atom: Atom, compute: Callable[[Atom], Relation]) -> Relation:
         """The memoized relation of one atom (columns = its variable names)."""
         if not self.caching:
             return compute(atom)
+        self.refresh()
         var_ids: dict[Variable, int] = {}
         key = _shape_key(atom, var_ids)
         names = [v.name for v, _ in sorted(var_ids.items(), key=lambda kv: kv[1])]
@@ -151,7 +210,12 @@ class EvaluationContext:
         if cached is None:
             self.stats.atom_misses += 1
             result = compute(atom)
-            self._atoms[key] = _normalized_view(result, len(names))
+            self._atoms.put(
+                key,
+                _normalized_view(result, len(names)),
+                relations=frozenset((atom.predicate,)),
+                weight=len(result),
+            )
             return result
         self.stats.atom_hits += 1
         return _actual_view(cached, names)
@@ -167,12 +231,18 @@ class EvaluationContext:
         """
         if not self.caching:
             return compute()
+        self.refresh()
         key, names = _atoms_key(atoms)
         cached = self._joins.get(key)
         if cached is None:
             self.stats.join_misses += 1
             result = compute()
-            self._joins[key] = _normalized_view(result, len(names))
+            self._joins.put(
+                key,
+                _normalized_view(result, len(names)),
+                relations=frozenset(atom_key[0] for atom_key in key),
+                weight=len(result),
+            )
             return result
         self.stats.join_hits += 1
         return _actual_view(cached, names)
@@ -186,12 +256,19 @@ class EvaluationContext:
         """The memoized fraction ``R ↑ S`` of a pair of atom sets."""
         if not self.caching:
             return compute()
+        self.refresh()
         joint_key, _ = _atoms_key(tuple(r_atoms) + tuple(s_atoms))
         key = (len(r_atoms), joint_key)
         cached = self._fractions.get(key)
         if cached is None:
             self.stats.fraction_misses += 1
-            cached = self._fractions[key] = compute()
+            cached = compute()
+            self._fractions.put(
+                key,
+                cached,
+                relations=frozenset(atom_key[0] for atom_key in joint_key),
+                weight=0,
+            )
         else:
             self.stats.fraction_hits += 1
         return cached

@@ -1,0 +1,469 @@
+"""The cache lifecycle: bounded, relation-aware stores for long-running engines.
+
+The memoization layers (:class:`~repro.datalog.context.EvaluationContext`,
+:class:`~repro.datalog.batching.BatchEvaluator`) were built for one-shot
+mining over an immutable database: caches grow without bound and any
+mutation requires a manual, all-or-nothing ``clear()``.  The ROADMAP's
+long-running-server north star breaks both assumptions, so this module
+supplies the three lifecycle pieces those layers (and the engine facade)
+share:
+
+* :class:`CacheLimit` — the ``max_entries`` / ``max_tuples`` knobs bounding
+  a cache (``MetaqueryEngine(cache_limit=...)``, CLI ``--cache-limit``);
+* :class:`LifecycleCache` — one LRU store with named *sections* (the
+  context's atoms / joins / fractions and the batcher's shape groups) that
+  share a single budget, evict least-recently-used entries across sections,
+  invalidate by the *relations an entry reads* (derived from the
+  :data:`~repro.datalog.context.AtomKey` shape keys, which name every
+  predicate an entry touches) and release cached hash-index memory on
+  eviction;
+* :class:`RequestCache` — completed
+  :class:`~repro.core.answers.AnswerSet` objects keyed by the prepared
+  request, guarded by the database's
+  :meth:`~repro.relational.database.Database.generation_vector` so any
+  mutation automatically invalidates affected entries on the next lookup.
+
+Relation-scoped invalidation is driven by the
+:class:`~repro.relational.database.Database` generation counters: consumers
+snapshot ``db.mutation_count`` (an O(1) probe) and, on mismatch, diff the
+per-relation generations to learn exactly which relations changed —
+entries whose relation sets are disjoint from the change survive, which is
+what keeps caches warm across streaming/append workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator
+
+from repro.exceptions import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.answers import AnswerSet
+
+
+@dataclass(frozen=True)
+class CacheLimit:
+    """Bounds for a :class:`LifecycleCache`.
+
+    ``max_entries`` caps the number of live entries across every section of
+    the store (atoms + joins + fractions + shape groups when the engine
+    shares one store); ``max_tuples`` caps the summed tuple counts of the
+    cached relations (fractions weigh 0).  ``None`` leaves a dimension
+    unbounded; ``CacheLimit()`` bounds nothing.
+    """
+
+    max_entries: int | None = None
+    max_tuples: int | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("max_entries", self.max_entries), ("max_tuples", self.max_tuples)):
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise EngineError(
+                    f"{name} must be an int or None, got {type(value).__name__} ({value!r})"
+                )
+            if value < 1:
+                raise EngineError(f"{name} must be >= 1, got {value}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True when neither dimension is capped."""
+        return self.max_entries is None and self.max_tuples is None
+
+    @classmethod
+    def coerce(cls, value: "CacheLimit | int | tuple | None") -> "CacheLimit | None":
+        """Normalize the engine-facing spellings of a cache limit.
+
+        ``None`` → unbounded (no limit object at all); an int → that many
+        entries; a ``(max_entries, max_tuples)`` pair → both knobs; a
+        :class:`CacheLimit` passes through (``None`` when unbounded).
+        """
+        if value is None:
+            return None
+        if isinstance(value, CacheLimit):
+            return None if value.unbounded else value
+        if isinstance(value, bool):
+            raise EngineError(f"cache_limit must be an int, pair or CacheLimit, got {value!r}")
+        if isinstance(value, int):
+            return cls(max_entries=value)
+        if isinstance(value, tuple) and len(value) == 2:
+            return cls.coerce(cls(*value))
+        raise EngineError(
+            f"cache_limit must be an int, a (max_entries, max_tuples) pair or a "
+            f"CacheLimit, got {type(value).__name__} ({value!r})"
+        )
+
+
+@dataclass
+class LifecycleStats:
+    """Eviction/invalidation counters of one :class:`LifecycleCache`."""
+
+    evictions: int = 0  # entries evicted by the LRU policy
+    evicted_tuples: int = 0  # summed weights of those entries
+    invalidated_entries: int = 0  # entries dropped by relation-scoped invalidation
+    rejected: int = 0  # values too large for max_tuples, served uncached
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "evictions": self.evictions,
+            "evicted_tuples": self.evicted_tuples,
+            "invalidated_entries": self.invalidated_entries,
+            "rejected": self.rejected,
+        }
+
+
+def _release(value: Any) -> None:
+    """Release the memory a cached value pins beyond the entry itself.
+
+    Cached relations carry a lazily built hash-index dict that renamed
+    views *share* (index keys are column positions, preserved by renaming),
+    so a view retained by a caller would otherwise keep every index alive
+    after the entry is gone.  Clearing the dict in place releases the
+    indexes through every alias at once; survivors rebuild lazily on the
+    next probe.  Values may expose ``release()`` (shape-group cores do);
+    plain values (fractions) need no release.
+    """
+    release = getattr(value, "release", None)
+    if callable(release):
+        release()
+        return
+    cache = getattr(value, "_index_cache", None)
+    if isinstance(cache, dict):
+        cache.clear()
+
+
+class _Entry:
+    __slots__ = ("value", "relations", "weight")
+
+    def __init__(self, value: Any, relations: frozenset[str], weight: int) -> None:
+        self.value = value
+        self.relations = relations
+        self.weight = weight
+
+
+class LifecycleCache:
+    """An LRU store with named sections sharing one entries/tuples budget.
+
+    Sections partition the key space (``"atom"`` / ``"join"`` /
+    ``"fraction"`` / ``"group"``) while recency and the
+    :class:`CacheLimit` budget are global: an engine whose context and
+    batcher share one store therefore keeps
+    ``group_count + len(_atoms) + len(_joins) + len(_fractions)`` under
+    ``max_entries`` no matter how the workload distributes across the
+    sections.  Every entry records the set of relation names it was
+    computed from, so :meth:`invalidate_relations` drops exactly the
+    entries touching mutated relations.
+    """
+
+    def __init__(self, limit: CacheLimit | None = None) -> None:
+        self.limit = CacheLimit.coerce(limit)
+        self.stats = LifecycleStats()
+        self._entries: OrderedDict[tuple[str, Hashable], _Entry] = OrderedDict()
+        self._section_sizes: dict[str, int] = {}
+        self._tuples = 0
+        # The async facade shares one engine (hence one store) across
+        # threads; unlike the pre-lifecycle monotone dicts, an LRU store
+        # mutates on reads (recency) and evicts on writes, so its state
+        # transitions take a lock.  Uncontended acquisition is cheap next
+        # to the joins being memoized.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_tuples(self) -> int:
+        """Summed weights (cached relation sizes) of all live entries."""
+        return self._tuples
+
+    def section_len(self, section: str) -> int:
+        return self._section_sizes.get(section, 0)
+
+    def section(self, name: str) -> "CacheSection":
+        """A view of one named section (the stores the consumers hold)."""
+        return CacheSection(self, name)
+
+    # ------------------------------------------------------------------
+    def get(self, section: str, key: Hashable) -> Any | None:
+        if self.limit is None:
+            # Unbounded (the default): recency is never consulted, so a
+            # hit is a plain dict read — no lock, no move_to_end — keeping
+            # the memoization hot path at pre-lifecycle cost.
+            entry = self._entries.get((section, key))
+            return entry.value if entry is not None else None
+        with self._lock:
+            entry = self._entries.get((section, key))
+            if entry is None:
+                return None
+            self._entries.move_to_end((section, key))
+            return entry.value
+
+    def put(
+        self, section: str, key: Hashable, value: Any, relations: frozenset[str], weight: int = 0
+    ) -> None:
+        limit = self.limit
+        if limit is not None and limit.max_tuples is not None and weight > limit.max_tuples:
+            # The value alone exceeds the whole budget: caching it would
+            # evict everything else for one entry, so serve it uncached.
+            self.stats.rejected += 1
+            return
+        full = (section, key)
+        with self._lock:
+            old = self._entries.pop(full, None)
+            if old is not None:
+                self._tuples -= old.weight
+                self._section_sizes[section] -= 1
+            self._entries[full] = _Entry(value, relations, weight)
+            self._tuples += weight
+            self._section_sizes[section] = self._section_sizes.get(section, 0) + 1
+            self._shrink()
+
+    def _shrink(self) -> None:
+        limit = self.limit
+        if limit is None:
+            return
+        while (limit.max_entries is not None and len(self._entries) > limit.max_entries) or (
+            limit.max_tuples is not None and self._tuples > limit.max_tuples
+        ):
+            (section, _), entry = self._entries.popitem(last=False)
+            self._tuples -= entry.weight
+            self._section_sizes[section] -= 1
+            self.stats.evictions += 1
+            self.stats.evicted_tuples += entry.weight
+            _release(entry.value)
+
+    # ------------------------------------------------------------------
+    def invalidate_relations(self, names: Iterable[str]) -> int:
+        """Drop every entry reading one of the given relations; returns the count."""
+        names = frozenset(names)
+        if not names or not self._entries:
+            return 0
+        with self._lock:
+            dropped = [
+                full for full, entry in self._entries.items() if entry.relations & names
+            ]
+            for full in dropped:
+                entry = self._entries.pop(full)
+                self._tuples -= entry.weight
+                self._section_sizes[full[0]] -= 1
+                _release(entry.value)
+            self.stats.invalidated_entries += len(dropped)
+        return len(dropped)
+
+    def clear_section(self, section: str) -> None:
+        """Drop (and release) every entry of one section."""
+        with self._lock:
+            dropped = [full for full in self._entries if full[0] == section]
+            for full in dropped:
+                entry = self._entries.pop(full)
+                self._tuples -= entry.weight
+                _release(entry.value)
+            self._section_sizes[section] = 0
+
+    def clear(self) -> None:
+        """Drop every entry, releasing the cached hash-index dicts in place."""
+        with self._lock:
+            for entry in self._entries.values():
+                _release(entry.value)
+            self._entries.clear()
+            self._section_sizes.clear()
+            self._tuples = 0
+
+    def gauges(self) -> dict[str, int]:
+        """Live-size gauges (sections, entries, tuples) for telemetry."""
+        return {"entries": len(self._entries), "tuples": self._tuples}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sections = ", ".join(f"{k}={v}" for k, v in sorted(self._section_sizes.items()) if v)
+        return (
+            f"LifecycleCache({sections or 'empty'}, tuples={self._tuples}, "
+            f"limit={self.limit}, stats={self.stats.as_dict()})"
+        )
+
+
+class CacheSection:
+    """A consumer's view of one named section of a :class:`LifecycleCache`.
+
+    Behaves like a small mapping (``get`` / ``put`` / ``len`` / iteration
+    over keys) so :class:`~repro.datalog.context.EvaluationContext` can keep
+    exposing ``_atoms`` / ``_joins`` / ``_fractions`` with dict-like
+    introspection while the actual storage, recency order and budget are
+    shared store-wide.
+    """
+
+    __slots__ = ("_store", "_name")
+
+    def __init__(self, store: LifecycleCache, name: str) -> None:
+        self._store = store
+        self._name = name
+
+    @property
+    def store(self) -> LifecycleCache:
+        return self._store
+
+    def get(self, key: Hashable) -> Any | None:
+        return self._store.get(self._name, key)
+
+    def put(self, key: Hashable, value: Any, relations: frozenset[str], weight: int = 0) -> None:
+        self._store.put(self._name, key, value, relations, weight)
+
+    def __len__(self) -> int:
+        return self._store.section_len(self._name)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return (self._name, key) in self._store._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter([k for (s, k) in self._store._entries if s == self._name])
+
+    def clear(self) -> None:
+        self._store.clear_section(self._name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheSection({self._name!r}, {len(self)} entries)"
+
+
+class GenerationWatcher:
+    """Tracks which relations of a database mutated since a snapshot.
+
+    The one staleness protocol every cache consumer shares: snapshot the
+    database's per-relation generations, probe ``mutation_count`` (O(1))
+    on each check, and diff the generations only on a mismatch.
+    :meth:`changed` advances the snapshot (the context/batcher pattern:
+    invalidate once per mutation); :meth:`peek` does not (the sharder
+    pattern: keep shipping a delta until every worker acknowledged it,
+    then :meth:`resync` explicitly).
+    """
+
+    __slots__ = ("db", "_mutations", "_generations")
+
+    def __init__(self, db: Any) -> None:
+        self.db = db
+        self.resync()
+
+    def resync(self) -> None:
+        """Re-baseline: the database's current state counts as seen."""
+        self._mutations = self.db.mutation_count
+        self._generations = self.db.generations()
+
+    def _diff(self) -> frozenset[str]:
+        current = self.db.generations()
+        return frozenset(
+            name for name, gen in current.items() if self._generations.get(name) != gen
+        )
+
+    def peek(self) -> frozenset[str]:
+        """Relations mutated since the snapshot; the snapshot is kept."""
+        if self._mutations == self.db.mutation_count:
+            return frozenset()
+        return self._diff()
+
+    def changed(self) -> frozenset[str]:
+        """Relations mutated since the snapshot; the snapshot advances."""
+        if self._mutations == self.db.mutation_count:
+            return frozenset()
+        changed = self._diff()
+        self.resync()
+        return changed
+
+
+# ----------------------------------------------------------------------
+# request-level answer cache
+# ----------------------------------------------------------------------
+@dataclass
+class RequestCacheStats:
+    """Hit/miss/invalidation counters of one :class:`RequestCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0  # entries dropped by the LRU cap
+    invalidated: int = 0  # entries dropped because the generation vector moved
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+        }
+
+
+class RequestCache:
+    """Completed answer sets keyed by request, guarded by the db mutation state.
+
+    Each entry stores the database's
+    :meth:`~repro.relational.database.Database.generation_vector` captured
+    when the evaluation *started*; a lookup whose current vector differs
+    drops the entry and reports a miss, so any mutation (of any relation —
+    metaqueries with predicate variables may read all of them, and the
+    instantiation space itself depends on the relation set) automatically
+    invalidates affected answers without an explicit protocol.  Bounded by
+    an LRU cap on the entry count and safe under the async facade's
+    concurrent streams (all state transitions hold an internal lock).
+
+    Stored :class:`~repro.core.answers.AnswerSet` objects are the cache's
+    *private snapshots*: consumers (``PreparedMetaquery``) store a copy
+    and hand out copies on hits, so a caller mutating its result (the
+    ``AnswerSet.append`` API) cannot poison future replays.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if isinstance(max_entries, bool) or not isinstance(max_entries, int):
+            raise EngineError(
+                f"request cache size must be an int, got {type(max_entries).__name__}"
+            )
+        if max_entries < 1:
+            raise EngineError(f"request cache size must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.stats = RequestCacheStats()
+        self._entries: OrderedDict[Hashable, tuple[tuple, "AnswerSet"]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, generation_vector: tuple) -> "AnswerSet | None":
+        """The cached answers for ``key``, or None (stale entries are dropped)."""
+        with self._lock:
+            item = self._entries.get(key)
+            if item is None:
+                self.stats.misses += 1
+                return None
+            vector, answers = item
+            if vector != generation_vector:
+                del self._entries[key]
+                self.stats.invalidated += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return answers
+
+    def put(self, key: Hashable, generation_vector: tuple, answers: "AnswerSet") -> None:
+        """Record a *completed* evaluation under the vector it started from.
+
+        If the database mutated mid-evaluation the stored vector is already
+        stale and the entry self-destructs on its first lookup — a
+        conservative but safe way to never serve mixed-snapshot answers.
+        """
+        with self._lock:
+            self._entries[key] = (generation_vector, answers)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestCache({len(self._entries)}/{self.max_entries} entries, "
+            f"stats={self.stats.as_dict()})"
+        )

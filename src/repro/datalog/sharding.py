@@ -49,11 +49,13 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.pool
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
+from repro.datalog.lifecycle import CacheLimit, GenerationWatcher
 from repro.exceptions import ShardingError
 from repro.relational.database import Database
 
@@ -67,19 +69,26 @@ _WORKER_CTX: EvaluationContext | None = None
 _WORKER_BATCHER: BatchEvaluator | None = None
 
 
-def _init_worker(db: Database, fast_path: bool, caching: bool, batch: bool) -> None:
+def _init_worker(
+    db: Database,
+    fast_path: bool,
+    caching: bool,
+    batch: bool,
+    cache_limit: CacheLimit | None = None,
+) -> None:
     """Pool initializer: build this worker's private evaluator pair.
 
     Runs once per worker process.  The database arrives pickled through the
     pool's init arguments (identical under ``fork`` and ``spawn`` start
     methods), so every worker evaluates against its own consistent snapshot.
-    The three serial ablation switches are forwarded so e.g. a
-    ``cache=False, workers=4`` run really measures sharding over the
-    uncached evaluator (``batch=False`` leaves the batcher ``None``).
+    The serial ablation switches are forwarded so e.g. a ``cache=False,
+    workers=4`` run really measures sharding over the uncached evaluator
+    (``batch=False`` leaves the batcher ``None``); ``cache_limit`` bounds
+    each worker's private store exactly as it bounds the parent's.
     """
     global _WORKER_DB, _WORKER_CTX, _WORKER_BATCHER
     _WORKER_DB = db
-    _WORKER_CTX = EvaluationContext(db, fast_path=fast_path, caching=caching)
+    _WORKER_CTX = EvaluationContext(db, fast_path=fast_path, caching=caching, cache_limit=cache_limit)
     _WORKER_BATCHER = BatchEvaluator(db, _WORKER_CTX) if batch else None
 
 
@@ -146,6 +155,64 @@ def _noop_task(payload: Any) -> Any:
     return payload
 
 
+# ----------------------------------------------------------------------
+# dispatch envelope: relation sync + telemetry merge-back
+# ----------------------------------------------------------------------
+#: One pending relation update: ``(name, parent generation, relation)``.
+RelationSync = tuple[str, int, Any]
+
+
+def _worker_counter_snapshot() -> dict[str, dict[str, int]]:
+    """The current worker's cumulative cache/batch/lifecycle counters."""
+    _, ctx, batcher = worker_state()
+    return {
+        "cache": ctx.stats.as_dict(),
+        "batch": batcher.stats.as_dict() if batcher is not None else {},
+        "lifecycle": ctx.store.stats.as_dict(),
+    }
+
+
+def _counter_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, dict[str, int]]:
+    """Per-section counter difference, keeping only non-zero keys."""
+    delta: dict[str, dict[str, int]] = {}
+    for section, counters in after.items():
+        base = before.get(section, {})
+        moved = {k: v - base.get(k, 0) for k, v in counters.items() if v != base.get(k, 0)}
+        if moved:
+            delta[section] = moved
+    return delta
+
+
+def _instrumented_task(
+    wrapped: tuple[list[RelationSync], Callable[[Any], Any], Any],
+) -> tuple[dict[str, dict[str, int]], Any]:
+    """The worker-side dispatch envelope every task runs inside.
+
+    First applies any pending relation syncs — parent mutations shipped
+    with the dispatch instead of restarting the pool.  A sync is applied
+    only when its generation is newer than the worker copy's, so repeated
+    shipments are idempotent; applying one bumps the worker database's own
+    counters, which makes the worker's context/batcher drop exactly the
+    affected entries on their next use.  Then runs the task and returns its
+    result together with this worker's pid — the parent records which
+    workers acknowledged each shipped relation version and stops shipping
+    it once the whole pool has — and the cache/batch/lifecycle counter
+    *deltas* this task produced, so the parent can aggregate worker-side
+    telemetry without double counting (counters are cumulative per worker
+    process).
+    """
+    sync, task, payload = wrapped
+    db, _, _ = worker_state()
+    for name, generation, relation in sync:
+        if db.generation(name) < generation:
+            db._sync_relation(relation, generation)
+    before = _worker_counter_snapshot()
+    result = task(payload)
+    return os.getpid(), _counter_delta(before, _worker_counter_snapshot()), result
+
+
 class ReorderBuffer:
     """Re-serialize position-tagged results arriving out of order.
 
@@ -199,6 +266,7 @@ def resolve_sharder(
     fast_path: bool = True,
     cache: bool = True,
     batch: bool = True,
+    cache_limit: CacheLimit | None = None,
 ) -> tuple["ShardedEvaluator | None", bool]:
     """Resolve an engine's sharding switch: an explicit (valid, open) evaluator wins.
 
@@ -216,7 +284,8 @@ def resolve_sharder(
     if int(workers) > 1:
         return (
             ShardedEvaluator(
-                db, int(workers), fast_path=fast_path, cache=cache, batch=batch
+                db, int(workers), fast_path=fast_path, cache=cache, batch=batch,
+                cache_limit=cache_limit,
             ),
             True,
         )
@@ -231,6 +300,7 @@ class ShardStats:
     dispatches: int = 0  # map() calls issued
     tasks: int = 0  # per-shard tasks shipped
     items: int = 0  # work items shipped inside those tasks
+    relation_syncs: int = 0  # relation versions shipped to refresh worker snapshots
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -238,6 +308,7 @@ class ShardStats:
             "dispatches": self.dispatches,
             "tasks": self.tasks,
             "items": self.items,
+            "relation_syncs": self.relation_syncs,
         }
 
 
@@ -254,9 +325,15 @@ class ShardedEvaluator:
     ----------
     db:
         The database the workers evaluate against.  Each worker receives its
-        own copy when the pool starts; mutate the parent's database in place
-        and the copies go stale — call :meth:`reset` (the engine's
-        ``invalidate_cache`` does) to restart the pool against fresh state.
+        own copy when the pool starts.  In-place mutations of the parent's
+        database are detected through its generation counters and shipped to
+        the workers incrementally: every dispatch carries the relations
+        changed since the pool started (:meth:`_pending_sync`), each worker
+        applies a version at most once, and the worker's own caches drop
+        exactly the affected entries — no pool restart.  :meth:`reset` (the
+        engine's ``invalidate_cache`` calls it) remains the explicit full
+        restart, and is also taken automatically when most of the database
+        changed at once.
     workers:
         Number of worker processes.  ``workers=1`` builds a degenerate
         evaluator whose :attr:`active` property is False and which never
@@ -284,6 +361,7 @@ class ShardedEvaluator:
         cache: bool = True,
         batch: bool = True,
         start_method: str | None = None,
+        cache_limit: "CacheLimit | int | tuple | None" = None,
     ) -> None:
         workers = int(workers)
         if workers < 1:
@@ -293,10 +371,23 @@ class ShardedEvaluator:
         self.fast_path = fast_path
         self.cache = cache
         self.batch = batch
+        self.cache_limit = CacheLimit.coerce(cache_limit)
         self.start_method = start_method or _default_start_method()
         self.stats = ShardStats()
+        #: Cumulative worker-side counter deltas merged back from completed
+        #: tasks, keyed like the engine's stats sections ("cache" / "batch" /
+        #: "lifecycle").  This is what fixes the ``stats()`` undercount: the
+        #: workers' private contexts/batchers do the actual cache work, and
+        #: without the merge the parent's counters sit near zero.
+        self.worker_counters: dict[str, dict[str, int]] = {}
         self._pool: multiprocessing.pool.Pool | None = None
         self._closed = False
+        # Watches mutations relative to the snapshot the *workers* hold;
+        # created when the pool starts (the db is pickled then), dropped
+        # with the pool.  _sync_acks records, per relation, which worker
+        # pids acknowledged which shipped generation.
+        self._watcher: GenerationWatcher | None = None
+        self._sync_acks: dict[str, tuple[int, set[int]]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -320,10 +411,75 @@ class ShardedEvaluator:
             self._pool = context.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(self.db, self.fast_path, self.cache, self.batch),
+                initargs=(self.db, self.fast_path, self.cache, self.batch, self.cache_limit),
             )
             self.stats.pool_starts += 1
+            self._watcher = GenerationWatcher(self.db)
+            self._sync_acks = {}
         return self._pool
+
+    def _pending_sync(self) -> list[RelationSync]:
+        """Relations mutated since the pool pickled its database snapshots.
+
+        Shipped with each dispatch until every worker pid has acknowledged
+        the version (workers apply a version at most once), so an in-place
+        mutation invalidates the workers *incrementally* instead of forcing
+        a pool restart; once the whole pool acknowledged everything, the
+        snapshot is rebased and the probe is O(1) again.  When most of the
+        database moved at once, restarting is cheaper than shipping — the
+        pool is reset and the next :meth:`_ensure_pool` re-pickles current
+        state.
+        """
+        if self._pool is None or self._watcher is None:
+            return []
+        changed = self._watcher.peek()
+        if not changed:
+            return []
+        if 2 * len(changed) > len(self.db):
+            self.reset()
+            return []
+        pending: list[RelationSync] = []
+        for name in sorted(changed):
+            generation = self.db.generation(name)
+            acked = self._sync_acks.get(name)
+            if acked is not None and acked[0] == generation and len(acked[1]) >= self.workers:
+                continue  # every worker already applied this version
+            pending.append((name, generation, self.db[name]))
+        if not pending:
+            # The whole pool holds every changed relation's current version:
+            # rebase the snapshot so future probes stop diffing.
+            self._watcher.resync()
+            self._sync_acks = {}
+            return []
+        # The sync rides inside every task payload (each task may land on
+        # any worker), so one dispatch pickles it once per shard.  When the
+        # pending tuples rival the database itself, a restart — which
+        # pickles the database once per worker and rebases immediately —
+        # is the cheaper way to refresh the pool.
+        if 2 * sum(len(relation) for _, _, relation in pending) > self.db.total_tuples():
+            self.reset()
+            return []
+        self.stats.relation_syncs += len(pending)
+        return pending
+
+    def _absorb(
+        self,
+        envelope: tuple[int, dict[str, dict[str, int]], Any],
+        sync: list[RelationSync],
+    ) -> Any:
+        """Record one task's sync acknowledgement and counter deltas;
+        return the task result."""
+        pid, delta, result = envelope
+        for name, generation, _ in sync:
+            acked = self._sync_acks.get(name)
+            if acked is None or acked[0] != generation:
+                acked = self._sync_acks[name] = (generation, set())
+            acked[1].add(pid)
+        for section, counters in delta.items():
+            bucket = self.worker_counters.setdefault(section, {})
+            for key, value in counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+        return result
 
     def map(
         self,
@@ -337,6 +493,9 @@ class ShardedEvaluator:
         is typically one shard's bucket from :func:`partition`.  Results
         come back in payload order regardless of which worker finished
         first, which is what makes the caller's position-sort merge exact.
+        Every task runs inside the :func:`_instrumented_task` envelope:
+        pending relation syncs are applied first and the worker's counter
+        deltas are merged back into :attr:`worker_counters`.
 
         ``item_count`` feeds the :attr:`stats` work-item counter; payload
         shapes vary by caller (bare buckets, config tuples wrapping a
@@ -345,8 +504,11 @@ class ShardedEvaluator:
         """
         if not self._begin_dispatch(payloads, item_count):
             return []
+        sync = self._pending_sync()
+        wrapped = [(sync, task, payload) for payload in payloads]
         # chunksize=1: payloads are already shard-sized, one task per shard.
-        return self._ensure_pool().map(task, payloads, chunksize=1)
+        results = self._ensure_pool().map(_instrumented_task, wrapped, chunksize=1)
+        return [self._absorb(envelope, sync) for envelope in results]
 
     def _begin_dispatch(self, payloads: Sequence[Any], item_count: int | None) -> bool:
         """Shared dispatch preamble: closed guard + stats accounting.
@@ -383,7 +545,10 @@ class ShardedEvaluator:
         """
         if not self._begin_dispatch(payloads, item_count):
             return iter(())
-        return self._ensure_pool().imap_unordered(task, payloads, chunksize=1)
+        sync = self._pending_sync()
+        wrapped = [(sync, task, payload) for payload in payloads]
+        inner = self._ensure_pool().imap_unordered(_instrumented_task, wrapped, chunksize=1)
+        return (self._absorb(envelope, sync) for envelope in inner)
 
     def warm_up(self) -> None:
         """Start the pool (if needed) and wait until it answers a no-op task.
@@ -395,7 +560,9 @@ class ShardedEvaluator:
         """
         if self._closed:
             raise ShardingError("ShardedEvaluator is closed")
-        self._ensure_pool().map(_noop_task, [None])
+        sync = self._pending_sync()
+        for envelope in self._ensure_pool().map(_instrumented_task, [(sync, _noop_task, None)]):
+            self._absorb(envelope, sync)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -409,6 +576,8 @@ class ShardedEvaluator:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._watcher = None
+        self._sync_acks = {}
 
     def close(self) -> None:
         """Release the worker pool permanently.  Idempotent."""

@@ -36,22 +36,66 @@ class Database:
     ) -> None:
         self.name = name
         self._relations: dict[str, Relation] = {}
+        self._generations: dict[str, int] = {}
+        self._mutation_count = 0
         for relation in relations:
             self.add(relation)
         self._explicit_domain = frozenset(domain) if domain is not None else None
 
     # ------------------------------------------------------------------
-    # mutation (databases are built once, then treated as read-only)
+    # mutation
     # ------------------------------------------------------------------
+    # Every mutation bumps the touched relation's *generation* and the
+    # database-wide mutation counter.  The caches of the evaluation layer
+    # (EvaluationContext, BatchEvaluator, the request-level answer cache)
+    # snapshot these counters and compare them on each use, so an in-place
+    # mutation between calls invalidates exactly the entries that read the
+    # mutated relations — no manual ``invalidate_cache()`` required.
     def add(self, relation: Relation) -> None:
         """Add a relation; its name must not already be present."""
         if relation.name in self._relations:
             raise SchemaError(f"relation {relation.name!r} already present in database")
         self._relations[relation.name] = relation
+        self._bump(relation.name)
 
     def replace(self, relation: Relation) -> None:
         """Replace (or add) a relation under its own name."""
         self._relations[relation.name] = relation
+        self._bump(relation.name)
+
+    def _bump(self, name: str) -> None:
+        self._generations[name] = self._generations.get(name, 0) + 1
+        self._mutation_count += 1
+
+    def _sync_relation(self, relation: Relation, generation: int) -> None:
+        """Replace a relation pinning an externally assigned generation.
+
+        Used by sharding workers to mirror the parent database's counters
+        exactly: the worker's copy must report the same generation as the
+        parent's so repeated sync shipments are idempotent.  Still counts as
+        a mutation, so the worker's own caches notice and invalidate.
+        """
+        self._relations[relation.name] = relation
+        self._generations[relation.name] = generation
+        self._mutation_count += 1
+
+    @property
+    def mutation_count(self) -> int:
+        """Total number of mutations ever applied (an O(1) staleness probe)."""
+        return self._mutation_count
+
+    def generation(self, name: str) -> int:
+        """The mutation generation of one relation (0 when never present)."""
+        return self._generations.get(name, 0)
+
+    def generations(self) -> dict[str, int]:
+        """A snapshot of every relation's mutation generation."""
+        return dict(self._generations)
+
+    def generation_vector(self) -> tuple[tuple[str, int], ...]:
+        """The sorted ``(name, generation)`` pairs — a hashable fingerprint of
+        the database's mutation state, used to key request-level caches."""
+        return tuple(sorted(self._generations.items()))
 
     # ------------------------------------------------------------------
     # accessors

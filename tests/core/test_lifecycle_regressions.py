@@ -1,0 +1,344 @@
+"""Regression tests for the PR-5 lifecycle bugs.
+
+Three bugs, one per class:
+
+* **Stale answers after in-place mutation** — ``EvaluationContext`` /
+  ``BatchEvaluator`` / worker-pool caches silently served pre-mutation
+  results unless the caller remembered ``invalidate_cache()``.  With the
+  generation counters every arm (cache/batch/workers × both engines)
+  auto-invalidates.
+* **``stats()`` undercount under sharding** — per-worker cache/batch
+  counters lived in the pool processes and never merged back, so
+  ``workers > 1`` runs reported ~zero cache activity.
+* **Cached views pinning index memory across ``clear()``** — renamed views
+  share the cached relation's index dict; ``clear()`` now empties those
+  dicts in place (covered at unit level in ``tests/datalog/test_lifecycle``;
+  here we check the engine-level reset path).
+
+Plus the engine-level lifecycle behaviours: request-cache replay and
+auto-invalidation, incremental invalidation keeping unrelated entries warm
+(the acceptance criterion), and worker sync without a pool restart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.answers import Thresholds
+from repro.core.engine import MetaqueryEngine
+from repro.core.metaquery import parse_metaquery
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+THRESHOLDS = Thresholds(support=0.1, confidence=0.0, cover=0.0)
+
+
+def build_db() -> Database:
+    return Database.from_dict(
+        {
+            "p": (("a", "b"), [(1, 2), (2, 3), (3, 4)]),
+            "q": (("a", "b"), [(2, 5), (3, 6), (4, 7)]),
+            "r": (("a", "b"), [(1, 5), (2, 6), (9, 9)]),
+            "aux": (("a", "b"), [(100, 200)]),
+        },
+        name="regress-db",
+    )
+
+
+def exact_table(answers):
+    return [(str(a.rule), a.support, a.confidence, a.cover) for a in answers]
+
+
+ARMS = [
+    # (cache, batch, workers) — the acceleration arms of both engines.
+    pytest.param(True, True, 1, id="cache+batch"),
+    pytest.param(True, False, 1, id="cache-only"),
+    pytest.param(False, True, 1, id="batch-only"),
+    pytest.param(False, False, 1, id="bare"),
+    pytest.param(True, True, 2, id="workers2"),
+]
+
+
+class TestStaleAnswersAfterMutation:
+    """Bug 1: mutate-then-query must match a cold engine, on every arm."""
+
+    @pytest.mark.parametrize("algorithm", ["naive", "findrules"])
+    @pytest.mark.parametrize("cache,batch,workers", ARMS)
+    def test_mutate_then_query_matches_cold_engine(self, algorithm, cache, batch, workers):
+        db = build_db()
+        thresholds = THRESHOLDS if algorithm == "findrules" else None
+        with MetaqueryEngine(db, cache=cache, batch=batch, workers=workers) as engine:
+            warm_before = engine.find_rules(TRANSITIVITY, thresholds, itype=1,
+                                            algorithm=algorithm)
+            assert len(warm_before) > 0
+            # In-place mutation, *no* invalidate_cache() call.
+            db.replace(Relation.from_rows("q", ("a", "b"), [(2, 5), (4, 7), (4, 8)]))
+            warm_after = engine.find_rules(TRANSITIVITY, thresholds, itype=1,
+                                           algorithm=algorithm)
+        cold = MetaqueryEngine(db, cache=cache, batch=batch).find_rules(
+            TRANSITIVITY, thresholds, itype=1, algorithm=algorithm
+        )
+        assert exact_table(warm_after) == exact_table(cold)
+        assert exact_table(warm_after) != exact_table(warm_before)
+
+    @pytest.mark.parametrize("algorithm", ["naive", "findrules"])
+    def test_added_relation_is_visible_immediately(self, algorithm):
+        db = build_db()
+        thresholds = THRESHOLDS if algorithm == "findrules" else None
+        engine = MetaqueryEngine(db)
+        before = engine.find_rules(TRANSITIVITY, thresholds, itype=1, algorithm=algorithm)
+        db.add(Relation.from_rows("extra", ("a", "b"), [(1, 2), (2, 5)]))
+        after = engine.find_rules(TRANSITIVITY, thresholds, itype=1, algorithm=algorithm)
+        cold = MetaqueryEngine(db).find_rules(
+            TRANSITIVITY, thresholds, itype=1, algorithm=algorithm
+        )
+        assert exact_table(after) == exact_table(cold)
+        assert len(after) > len(before)  # the new relation joined the space
+
+    def test_decide_and_witness_see_mutations(self):
+        db = Database.from_dict(
+            {
+                # No type-1 instantiation has a head joining its body, so
+                # cnf > 0 has no witness until the mutation creates one.
+                "p": (("a", "b"), [(1, 2)]),
+                "q": (("a", "b"), [(8, 9)]),
+                "r": (("a", "b"), [(1, 5)]),
+            },
+            name="decide-db",
+        )
+        engine = MetaqueryEngine(db)
+        assert engine.decide(TRANSITIVITY, "cnf", 0, itype=1) is False
+        db.replace(Relation.from_rows("q", ("a", "b"), [(2, 5)]))
+        assert engine.decide(TRANSITIVITY, "cnf", 0, itype=1) is True
+        assert engine.witness(TRANSITIVITY, "cnf", 0, itype=1) is not None
+
+
+class TestStatsUnderSharding:
+    """Bug 2: worker-side counters must surface in ``stats()``."""
+
+    def test_sharded_stats_report_cache_activity(self):
+        db = build_db()
+        with MetaqueryEngine(db, workers=2) as engine:
+            engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            stats = engine.stats()
+        # Before the fix every one of these sat at ~0: the parent context
+        # never evaluates on the sharded path.
+        cache_activity = stats["cache"]["atom_hits"] + stats["cache"]["atom_misses"]
+        assert cache_activity > 0
+        assert stats["batch"]["groups"] > 0
+        assert stats["shard"]["dispatches"] > 0
+
+    def test_worker_counters_accumulate_across_calls(self):
+        db = build_db()
+        with MetaqueryEngine(db, workers=2) as engine:
+            engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            first = engine.stats()["cache"]
+            engine.request_cache.clear()  # force a real second evaluation
+            engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            second = engine.stats()["cache"]
+        assert (
+            second["atom_hits"] + second["atom_misses"]
+            > first["atom_hits"] + first["atom_misses"]
+        )
+
+
+class TestEngineInvalidateReleasesIndexes:
+    """Bug 3 at engine level: the explicit reset releases shared index dicts."""
+
+    def test_invalidate_cache_releases_shared_index_dicts(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.evaluation import join_atoms
+
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        atoms = [Atom("p", ["X", "Y"]), Atom("q", ["Y", "Z"])]
+        join_atoms(atoms, db, engine.context)
+        view = join_atoms(atoms, db, engine.context)  # hit: a shared view
+        view._hash_index((0,))
+        shared = view._index_cache
+        assert shared
+        engine.invalidate_cache()
+        assert shared == {}
+
+
+class TestRequestCache:
+    def test_repeat_request_is_served_from_cache(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        first = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        second = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert engine.stats()["request"]["hits"] == 1  # replayed, not re-run
+        assert exact_table(second) == exact_table(first)
+        assert second is not first  # callers own their copies
+
+    def test_caller_mutation_cannot_poison_the_cache(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        first = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        first.append(first[0])  # a caller post-processing its result in place
+        replay = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert len(replay) == len(first) - 1  # the snapshot was unaffected
+
+    def test_mutation_invalidates_request_cache(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        first = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        db.replace(Relation.from_rows("q", ("a", "b"), [(2, 5)]))
+        second = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert second is not first
+        assert exact_table(second) == exact_table(
+            MetaqueryEngine(db).find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        )
+        assert engine.stats()["request"]["invalidated"] == 1
+
+    def test_stream_replays_cached_answers_in_order(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        live = exact_table(engine.stream(TRANSITIVITY, THRESHOLDS, itype=1))
+        replay = exact_table(engine.stream(TRANSITIVITY, THRESHOLDS, itype=1))
+        assert replay == live
+        assert engine.stats()["request"]["hits"] == 1
+
+    def test_early_stopped_stream_records_nothing(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        stream = engine.stream(TRANSITIVITY, THRESHOLDS, itype=1)
+        next(stream)
+        stream.close()
+        assert len(engine.request_cache) == 0
+        # The full run afterwards is complete, not a truncated replay.
+        full = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert exact_table(full) == exact_table(
+            MetaqueryEngine(db, request_cache=None).find_rules(
+                TRANSITIVITY, THRESHOLDS, itype=1
+            )
+        )
+
+    def test_textual_and_parsed_requests_share_an_entry(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        engine.find_rules("R(X,Z) <- P(X,Y), Q(Y,Z)", THRESHOLDS, itype=1)
+        engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert engine.stats()["request"]["hits"] == 1
+
+    def test_request_cache_disabled(self):
+        db = build_db()
+        engine = MetaqueryEngine(db, request_cache=None)
+        assert engine.request_cache is None
+        first = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        second = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert second is not first
+        assert exact_table(second) == exact_table(first)
+
+
+class TestIncrementalInvalidation:
+    """The acceptance criterion: unrelated entries stay warm across mutations."""
+
+    def test_unrelated_mutation_keeps_caches_warm(self):
+        db = build_db()
+        engine = MetaqueryEngine(db)
+        engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        warm = engine.stats()
+        # Mutate a relation the p/q/r metaquery space also ranges over is
+        # fine — "aux" participates in type-1 instantiation enumeration but
+        # the cached p/q/r-only entries never read it.
+        db.replace(Relation.from_rows("aux", ("a", "b"), [(100, 200), (300, 400)]))
+        answers = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        stats = engine.stats()
+        # ≥ 1 cache hit: entries over untouched relations survived.
+        assert stats["cache"]["atom_hits"] > warm["cache"]["atom_hits"]
+        assert stats["batch"]["group_hits"] > warm["batch"]["group_hits"]
+        # ... and the answers are byte-identical to a cold engine's.
+        cold = MetaqueryEngine(db).find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert exact_table(answers) == exact_table(cold)
+
+    def test_full_clear_drops_everything_incremental_keeps_most(self):
+        db = build_db()
+        incremental = MetaqueryEngine(db)
+        incremental.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        entries_before = len(incremental.context.store)
+        db.replace(Relation.from_rows("aux", ("a", "b"), [(1, 1)]))
+        assert incremental.context.refresh() == frozenset({"aux"})
+        survivors = len(incremental.context.store)
+        # ... but the p/q/r-only entries — the bulk of the store — survive,
+        # where the old all-or-nothing clear() would have dropped them all.
+        assert 0 < survivors < entries_before
+        incremental.invalidate_cache()
+        assert len(incremental.context.store) == 0
+
+
+class TestWorkerSyncWithoutRestart:
+    def test_mutation_ships_to_workers_without_pool_restart(self):
+        db = build_db()
+        with MetaqueryEngine(db, workers=2) as engine:
+            engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            db.replace(Relation.from_rows("q", ("a", "b"), [(2, 5), (4, 8)]))
+            after = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            stats = engine.stats()
+            assert stats["shard"]["pool_starts"] == 1  # same pool throughout
+            assert stats["shard"]["relation_syncs"] >= 1
+        cold = MetaqueryEngine(db).find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert exact_table(after) == exact_table(cold)
+
+    def test_sync_shipping_stops_once_all_workers_acknowledge(self):
+        db = build_db()
+        with MetaqueryEngine(db, workers=2, request_cache=None) as engine:
+            engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            db.replace(Relation.from_rows("q", ("a", "b"), [(2, 5), (4, 8)]))
+            # Without ack tracking every dispatch re-shipped the mutated
+            # relation for the pool's whole lifetime; with it, shipments
+            # stop once both worker pids have acknowledged the version.
+            previous = -1
+            for _ in range(12):
+                engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+                current = engine.sharder.stats.relation_syncs
+                if current == previous:
+                    break
+                previous = current
+            else:
+                raise AssertionError(
+                    f"relation syncs never stabilized: {current} shipments"
+                )
+            assert engine.sharder.stats.pool_starts == 1
+
+    def test_bulk_mutation_restarts_pool_instead_of_shipping(self):
+        db = build_db()
+        with MetaqueryEngine(db, workers=2) as engine:
+            engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            # Mutate most of the database: shipping would cost more than a
+            # restart, so the sharder resets the pool instead.
+            for name in ("p", "q", "r"):
+                rel = db[name]
+                db.replace(rel.with_rows(list(rel.tuples) + [(50, 60)]))
+            after = engine.find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+            stats = engine.stats()
+            assert stats["shard"]["pool_starts"] == 2  # one reset
+        cold = MetaqueryEngine(db).find_rules(TRANSITIVITY, THRESHOLDS, itype=1)
+        assert exact_table(after) == exact_table(cold)
+
+
+class TestCacheLimitEngine:
+    def test_bounded_engine_matches_unbounded_answers(self):
+        db = build_db()
+        bounded = MetaqueryEngine(db, cache_limit=3, request_cache=None)
+        unbounded = MetaqueryEngine(db, request_cache=None)
+        for itype in (0, 1, 2):
+            a = bounded.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+            b = unbounded.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+            assert exact_table(a) == exact_table(b)
+            assert len(bounded.context.store) <= 3
+        assert bounded.stats()["lifecycle"]["evictions"] > 0
+
+    def test_cli_cache_limit_spellings_rejected(self):
+        db = build_db()
+        from repro.exceptions import EngineError
+
+        with pytest.raises(EngineError):
+            MetaqueryEngine(db, cache_limit=0)
+        with pytest.raises(EngineError):
+            MetaqueryEngine(db, cache_limit="many")
+        with pytest.raises(EngineError):
+            MetaqueryEngine(db, request_cache=-1)
+        with pytest.raises(EngineError):
+            MetaqueryEngine(db, request_cache=True)

@@ -246,11 +246,15 @@ class TestStreamIncrementality:
 class TestEngineStats:
     def test_stats_sections_match_configuration(self, telecom_db):
         serial = MetaqueryEngine(telecom_db)
-        assert set(serial.stats()) == {"cache", "batch"}
+        assert set(serial.stats()) == {"cache", "batch", "lifecycle", "request"}
         unbatched = MetaqueryEngine(telecom_db, batch=False)
-        assert set(unbatched.stats()) == {"cache"}
+        assert set(unbatched.stats()) == {"cache", "lifecycle", "request"}
+        uncached_requests = MetaqueryEngine(telecom_db, request_cache=None)
+        assert set(uncached_requests.stats()) == {"cache", "batch", "lifecycle"}
         with MetaqueryEngine(telecom_db, workers=2) as parallel:
-            assert set(parallel.stats()) == {"cache", "batch", "shard"}
+            assert set(parallel.stats()) == {
+                "cache", "batch", "lifecycle", "request", "shard"
+            }
 
     def test_stats_counters_accumulate(self, telecom_db):
         engine = MetaqueryEngine(telecom_db)

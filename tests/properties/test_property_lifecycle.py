@@ -1,0 +1,127 @@
+"""Property tests for the cache-lifecycle subsystem.
+
+Two invariants, each for both engines:
+
+* **Mutation transparency** — under a random interleaving of in-place
+  mutations (replace / add / grow a relation) and metaqueries, a persistent
+  engine relying on incremental generation-counter invalidation produces
+  answers byte-identical to a cold engine built fresh after every mutation.
+* **Eviction transparency** — a tiny ``cache_limit`` that forces constant
+  LRU eviction (and a tiny request cache) never changes any answer: the
+  bounded engine's tables are byte-identical to the unbounded engine's,
+  and the live entry count respects the cap after every call.
+
+Worker arms reuse one pool across the whole interleaving, exercising the
+relation-sync shipping path (mutations reach workers without restarts).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import Thresholds
+from repro.core.engine import MetaqueryEngine
+from repro.core.metaquery import parse_metaquery
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+TRANSITIVITY = parse_metaquery("R(X,Z) <- P(X,Y), Q(Y,Z)")
+ONE_PATTERN = parse_metaquery("R(X,Y) <- P(Y,X)")
+THRESHOLDS = Thresholds(support=0.1, confidence=0.0, cover=0.0)
+
+RELATION_NAMES = ("r0", "r1", "r2")
+
+
+def exact_table(answers):
+    return [(str(a.rule), a.support, a.confidence, a.cover) for a in answers]
+
+
+@st.composite
+def databases(draw):
+    values = st.integers(min_value=0, max_value=2)
+    relations = [
+        Relation.from_rows(
+            name,
+            ("a", "b"),
+            draw(st.frozensets(st.tuples(values, values), min_size=0, max_size=4)),
+        )
+        for name in RELATION_NAMES
+    ]
+    return Database(relations, name="hyp-lifecycle-db")
+
+
+@st.composite
+def scripts(draw):
+    """A random interleaving of mutation and query steps."""
+    steps = []
+    values = st.integers(min_value=0, max_value=2)
+    for _ in range(draw(st.integers(min_value=2, max_value=5))):
+        if draw(st.booleans()):
+            name = draw(st.sampled_from(RELATION_NAMES))
+            rows = draw(st.frozensets(st.tuples(values, values), min_size=0, max_size=4))
+            steps.append(("replace", name, rows))
+        else:
+            steps.append(("query", draw(st.sampled_from([0, 1])), draw(st.booleans())))
+    # Always end with one query per metaquery so every script checks answers.
+    steps.append(("query", 0, True))
+    steps.append(("query", 1, False))
+    return steps
+
+
+def run_script(db, steps, engine) -> None:
+    """Drive the script, comparing the persistent engine to cold references."""
+    for step in steps:
+        if step[0] == "replace":
+            _, name, rows = step
+            db.replace(Relation.from_rows(name, ("a", "b"), rows))
+            continue
+        _, which, use_findrules = step
+        mq = (TRANSITIVITY, ONE_PATTERN)[which]
+        thresholds = THRESHOLDS if use_findrules else None
+        algorithm = "findrules" if use_findrules else "naive"
+        warm = engine.find_rules(mq, thresholds, itype=1, algorithm=algorithm)
+        cold = MetaqueryEngine(db, request_cache=None).find_rules(
+            mq, thresholds, itype=1, algorithm=algorithm
+        )
+        assert exact_table(warm) == exact_table(cold)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=databases(), steps=scripts())
+def test_interleaved_mutations_match_cold_engine_serial(db, steps):
+    engine = MetaqueryEngine(db)
+    run_script(db, steps, engine)
+
+
+@settings(max_examples=6, deadline=None)
+@given(db=databases(), steps=scripts())
+def test_interleaved_mutations_match_cold_engine_workers(db, steps):
+    with MetaqueryEngine(db, workers=2) as engine:
+        run_script(db, steps, engine)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=databases(), itype=st.sampled_from([0, 1, 2]), limit=st.integers(1, 4))
+def test_tiny_cache_limit_is_answer_invisible_serial(db, itype, limit):
+    bounded = MetaqueryEngine(db, cache_limit=limit, request_cache=1)
+    unbounded = MetaqueryEngine(db, request_cache=None)
+    for mq, use_findrules in ((TRANSITIVITY, True), (ONE_PATTERN, False), (TRANSITIVITY, True)):
+        thresholds = THRESHOLDS if use_findrules else None
+        algorithm = "findrules" if use_findrules else "naive"
+        a = bounded.find_rules(mq, thresholds, itype=itype, algorithm=algorithm)
+        b = unbounded.find_rules(mq, thresholds, itype=itype, algorithm=algorithm)
+        assert exact_table(a) == exact_table(b)
+        # The cap holds at every observation point, not just at the end.
+        assert len(bounded.context.store) <= limit
+
+
+@settings(max_examples=6, deadline=None)
+@given(db=databases(), limit=st.integers(1, 3))
+def test_tiny_cache_limit_is_answer_invisible_workers(db, limit):
+    with MetaqueryEngine(db, cache_limit=limit, workers=2) as bounded:
+        unbounded = MetaqueryEngine(db, request_cache=None)
+        for itype in (1, 2):
+            a = bounded.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+            b = unbounded.find_rules(TRANSITIVITY, THRESHOLDS, itype=itype)
+            assert exact_table(a) == exact_table(b)
