@@ -1,5 +1,8 @@
-"""Developer tooling that ships with the package (doc checks, CI helpers).
+"""Developer tooling that ships with the package (doc checks, lint, CI helpers).
 
 Nothing here is imported by the library itself; the modules are entry
-points run as ``python -m repro.tools.<name>``.
+points run as ``python -m repro.tools.<name>`` — ``check_docs`` for the
+documentation reference checker and ``lint`` for the invariant linter.
 """
+
+__all__: list[str] = []

@@ -33,6 +33,8 @@ import re
 import sys
 from pathlib import Path
 
+__all__ = ["check_file", "find_repo_root", "main"]
+
 #: ``[text](target)`` markdown links; target captured lazily to stop at the
 #: first closing parenthesis (doc links here never contain nested parens).
 _MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
@@ -133,26 +135,31 @@ def find_repo_root(start: Path) -> Path:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Thin CI-compatibility shim over ``python -m repro.tools.lint``.
+
+    The checker is now the ``doc-refs`` rule (REP108) of the lint
+    framework; this entry point survives so existing CI configurations and
+    muscle memory keep working.  Explicit file arguments are still checked
+    directly through :func:`check_file`.
+    """
     argv = sys.argv[1:] if argv is None else argv
-    repo_root = find_repo_root(Path.cwd().resolve())
     if argv:
-        docs = [Path(a).resolve() for a in argv]
-    else:
-        docs = sorted((repo_root / "docs").glob("*.md")) + [repo_root / "README.md"]
-        docs = [d for d in docs if d.exists()]
-    if not docs:
-        print("check_docs: no markdown files found", file=sys.stderr)
-        return 1
-    problems: list[str] = []
-    for doc in docs:
-        problems.extend(check_file(doc, repo_root))
-    if problems:
-        print(f"check_docs: {len(problems)} stale reference(s):", file=sys.stderr)
-        for problem in problems:
-            print(f"  {problem}", file=sys.stderr)
-        return 1
-    print(f"check_docs: {len(docs)} file(s) OK")
-    return 0
+        repo_root = find_repo_root(Path.cwd().resolve())
+        problems: list[str] = []
+        for arg in argv:
+            problems.extend(check_file(Path(arg).resolve(), repo_root))
+        if problems:
+            print(f"check_docs: {len(problems)} stale reference(s):", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"check_docs: {len(argv)} file(s) OK")
+        return 0
+    # Imported lazily: the lint framework imports this module's check
+    # functions, and the lazy import keeps the module graph acyclic.
+    from repro.tools.lint.cli import main as lint_main
+
+    return lint_main(["--rule", "doc-refs"])
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

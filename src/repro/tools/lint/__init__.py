@@ -1,0 +1,51 @@
+"""``repro.tools.lint`` — an AST-based invariant linter for this repository.
+
+Five PRs of bug history showed that every serious correctness bug here
+belongs to a recurring, mechanically checkable class: float arithmetic
+where the paper demands exact Fractions, cache reads that skip the
+mutation-generation probe, lifecycle state touched outside its lock,
+unpicklable callables shipped to pool workers.  This package turns each of
+those classes into a lint rule so refactors cannot silently reintroduce
+them — see ``docs/invariants.md`` for the catalogue and
+:mod:`repro.tools.lint.rules` for the battery.
+
+Layout:
+
+* :mod:`~repro.tools.lint.framework` — rule registry, per-file analysis
+  state (:class:`~repro.tools.lint.framework.ModuleInfo`), the
+  :class:`~repro.tools.lint.framework.Linter` runner;
+* :mod:`~repro.tools.lint.rules` — the rule battery (REP101–REP108);
+* :mod:`~repro.tools.lint.pragmas` — ``# repro-lint: disable=RULE``
+  suppression comments;
+* :mod:`~repro.tools.lint.diagnostics` — findings and text/JSON rendering;
+* :mod:`~repro.tools.lint.cli` — the ``python -m repro.tools.lint``
+  command line.
+"""
+
+from repro.tools.lint.cli import main
+from repro.tools.lint.diagnostics import Diagnostic, render
+from repro.tools.lint.framework import (
+    Linter,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    find_repo_root,
+    register,
+    resolve_rules,
+)
+from repro.tools.lint.pragmas import Suppressions, parse_suppressions
+
+__all__ = [
+    "Diagnostic",
+    "Linter",
+    "ModuleInfo",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "find_repo_root",
+    "main",
+    "parse_suppressions",
+    "register",
+    "render",
+    "resolve_rules",
+]

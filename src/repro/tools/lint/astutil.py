@@ -1,0 +1,54 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["self_attr_base", "is_self_attr", "contains_call", "walk_functions"]
+
+
+def self_attr_base(node: ast.AST) -> str | None:
+    """The name of the ``self`` attribute at the base of an access chain.
+
+    ``self._entries`` → ``"_entries"``; ``self._entries[key]`` →
+    ``"_entries"``; ``self.stats.rejected`` → ``"stats"``;
+    ``other._entries`` → ``None``.  Descends through subscripts and nested
+    attributes until it reaches the attribute hanging directly off the
+    ``self`` name (or gives up).
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def is_self_attr(node: ast.AST, attr: str) -> bool:
+    """True for the exact expression ``self.<attr>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def contains_call(body: list[ast.stmt], predicate) -> bool:
+    """True when any :class:`ast.Call` in ``body`` satisfies ``predicate``."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and predicate(node):
+                return True
+    return False
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in the tree, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

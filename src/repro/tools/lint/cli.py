@@ -1,0 +1,103 @@
+"""The ``python -m repro.tools.lint`` command line.
+
+The single static-analysis entry point for the repository::
+
+    python -m repro.tools.lint                    # full run: src/ + docs
+    python -m repro.tools.lint --list-rules       # the rule battery
+    python -m repro.tools.lint --rule REP101      # one rule, default scope
+    python -m repro.tools.lint --rule lock-discipline path/to/file.py
+    python -m repro.tools.lint --format json      # machine-readable output
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors (unknown rule, missing path).  Combining ``--rule`` with explicit
+paths bypasses the rules' default path scoping, so a rule can be pointed
+at any file (the fixture tests run this way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.tools.lint.diagnostics import render
+from repro.tools.lint.framework import Linter, all_rules, find_repo_root
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="AST-based project-invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: <repo>/src plus the docs check)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME_OR_CODE",
+        help="run only the named rule(s); repeatable; with explicit paths this "
+        "bypasses the rules' default scoping",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules and exit"
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: nearest ancestor with pyproject.toml)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, cls in sorted(all_rules().items(), key=lambda kv: kv[1].code):
+            print(f"{cls.code}  {name:<18} {cls.description}")
+        return 0
+    for path in args.paths:
+        if not path.exists():
+            print(f"lint: path does not exist: {path}", file=sys.stderr)
+            return 2
+    root = args.root or find_repo_root(Path.cwd().resolve())
+    try:
+        linter = Linter(
+            root=root,
+            rules=args.rules,
+            force_scope=bool(args.rules and args.paths),
+        )
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    diagnostics = linter.lint(args.paths or None)
+    if diagnostics:
+        print(render(diagnostics, args.format))
+        if args.format == "text":
+            print(f"\nlint: {len(diagnostics)} finding(s)", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(render([], "json"))
+    else:
+        print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

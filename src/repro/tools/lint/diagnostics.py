@@ -1,0 +1,47 @@
+"""Diagnostics: what a lint rule reports and how it is rendered.
+
+A :class:`Diagnostic` is one finding anchored to a ``file:line:column``
+location, tagged with the rule's stable *code* (``REP1xx``) and
+human-readable *name* (``exact-arithmetic``).  The two output formats are
+
+* ``text`` — one ``path:line:col: CODE [name] message`` line per finding,
+  the format editors and CI logs understand;
+* ``json`` — a machine-readable list of objects (``python -m
+  repro.tools.lint --format json``), consumed by tests and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Diagnostic", "render"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, ordered by location for stable reports."""
+
+    path: str  #: repo-relative (or absolute, outside the repo) file path
+    line: int  #: 1-based line number; 0 for whole-file findings
+    column: int  #: 0-based column offset
+    code: str  #: stable rule code, e.g. ``"REP101"``
+    rule: str  #: rule name, e.g. ``"exact-arithmetic"``
+    message: str  #: what is wrong and, where short, how to fix it
+
+    def format_text(self) -> str:
+        """The one-line editor/CI rendering of this finding."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serializable representation."""
+        return asdict(self)
+
+
+def render(diagnostics: list[Diagnostic], fmt: str = "text") -> str:
+    """Render a finding list in the requested format (``text`` or ``json``)."""
+    if fmt == "json":
+        return json.dumps([d.as_dict() for d in sorted(diagnostics)], indent=2)
+    if fmt != "text":
+        raise ValueError(f"unknown lint output format {fmt!r}; use 'text' or 'json'")
+    return "\n".join(d.format_text() for d in sorted(diagnostics))

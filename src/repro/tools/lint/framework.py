@@ -1,0 +1,230 @@
+"""The lint engine: rule registry, per-file analysis state, and the runner.
+
+The framework is deliberately small: a :class:`Rule` is a class with a
+stable ``code``/``name``, a default path scope, and a ``check`` method
+receiving one parsed :class:`ModuleInfo` (source, AST, pragma state).
+Rules register themselves with :func:`register`; the :class:`Linter`
+discovers files, parses each one exactly once, dispatches every in-scope
+rule, and filters findings through the file's suppression pragmas
+(:mod:`repro.tools.lint.pragmas`).
+
+Two kinds of rule exist:
+
+* **module rules** (the default) — run per Python file, scoped by
+  ``default_paths`` glob patterns (repo-relative); explicit ``--rule``
+  selection combined with explicit paths bypasses the scope, which is how
+  the fixture tests exercise rules on files outside ``src/``;
+* **repo rules** (``repo_level = True``) — run once per lint invocation
+  against the repository root (the documentation reference checker folded
+  in from :mod:`repro.tools.check_docs`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.pragmas import Suppressions, parse_suppressions
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "Linter",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "find_repo_root",
+]
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed Python source file, shared by every rule that checks it."""
+
+    path: Path  #: absolute path on disk
+    relpath: str  #: repo-relative posix path (absolute posix outside the repo)
+    source: str  #: the raw source text
+    tree: ast.Module  #: the parsed module
+    suppressions: Suppressions  #: the file's ``repro-lint`` pragma state
+
+    def lines(self) -> list[str]:
+        """The source split into lines (1-based indexing is line - 1)."""
+        return self.source.splitlines()
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check` (module
+    rules) or :meth:`check_repo` (repo rules), yielding
+    :class:`~repro.tools.lint.diagnostics.Diagnostic` objects.  Helper
+    :meth:`diagnostic` fills in the rule's code and name.
+    """
+
+    #: stable machine code, ``REP1xx``
+    code: str = "REP100"
+    #: human-readable rule name used in pragmas and ``--rule``
+    name: str = "abstract"
+    #: one-line description shown by ``--list-rules``
+    description: str = ""
+    #: repo-relative glob patterns the rule applies to by default
+    default_paths: tuple[str, ...] = ("src/**/*.py",)
+    #: True for rules that run once per repository, not per module
+    repo_level: bool = False
+
+    def applies_to(self, relpath: str) -> bool:
+        """True when ``relpath`` matches one of the rule's default globs."""
+        return any(fnmatch(relpath, pattern) for pattern in self.default_paths)
+
+    def check(self, module: ModuleInfo) -> Iterable[Diagnostic]:
+        """Yield findings for one module (module rules)."""
+        return ()
+
+    def check_repo(self, root: Path) -> Iterable[Diagnostic]:
+        """Yield findings for the whole repository (repo rules)."""
+        return ()
+
+    def diagnostic(
+        self, module: ModuleInfo | None, node: ast.AST | None, message: str, path: str = ""
+    ) -> Diagnostic:
+        """Build a finding anchored at ``node`` (or the whole file)."""
+        return Diagnostic(
+            path=module.relpath if module is not None else path,
+            line=getattr(node, "lineno", 0) if node is not None else 0,
+            column=getattr(node, "col_offset", 0) if node is not None else 0,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (keyed by name)."""
+    if cls.name in _REGISTRY:  # pragma: no cover - programming error guard
+        raise ValueError(f"duplicate lint rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Every registered rule, keyed by name (importing the battery first)."""
+    # The battery registers on import; importing here keeps `import
+    # repro.tools.lint.framework` itself dependency-free.
+    import repro.tools.lint.rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(names: Sequence[str] | None) -> list[Rule]:
+    """Instantiate the selected rules (by name or ``REPxxx`` code); all when None."""
+    registry = all_rules()
+    if not names:
+        return [cls() for cls in registry.values()]
+    by_code = {cls.code: cls for cls in registry.values()}
+    selected: list[Rule] = []
+    for name in names:
+        cls = registry.get(name) or by_code.get(name)
+        if cls is None:
+            known = ", ".join(sorted(registry))
+            raise ValueError(f"unknown lint rule {name!r}; known rules: {known}")
+        if cls not in (type(rule) for rule in selected):
+            selected.append(cls())
+    return selected
+
+
+def find_repo_root(start: Path) -> Path:
+    """The nearest ancestor containing ``pyproject.toml`` (else ``start``)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class Linter:
+    """Run a set of rules over a tree of files.
+
+    Parameters
+    ----------
+    root:
+        Repository root; rule scopes and diagnostic paths are relative to
+        it.  Defaults to the nearest ancestor of the current directory
+        containing ``pyproject.toml``.
+    rules:
+        Rule names/codes to run; all registered rules when None.
+    force_scope:
+        Bypass the rules' ``default_paths`` scoping — used when explicit
+        rule selection is combined with explicit paths (fixture tests,
+        ad-hoc single-file runs).
+    """
+
+    def __init__(
+        self,
+        root: Path | None = None,
+        rules: Sequence[str] | None = None,
+        force_scope: bool = False,
+    ) -> None:
+        self.root = (root or find_repo_root(Path.cwd().resolve())).resolve()
+        self.rules = resolve_rules(rules)
+        self.force_scope = force_scope
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.resolve().as_posix()
+
+    def _parse(self, path: Path) -> tuple[ModuleInfo | None, Diagnostic | None]:
+        source = path.read_text(encoding="utf-8")
+        relpath = self._relpath(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return None, Diagnostic(
+                path=relpath,
+                line=exc.lineno or 0,
+                column=exc.offset or 0,
+                code="REP100",
+                rule="parse-error",
+                message=f"could not parse file: {exc.msg}",
+            )
+        return ModuleInfo(path, relpath, source, tree, parse_suppressions(source)), None
+
+    def lint(self, paths: Sequence[Path] | None = None) -> list[Diagnostic]:
+        """Lint the given files/directories (default: ``<root>/src``)."""
+        explicit = paths is not None
+        targets = [Path(p) for p in paths] if explicit else [self.root / "src"]
+        module_rules = [rule for rule in self.rules if not rule.repo_level]
+        repo_rules = [rule for rule in self.rules if rule.repo_level]
+        diagnostics: list[Diagnostic] = []
+        for path in _iter_python_files(targets) if module_rules else ():
+            module, parse_error = self._parse(path)
+            if parse_error is not None:
+                diagnostics.append(parse_error)
+                continue
+            assert module is not None
+            for rule in module_rules:
+                if not (self.force_scope or rule.applies_to(module.relpath)):
+                    continue
+                for diag in rule.check(module):
+                    if not module.suppressions.is_suppressed(diag.rule, diag.code, diag.line):
+                        diagnostics.append(diag)
+        # Repo rules run on full-tree invocations (no explicit path list).
+        if not explicit:
+            for rule in repo_rules:
+                diagnostics.extend(rule.check_repo(self.root))
+        return sorted(diagnostics)

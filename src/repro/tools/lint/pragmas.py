@@ -1,0 +1,85 @@
+"""Suppression pragmas: ``# repro-lint: disable=RULE`` comments.
+
+Every invariant the linter enforces has deliberate, documented exceptions
+(display formatting converts exact fractions to floats, a finalizer must
+swallow late-interpreter errors, ...).  Those sites carry an explicit
+pragma instead of weakening the rule:
+
+* ``# repro-lint: disable=rule-name`` (trailing on the offending line, or
+  on a comment-only line directly above it) suppresses the named rules —
+  a comma-separated list of rule names or ``REPxxx`` codes — for that
+  line;
+* ``# repro-lint: disable-file=rule-name`` anywhere in the file suppresses
+  the named rules for the whole file;
+* ``disable=all`` / ``disable-file=all`` suppress every rule.
+
+Comments are found with :mod:`tokenize`, so a ``#`` inside a string
+literal never parses as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)")
+
+
+class Suppressions:
+    """The parsed suppression state of one source file."""
+
+    __slots__ = ("_by_line", "_file_wide")
+
+    def __init__(
+        self, by_line: dict[int, frozenset[str]], file_wide: frozenset[str]
+    ) -> None:
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    def is_suppressed(self, rule: str, code: str, line: int) -> bool:
+        """True when the rule (by name or code) is disabled on ``line``."""
+        for scope in (self._file_wide, self._by_line.get(line, frozenset())):
+            if "all" in scope or rule in scope or code in scope:
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Suppressions(lines={sorted(self._by_line)}, file={sorted(self._file_wide)})"
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``repro-lint`` pragma from ``source``.
+
+    A pragma on a comment-only line also covers the next line, so a long
+    statement can carry its justification comment above it.  Unreadable
+    source (tokenize errors) yields no suppressions — the caller will
+    report the syntax error through other means.
+    """
+    by_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions({}, frozenset())
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        directive, names = match.groups()
+        rules = {name.strip() for name in names.split(",") if name.strip()}
+        if directive == "disable-file":
+            file_wide |= rules
+            continue
+        line = token.start[0]
+        by_line.setdefault(line, set()).update(rules)
+        # A comment-only pragma line also covers the statement below it.
+        if token.line[: token.start[1]].strip() == "":
+            by_line.setdefault(line + 1, set()).update(rules)
+    return Suppressions(
+        {line: frozenset(rules) for line, rules in by_line.items()}, frozenset(file_wide)
+    )

@@ -1,0 +1,41 @@
+"""The battery of project-invariant lint rules.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.tools.lint.framework.all_rules` does so lazily).  One module
+per rule; each module's docstring is the rule's full specification,
+including the historical bug class that motivated it — ``docs/invariants.md``
+is the narrative companion.
+
+=======  ==================  ====================================================
+code     name                invariant
+=======  ==================  ====================================================
+REP101   exact-arithmetic    index computations stay in exact Fractions
+REP102   lock-discipline     lifecycle state mutates only under ``self._lock``
+REP103   generation-probe    memo reads refresh; relation mutations bump
+REP104   pool-picklable      only module-level callables cross the pool boundary
+REP105   no-silent-except    no bare/swallowed broad exception handlers
+REP106   public-api          module docstrings + complete ``__all__`` coverage
+REP107   stable-cache-key    cache keys are deterministic and value-based
+REP108   doc-refs            documentation references resolve (check_docs fold)
+=======  ==================  ====================================================
+"""
+
+from repro.tools.lint.rules.api_surface import ApiSurfaceRule
+from repro.tools.lint.rules.cache_keys import StableCacheKeyRule
+from repro.tools.lint.rules.doc_refs import DocRefsRule
+from repro.tools.lint.rules.exact_arithmetic import ExactArithmeticRule
+from repro.tools.lint.rules.generation_probe import GenerationProbeRule
+from repro.tools.lint.rules.lock_discipline import LockDisciplineRule
+from repro.tools.lint.rules.pool_boundary import PoolBoundaryRule
+from repro.tools.lint.rules.silent_except import SilentExceptRule
+
+__all__ = [
+    "ApiSurfaceRule",
+    "DocRefsRule",
+    "ExactArithmeticRule",
+    "GenerationProbeRule",
+    "LockDisciplineRule",
+    "PoolBoundaryRule",
+    "SilentExceptRule",
+    "StableCacheKeyRule",
+]

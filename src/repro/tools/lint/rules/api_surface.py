@@ -1,0 +1,139 @@
+"""REP106 ``public-api``: every module documents and declares its surface.
+
+The reproduction doubles as documentation of the paper, so its API surface
+is part of the deliverable: every module under ``src/repro/`` must carry a
+module docstring, declare ``__all__`` (a literal list/tuple of strings),
+and document every public top-level function and class.  Concretely:
+
+* missing module docstring → finding;
+* missing ``__all__`` → finding (``__main__.py`` entry points are exempt
+  by scope — they are executed, never imported from);
+* an ``__all__`` entry naming nothing defined or imported in the module →
+  finding (stale export lists are worse than none);
+* a public top-level ``def``/``class`` absent from ``__all__`` → finding
+  (the export list must *cover* the surface, not sample it);
+* a public top-level ``def``/``class`` without a docstring → finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["ApiSurfaceRule"]
+
+
+def _find_dunder_all(
+    tree: ast.Module,
+) -> tuple[ast.Assign | ast.AnnAssign | None, list[str] | None]:
+    """The ``__all__`` assignment and its entries (None when absent/non-literal).
+
+    Both plain and annotated (``__all__: list[str] = []``) assignments count.
+    """
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+                continue
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+            and node.value is not None
+        ):
+            value = node.value
+        else:
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str) for e in value.elts
+        ):
+            return node, [e.value for e in value.elts]
+        return node, None
+    return None, None
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Every name bound at module level (defs, classes, assigns, imports)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for element in target.elts if isinstance(target, ast.Tuple) else [target]:
+                    if isinstance(element, ast.Name):
+                        names.add(element.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+@register
+class ApiSurfaceRule(Rule):
+    """Module docstring + complete ``__all__`` + public-def docstrings."""
+
+    code = "REP106"
+    name = "public-api"
+    description = (
+        "every module needs a docstring, a complete literal __all__, and "
+        "docstrings on public top-level functions/classes"
+    )
+    default_paths = ("src/repro/*.py",)
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath.endswith("__main__.py"):
+            return False
+        return super().applies_to(relpath)
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        tree = module.tree
+        if not ast.get_docstring(tree):
+            yield self.diagnostic(module, None, "module has no docstring")
+        assign, exports = _find_dunder_all(tree)
+        public_defs = [
+            node
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        if assign is None:
+            yield self.diagnostic(
+                module, None, "module does not declare __all__ (its public surface)"
+            )
+        elif exports is None:
+            yield self.diagnostic(
+                module,
+                assign,
+                "__all__ must be a literal list/tuple of strings so the linter "
+                "(and readers) can check it",
+            )
+        else:
+            defined = _defined_names(tree)
+            for name in exports:
+                if name not in defined:
+                    yield self.diagnostic(
+                        module,
+                        assign,
+                        f"__all__ exports {name!r}, which the module neither "
+                        f"defines nor imports",
+                    )
+            listed = set(exports)
+            for node in public_defs:
+                if node.name not in listed:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"public {type(node).__name__.replace('Def', '').lower()} "
+                        f"{node.name!r} is missing from __all__",
+                    )
+        for node in public_defs:
+            if not ast.get_docstring(node):
+                yield self.diagnostic(
+                    module, node, f"public {node.name!r} has no docstring"
+                )

@@ -1,0 +1,119 @@
+"""REP107 ``stable-cache-key``: cache keys are deterministic and value-based.
+
+Every cache in the evaluation stack is keyed by *normalized shapes*
+(:data:`~repro.datalog.context.AtomKey` tuples, generation vectors, request
+identities) precisely so that two equal computations share one entry across
+runs, processes and worker pools.  A key derived from wall-clock time,
+randomness, object identity or unordered iteration breaks that silently:
+entries stop deduplicating, replay tests go flaky, and sharded workers
+disagree with the parent.  Inside the cache-key modules the rule flags:
+
+* calls into :mod:`time` / :mod:`random` / :mod:`uuid` / :mod:`secrets`
+  and ``os.urandom`` — cache state must not depend on when or where it was
+  computed;
+* ``id(...)`` — object identity is not stable across processes (pool
+  workers!) or runs;
+* inside key-construction functions (names containing ``key`` or
+  ``vector``): ``tuple(x.items())`` / ``tuple(x.keys())`` /
+  ``tuple(x.values())`` / ``tuple(set(...))`` without ``sorted`` —
+  dict/set iteration order is insertion- or hash-dependent, so two equal
+  states can produce unequal keys (wrap in ``sorted(...)`` like
+  ``Database.generation_vector`` does).  Ordinary accessors returning
+  tuples in insertion order are not keys and are left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["StableCacheKeyRule"]
+
+_NONDETERMINISTIC_MODULES = frozenset({"time", "random", "uuid", "secrets"})
+_UNORDERED_METHODS = frozenset({"items", "keys", "values"})
+
+
+@register
+class StableCacheKeyRule(Rule):
+    """No time/random/identity/ordering-dependent values in cache-key modules."""
+
+    code = "REP107"
+    name = "stable-cache-key"
+    description = (
+        "cache keys must be built from normalized shapes: no time/random/id() "
+        "seeding, no unsorted dict/set iteration tuples"
+    )
+    default_paths = (
+        "src/repro/datalog/context.py",
+        "src/repro/datalog/batching.py",
+        "src/repro/datalog/lifecycle.py",
+        "src/repro/core/requests.py",
+        "src/repro/relational/database.py",
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        yield from self._visit(module, module.tree, in_key_builder=False)
+
+    def _visit(
+        self, module: ModuleInfo, root: ast.AST, in_key_builder: bool
+    ) -> Iterator[Diagnostic]:
+        for node in ast.iter_child_nodes(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = in_key_builder or any(
+                    marker in node.name.lower() for marker in ("key", "vector")
+                )
+                yield from self._visit(module, node, inner)
+                continue
+            yield from self._check_call(module, node, in_key_builder)
+            yield from self._visit(module, node, in_key_builder)
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.AST, in_key_builder: bool
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                if func.value.id in _NONDETERMINISTIC_MODULES:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"{func.value.id}.{func.attr}() in a cache-key module; "
+                        f"cached state must be deterministic and value-based",
+                    )
+                elif func.value.id == "os" and func.attr == "urandom":
+                    yield self.diagnostic(
+                        module, node, "os.urandom() in a cache-key module"
+                    )
+            elif isinstance(func, ast.Name):
+                if func.id == "id" and node.args:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "id() is process-local; pool workers and replays would "
+                        "disagree — key on the value, not the object",
+                    )
+                elif (
+                    func.id == "tuple"
+                    and in_key_builder
+                    and len(node.args) == 1
+                    and self._unordered(node.args[0])
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "tuple() over unordered dict/set iteration in a "
+                        "key-construction function; wrap in sorted(...) so equal "
+                        "states produce equal keys",
+                    )
+
+    @staticmethod
+    def _unordered(arg: ast.expr) -> bool:
+        if not isinstance(arg, ast.Call):
+            return False
+        func = arg.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        return isinstance(func, ast.Attribute) and func.attr in _UNORDERED_METHODS

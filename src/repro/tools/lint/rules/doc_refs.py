@@ -1,0 +1,53 @@
+"""REP108 ``doc-refs``: the documentation references only things that exist.
+
+The former standalone checker :mod:`repro.tools.check_docs` folded into the
+lint framework as a repo-level rule, so ``python -m repro.tools.lint`` is
+the single static-analysis entry point.  The verification logic is
+unchanged (and still lives in ``check_docs`` — the shim module reuses it):
+relative markdown links must resolve on disk, backticked dotted
+``repro.*`` paths must import (or resolve as attributes of their longest
+importable prefix), and backticked repo-relative file paths/globs must
+exist.  See :func:`repro.tools.check_docs.check_file` for the details.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.tools.check_docs import check_file
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["DocRefsRule"]
+
+
+@register
+class DocRefsRule(Rule):
+    """Markdown links, module paths and file references must not rot."""
+
+    code = "REP108"
+    name = "doc-refs"
+    description = (
+        "docs/*.md and README.md may only reference files, modules and "
+        "attributes that exist (folded from repro.tools.check_docs)"
+    )
+    default_paths = ()
+    repo_level = True
+
+    def check_repo(self, root: Path) -> Iterator[Diagnostic]:
+        docs = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+        for doc in docs:
+            if not doc.exists():
+                continue
+            for problem in check_file(doc, root):
+                # check_file reports "relative/path.md: message" strings.
+                path, _, message = problem.partition(": ")
+                yield Diagnostic(
+                    path=path,
+                    line=0,
+                    column=0,
+                    code=self.code,
+                    rule=self.name,
+                    message=message or problem,
+                )

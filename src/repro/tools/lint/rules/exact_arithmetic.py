@@ -1,0 +1,82 @@
+"""REP101 ``exact-arithmetic``: index computations must stay in Fractions.
+
+The paper's plausibility indices and thresholds are exact rationals, and
+every comparison in the decision problems is a *strict* ``I(σ(MQ)) > k``.
+PR 1's ``limit_denominator`` bug showed how a single float round-trip
+silently flips those comparisons (a denominator cap collapsed ``1e-10`` to
+``0``, turning ``> 1e-10`` into ``> 0``), so inside the index-computation
+modules (``core/`` and ``datalog/counting.py``) this rule bans:
+
+* ``float(...)`` calls — coerce thresholds with
+  :func:`repro.core.answers.exact_fraction` instead;
+* ``Fraction.limit_denominator`` — *any* use, it rounds by definition;
+* float literals — spell exact values as ``Fraction`` ratios.
+
+Presentation code is exempt: ``__str__``/``__repr__``/``__format__``
+bodies may format fractions as floats, and other display helpers carry an
+explicit ``# repro-lint: disable=exact-arithmetic`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["ExactArithmeticRule"]
+
+#: Dunder methods whose whole purpose is human-readable display.
+_DISPLAY_METHODS = frozenset({"__str__", "__repr__", "__format__"})
+
+
+@register
+class ExactArithmeticRule(Rule):
+    """Ban floats where the paper demands exact Fractions."""
+
+    code = "REP101"
+    name = "exact-arithmetic"
+    description = (
+        "no float()/limit_denominator/float literals in index computations; "
+        "Fractions only (the PR-1 threshold coercion bug class)"
+    )
+    default_paths = (
+        "src/repro/core/*.py",
+        "src/repro/datalog/counting.py",
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        yield from self._visit(module, module.tree, display=False)
+
+    def _visit(self, module: ModuleInfo, node: ast.AST, display: bool) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            display = display or node.name in _DISPLAY_METHODS
+        if isinstance(node, ast.Attribute) and node.attr == "limit_denominator":
+            yield self.diagnostic(
+                module,
+                node,
+                "limit_denominator rounds the exact value; use "
+                "repro.core.answers.exact_fraction (PR-1 bug class)",
+            )
+        elif not display:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "float() in an index-computation module; keep values exact "
+                    "with Fraction / exact_fraction",
+                )
+            elif isinstance(node, ast.Constant) and isinstance(node.value, float):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"float literal {node.value!r} in an index-computation module; "
+                    "spell exact values as Fraction ratios",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(module, child, display)

@@ -1,0 +1,195 @@
+"""REP103 ``generation-probe``: memo reads probe staleness, mutations bump it.
+
+PR 5's stale-cache bug happened because a memoized lookup path did not
+consult the database's mutation state: ``EvaluationContext.applies_to`` was
+identity-only, so mutate-then-query silently served pre-mutation joins.
+The fix introduced one protocol — ``Database`` mutations bump per-relation
+generation counters, and every memo-store read calls ``refresh()`` (an O(1)
+``mutation_count`` probe) first.  This rule keeps both halves honest:
+
+* **read side** (``context.py`` / ``batching.py`` / ``lifecycle.py``): in a
+  class that owns a ``refresh()`` method and memo sections (attributes
+  bound from ``store.section(...)`` in ``__init__``), every method that
+  reads a section (``self._atoms.get(...)``) must call ``self.refresh()``
+  on the same path;
+* **write side** (``database.py``): in a class tracking
+  ``self._relations`` + ``self._generations``, every method that mutates
+  the relation mapping must bump the generation state (``self._bump(...)``
+  or a direct ``self._generations[...]`` assignment).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.astutil import contains_call, self_attr_base
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["GenerationProbeRule"]
+
+_MAPPING_MUTATORS = frozenset({"pop", "popitem", "clear", "update", "setdefault", "__setitem__"})
+
+
+def _init_of(cls: ast.ClassDef) -> ast.FunctionDef | None:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            return stmt
+    return None
+
+
+def _section_attributes(init: ast.FunctionDef) -> frozenset[str]:
+    """Attributes bound to ``<store>.section("...")`` results in ``__init__``."""
+    sections: set[str] = set()
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "section"
+        ):
+            for target in node.targets:
+                base = self_attr_base(target)
+                if base is not None:
+                    sections.add(base)
+    return frozenset(sections)
+
+
+def _assigns_attr(init: ast.FunctionDef, attr: str) -> bool:
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            if any(self_attr_base(t) == attr for t in node.targets):
+                return True
+    return False
+
+
+def _calls_self_method(body: list[ast.stmt], names: frozenset[str]) -> bool:
+    def predicate(call: ast.Call) -> bool:
+        func = call.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in names
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        )
+
+    return contains_call(body, predicate)
+
+
+@register
+class GenerationProbeRule(Rule):
+    """Memo reads must refresh; relation mutations must bump generations."""
+
+    code = "REP103"
+    name = "generation-probe"
+    description = (
+        "memo-store reads must call refresh()/mutation_count on the path, and "
+        "Database relation mutations must bump the generation counter "
+        "(the PR-5 stale-cache bug class)"
+    )
+    default_paths = (
+        "src/repro/datalog/context.py",
+        "src/repro/datalog/batching.py",
+        "src/repro/datalog/lifecycle.py",
+        "src/repro/relational/database.py",
+    )
+
+    #: Methods that manage the caches themselves rather than serving reads.
+    _READ_EXEMPT = frozenset({"__init__", "refresh", "clear", "__repr__", "__len__"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_memo_reads(module, node)
+                yield from self._check_generation_bumps(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_memo_reads(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        init = _init_of(cls)
+        has_refresh = any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name == "refresh" for stmt in cls.body
+        )
+        if init is None or not has_refresh:
+            return
+        sections = _section_attributes(init)
+        if not sections:
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in self._READ_EXEMPT:
+                continue
+            reads = [
+                node
+                for node in ast.walk(method)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and self_attr_base(node.func.value) in sections
+            ]
+            if reads and not _calls_self_method(method.body, frozenset({"refresh"})):
+                yield self.diagnostic(
+                    module,
+                    reads[0],
+                    f"{cls.name}.{method.name} reads memo section "
+                    f"self.{self_attr_base(reads[0].func.value)} without calling "
+                    f"self.refresh() — stale entries would be served after an "
+                    f"in-place mutation",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_generation_bumps(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        init = _init_of(cls)
+        if init is None:
+            return
+        if not (_assigns_attr(init, "_relations") and _assigns_attr(init, "_generations")):
+            return
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            mutation = self._relation_mutation(method)
+            if mutation is None:
+                continue
+            bumps = _calls_self_method(method.body, frozenset({"_bump"})) or any(
+                isinstance(node, ast.Assign)
+                and any(self_attr_base(t) == "_generations" for t in node.targets)
+                for node in ast.walk(method)
+            )
+            if not bumps:
+                yield self.diagnostic(
+                    module,
+                    mutation,
+                    f"{cls.name}.{method.name} mutates self._relations without "
+                    f"bumping the generation counters (self._bump / "
+                    f"self._generations) — caches would never notice the mutation",
+                )
+
+    @staticmethod
+    def _relation_mutation(method: ast.AST) -> ast.AST | None:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and self_attr_base(target) == "_relations"
+                    ):
+                        return node
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if self_attr_base(target) == "_relations":
+                        return node
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MAPPING_MUTATORS
+                and self_attr_base(node.func.value) == "_relations"
+            ):
+                return node
+        return None

@@ -1,0 +1,183 @@
+"""REP102 ``lock-discipline``: lifecycle state mutates only under its lock.
+
+The cache-lifecycle stores (:class:`~repro.datalog.lifecycle.LifecycleCache`,
+:class:`~repro.datalog.lifecycle.RequestCache`) are shared across threads by
+the async facade, so every *mutation* of their state must happen inside a
+``with self._lock:`` block — the PR-5 bug class this rule pins is shared
+lifecycle state touched outside its lock.
+
+For every class whose ``__init__`` binds ``self._lock``, the attributes
+assigned in ``__init__`` become the *guarded set*, and outside ``__init__``
+the rule flags, when they occur lexically outside a ``with self._lock:``
+block:
+
+* assignments / augmented assignments / deletions whose target is rooted
+  at a guarded attribute (``self._entries[k] = ...``,
+  ``self.stats.rejected += 1``, ``del self._entries[k]``);
+* calls of mutating container methods on a guarded attribute
+  (``self._entries.pop(...)``, ``.clear()``, ``.move_to_end(...)``, ...);
+* calls of ``self.*_locked()`` helpers — the naming convention for methods
+  whose contract is "caller already holds the lock".
+
+Methods named ``*_locked`` are themselves exempt (their callers are
+checked instead), and plain *reads* are deliberately allowed: the
+unbounded-store fast path reads ``self._entries`` without the lock by
+design (single dict read, no recency update), and telemetry reads accept
+a torn counter snapshot.  See ``docs/invariants.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.astutil import is_self_attr, self_attr_base
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["LockDisciplineRule"]
+
+#: Container methods that mutate their receiver.
+_MUTATORS = frozenset(
+    {
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "add",
+        "move_to_end",
+        "__setitem__",
+        "__delitem__",
+    }
+)
+
+
+def _guarded_attributes(init: ast.FunctionDef) -> frozenset[str]:
+    """Attributes assigned on ``self`` in ``__init__`` (minus the lock itself)."""
+    guarded: set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                base = self_attr_base(target)
+                if base is not None:
+                    guarded.add(base)
+    guarded.discard("_lock")
+    return frozenset(guarded)
+
+
+def _is_lock_with(stmt: ast.With | ast.AsyncWith) -> bool:
+    return any(is_self_attr(item.context_expr, "_lock") for item in stmt.items)
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Mutations of lock-guarded state must hold ``self._lock``."""
+
+    code = "REP102"
+    name = "lock-discipline"
+    description = (
+        "attributes initialized by a _lock-carrying __init__ may only be "
+        "mutated inside `with self._lock:` (the PR-5 unlocked-state bug class)"
+    )
+    default_paths = ("src/repro/datalog/lifecycle.py",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef) -> Iterator[Diagnostic]:
+        init = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        has_lock = any(
+            self_attr_base(t) == "_lock"
+            for stmt in ast.walk(init)
+            if isinstance(stmt, ast.Assign)
+            for t in stmt.targets
+        )
+        if not has_lock:
+            return
+        guarded = _guarded_attributes(init)
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            for stmt in method.body:
+                yield from self._walk(module, cls.name, method.name, guarded, stmt, False)
+
+    def _walk(
+        self,
+        module: ModuleInfo,
+        cls_name: str,
+        method: str,
+        guarded: frozenset[str],
+        node: ast.AST,
+        locked: bool,
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = locked or _is_lock_with(node)
+            for item in node.items:
+                yield from self._walk(module, cls_name, method, guarded, item, locked)
+            for stmt in node.body:
+                yield from self._walk(module, cls_name, method, guarded, stmt, inner)
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)) and not locked:
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                flat = target.elts if isinstance(target, ast.Tuple) else [target]
+                for element in flat:
+                    base = self_attr_base(element)
+                    if base in guarded:
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"{cls_name}.{method} writes self.{base} outside "
+                            f"`with self._lock:`",
+                        )
+        if isinstance(node, ast.Delete) and not locked:
+            for target in node.targets:
+                base = self_attr_base(target)
+                if base in guarded:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"{cls_name}.{method} deletes from self.{base} outside "
+                        f"`with self._lock:`",
+                    )
+        if isinstance(node, ast.Call) and not locked and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                base = self_attr_base(node.func.value)
+                if base in guarded:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"{cls_name}.{method} calls self.{base}.{node.func.attr}() "
+                        f"outside `with self._lock:`",
+                    )
+            if node.func.attr.endswith("_locked") and is_self_attr(
+                node.func, node.func.attr
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"{cls_name}.{method} calls self.{node.func.attr}() — a "
+                    f"caller-holds-lock helper — outside `with self._lock:`",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(module, cls_name, method, guarded, child, locked)

@@ -1,0 +1,95 @@
+"""REP104 ``pool-picklable``: only module-level callables cross the pool.
+
+``multiprocessing`` pickles the task callable into the worker process, and
+pickle can only serialize functions importable by qualified name — lambdas,
+closures and locally-defined functions fail at dispatch time (or worse,
+only on the one code path that shards).  PR 3 hit exactly this with custom
+plausibility-index callables, which is why the sharded engines fall back to
+the serial path for them.
+
+At every pool dispatch site (``.map`` / ``.imap`` / ``.imap_unordered`` /
+``.apply_async`` / ``.starmap`` on a receiver whose spelling involves a
+pool or sharder), the task argument must therefore be a module-level
+callable: lambdas anywhere in the argument expression and names bound by a
+nested ``def`` in an enclosing function are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["PoolBoundaryRule"]
+
+_POOL_METHODS = frozenset(
+    {"map", "map_async", "imap", "imap_unordered", "apply_async", "starmap", "starmap_async"}
+)
+
+
+def _nested_function_names(tree: ast.Module) -> frozenset[str]:
+    """Names of functions defined *inside* another function (closure risk)."""
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+    return frozenset(nested)
+
+
+def _looks_like_pool(receiver: ast.AST) -> bool:
+    text = ast.unparse(receiver).lower()
+    return "pool" in text or "sharder" in text
+
+
+@register
+class PoolBoundaryRule(Rule):
+    """Task callables shipped to a worker pool must be picklable."""
+
+    code = "REP104"
+    name = "pool-picklable"
+    description = (
+        "pool dispatch sites must ship module-level callables, never lambdas/"
+        "closures/local functions (the PR-3 custom-index fallback bug class)"
+    )
+    default_paths = (
+        "src/repro/datalog/sharding.py",
+        "src/repro/core/naive.py",
+        "src/repro/core/findrules.py",
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        nested = _nested_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS):
+                continue
+            if not _looks_like_pool(func.value):
+                continue
+            if not node.args:
+                continue
+            task = node.args[0]
+            for sub in ast.walk(task):
+                if isinstance(sub, ast.Lambda):
+                    yield self.diagnostic(
+                        module,
+                        sub,
+                        f"lambda shipped to pool method .{func.attr}(); lambdas "
+                        f"cannot be pickled into worker processes — use a "
+                        f"module-level task function",
+                    )
+                elif isinstance(sub, ast.Name) and sub.id in nested:
+                    yield self.diagnostic(
+                        module,
+                        sub,
+                        f"locally-defined function {sub.id!r} shipped to pool "
+                        f"method .{func.attr}(); nested functions cannot be "
+                        f"pickled into worker processes — move it to module level",
+                    )

@@ -1,0 +1,77 @@
+"""REP105 ``no-silent-except``: no bare excepts, no swallowed broad catches.
+
+A bare ``except:`` (or an ``except Exception:`` whose body neither raises
+nor calls anything — no re-raise, no logging, no fallback computation)
+turns every bug into silence.  In an exact-arithmetic reproduction that is
+the worst failure mode: a swallowed error does not crash, it quietly
+produces wrong indices.  The rule flags:
+
+* ``except:`` — always;
+* ``except Exception:`` / ``except BaseException:`` handlers whose body
+  contains no ``raise`` and no call at all (the pure-swallow shape
+  ``except Exception: pass``).
+
+Catching *specific* exception types with a ``pass`` body is allowed — that
+is the idiomatic "this case is genuinely fine" shape (e.g. trying one
+decomposition host and moving on).  Legitimate broad swallows (interpreter
+teardown in a finalizer) carry an explicit pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import ModuleInfo, Rule, register
+
+__all__ = ["SilentExceptRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.Call)):
+                return False
+    return True
+
+
+@register
+class SilentExceptRule(Rule):
+    """Ban bare excepts and silently swallowed broad exception handlers."""
+
+    code = "REP105"
+    name = "no-silent-except"
+    description = "no bare `except:`; `except Exception:` must re-raise, log or handle"
+    default_paths = ("src/repro/*.py",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "bare `except:` catches everything including KeyboardInterrupt; "
+                    "name the exception type",
+                )
+            elif _is_broad(node.type) and _swallows(node):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "`except Exception:` swallows the error without re-raising, "
+                    "logging or handling it — errors must surface",
+                )

@@ -1,0 +1,201 @@
+"""Unit tests for the lint framework plumbing (:mod:`repro.tools.lint`).
+
+Covers the suppression pragmas, diagnostic rendering, the rule registry
+and selection, and the :class:`~repro.tools.lint.framework.Linter` runner's
+scoping / parse-error behaviour.  The rule battery itself is exercised by
+``test_lint_rules.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint.diagnostics import Diagnostic, render
+from repro.tools.lint.framework import (
+    Linter,
+    all_rules,
+    find_repo_root,
+    resolve_rules,
+)
+from repro.tools.lint.pragmas import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_trailing_pragma_suppresses_its_line(self):
+        source = "x = float(1)  # repro-lint: disable=exact-arithmetic\n"
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed("exact-arithmetic", "REP101", 1)
+        assert not sup.is_suppressed("exact-arithmetic", "REP101", 2)
+
+    def test_pragma_accepts_codes_too(self):
+        source = "x = float(1)  # repro-lint: disable=REP101\n"
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed("exact-arithmetic", "REP101", 1)
+
+    def test_comment_only_pragma_covers_next_line(self):
+        source = textwrap.dedent(
+            """\
+            # display only, floats fine here
+            # repro-lint: disable=exact-arithmetic
+            x = float(1)
+            """
+        )
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed("exact-arithmetic", "REP101", 3)
+
+    def test_disable_file_covers_everything(self):
+        source = "# repro-lint: disable-file=lock-discipline\nx = 1\ny = 2\n"
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed("lock-discipline", "REP102", 99)
+        assert not sup.is_suppressed("exact-arithmetic", "REP101", 99)
+
+    def test_disable_all(self):
+        sup = parse_suppressions("x = 1  # repro-lint: disable=all\n")
+        assert sup.is_suppressed("anything", "REP999", 1)
+
+    def test_comma_separated_rule_list(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=exact-arithmetic, lock-discipline\n"
+        )
+        assert sup.is_suppressed("exact-arithmetic", "REP101", 1)
+        assert sup.is_suppressed("lock-discipline", "REP102", 1)
+        assert not sup.is_suppressed("public-api", "REP106", 1)
+
+    def test_pragma_inside_string_literal_is_ignored(self):
+        source = 's = "# repro-lint: disable=all"\n'
+        sup = parse_suppressions(source)
+        assert not sup.is_suppressed("exact-arithmetic", "REP101", 1)
+
+    def test_unparseable_source_yields_no_suppressions(self):
+        sup = parse_suppressions("def broken(:\n")
+        assert not sup.is_suppressed("exact-arithmetic", "REP101", 1)
+
+
+# ----------------------------------------------------------------------
+# diagnostics
+# ----------------------------------------------------------------------
+class TestDiagnostics:
+    def _diag(self, **overrides):
+        base = dict(
+            path="src/x.py", line=3, column=4, code="REP101",
+            rule="exact-arithmetic", message="no floats",
+        )
+        base.update(overrides)
+        return Diagnostic(**base)
+
+    def test_format_text(self):
+        assert (
+            self._diag().format_text()
+            == "src/x.py:3:4: REP101 [exact-arithmetic] no floats"
+        )
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render([self._diag()], "json"))
+        assert payload == [
+            {
+                "path": "src/x.py", "line": 3, "column": 4,
+                "code": "REP101", "rule": "exact-arithmetic",
+                "message": "no floats",
+            }
+        ]
+
+    def test_render_sorts_by_location(self):
+        early = self._diag(line=1)
+        late = self._diag(line=9)
+        assert render([late, early], "text").splitlines()[0] == early.format_text()
+
+    def test_render_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unknown lint output format"):
+            render([], "xml")
+
+
+# ----------------------------------------------------------------------
+# registry and selection
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_battery_has_all_eight_rules(self):
+        names = set(all_rules())
+        assert {
+            "exact-arithmetic", "lock-discipline", "generation-probe",
+            "pool-picklable", "no-silent-except", "public-api",
+            "stable-cache-key", "doc-refs",
+        } <= names
+
+    def test_codes_are_unique(self):
+        codes = [cls.code for cls in all_rules().values()]
+        assert len(codes) == len(set(codes))
+
+    def test_resolve_by_name_and_code(self):
+        by_name = resolve_rules(["exact-arithmetic"])
+        by_code = resolve_rules(["REP101"])
+        assert type(by_name[0]) is type(by_code[0])
+
+    def test_resolve_deduplicates(self):
+        assert len(resolve_rules(["REP101", "exact-arithmetic"])) == 1
+
+    def test_resolve_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            resolve_rules(["no-such-rule"])
+
+    def test_every_rule_documents_itself(self):
+        for name, cls in all_rules().items():
+            assert cls.description, f"rule {name} has no description"
+            assert cls.code.startswith("REP"), f"rule {name} has no REP code"
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class TestLinter:
+    def test_find_repo_root_walks_up_to_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_repo_root(nested) == tmp_path
+
+    def test_syntax_error_becomes_parse_diagnostic(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        linter = Linter(root=tmp_path, rules=["exact-arithmetic"], force_scope=True)
+        findings = linter.lint([bad])
+        assert len(findings) == 1
+        assert findings[0].code == "REP100"
+        assert findings[0].rule == "parse-error"
+
+    def test_default_scope_skips_out_of_scope_files(self, tmp_path):
+        # exact-arithmetic defaults to src/repro/core/; a stray file with a
+        # float must not be flagged without force_scope.
+        stray = tmp_path / "stray.py"
+        stray.write_text('"""D."""\n\n__all__: list[str] = []\n\nx = float(1)\n')
+        linter = Linter(root=tmp_path, rules=["exact-arithmetic"])
+        assert linter.lint([stray]) == []
+
+    def test_force_scope_lints_any_path(self, tmp_path):
+        stray = tmp_path / "stray.py"
+        stray.write_text("x = float(1)\n")
+        linter = Linter(root=tmp_path, rules=["exact-arithmetic"], force_scope=True)
+        assert [d.code for d in linter.lint([stray])] == ["REP101"]
+
+    def test_suppressed_findings_are_filtered(self, tmp_path):
+        stray = tmp_path / "stray.py"
+        stray.write_text("x = float(1)  # repro-lint: disable=exact-arithmetic\n")
+        linter = Linter(root=tmp_path, rules=["exact-arithmetic"], force_scope=True)
+        assert linter.lint([stray]) == []
+
+    def test_repo_rules_do_not_run_on_explicit_paths(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "bad.md").write_text("[broken](missing-file.md)\n")
+        target = tmp_path / "code.py"
+        target.write_text('"""D."""\n')
+        linter = Linter(root=tmp_path, rules=["doc-refs"])
+        assert linter.lint([target]) == []
+        assert any(d.code == "REP108" for d in linter.lint())

@@ -1,0 +1,543 @@
+"""Fixture tests for the rule battery (:mod:`repro.tools.lint.rules`).
+
+Every rule gets at least one *true positive* fixture reconstructing the bug
+class it pins (including the PR-1 ``limit_denominator`` threshold bug and
+the PR-5 unlocked-lifecycle-state bug) and at least one *clean* fixture
+proving the idiomatic repo pattern passes.  Fixtures are linted through the
+real :class:`~repro.tools.lint.framework.Linter` with ``force_scope`` — the
+same path the CLI takes for ``--rule NAME path``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.tools.lint.framework import Linter
+from repro.tools.lint.rules.doc_refs import DocRefsRule
+
+
+def run_rule(tmp_path: Path, rule: str, source: str) -> list:
+    """Lint ``source`` with one rule, scoping bypassed (the fixture path)."""
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(textwrap.dedent(source), encoding="utf-8")
+    linter = Linter(root=tmp_path, rules=[rule], force_scope=True)
+    return linter.lint([fixture])
+
+
+# ----------------------------------------------------------------------
+# REP101 exact-arithmetic
+# ----------------------------------------------------------------------
+class TestExactArithmetic:
+    def test_pr1_limit_denominator_reconstruction(self, tmp_path):
+        # The PR-1 bug: a denominator cap collapsed 1e-10 to 0, flipping the
+        # paper's strict `I > k` comparisons.
+        findings = run_rule(
+            tmp_path,
+            "exact-arithmetic",
+            """\
+            from fractions import Fraction
+
+            def coerce_threshold(value):
+                return Fraction(value).limit_denominator(10**9)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP101"]
+        assert "limit_denominator" in findings[0].message
+
+    def test_float_call_and_literal_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "exact-arithmetic",
+            """\
+            def support(n, d):
+                return float(n) / d
+
+            DEFAULT = 0.5
+            """,
+        )
+        assert len(findings) == 2
+        assert all(d.code == "REP101" for d in findings)
+
+    def test_exact_fraction_idiom_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "exact-arithmetic",
+            """\
+            from fractions import Fraction
+
+            def exact(value):
+                return Fraction(str(value))
+
+            HALF = Fraction(1, 2)
+            """,
+        )
+        assert findings == []
+
+    def test_display_dunders_are_exempt(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "exact-arithmetic",
+            """\
+            class Answer:
+                def __str__(self):
+                    return f"{float(self.support):.3f}"
+
+                def __repr__(self):
+                    return str(float(self.support))
+            """,
+        )
+        assert findings == []
+
+    def test_limit_denominator_flagged_even_in_display_code(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "exact-arithmetic",
+            """\
+            class Answer:
+                def __str__(self):
+                    return str(self.support.limit_denominator(100))
+            """,
+        )
+        assert [d.code for d in findings] == ["REP101"]
+
+
+# ----------------------------------------------------------------------
+# REP102 lock-discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_pr5_unlocked_state_reconstruction(self, tmp_path):
+        # The PR-5 bug class: lifecycle state shared across threads mutated
+        # outside `with self._lock:`.
+        findings = run_rule(
+            tmp_path,
+            "lock-discipline",
+            """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+                    self._tuples = 0
+
+                def put(self, key, value):
+                    self._entries[key] = value
+                    self._tuples += 1
+
+                def drop(self, key):
+                    self._entries.pop(key, None)
+            """,
+        )
+        messages = [d.message for d in findings]
+        assert len(findings) == 3
+        assert any("writes self._entries" in m for m in messages)
+        assert any("writes self._tuples" in m for m in messages)
+        assert any("self._entries.pop()" in m for m in messages)
+
+    def test_locked_mutations_are_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "lock-discipline",
+            """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+                        self._shrink_locked()
+
+                def _shrink_locked(self):
+                    self._entries.clear()
+
+                def get(self, key):
+                    return self._entries.get(key)
+            """,
+        )
+        assert findings == []
+
+    def test_locked_helper_called_without_lock_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "lock-discipline",
+            """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = {}
+
+                def shrink(self):
+                    self._shrink_locked()
+
+                def _shrink_locked(self):
+                    self._entries.clear()
+            """,
+        )
+        assert [d.code for d in findings] == ["REP102"]
+        assert "caller-holds-lock" in findings[0].message
+
+    def test_lockless_classes_are_ignored(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "lock-discipline",
+            """\
+            class PlainDictCache:
+                def __init__(self):
+                    self._entries = {}
+
+                def put(self, key, value):
+                    self._entries[key] = value
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP103 generation-probe
+# ----------------------------------------------------------------------
+class TestGenerationProbe:
+    def test_memo_read_without_refresh_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "generation-probe",
+            """\
+            class Context:
+                def __init__(self, store):
+                    self._atoms = store.section("atom")
+
+                def refresh(self):
+                    pass
+
+                def lookup(self, key):
+                    return self._atoms.get(key)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP103"]
+        assert "without calling self.refresh()" in findings[0].message
+
+    def test_memo_read_with_refresh_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "generation-probe",
+            """\
+            class Context:
+                def __init__(self, store):
+                    self._atoms = store.section("atom")
+
+                def refresh(self):
+                    pass
+
+                def lookup(self, key):
+                    self.refresh()
+                    return self._atoms.get(key)
+            """,
+        )
+        assert findings == []
+
+    def test_relation_mutation_without_bump_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "generation-probe",
+            """\
+            class Database:
+                def __init__(self):
+                    self._relations = {}
+                    self._generations = {}
+
+                def add(self, name, relation):
+                    self._relations[name] = relation
+            """,
+        )
+        assert [d.code for d in findings] == ["REP103"]
+        assert "generation counters" in findings[0].message
+
+    def test_relation_mutation_with_bump_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "generation-probe",
+            """\
+            class Database:
+                def __init__(self):
+                    self._relations = {}
+                    self._generations = {}
+
+                def add(self, name, relation):
+                    self._relations[name] = relation
+                    self._bump(name)
+
+                def replace(self, name, relation):
+                    self._relations[name] = relation
+                    self._generations[name] = self._generations.get(name, 0) + 1
+
+                def _bump(self, name):
+                    self._generations[name] = self._generations.get(name, 0) + 1
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP104 pool-picklable
+# ----------------------------------------------------------------------
+class TestPoolBoundary:
+    def test_lambda_to_pool_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "pool-picklable",
+            """\
+            def run(pool, items):
+                return pool.map(lambda item: item + 1, items)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP104"]
+        assert "lambda" in findings[0].message
+
+    def test_nested_function_to_pool_flagged(self, tmp_path):
+        # The PR-3 bug class: a closure over request state shipped to
+        # workers pickles only on the one code path that shards.
+        findings = run_rule(
+            tmp_path,
+            "pool-picklable",
+            """\
+            def run(pool, items, offset):
+                def task(item):
+                    return item + offset
+
+                return pool.imap_unordered(task, items)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP104"]
+        assert "task" in findings[0].message
+
+    def test_module_level_task_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "pool-picklable",
+            """\
+            def _task(item):
+                return item + 1
+
+            def run(pool, items):
+                return pool.map(_task, items)
+            """,
+        )
+        assert findings == []
+
+    def test_non_pool_receivers_are_ignored(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "pool-picklable",
+            """\
+            def transform(items):
+                return list(map(lambda item: item + 1, items))
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP105 no-silent-except
+# ----------------------------------------------------------------------
+class TestSilentExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "no-silent-except",
+            """\
+            def load(path):
+                try:
+                    return open(path)
+                except:
+                    return None
+            """,
+        )
+        assert [d.code for d in findings] == ["REP105"]
+        assert "bare" in findings[0].message
+
+    def test_swallowed_broad_except_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "no-silent-except",
+            """\
+            def load(values):
+                try:
+                    return compute(values)
+                except Exception:
+                    pass
+            """,
+        )
+        assert [d.code for d in findings] == ["REP105"]
+
+    def test_specific_or_handled_excepts_are_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "no-silent-except",
+            """\
+            import logging
+
+            def load(values):
+                try:
+                    return compute(values)
+                except KeyError:
+                    pass
+                except ValueError as exc:
+                    raise RuntimeError("bad value") from exc
+                except Exception as exc:
+                    logging.exception("load failed: %s", exc)
+                    raise
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP106 public-api
+# ----------------------------------------------------------------------
+class TestApiSurface:
+    def test_undocumented_module_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "public-api",
+            """\
+            def helper():
+                pass
+            """,
+        )
+        messages = [d.message for d in findings]
+        assert any("module has no docstring" in m for m in messages)
+        assert any("does not declare __all__" in m for m in messages)
+        assert any("'helper' has no docstring" in m for m in messages)
+
+    def test_stale_and_incomplete_dunder_all_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "public-api",
+            """\
+            '''A documented module.'''
+
+            __all__ = ["ghost"]
+
+            def visible():
+                '''Documented but unexported.'''
+            """,
+        )
+        messages = [d.message for d in findings]
+        assert any("exports 'ghost'" in m for m in messages)
+        assert any("'visible' is missing from __all__" in m for m in messages)
+
+    def test_complete_surface_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "public-api",
+            """\
+            '''A documented module.'''
+
+            __all__ = ["visible", "CONSTANT"]
+
+            CONSTANT = 1
+
+            def visible():
+                '''Documented and exported.'''
+
+            def _private():
+                pass
+            """,
+        )
+        assert findings == []
+
+    def test_annotated_empty_dunder_all_is_accepted(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "public-api",
+            """\
+            '''A namespace module with no public surface.'''
+
+            __all__: list[str] = []
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP107 stable-cache-key
+# ----------------------------------------------------------------------
+class TestStableCacheKey:
+    def test_time_id_and_unsorted_iteration_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "stable-cache-key",
+            """\
+            import time
+
+            def make_cache_key(obj, bindings):
+                return (time.time(), id(obj), tuple(bindings.items()))
+            """,
+        )
+        assert len(findings) == 3
+        assert all(d.code == "REP107" for d in findings)
+
+    def test_sorted_key_builder_is_clean(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "stable-cache-key",
+            """\
+            def generation_vector(generations):
+                return tuple(sorted(generations.items()))
+            """,
+        )
+        assert findings == []
+
+    def test_ordered_accessors_outside_key_builders_are_clean(self, tmp_path):
+        # `Database.relations()` returns tuple(self._relations.values()) in
+        # insertion order — an accessor, not a key; it must not be flagged.
+        findings = run_rule(
+            tmp_path,
+            "stable-cache-key",
+            """\
+            class Database:
+                def relations(self):
+                    return tuple(self._relations.values())
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP108 doc-refs (repo-level)
+# ----------------------------------------------------------------------
+class TestDocRefs:
+    def _repo(self, tmp_path: Path, markdown: str) -> Path:
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "page.md").write_text(
+            textwrap.dedent(markdown), encoding="utf-8"
+        )
+        return tmp_path
+
+    def test_broken_link_and_stale_module_flagged(self, tmp_path):
+        root = self._repo(
+            tmp_path,
+            """\
+            [missing](does-not-exist.md) and a stale backtick module
+            `repro.no_such_module_xyz`.
+            """,
+        )
+        findings = list(DocRefsRule().check_repo(root))
+        assert len(findings) == 2
+        assert all(d.code == "REP108" for d in findings)
+
+    def test_valid_references_are_clean(self, tmp_path):
+        root = self._repo(
+            tmp_path,
+            """\
+            [readme](../README.md) and the real `repro.tools.lint` package.
+            """,
+        )
+        (tmp_path / "README.md").write_text("# readme\n", encoding="utf-8")
+        assert list(DocRefsRule().check_repo(root)) == []
