@@ -260,11 +260,11 @@ class MetaqueryEngine:
                 "group_count": self.batcher.group_count,
             }
         stats["lifecycle"] = {
-            **merged(self.context.store.stats.as_dict(), "lifecycle"),
+            **merged(self.context.store.stats_dict(), "lifecycle"),
             **self.context.store.gauges(),
         }
         if self.request_cache is not None:
-            stats["request"] = self.request_cache.stats.as_dict()
+            stats["request"] = self.request_cache.stats_dict()
         if self.sharder is not None:
             stats["shard"] = self.sharder.stats.as_dict()
         return stats

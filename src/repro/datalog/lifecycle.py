@@ -40,6 +40,16 @@ from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator
 
 from repro.exceptions import EngineError
 
+__all__ = [
+    "CacheLimit",
+    "LifecycleStats",
+    "LifecycleCache",
+    "CacheSection",
+    "GenerationWatcher",
+    "RequestCacheStats",
+    "RequestCache",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.answers import AnswerSet
 
@@ -210,7 +220,8 @@ class LifecycleCache:
         if limit is not None and limit.max_tuples is not None and weight > limit.max_tuples:
             # The value alone exceeds the whole budget: caching it would
             # evict everything else for one entry, so serve it uncached.
-            self.stats.rejected += 1
+            with self._lock:
+                self.stats.rejected += 1
             return
         full = (section, key)
         with self._lock:
@@ -221,9 +232,10 @@ class LifecycleCache:
             self._entries[full] = _Entry(value, relations, weight)
             self._tuples += weight
             self._section_sizes[section] = self._section_sizes.get(section, 0) + 1
-            self._shrink()
+            self._shrink_locked()
 
-    def _shrink(self) -> None:
+    def _shrink_locked(self) -> None:
+        # Caller holds self._lock (the *_locked suffix is the contract).
         limit = self.limit
         if limit is None:
             return
@@ -275,8 +287,19 @@ class LifecycleCache:
             self._tuples = 0
 
     def gauges(self) -> dict[str, int]:
-        """Live-size gauges (sections, entries, tuples) for telemetry."""
-        return {"entries": len(self._entries), "tuples": self._tuples}
+        """Live-size gauges (entries, tuples) for telemetry, read under the lock."""
+        with self._lock:
+            return {"entries": len(self._entries), "tuples": self._tuples}
+
+    def stats_dict(self) -> dict[str, int]:
+        """A consistent snapshot of the eviction counters, taken under the lock.
+
+        Reading ``cache.stats.as_dict()`` directly can interleave with a
+        concurrent ``put`` and observe e.g. ``evictions`` incremented but
+        ``evicted_tuples`` not yet; telemetry consumers use this instead.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sections = ", ".join(f"{k}={v}" for k, v in sorted(self._section_sizes.items()) if v)
@@ -461,6 +484,16 @@ class RequestCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def stats_dict(self) -> dict[str, int]:
+        """A consistent snapshot of the hit/miss counters, taken under the lock.
+
+        A lookup bumps two counters (``invalidated`` *and* ``misses``);
+        snapshotting under the lock means telemetry never reports one
+        without the other.
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

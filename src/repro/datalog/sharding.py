@@ -59,6 +59,16 @@ from repro.datalog.lifecycle import CacheLimit, GenerationWatcher
 from repro.exceptions import ShardingError
 from repro.relational.database import Database
 
+__all__ = [
+    "worker_state",
+    "assign_shards",
+    "partition",
+    "ReorderBuffer",
+    "resolve_sharder",
+    "ShardStats",
+    "ShardedEvaluator",
+]
+
 # ----------------------------------------------------------------------
 # worker-process state
 # ----------------------------------------------------------------------
@@ -168,7 +178,7 @@ def _worker_counter_snapshot() -> dict[str, dict[str, int]]:
     return {
         "cache": ctx.stats.as_dict(),
         "batch": batcher.stats.as_dict() if batcher is not None else {},
-        "lifecycle": ctx.store.stats.as_dict(),
+        "lifecycle": ctx.store.stats_dict(),
     }
 
 
@@ -595,7 +605,9 @@ class ShardedEvaluator:
     def __del__(self) -> None:  # pragma: no cover - finalizer timing varies
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=no-silent-except
+            # Interpreter-shutdown finalizer: modules may already be torn
+            # down, and raising from __del__ only prints noise to stderr.
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
