@@ -17,6 +17,8 @@ from typing import Hashable, Mapping, Sequence
 
 from repro.exceptions import CircuitError
 
+__all__ = ["ArithmeticGateKind", "ArithmeticGate", "ArithmeticCircuit", "GapFunction"]
+
 
 class ArithmeticGateKind(str, Enum):
     """Gate kinds allowed in a #AC0 circuit."""

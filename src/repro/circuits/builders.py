@@ -41,6 +41,15 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
+__all__ = [
+    "DatabaseEncoding",
+    "cq_satisfaction_circuit",
+    "metaquery_threshold0_circuit",
+    "tuple_count_circuit",
+    "confidence_gap_function",
+    "index_threshold_circuit",
+]
+
 
 @dataclass(frozen=True)
 class DatabaseEncoding:

@@ -16,6 +16,8 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.exceptions import CircuitError
 
+__all__ = ["GateKind", "Gate", "BooleanCircuit"]
+
 
 class GateKind(str, Enum):
     """The gate types of the AC0 / TC0 circuit model."""

@@ -38,6 +38,8 @@ from repro.core.engine import ALGORITHMS, MetaqueryEngine
 from repro.core.metaquery import parse_metaquery
 from repro.relational.io import load_database
 
+__all__ = ["main"]
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(

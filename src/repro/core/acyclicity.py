@@ -20,6 +20,18 @@ from repro.core.metaquery import LiteralScheme, MetaQuery
 from repro.hypergraph.gyo import is_acyclic
 from repro.hypergraph.hypergraph import Hypergraph
 
+__all__ = [
+    "scheme_labels",
+    "body_scheme_labels",
+    "metaquery_hypergraph",
+    "metaquery_semi_hypergraph",
+    "is_acyclic_metaquery",
+    "is_semi_acyclic_metaquery",
+    "classify",
+    "body_variable_sets",
+    "conjunctive_query_hypergraph",
+]
+
 SchemeLabel = tuple[str, int]
 
 

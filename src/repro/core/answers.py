@@ -9,6 +9,14 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.core.instantiation import Instantiation
 from repro.datalog.rules import HornRule
 
+__all__ = [
+    "exact_fraction",
+    "validate_threshold",
+    "Thresholds",
+    "MetaqueryAnswer",
+    "AnswerSet",
+]
+
 
 def exact_fraction(value: float | int | str | Fraction) -> Fraction:
     """Coerce a threshold to an *exact* :class:`Fraction`.
@@ -234,11 +242,10 @@ class AnswerSet:
         lines = [f"{'rule':<60} {'sup':>7} {'cnf':>7} {'cvr':>7}"]
         rows = self._answers if max_rows is None else self._answers[:max_rows]
         for answer in rows:
+            # Display-only rounding; the stored indexes stay exact Fractions.
+            sup, cnf, cvr = float(answer.support), float(answer.confidence), float(answer.cover)  # repro-lint: disable=exact-arithmetic
             lines.append(
-                f"{str(answer.rule):<60} "
-                f"{float(answer.support):>7.3f} "
-                f"{float(answer.confidence):>7.3f} "
-                f"{float(answer.cover):>7.3f}"
+                f"{str(answer.rule):<60} {sup:>7.3f} {cnf:>7.3f} {cvr:>7.3f}"
             )
         if max_rows is not None and len(self._answers) > max_rows:
             lines.append(f"... ({len(self._answers) - max_rows} more answers)")

@@ -62,6 +62,13 @@ from repro.relational.algebra import natural_join_all
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = [
+    "body_decomposition",
+    "iter_find_rules",
+    "find_rules",
+    "support_via_decomposition",
+]
+
 
 def body_decomposition(mq: MetaQuery, max_width: int | None = None) -> HypertreeDecomposition:
     """A complete hypertree decomposition of the metaquery body.

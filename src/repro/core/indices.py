@@ -32,6 +32,19 @@ from repro.relational import indexes
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = [
+    "fraction",
+    "confidence",
+    "cover",
+    "support",
+    "support_from_join",
+    "all_indices",
+    "PlausibilityIndex",
+    "get_index",
+    "certifying_set",
+    "index_is_positive",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datalog.context import EvaluationContext
 

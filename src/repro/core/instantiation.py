@@ -33,6 +33,16 @@ from repro.datalog.terms import Term, Variable
 from repro.exceptions import InstantiationError, MetaqueryError
 from repro.relational.database import Database
 
+__all__ = [
+    "InstantiationType",
+    "Instantiation",
+    "is_valid_image",
+    "enumerate_pattern_images",
+    "enumerate_scheme_instantiations",
+    "enumerate_instantiations",
+    "count_instantiations",
+]
+
 
 class InstantiationType(IntEnum):
     """The three instantiation types of the paper."""

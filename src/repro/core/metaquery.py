@@ -24,6 +24,8 @@ from repro.datalog.parser import _Parser  # shared tokenizer / term parsing
 from repro.datalog.terms import Term, Variable, term
 from repro.exceptions import MetaqueryError, ParseError
 
+__all__ = ["LiteralScheme", "MetaQuery", "parse_metaquery"]
+
 
 @dataclass(frozen=True)
 class LiteralScheme:

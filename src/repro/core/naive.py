@@ -63,6 +63,8 @@ from repro.datalog.sharding import (
 )
 from repro.relational.database import Database
 
+__all__ = ["iter_answers", "naive_find_rules", "naive_decide", "naive_witness"]
+
 
 def _rule_is_evaluable(rule: HornRule, db: Database) -> bool:
     """Every predicate of the rule must name a database relation of matching arity."""

@@ -20,6 +20,8 @@ from repro.core.metaquery import MetaQuery
 from repro.core.naive import naive_decide, naive_witness
 from repro.relational.database import Database
 
+__all__ = ["MetaqueryDecisionProblem"]
+
 
 @dataclass
 class MetaqueryDecisionProblem:

@@ -45,6 +45,13 @@ from repro.core.instantiation import InstantiationType
 from repro.core.metaquery import MetaQuery
 from repro.exceptions import EngineError, MetaqueryError
 
+__all__ = [
+    "resolve_algorithm",
+    "MetaqueryRequest",
+    "PreparedMetaquery",
+    "prepare_request",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.core.engine import MetaqueryEngine
     from repro.hypergraph.decomposition import HypertreeDecomposition

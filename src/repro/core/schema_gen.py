@@ -18,6 +18,13 @@ from repro.core.metaquery import LiteralScheme, MetaQuery
 from repro.datalog.terms import Variable
 from repro.relational.schema import DatabaseSchema
 
+__all__ = [
+    "generate_chain_metaqueries",
+    "generate_star_metaqueries",
+    "generate_inclusion_metaqueries",
+    "generate_metaqueries",
+]
+
 
 def _variables(count: int) -> list[Variable]:
     """The first ``count`` template variables ``X1, X2, ...``."""

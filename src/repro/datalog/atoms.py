@@ -8,6 +8,8 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.datalog.terms import Constant, Term, Variable, term
 from repro.exceptions import DatalogError
 
+__all__ = ["Atom", "variables_of"]
+
 
 @dataclass(frozen=True)
 class Atom:

@@ -55,6 +55,8 @@ from repro.datalog.terms import Variable
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = ["body_shape", "BatchStats", "BodyGroup", "BatchEvaluator"]
+
 #: Normalized shape of a whole body: one AtomKey per atom under a shared
 #: variable numbering (identical to the EvaluationContext join keys).
 GroupKey = tuple[AtomKey, ...]

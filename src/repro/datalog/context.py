@@ -44,6 +44,8 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
+__all__ = ["CacheStats", "EvaluationContext"]
+
 #: Normalized shape of one atom: (predicate, (("v", i) | ("c", value), ...)).
 AtomKey = tuple[str, tuple[tuple[str, Hashable], ...]]
 

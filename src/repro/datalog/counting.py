@@ -23,6 +23,8 @@ from repro.exceptions import DatalogError
 from repro.datalog.evaluation import evaluate_query
 from repro.relational.database import Database
 
+__all__ = ["count_substitutions", "count_atoms_substitutions"]
+
 
 def count_substitutions(
     query: ConjunctiveQuery,

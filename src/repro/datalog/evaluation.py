@@ -31,6 +31,19 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
+__all__ = [
+    "atom_relation",
+    "join_atoms",
+    "evaluate_query",
+    "substitutions",
+    "is_satisfiable",
+    "ground_atom_holds",
+    "ground_instance_holds",
+    "project_join_onto",
+    "query_answers",
+    "apply_substitution_to_query",
+]
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datalog.context import EvaluationContext
 

@@ -27,6 +27,8 @@ from repro.datalog.rules import ConjunctiveQuery, HornRule
 from repro.datalog.terms import Constant, Term, Variable
 from repro.exceptions import ParseError
 
+__all__ = ["parse_atom", "parse_query", "parse_rule", "parse_program", "iter_rules"]
+
 _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)

@@ -25,6 +25,8 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
+__all__ = ["DatalogProgram", "transitive_closure_program"]
+
 
 class DatalogProgram:
     """A set of positive Horn rules evaluated to a least fixpoint.

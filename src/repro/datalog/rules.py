@@ -9,6 +9,8 @@ from repro.datalog.atoms import Atom, variables_of
 from repro.datalog.terms import Term, Variable
 from repro.exceptions import DatalogError
 
+__all__ = ["ConjunctiveQuery", "HornRule", "rule_from_atoms"]
+
 
 @dataclass(frozen=True)
 class ConjunctiveQuery:

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+__all__ = ["Term", "Variable", "Constant", "term", "FreshVariableFactory"]
+
 
 class Term:
     """Abstract base class for variables and constants."""

@@ -12,6 +12,8 @@ from typing import Mapping, MutableMapping, Optional
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Term, Variable
 
+__all__ = ["unify_terms", "unify_atoms", "match_atom"]
+
 
 def unify_terms(
     left: Term, right: Term, binding: MutableMapping[Variable, Term]

@@ -8,6 +8,23 @@ metaquery core, hypergraph machinery, circuits).
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownRelationError",
+    "AlgebraError",
+    "ParseError",
+    "DatalogError",
+    "MetaqueryError",
+    "InstantiationError",
+    "IndexError_",
+    "DecompositionError",
+    "EngineError",
+    "ShardingError",
+    "CircuitError",
+    "ReductionError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

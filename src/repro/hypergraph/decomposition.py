@@ -24,6 +24,8 @@ from repro.exceptions import DecompositionError
 from repro.hypergraph.hypergraph import Hypergraph, Label, Vertex
 from repro.hypergraph.jointree import build_join_tree
 
+__all__ = ["HypertreeNode", "HypertreeDecomposition", "decompose", "hypertree_width"]
+
 
 @dataclass
 class HypertreeNode:

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 from repro.hypergraph.hypergraph import Hypergraph, Label
 
+__all__ = ["GYOResult", "gyo_reduction", "is_acyclic"]
+
 
 @dataclass
 class GYOResult:

@@ -12,6 +12,8 @@ from typing import Any, Hashable, Iterable, Iterator, Mapping
 
 from repro.exceptions import DecompositionError
 
+__all__ = ["Hypergraph", "hypergraph_from_edge_sets"]
+
 Vertex = Hashable
 Label = Hashable
 

@@ -16,6 +16,8 @@ from repro.exceptions import DecompositionError
 from repro.hypergraph.gyo import gyo_reduction
 from repro.hypergraph.hypergraph import Hypergraph, Label, Vertex
 
+__all__ = ["JoinTree", "build_join_tree", "join_tree_for_variable_sets"]
+
 
 class JoinTree:
     """A rooted tree over edge labels, with the vertex sets attached.

@@ -18,6 +18,17 @@ from repro.hypergraph.hypergraph import Label
 from repro.relational.algebra import natural_join_all
 from repro.relational.relation import Relation
 
+__all__ = [
+    "SemijoinStep",
+    "first_half",
+    "second_half",
+    "full_reducer",
+    "execute_semijoin_program",
+    "execute_full_reducer",
+    "is_reduced",
+    "yannakakis_join",
+]
+
 
 @dataclass(frozen=True)
 class SemijoinStep:

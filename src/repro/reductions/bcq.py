@@ -20,6 +20,8 @@ from repro.reductions.sat import CNFFormula
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = ["BCQInstance", "sharp_3sat_to_bcq"]
+
 
 @dataclass(frozen=True)
 class BCQInstance:

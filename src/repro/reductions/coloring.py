@@ -26,6 +26,17 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.workloads.graphs import Graph
 
+__all__ = [
+    "find_3coloring",
+    "is_3colorable",
+    "coloring_database",
+    "coloring_metaquery",
+    "coloring_reduction",
+    "semi_acyclic_coloring_database",
+    "semi_acyclic_coloring_metaquery",
+    "semi_acyclic_coloring_reduction",
+]
+
 
 # ----------------------------------------------------------------------
 # reference solver

@@ -30,6 +30,17 @@ from repro.reductions.sat import CNFFormula, iter_assignments
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = [
+    "EC3SATInstance",
+    "ec3sat_holds",
+    "ec3sat_database_type0",
+    "ec3sat_metaquery_type0",
+    "ec3sat_reduction_type0",
+    "ec3sat_database_type12",
+    "ec3sat_metaquery_type12",
+    "ec3sat_reduction_type12",
+]
+
 
 @dataclass(frozen=True)
 class EC3SATInstance:

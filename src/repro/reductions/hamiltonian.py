@@ -24,6 +24,14 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.workloads.graphs import Graph
 
+__all__ = [
+    "find_hamiltonian_path",
+    "has_hamiltonian_path",
+    "hamiltonian_database",
+    "hamiltonian_metaquery",
+    "hamiltonian_path_reduction",
+]
+
 
 def find_hamiltonian_path(graph: Graph) -> list[str] | None:
     """A Hamiltonian path as a vertex list, or None when none exists."""

@@ -15,6 +15,19 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import ReductionError
 
+__all__ = [
+    "Literal",
+    "Clause",
+    "CNFFormula",
+    "clause_from_ints",
+    "formula_from_ints",
+    "random_3cnf",
+    "dpll",
+    "is_satisfiable_formula",
+    "iter_assignments",
+    "count_models",
+]
+
 
 @dataclass(frozen=True, order=True)
 class Literal:

@@ -15,6 +15,20 @@ from typing import Iterable, Sequence
 from repro.exceptions import AlgebraError
 from repro.relational.relation import Relation
 
+__all__ = [
+    "project",
+    "select_eq",
+    "rename",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+    "union",
+    "difference",
+    "natural_join_all",
+    "join_and_project",
+    "intersect_all",
+]
+
 
 def project(relation: Relation, columns: Sequence[str]) -> Relation:
     """Projection ``π_columns(relation)``."""

@@ -13,6 +13,8 @@ from repro.exceptions import SchemaError, UnknownRelationError
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
+__all__ = ["Database"]
+
 
 class Database:
     """A named collection of relations over a shared finite domain.

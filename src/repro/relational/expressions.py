@@ -19,6 +19,8 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
+__all__ = ["Expression", "BaseRelation", "Join", "Project", "Select", "join_all"]
+
 
 class Expression:
     """Abstract base class of project--join expression nodes."""

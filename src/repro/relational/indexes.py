@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, KeysView, Mapping, Sequence
 
+__all__ = ["build_index", "index_for", "key_set"]
+
 Row = tuple
 
 

@@ -17,6 +17,16 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 
+__all__ = [
+    "relation_from_csv",
+    "relation_to_csv",
+    "database_to_json",
+    "database_from_json",
+    "save_database",
+    "load_database",
+    "database_from_mapping",
+]
+
 
 def relation_from_csv(path: str | Path, name: str | None = None, has_header: bool = True) -> Relation:
     """Load a relation from a CSV file.

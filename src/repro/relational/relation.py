@@ -14,6 +14,8 @@ from repro.exceptions import AlgebraError, SchemaError
 from repro.relational import indexes
 from repro.relational.schema import Attribute, RelationSchema
 
+__all__ = ["Relation"]
+
 Tuple_ = tuple
 Row = tuple
 

@@ -15,6 +15,8 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchemaError, UnknownRelationError
 
+__all__ = ["Attribute", "RelationSchema", "DatabaseSchema", "schema_from_arities"]
+
 
 @dataclass(frozen=True, order=True)
 class Attribute:

@@ -15,6 +15,19 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+__all__ = [
+    "Graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "random_graph",
+    "random_3colorable_graph",
+    "non_3colorable_graph",
+    "random_hamiltonian_graph",
+    "star_graph",
+    "disconnected_graph",
+]
+
 
 @dataclass(frozen=True)
 class Graph:

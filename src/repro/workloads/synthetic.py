@@ -17,6 +17,17 @@ from repro.datalog.terms import Variable
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = [
+    "chain_database",
+    "chain_metaquery",
+    "transitive_chain_metaquery",
+    "cyclic_metaquery",
+    "random_database",
+    "planted_rule_database",
+    "star_database",
+    "widen_metaquery_arity",
+]
+
 
 def chain_database(
     relations: int,

@@ -19,6 +19,8 @@ from typing import Sequence
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = ["db1", "db1_prime", "transitivity_metaquery_text", "scaled_telecom"]
+
 USCA_COLUMNS = ("User", "Carrier")
 CATE_COLUMNS = ("Carrier", "Technology")
 USPT_COLUMNS = ("User", "PhoneType")

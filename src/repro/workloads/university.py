@@ -22,6 +22,8 @@ import random
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
+__all__ = ["university_database"]
+
 
 def university_database(
     students: int = 40,
