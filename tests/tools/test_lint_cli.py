@@ -1,0 +1,112 @@
+"""End-to-end tests for ``python -m repro.tools.lint`` and the check_docs shim.
+
+Includes the acceptance gate for this repository: a full default run (all
+rules over ``src/`` plus the documentation check) must exit 0 — every
+invariant the battery enforces holds on the codebase itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.tools.check_docs import main as check_docs_main
+from repro.tools.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_module(module: str, *args: str) -> subprocess.CompletedProcess:
+    """Run ``python -m <module>`` from the repo root with src/ importable."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def write_fixture(tmp_path: Path, source: str) -> Path:
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(textwrap.dedent(source), encoding="utf-8")
+    return fixture
+
+
+class TestCli:
+    def test_full_repository_is_lint_clean(self, capsys):
+        # The acceptance criterion: the battery exits 0 on the repo itself.
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+    def test_findings_exit_1_with_text_report(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path, "x = float(1)\n")
+        code = main(["--rule", "exact-arithmetic", str(fixture)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP101" in out and "[exact-arithmetic]" in out
+        assert f"{fixture.name}:1:" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path, "x = float(1)\n")
+        code = main(["--rule", "REP101", "--format", "json", str(fixture)])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["code"] == "REP101"
+        assert payload[0]["rule"] == "exact-arithmetic"
+        assert payload[0]["line"] == 1
+
+    def test_clean_json_run_prints_empty_list(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path, "x = 1\n")
+        code = main(["--rule", "REP101", "--format", "json", str(fixture)])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_pragma_suppresses_via_cli(self, tmp_path):
+        fixture = write_fixture(
+            tmp_path, "x = float(1)  # repro-lint: disable=exact-arithmetic\n"
+        )
+        assert main(["--rule", "exact-arithmetic", str(fixture)]) == 0
+
+    def test_list_rules_prints_the_battery(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106", "REP107", "REP108"):
+            assert code in out
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["--rule", "no-such-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_module_entry_point_runs(self):
+        result = run_module("repro.tools.lint", "--list-rules")
+        assert result.returncode == 0
+        assert "REP101" in result.stdout
+
+
+class TestCheckDocsShim:
+    def test_no_args_delegates_to_doc_refs_rule(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert check_docs_main([]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+    def test_explicit_file_still_checked_directly(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert check_docs_main([str(REPO_ROOT / "README.md")]) == 0
+        assert "1 file(s) OK" in capsys.readouterr().out
+
+    def test_module_entry_point_survives(self):
+        result = run_module("repro.tools.check_docs")
+        assert result.returncode == 0

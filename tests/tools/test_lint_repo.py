@@ -1,0 +1,100 @@
+"""Regression pins: the violations this battery surfaced stay fixed.
+
+The linter's first run over the repository found real bugs (lifecycle
+counters mutated outside the lock) and systematic gaps (50 modules with no
+``__all__``).  These tests pin each fix class directly so a regression
+fails a *named* test, not just the broad full-repo gate in
+``test_lint_cli.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+from repro.datalog.lifecycle import CacheLimit, LifecycleCache, RequestCache
+from repro.tools.lint.framework import Linter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def lint_file(rule: str, relpath: str) -> list:
+    linter = Linter(root=REPO_ROOT, rules=[rule])
+    return linter.lint([REPO_ROOT / relpath])
+
+
+class TestLockDisciplineFixes:
+    """The REP102 findings in lifecycle.py: fixed, not suppressed."""
+
+    def test_lifecycle_module_is_lock_clean(self):
+        assert lint_file("lock-discipline", "src/repro/datalog/lifecycle.py") == []
+
+    def test_oversize_rejection_counts_under_lock(self):
+        # The `put` fast-exit used to bump stats.rejected outside the lock.
+        cache = LifecycleCache(CacheLimit(max_tuples=5))
+        cache.put("atom", "huge", object(), frozenset({"r"}), weight=10)
+        assert cache.get("atom", "huge") is None
+        assert cache.stats_dict()["rejected"] == 1
+
+    def test_shrink_helper_declares_lock_contract(self):
+        # `_shrink` was renamed `_shrink_locked`: the suffix is the naming
+        # convention REP102 enforces on call sites.
+        assert hasattr(LifecycleCache, "_shrink_locked")
+        assert not hasattr(LifecycleCache, "_shrink")
+
+    def test_lifecycle_stats_snapshot_is_complete(self):
+        cache = LifecycleCache(CacheLimit(max_entries=1))
+        cache.put("atom", "a", object(), frozenset({"r"}), weight=0)
+        cache.put("atom", "b", object(), frozenset({"r"}), weight=0)
+        snapshot = cache.stats_dict()
+        assert snapshot["evictions"] == 1
+        assert set(snapshot) == {
+            "evictions", "evicted_tuples", "invalidated_entries", "rejected",
+        }
+
+    def test_request_cache_stats_snapshot_is_complete(self):
+        cache = RequestCache(max_entries=2)
+        cache.put("k", (1,), object())
+        cache.get("k", (1,))      # hit
+        cache.get("k", (2,))      # vector moved: invalidated + miss
+        snapshot = cache.stats_dict()
+        assert snapshot == {"hits": 1, "misses": 1, "evictions": 0, "invalidated": 1}
+
+
+class TestPragmaFixes:
+    """Deliberate exceptions carry pragmas instead of weakening the rules."""
+
+    def test_answers_display_floats_are_suppressed_not_exempted(self):
+        source = (SRC / "repro/core/answers.py").read_text(encoding="utf-8")
+        assert "# repro-lint: disable=exact-arithmetic" in source
+        assert lint_file("exact-arithmetic", "src/repro/core/answers.py") == []
+
+    def test_sharding_finalizer_swallow_is_suppressed(self):
+        source = (SRC / "repro/datalog/sharding.py").read_text(encoding="utf-8")
+        assert "# repro-lint: disable=no-silent-except" in source
+        assert lint_file("no-silent-except", "src/repro/datalog/sharding.py") == []
+
+
+class TestApiSurfaceFixes:
+    """Every module under src/repro declares a truthful ``__all__``."""
+
+    def test_every_module_exports_resolve(self):
+        import repro
+
+        checked = 0
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue
+            module = importlib.import_module(info.name)
+            exported = getattr(module, "__all__", None)
+            assert exported is not None, f"{info.name} has no __all__"
+            for name in exported:
+                assert hasattr(module, name), f"{info.name}.__all__ lists missing {name!r}"
+            checked += 1
+        assert checked > 40  # the whole tree, not a lucky subset
+
+    def test_public_api_rule_is_clean_on_src(self):
+        linter = Linter(root=REPO_ROOT, rules=["public-api"])
+        assert linter.lint([SRC]) == []
