@@ -212,7 +212,7 @@ class PreparedMetaquery:
         self.decomposition = decomposition
 
     # ------------------------------------------------------------------
-    def _answer_cache_key(self) -> tuple:
+    def _answer_cache_key(self) -> tuple[MetaQuery, Thresholds, int, str]:
         """The request-cache key: the *prepared* identity of this metaquery.
 
         Built from the parsed metaquery (so the textual and parsed

@@ -45,6 +45,7 @@ __all__ = [
     "LifecycleStats",
     "LifecycleCache",
     "CacheSection",
+    "GenerationVector",
     "GenerationWatcher",
     "RequestCacheStats",
     "RequestCache",
@@ -52,6 +53,11 @@ __all__ = [
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.answers import AnswerSet
+    from repro.relational.database import Database
+
+#: The shape of :meth:`~repro.relational.database.Database.generation_vector`:
+#: ``(relation name, generation)`` pairs, sorted by name.
+GenerationVector = tuple[tuple[str, int], ...]
 
 
 @dataclass(frozen=True)
@@ -365,8 +371,10 @@ class GenerationWatcher:
 
     __slots__ = ("db", "_mutations", "_generations")
 
-    def __init__(self, db: Any) -> None:
+    def __init__(self, db: "Database") -> None:
         self.db = db
+        self._mutations: int = 0
+        self._generations: dict[str, int] = {}
         self.resync()
 
     def resync(self) -> None:
@@ -444,13 +452,13 @@ class RequestCache:
             raise EngineError(f"request cache size must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.stats = RequestCacheStats()
-        self._entries: OrderedDict[Hashable, tuple[tuple, "AnswerSet"]] = OrderedDict()
+        self._entries: OrderedDict[Hashable, tuple[GenerationVector, "AnswerSet"]] = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable, generation_vector: tuple) -> "AnswerSet | None":
+    def get(self, key: Hashable, generation_vector: GenerationVector) -> "AnswerSet | None":
         """The cached answers for ``key``, or None (stale entries are dropped)."""
         with self._lock:
             item = self._entries.get(key)
@@ -467,7 +475,7 @@ class RequestCache:
             self.stats.hits += 1
             return answers
 
-    def put(self, key: Hashable, generation_vector: tuple, answers: "AnswerSet") -> None:
+    def put(self, key: Hashable, generation_vector: GenerationVector, answers: "AnswerSet") -> None:
         """Record a *completed* evaluation under the vector it started from.
 
         If the database mutated mid-evaluation the stored vector is already

@@ -51,7 +51,7 @@ import multiprocessing
 import multiprocessing.pool
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
@@ -262,7 +262,7 @@ class ReorderBuffer:
             )
         self._pending[position] = item
 
-    def drain(self):
+    def drain(self) -> Iterator[Any]:
         """Yield parked items in serial order until the next gap."""
         while self._next in self._pending:
             yield self._pending.pop(self._next)
