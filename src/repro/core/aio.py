@@ -57,7 +57,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from fractions import Fraction
-from typing import AsyncIterator
+from typing import Any, AsyncIterator, cast
 
 from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
 from repro.core.engine import MetaqueryEngine
@@ -67,6 +67,7 @@ from repro.core.metaquery import MetaQuery
 from repro.core.requests import MetaqueryRequest, PreparedMetaquery
 from repro.exceptions import EngineError
 from repro.relational.database import Database
+from repro.tools.sanitizer import create_lock
 
 __all__ = ["AsyncMetaqueryEngine"]
 
@@ -111,7 +112,7 @@ class AsyncMetaqueryEngine:
         self,
         db_or_engine: Database | MetaqueryEngine,
         max_concurrency: int = 8,
-        **engine_kwargs: object,
+        **engine_kwargs: Any,
     ) -> None:
         if isinstance(max_concurrency, bool) or not isinstance(max_concurrency, int):
             raise EngineError(
@@ -132,6 +133,14 @@ class AsyncMetaqueryEngine:
             self._owns_engine = True
         self.max_concurrency = max_concurrency
         self._semaphore = asyncio.Semaphore(max_concurrency)
+        # Stream telemetry crosses threads: `started` bumps on the event
+        # loop, `finished` in the producer's done callback, and
+        # stream_stats() may be called from anywhere — so the counters
+        # take the same sanitizable state lock the other shared runtime
+        # classes use (REPRO_SANITIZE=1 instruments it).
+        self._lock = create_lock("repro.core.aio:AsyncMetaqueryEngine")
+        self._streams_started = 0
+        self._streams_finished = 0
 
     # ------------------------------------------------------------------
     @property
@@ -142,6 +151,30 @@ class AsyncMetaqueryEngine:
     def stats(self) -> dict[str, dict[str, int]]:
         """The wrapped engine's telemetry counters (:meth:`MetaqueryEngine.stats`)."""
         return self._engine.stats()
+
+    def stream_stats(self) -> dict[str, int]:
+        """Facade-level stream telemetry (thread-safe snapshot).
+
+        ``streams_started`` counts producer threads launched by
+        :meth:`stream`; ``streams_finished`` counts producers that retired
+        (normally, by early-exit signal, or by raising); the difference is
+        the streams currently holding a concurrency slot — the server
+        track's backpressure gauge.
+        """
+        with self._lock:
+            started = self._streams_started
+            finished = self._streams_finished
+        return {
+            "streams_started": started,
+            "streams_finished": finished,
+            "streams_active": started - finished,
+        }
+
+    def _retire_stream(self) -> None:
+        """Producer done-callback: count the retirement, free the slot."""
+        with self._lock:
+            self._streams_finished += 1
+        self._semaphore.release()
 
     async def invalidate_cache(self) -> None:
         """Async :meth:`MetaqueryEngine.invalidate_cache` — the explicit full
@@ -227,7 +260,7 @@ class AsyncMetaqueryEngine:
         abandoned streams cannot pile up unbounded worker threads.
         """
         await self._semaphore.acquire()
-        producer: asyncio.Future | None = None
+        producer: asyncio.Future[None] | None = None
         try:
             if isinstance(mq, PreparedMetaquery):
                 prepared = mq
@@ -236,7 +269,7 @@ class AsyncMetaqueryEngine:
                     self._engine.prepare, mq, thresholds, itype, algorithm
                 )
             loop = asyncio.get_running_loop()
-            queue: asyncio.Queue = asyncio.Queue()
+            queue: asyncio.Queue[object] = asyncio.Queue()
             stop = threading.Event()
 
             def post(item: object) -> None:
@@ -260,15 +293,17 @@ class AsyncMetaqueryEngine:
                 except BaseException as exc:  # pragma: no cover - worker errors
                     post(_ProducerFailure(exc))
 
+            with self._lock:
+                self._streams_started += 1
             producer = asyncio.ensure_future(asyncio.to_thread(produce))
-            producer.add_done_callback(lambda _: self._semaphore.release())
+            producer.add_done_callback(lambda _: self._retire_stream())
             while True:
                 item = await queue.get()
                 if item is _END:
                     break
                 if isinstance(item, _ProducerFailure):
                     raise item.exc
-                yield item
+                yield cast(MetaqueryAnswer, item)
         finally:
             if producer is None:
                 # prepare failed (or was cancelled) before the producer
@@ -287,7 +322,12 @@ class AsyncMetaqueryEngine:
     async def __aenter__(self) -> "AsyncMetaqueryEngine":
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> None:
         await self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -33,7 +33,7 @@ enables the Yannakakis full-reducer pipeline for acyclic atom sets in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Hashable, Sequence
 

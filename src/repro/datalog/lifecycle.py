@@ -33,12 +33,12 @@ what keeps caches warm across streaming/append workloads.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator
 
 from repro.exceptions import EngineError
+from repro.tools.sanitizer import create_lock
 
 __all__ = [
     "CacheLimit",
@@ -185,8 +185,9 @@ class LifecycleCache:
         # threads; unlike the pre-lifecycle monotone dicts, an LRU store
         # mutates on reads (recency) and evicts on writes, so its state
         # transitions take a lock.  Uncontended acquisition is cheap next
-        # to the joins being memoized.
-        self._lock = threading.Lock()
+        # to the joins being memoized.  Built through create_lock so
+        # REPRO_SANITIZE=1 swaps in the order-checking wrapper.
+        self._lock = create_lock("repro.datalog.lifecycle:LifecycleCache")
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -453,7 +454,7 @@ class RequestCache:
         self.max_entries = max_entries
         self.stats = RequestCacheStats()
         self._entries: OrderedDict[Hashable, tuple[GenerationVector, "AnswerSet"]] = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = create_lock("repro.datalog.lifecycle:RequestCache")
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -58,6 +58,7 @@ from repro.datalog.context import EvaluationContext
 from repro.datalog.lifecycle import CacheLimit, GenerationWatcher
 from repro.exceptions import ShardingError
 from repro.relational.database import Database
+from repro.tools.sanitizer import create_lock
 
 __all__ = [
     "worker_state",
@@ -328,6 +329,20 @@ def _default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def _shutdown_pool(pool: multiprocessing.pool.Pool | None) -> None:
+    """Terminate and join a pool detached from its evaluator.
+
+    Runs with no evaluator lock held: ``terminate``/``join`` block on
+    worker processes, and holding a state lock across them is exactly the
+    convoy/deadlock shape REP110 rejects.  The pointer handed in was
+    cleared under the lock (:meth:`ShardedEvaluator._detach_pool_locked`),
+    so no other thread can dispatch to this pool anymore.
+    """
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
 class ShardedEvaluator:
     """A persistent worker pool evaluating disjoint shape-group shards.
 
@@ -398,6 +413,14 @@ class ShardedEvaluator:
         # pids acknowledged which shipped generation.
         self._watcher: GenerationWatcher | None = None
         self._sync_acks: dict[str, tuple[int, set[int]]] = {}
+        # The async facade dispatches to one shared evaluator from worker
+        # threads, so pool lifecycle and telemetry transitions take a lock.
+        # The invariant REP110 enforces: the lock is released before any
+        # pool call — blocking teardown works on a pointer detached under
+        # the lock (_detach_pool_locked), and dispatch happens after
+        # _ensure_pool returns.  Built through create_lock so
+        # REPRO_SANITIZE=1 swaps in the order-checking wrapper.
+        self._lock = create_lock("repro.datalog.sharding:ShardedEvaluator")
 
     # ------------------------------------------------------------------
     @property
@@ -416,17 +439,32 @@ class ShardedEvaluator:
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
-        if self._pool is None:
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(self.db, self.fast_path, self.cache, self.batch, self.cache_limit),
-            )
-            self.stats.pool_starts += 1
-            self._watcher = GenerationWatcher(self.db)
-            self._sync_acks = {}
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = context.Pool(
+                    processes=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.db, self.fast_path, self.cache, self.batch, self.cache_limit),
+                )
+                self.stats.pool_starts += 1
+                self._watcher = GenerationWatcher(self.db)
+                self._sync_acks = {}
+            return self._pool
+
+    def _detach_pool_locked(self) -> multiprocessing.pool.Pool | None:
+        """Take ownership of the pool pointer; caller shuts it down unlocked.
+
+        Caller holds ``self._lock`` (the ``*_locked`` contract).  Clearing
+        the pointer under the lock while terminating *after* releasing it
+        is what keeps ``Pool.terminate``/``Pool.join`` — both blocking —
+        out of every locked region (REP110), and lets ``_pending_sync``
+        trigger a restart without re-entering the non-reentrant lock.
+        """
+        stale, self._pool = self._pool, None
+        self._watcher = None
+        self._sync_acks = {}
+        return stale
 
     def _pending_sync(self) -> list[RelationSync]:
         """Relations mutated since the pool pickled its database snapshots.
@@ -440,14 +478,26 @@ class ShardedEvaluator:
         pool is reset and the next :meth:`_ensure_pool` re-pickles current
         state.
         """
+        with self._lock:
+            pending, stale = self._pending_sync_locked()
+        _shutdown_pool(stale)
+        return pending
+
+    def _pending_sync_locked(
+        self,
+    ) -> tuple[list[RelationSync], multiprocessing.pool.Pool | None]:
+        """The pending-sync decision; caller holds ``self._lock``.
+
+        Returns the syncs to ship plus a detached pool when restarting is
+        the cheaper refresh — the caller terminates it after unlocking.
+        """
         if self._pool is None or self._watcher is None:
-            return []
+            return [], None
         changed = self._watcher.peek()
         if not changed:
-            return []
+            return [], None
         if 2 * len(changed) > len(self.db):
-            self.reset()
-            return []
+            return [], self._detach_pool_locked()
         pending: list[RelationSync] = []
         for name in sorted(changed):
             generation = self.db.generation(name)
@@ -460,17 +510,16 @@ class ShardedEvaluator:
             # rebase the snapshot so future probes stop diffing.
             self._watcher.resync()
             self._sync_acks = {}
-            return []
+            return [], None
         # The sync rides inside every task payload (each task may land on
         # any worker), so one dispatch pickles it once per shard.  When the
         # pending tuples rival the database itself, a restart — which
         # pickles the database once per worker and rebases immediately —
         # is the cheaper way to refresh the pool.
         if 2 * sum(len(relation) for _, _, relation in pending) > self.db.total_tuples():
-            self.reset()
-            return []
+            return [], self._detach_pool_locked()
         self.stats.relation_syncs += len(pending)
-        return pending
+        return pending, None
 
     def _absorb(
         self,
@@ -480,15 +529,16 @@ class ShardedEvaluator:
         """Record one task's sync acknowledgement and counter deltas;
         return the task result."""
         pid, delta, result = envelope
-        for name, generation, _ in sync:
-            acked = self._sync_acks.get(name)
-            if acked is None or acked[0] != generation:
-                acked = self._sync_acks[name] = (generation, set())
-            acked[1].add(pid)
-        for section, counters in delta.items():
-            bucket = self.worker_counters.setdefault(section, {})
-            for key, value in counters.items():
-                bucket[key] = bucket.get(key, 0) + value
+        with self._lock:
+            for name, generation, _ in sync:
+                acked = self._sync_acks.get(name)
+                if acked is None or acked[0] != generation:
+                    acked = self._sync_acks[name] = (generation, set())
+                acked[1].add(pid)
+            for section, counters in delta.items():
+                bucket = self.worker_counters.setdefault(section, {})
+                for key, value in counters.items():
+                    bucket[key] = bucket.get(key, 0) + value
         return result
 
     def map(
@@ -531,10 +581,11 @@ class ShardedEvaluator:
             raise ShardingError("ShardedEvaluator is closed")
         if not payloads:
             return False
-        self.stats.dispatches += 1
-        self.stats.tasks += len(payloads)
-        if item_count is not None:
-            self.stats.items += item_count
+        with self._lock:
+            self.stats.dispatches += 1
+            self.stats.tasks += len(payloads)
+            if item_count is not None:
+                self.stats.items += item_count
         return True
 
     def imap_unordered(
@@ -582,17 +633,16 @@ class ShardedEvaluator:
         against the database's current state.  This is the sharded analogue
         of :meth:`EvaluationContext.clear` after an in-place mutation.
         """
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._watcher = None
-        self._sync_acks = {}
+        with self._lock:
+            stale = self._detach_pool_locked()
+        _shutdown_pool(stale)
 
     def close(self) -> None:
         """Release the worker pool permanently.  Idempotent."""
-        self.reset()
-        self._closed = True
+        with self._lock:
+            stale = self._detach_pool_locked()
+            self._closed = True
+        _shutdown_pool(stale)
 
     def __enter__(self) -> "ShardedEvaluator":
         return self

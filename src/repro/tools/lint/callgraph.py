@@ -1,0 +1,985 @@
+"""Whole-program symbol table and call graph for the lint battery.
+
+The per-file rules (REP101–REP107) see one module at a time, but the bug
+class that kept recurring — unlocked counter bumps, torn telemetry — is
+*interprocedural*: a ``with self._lock:`` block in one module calls into
+another module, and whether that call blocks, mutates shared state, or
+acquires a second lock is invisible to any per-file AST rule.  This module
+builds the repo-wide view those checks need from the already-parsed
+:class:`~repro.tools.lint.framework.ModuleInfo` set:
+
+* a **symbol table** — every class, method, module-level and nested
+  function, keyed by a stable qualname (``module:Class.method`` /
+  ``module:func`` / ``module:outer.<locals>.inner``), plus each module's
+  import aliases;
+* conservative **type inference** for call receivers: ``self``, parameters
+  with annotations naming program classes, locals assigned from a
+  constructor call, ``self.attr`` values assigned in ``__init__``, and the
+  return annotations of resolved program calls.  A handful of stdlib
+  concurrency types (``threading.Thread``, ``queue.Queue``,
+  ``multiprocessing.pool.Pool``, ...) are tracked as opaque markers so the
+  blocking-call classifier can tell ``thread.join()`` from ``str.join()``;
+* a **call graph** — for every function, the resolved callee candidates of
+  each call site, annotated with the set of locks held *lexically* at the
+  site (``with self._lock:`` regions of lock-owning classes) and with a
+  blocking-primitive classification where the call itself blocks;
+* **lock and mutation facts** — which classes own a ``self._lock``
+  (assigned in ``__init__``), which ``__init__``-declared attributes form
+  their guarded state (the REP102 notion), and every mutation site of that
+  state with the locks lexically held there;
+* **transitive queries** — :meth:`Program.may_acquire` (which locks a call
+  can end up taking) and :meth:`Program.blocking_witness` (a sample path to
+  a blocking primitive), the two reachability facts REP109/REP110 are
+  built on, plus the raw graph REP111 walks from thread entry points.
+
+Everything here is deliberately *under*-approximate where Python defeats
+static resolution (``getattr``, untyped receivers, closures): an
+unresolvable call simply contributes no edges.  The rules built on top are
+therefore quiet-by-construction on dynamic code and precise on the typed,
+conventional code this repository is written in — the same trade the
+per-file rules make.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.tools.lint.astutil import is_self_attr, self_attr_base
+from repro.tools.lint.framework import ModuleInfo
+
+__all__ = [
+    "BLOCKING_POOL_DISPATCH",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "MutationSite",
+    "Program",
+    "build_program",
+    "module_name_for",
+]
+
+#: Container methods that mutate their receiver (the REP102 set).
+MUTATING_METHODS = frozenset(
+    {
+        "pop", "popitem", "clear", "update", "setdefault", "append", "extend",
+        "insert", "remove", "discard", "add", "move_to_end",
+        "__setitem__", "__delitem__",
+    }
+)
+
+#: Attribute names that dispatch work to a multiprocessing pool.  ``apply``
+#: is deliberately absent (``Instantiation.apply`` is a hot mining call);
+#: the async variants block on result collection, not submission, but a
+#: dispatch under a lock is wrong either way.
+BLOCKING_POOL_DISPATCH = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "apply_async", "map_async", "starmap_async"}
+)
+
+#: Dotted stdlib callables that block the calling thread outright.
+BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "asyncio.run",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "socket.create_connection",
+    }
+)
+
+#: File-I/O method names distinctive enough to match without receiver types.
+BLOCKING_FILE_METHODS = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+
+#: Stdlib concurrency types tracked as opaque type markers.  Keys are the
+#: canonical dotted names (what the import map resolves an annotation or a
+#: constructor call to); values are the marker stored in type sets.
+_STDLIB_TYPES = {
+    "threading.Thread": "stdlib:Thread",
+    "queue.Queue": "stdlib:Queue",
+    "queue.LifoQueue": "stdlib:Queue",
+    "queue.PriorityQueue": "stdlib:Queue",
+    "queue.SimpleQueue": "stdlib:Queue",
+    "multiprocessing.Queue": "stdlib:Queue",
+    "multiprocessing.pool.Pool": "stdlib:Pool",
+    "multiprocessing.Pool": "stdlib:Pool",
+}
+
+#: Marker methods that block: ``marker -> frozenset(method names)``.
+_STDLIB_BLOCKING_METHODS = {
+    "stdlib:Thread": frozenset({"join"}),
+    "stdlib:Queue": frozenset({"get", "put", "join"}),
+    "stdlib:Pool": frozenset({"join"}) | BLOCKING_POOL_DISPATCH,
+}
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    node: ast.Call  #: the call expression
+    callees: tuple[str, ...]  #: resolved program-function qualnames (may be empty)
+    held: frozenset[str]  #: lock ids (class qualnames) held lexically here
+    blocking: str | None  #: human-readable blocking descriptor, if the call blocks
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One mutation of a lock-owning class's guarded attribute."""
+
+    node: ast.AST  #: the assignment / delete / mutating call
+    attr: str  #: the guarded ``self.<attr>`` being mutated
+    owner: str  #: lock id (class qualname) owning the attribute
+    held: frozenset[str]  #: lock ids held lexically at the mutation
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the program."""
+
+    qualname: str
+    module: str
+    relpath: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassInfo | None" = None
+    calls: list[CallSite] = field(default_factory=list)
+    mutations: list[MutationSite] = field(default_factory=list)
+    #: lock ids this function acquires lexically (its own ``with self._lock:``).
+    acquired: frozenset[str] = frozenset()
+    #: callables this function hands to another thread/process, resolved to
+    #: qualnames: ``(kind, qualname, node)`` — the REP111 entry points.
+    spawns: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FunctionInfo({self.qualname}, {len(self.calls)} calls)"
+
+
+@dataclass
+class ClassInfo:
+    """One class of the program; its qualname doubles as its lock id."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()  #: base-class expressions as dotted strings
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    owns_lock: bool = False  #: ``__init__`` assigns ``self._lock``
+    guarded: frozenset[str] = frozenset()  #: init-declared attrs (minus the lock)
+    #: attribute name -> candidate type names (class qualnames / stdlib markers)
+    attr_types: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClassInfo({self.qualname}, lock={self.owns_lock})"
+
+
+def module_name_for(relpath: str) -> str:
+    """The dotted module name of a repo-relative path.
+
+    ``src/repro/datalog/lifecycle.py`` → ``repro.datalog.lifecycle``;
+    package ``__init__`` files name the package; fixture files outside a
+    ``src`` layout name themselves (``a.py`` → ``a``), which is what makes
+    cross-module imports inside a fixture directory resolvable.
+    """
+    parts = list(relpath.rsplit(".py", 1)[0].split("/"))
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or relpath
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute chains as a dotted string (None when dynamic)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_names(node: ast.expr | None) -> Iterator[str]:
+    """Every plain dotted name mentioned by a type annotation.
+
+    Handles ``X``, ``m.X``, ``"X"`` string annotations, ``Optional[X]``,
+    ``Union[X, Y]``, ``X | Y`` and subscripted containers (yielding the
+    subscript arguments too, so ``list[X]`` still surfaces ``X``; the
+    resolver simply ignores names that are not program classes).
+    """
+    if node is None:
+        return
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = _dotted(node)
+        if dotted is not None:
+            yield dotted
+        return
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        yield from _annotation_names(node.left)
+        yield from _annotation_names(node.right)
+        return
+    if isinstance(node, ast.Subscript):
+        yield from _annotation_names(node.value)
+        if isinstance(node.slice, ast.Tuple):
+            for element in node.slice.elts:
+                yield from _annotation_names(element)
+        else:
+            yield from _annotation_names(node.slice)
+
+
+class _Module:
+    """Per-module symbol scope: imports, classes, functions."""
+
+    def __init__(self, info: ModuleInfo, name: str) -> None:
+        self.info = info
+        self.name = name
+        self.imports: dict[str, str] = {}  # local alias -> dotted target
+        self.classes: dict[str, ClassInfo] = {}  # local name -> class
+        self.functions: dict[str, FunctionInfo] = {}  # local name -> function
+
+
+class Program:
+    """The whole-program view: modules, classes, functions, and reachability."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self._modules: dict[str, _Module] = {}
+        self.module_infos: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._may_acquire: dict[str, frozenset[str]] | None = None
+        self._acquire_step: dict[str, dict[str, tuple[str | None, ast.AST]]] = {}
+        self._blocking_memo: dict[str, tuple[tuple[str, ...], str] | None] = {}
+        for info in modules:
+            name = module_name_for(info.relpath)
+            self._modules[name] = _Module(info, name)
+            self.module_infos[info.relpath] = info
+        for module in self._modules.values():
+            _collect_symbols(self, module)
+        # Attribute types need two passes: `self._atoms = self.store.section(...)`
+        # types through `self.store`, which an earlier statement assigned.
+        for _ in range(2):
+            for module in self._modules.values():
+                for cls in module.classes.values():
+                    _infer_class_attr_types(self, module, cls)
+        for module in self._modules.values():
+            _analyze_bodies(self, module)
+
+    # ------------------------------------------------------------------
+    # symbol resolution
+    # ------------------------------------------------------------------
+    def module(self, name: str) -> _Module | None:
+        return self._modules.get(name)
+
+    def module_of(self, info_or_relpath: ModuleInfo | str) -> _Module | None:
+        relpath = (
+            info_or_relpath if isinstance(info_or_relpath, str) else info_or_relpath.relpath
+        )
+        return self._modules.get(module_name_for(relpath))
+
+    def resolve_dotted(self, dotted: str) -> "ClassInfo | FunctionInfo | _Module | None":
+        """A dotted path to a program module, class, function or method."""
+        parts = dotted.split(".")
+        for split in range(len(parts), 0, -1):
+            module = self._modules.get(".".join(parts[:split]))
+            if module is None:
+                continue
+            rest = parts[split:]
+            if not rest:
+                return module
+            head = rest[0]
+            symbol: ClassInfo | FunctionInfo | None
+            symbol = module.classes.get(head) or module.functions.get(head)
+            if symbol is None:
+                # Re-exported name: follow the module's own import alias.
+                target = module.imports.get(head)
+                if target is not None and target != dotted:
+                    forwarded = self.resolve_dotted(".".join([target, *rest[1:]]))
+                    if isinstance(forwarded, (ClassInfo, FunctionInfo)):
+                        return forwarded
+                return None
+            if len(rest) == 1:
+                return symbol
+            if isinstance(symbol, ClassInfo) and len(rest) == 2:
+                return self.lookup_method(symbol, rest[1])
+            return None
+        return None
+
+    def resolve_local(
+        self, module: _Module, name: str
+    ) -> "ClassInfo | FunctionInfo | _Module | None":
+        """A bare name in module scope: local symbol, else import alias."""
+        symbol: ClassInfo | FunctionInfo | _Module | None
+        symbol = module.classes.get(name) or module.functions.get(name)
+        if symbol is not None:
+            return symbol
+        target = module.imports.get(name)
+        if target is not None:
+            return self.resolve_dotted(target)
+        return None
+
+    def lookup_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """A method by name, searching resolvable program base classes too."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            method = current.methods.get(name)
+            if method is not None:
+                return method
+            module = self._modules.get(current.module)
+            for base in current.bases:
+                resolved = (
+                    self.resolve_local(module, base)
+                    if module is not None and "." not in base
+                    else self.resolve_dotted(base)
+                )
+                if isinstance(resolved, ClassInfo):
+                    stack.append(resolved)
+        return None
+
+    def class_attr_types(self, cls: ClassInfo, attr: str) -> frozenset[str]:
+        """Candidate types of ``self.<attr>``, searching program bases."""
+        seen: set[str] = set()
+        stack = [cls]
+        out: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            out |= current.attr_types.get(attr, frozenset())
+            module = self._modules.get(current.module)
+            if module is not None:
+                for base in current.bases:
+                    resolved = self.resolve_local(module, base)
+                    if isinstance(resolved, ClassInfo):
+                        stack.append(resolved)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # transitive queries
+    # ------------------------------------------------------------------
+    def may_acquire(self, qualname: str) -> frozenset[str]:
+        """Lock ids the function may take, directly or through any callee."""
+        if self._may_acquire is None:
+            self._compute_may_acquire()
+        assert self._may_acquire is not None
+        return self._may_acquire.get(qualname, frozenset())
+
+    def _compute_may_acquire(self) -> None:
+        result = {name: set(fn.acquired) for name, fn in self.functions.items()}
+        step: dict[str, dict[str, tuple[str | None, ast.AST]]] = {
+            name: {lock: (None, fn.node) for lock in fn.acquired}
+            for name, fn in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, fn in self.functions.items():
+                for site in fn.calls:
+                    for callee in site.callees:
+                        for lock in result.get(callee, ()):
+                            if lock not in result[name]:
+                                result[name].add(lock)
+                                step[name][lock] = (callee, site.node)
+                                changed = True
+        self._may_acquire = {name: frozenset(locks) for name, locks in result.items()}
+        self._acquire_step = step
+
+    def acquire_path(self, qualname: str, lock: str) -> list[str]:
+        """A sample call chain from the function to an acquisition of ``lock``."""
+        if self._may_acquire is None:
+            self._compute_may_acquire()
+        path = [qualname]
+        current: str | None = qualname
+        for _ in range(len(self.functions) + 1):
+            if current is None:
+                break
+            entry = self._acquire_step.get(current, {}).get(lock)
+            if entry is None:
+                break
+            current = entry[0]
+            if current is None:
+                break
+            path.append(current)
+        return path
+
+    def blocking_witness(self, qualname: str) -> tuple[tuple[str, ...], str] | None:
+        """A sample ``(call chain, descriptor)`` reaching a blocking primitive.
+
+        Returns None when no blocking operation is statically reachable from
+        the function.  Cycles are cut conservatively (a recursive path is
+        not itself evidence of blocking).
+        """
+        return self._blocking_dfs(qualname, set())
+
+    def _blocking_dfs(
+        self, qualname: str, stack: set[str]
+    ) -> tuple[tuple[str, ...], str] | None:
+        if qualname in self._blocking_memo:
+            return self._blocking_memo[qualname]
+        if qualname in stack:
+            return None
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return None
+        stack.add(qualname)
+        witness: tuple[tuple[str, ...], str] | None = None
+        for site in fn.calls:
+            if site.blocking is not None:
+                witness = ((qualname,), site.blocking)
+                break
+        if witness is None:
+            for site in fn.calls:
+                for callee in site.callees:
+                    deeper = self._blocking_dfs(callee, stack)
+                    if deeper is not None:
+                        witness = ((qualname, *deeper[0]), deeper[1])
+                        break
+                if witness is not None:
+                    break
+        stack.discard(qualname)
+        self._blocking_memo[qualname] = witness
+        return witness
+
+    # ------------------------------------------------------------------
+    def lock_owners(self) -> list[ClassInfo]:
+        """Every class whose ``__init__`` binds ``self._lock``."""
+        return [cls for cls in self.classes.values() if cls.owns_lock]
+
+    def entry_points(self) -> list[tuple[str, str, str, ast.AST]]:
+        """Thread/process entry points: ``(kind, spawner, target, node)``."""
+        out = []
+        for fn in self.functions.values():
+            for kind, target, node in fn.spawns:
+                out.append((kind, fn.qualname, target, node))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Program({len(self._modules)} modules, {len(self.classes)} classes, "
+            f"{len(self.functions)} functions)"
+        )
+
+
+def build_program(modules: Sequence[ModuleInfo]) -> Program:
+    """Build the whole-program view from parsed modules."""
+    return Program(modules)
+
+
+# ----------------------------------------------------------------------
+# pass 1: symbols
+# ----------------------------------------------------------------------
+def _collect_symbols(program: Program, module: _Module) -> None:
+    for node in module.info.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    module.imports[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports: resolve against this package
+                base_parts = module.name.split(".")
+                # ``from . import x`` inside package module a.b: level 1 strips
+                # the module's own basename; __init__ modules already name the
+                # package, which the same arithmetic handles.
+                prefix = base_parts[: len(base_parts) - node.level]
+                source = ".".join(prefix + ([node.module] if node.module else []))
+            else:
+                source = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                module.imports[alias.asname or alias.name] = f"{source}.{alias.name}"
+        elif isinstance(node, ast.ClassDef):
+            _collect_class(program, module, node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _collect_function(program, module, node, prefix="", cls=None)
+
+
+def _collect_class(program: Program, module: _Module, node: ast.ClassDef) -> None:
+    qualname = f"{module.name}:{node.name}"
+    bases = tuple(b for b in (_dotted(base) for base in node.bases) if b is not None)
+    cls = ClassInfo(qualname=qualname, module=module.name, name=node.name, node=node, bases=bases)
+    module.classes[node.name] = cls
+    program.classes[qualname] = cls
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _collect_function(program, module, stmt, prefix=f"{node.name}.", cls=cls)
+            cls.methods[stmt.name] = fn
+    init = cls.methods.get("__init__")
+    if init is not None:
+        guarded: set[str] = set()
+        owns = False
+        for sub in ast.walk(init.node):
+            if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    base = self_attr_base(target)
+                    if base == "_lock":
+                        owns = True
+                    elif base is not None:
+                        guarded.add(base)
+        cls.owns_lock = owns
+        cls.guarded = frozenset(guarded)
+
+
+def _collect_function(
+    program: Program,
+    module: _Module,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    prefix: str,
+    cls: ClassInfo | None,
+) -> FunctionInfo:
+    qualname = f"{module.name}:{prefix}{node.name}"
+    fn = FunctionInfo(
+        qualname=qualname,
+        module=module.name,
+        relpath=module.info.relpath,
+        name=node.name,
+        node=node,
+        cls=cls,
+    )
+    program.functions[qualname] = fn
+    if not prefix:
+        module.functions[node.name] = fn
+    # Nested defs become their own functions (``produce`` handed to a worker
+    # thread); they resolve by name from the enclosing body.
+    for stmt in ast.walk(node):
+        if stmt is node:
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if getattr(stmt, "_repro_collected", False):
+                continue
+            stmt._repro_collected = True  # type: ignore[attr-defined]
+            # Closures inherit the enclosing class so `self` captured from a
+            # method body still types; they do NOT inherit lexical lock state.
+            _collect_function(
+                program, module, stmt, prefix=f"{prefix}{node.name}.<locals>.", cls=cls
+            )
+    return fn
+
+
+# ----------------------------------------------------------------------
+# pass 2: attribute types
+# ----------------------------------------------------------------------
+def _resolve_type_name(program: Program, module: _Module, dotted: str) -> str | None:
+    """A dotted annotation/constructor name to a class qualname or stdlib marker."""
+    head = dotted.split(".")[0]
+    target = module.imports.get(head)
+    canonical = dotted if target is None else ".".join([target, *dotted.split(".")[1:]])
+    if canonical in _STDLIB_TYPES:
+        return _STDLIB_TYPES[canonical]
+    resolved = (
+        program.resolve_local(module, dotted) if "." not in dotted else program.resolve_dotted(canonical)
+    )
+    if isinstance(resolved, ClassInfo):
+        return resolved.qualname
+    return None
+
+
+def _types_from_annotation(
+    program: Program, module: _Module, annotation: ast.expr | None
+) -> frozenset[str]:
+    out = set()
+    for name in _annotation_names(annotation):
+        resolved = _resolve_type_name(program, module, name)
+        if resolved is not None:
+            out.add(resolved)
+    return frozenset(out)
+
+
+class _Env:
+    """A function's flow-insensitive local type environment."""
+
+    def __init__(self, program: Program, module: _Module, cls: ClassInfo | None) -> None:
+        self.program = program
+        self.module = module
+        self.cls = cls
+        self.locals: dict[str, frozenset[str]] = {}
+
+    def infer(self, expr: ast.expr) -> frozenset[str]:
+        """Candidate types of an expression (class qualnames / stdlib markers)."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.cls is not None:
+                return frozenset({self.cls.qualname})
+            return self.locals.get(expr.id, frozenset())
+        if isinstance(expr, ast.Attribute):
+            base_types = self.infer(expr.value)
+            out: set[str] = set()
+            for candidate in base_types:
+                cls = self.program.classes.get(candidate)
+                if cls is not None:
+                    out |= self.program.class_attr_types(cls, expr.attr)
+            return frozenset(out)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr)
+        if isinstance(expr, ast.IfExp):
+            return self.infer(expr.body) | self.infer(expr.orelse)
+        if isinstance(expr, ast.BoolOp):
+            out = set()
+            for value in expr.values:
+                out |= self.infer(value)
+            return frozenset(out)
+        if isinstance(expr, ast.NamedExpr):
+            return self.infer(expr.value)
+        if isinstance(expr, ast.Await):
+            return self.infer(expr.value)
+        return frozenset()
+
+    def _infer_call(self, call: ast.Call) -> frozenset[str]:
+        target = self.resolve_callable(call.func)
+        if isinstance(target, ClassInfo):
+            return frozenset({target.qualname})
+        if isinstance(target, FunctionInfo):
+            callee_module = self.program.module(target.module)
+            if callee_module is not None:
+                return _types_from_annotation(
+                    self.program, callee_module, target.node.returns
+                )
+            return frozenset()
+        # Stdlib constructor (threading.Thread(...), queue.Queue(...)).
+        dotted = _dotted(call.func)
+        if dotted is not None:
+            marker = _resolve_type_name(self.program, self.module, dotted)
+            if marker is not None and marker.startswith("stdlib:"):
+                return frozenset({marker})
+        return frozenset()
+
+    def resolve_callable(
+        self, func: ast.expr
+    ) -> "ClassInfo | FunctionInfo | None":
+        """Resolve a call/reference expression to a program class or function."""
+        if isinstance(func, ast.Name):
+            resolved = self.program.resolve_local(self.module, func.id)
+            if isinstance(resolved, (ClassInfo, FunctionInfo)):
+                return resolved
+            return None
+        if isinstance(func, ast.Attribute):
+            # 1. a typed receiver's method
+            receiver_types = self.infer(func.value)
+            for candidate in receiver_types:
+                cls = self.program.classes.get(candidate)
+                if cls is not None:
+                    method = self.program.lookup_method(cls, func.attr)
+                    if method is not None:
+                        return method
+            # 2. a dotted module path (possibly through import aliases)
+            dotted = _dotted(func)
+            if dotted is not None:
+                head = dotted.split(".")[0]
+                target = self.module.imports.get(head)
+                canonical = (
+                    dotted if target is None else ".".join([target, *dotted.split(".")[1:]])
+                )
+                resolved = self.program.resolve_dotted(canonical)
+                if isinstance(resolved, (ClassInfo, FunctionInfo)):
+                    return resolved
+        return None
+
+
+def _build_env(
+    program: Program,
+    module: _Module,
+    fn: FunctionInfo,
+) -> _Env:
+    env = _Env(program, module, fn.cls)
+    args = fn.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "self":
+            continue
+        types = _types_from_annotation(program, module, arg.annotation)
+        if types:
+            env.locals[arg.arg] = types
+    # Two flow-insensitive passes so a local assigned from an earlier local
+    # still types (`pool = self._pool` after `self._pool = ...`).
+    for _ in range(2):
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.Assign):
+                types = env.infer(stmt.value)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and types:
+                        env.locals[target.id] = env.locals.get(target.id, frozenset()) | types
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                types = _types_from_annotation(program, module, stmt.annotation)
+                if stmt.value is not None:
+                    types |= env.infer(stmt.value)
+                if types:
+                    env.locals[stmt.target.id] = (
+                        env.locals.get(stmt.target.id, frozenset()) | types
+                    )
+    return env
+
+
+def _infer_class_attr_types(program: Program, module: _Module, cls: ClassInfo) -> None:
+    init = cls.methods.get("__init__")
+    # Class-level annotations type attributes too (dataclass fields).
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            types = _types_from_annotation(program, module, stmt.annotation)
+            if types:
+                cls.attr_types[stmt.target.id] = (
+                    cls.attr_types.get(stmt.target.id, frozenset()) | types
+                )
+    if init is None:
+        return
+    env = _build_env(program, module, init)
+    for stmt in ast.walk(init.node):
+        if isinstance(stmt, ast.Assign):
+            types = env.infer(stmt.value)
+            for target in stmt.targets:
+                base = self_attr_base(target)
+                if base is not None and isinstance(target, ast.Attribute) and types:
+                    cls.attr_types[base] = cls.attr_types.get(base, frozenset()) | types
+        elif isinstance(stmt, ast.AnnAssign):
+            base = self_attr_base(stmt.target)
+            if base is not None and isinstance(stmt.target, ast.Attribute):
+                types = _types_from_annotation(program, module, stmt.annotation)
+                if stmt.value is not None:
+                    types |= env.infer(stmt.value)
+                if types:
+                    cls.attr_types[base] = cls.attr_types.get(base, frozenset()) | types
+
+
+# ----------------------------------------------------------------------
+# pass 3: bodies (calls, locks, mutations, blocking, spawns)
+# ----------------------------------------------------------------------
+#: Call-expression shapes that hand their argument to another thread/process.
+_SPAWN_DOTTED = {"asyncio.to_thread": "to_thread", "threading.Thread": "thread"}
+
+
+def _analyze_bodies(program: Program, module: _Module) -> None:
+    for fn in list(program.functions.values()):
+        if fn.module != module.name:
+            continue
+        env = _build_env(program, module, fn)
+        walker = _BodyWalker(program, module, fn, env)
+        for stmt in fn.node.body:
+            walker.walk(stmt, frozenset())
+        fn.calls = walker.calls
+        fn.mutations = walker.mutations
+        fn.acquired = frozenset(walker.acquired)
+        fn.spawns = walker.spawns
+
+
+class _BodyWalker:
+    """Single pass over one function body, tracking lexical lock state."""
+
+    def __init__(
+        self, program: Program, module: _Module, fn: FunctionInfo, env: _Env
+    ) -> None:
+        self.program = program
+        self.module = module
+        self.fn = fn
+        self.env = env
+        self.calls: list[CallSite] = []
+        self.mutations: list[MutationSite] = []
+        self.acquired: set[str] = set()
+        self.spawns: list[tuple[str, str, ast.AST]] = []
+
+    # -- lock bookkeeping ------------------------------------------------
+    def _lock_id(self) -> str | None:
+        cls = self.fn.cls
+        if cls is not None and cls.owns_lock:
+            return cls.qualname
+        return None
+
+    # -- traversal -------------------------------------------------------
+    def walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are separate functions: their bodies run later,
+            # not under the locks lexically held at the definition site.
+            # Record a call-less reference so name resolution still works.
+            return
+        if isinstance(node, ast.Lambda):
+            # Same deferred-execution argument as nested defs.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            lock = self._lock_id()
+            for item in node.items:
+                self.walk(item.context_expr, held)
+                if lock is not None and is_self_attr(item.context_expr, "_lock"):
+                    inner = inner | {lock}
+                    self.acquired.add(lock)
+            for stmt in node.body:
+                self.walk(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, held)
+            # fall through: arguments may contain further calls/mutations
+        self._record_mutation(node, held)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held)
+
+    # -- facts -----------------------------------------------------------
+    def _record_mutation(self, node: ast.AST, held: frozenset[str]) -> None:
+        cls = self.fn.cls
+        if cls is None or not cls.owns_lock:
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                flat = target.elts if isinstance(target, ast.Tuple) else [target]
+                for element in flat:
+                    base = self_attr_base(element)
+                    if base in cls.guarded:
+                        self.mutations.append(
+                            MutationSite(node=node, attr=base, owner=cls.qualname, held=held)
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                base = self_attr_base(target)
+                if base in cls.guarded:
+                    self.mutations.append(
+                        MutationSite(node=node, attr=base, owner=cls.qualname, held=held)
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATING_METHODS
+        ):
+            base = self_attr_base(node.func.value)
+            if base in cls.guarded:
+                self.mutations.append(
+                    MutationSite(node=node, attr=base, owner=cls.qualname, held=held)
+                )
+
+    def _record_call(self, node: ast.Call, held: frozenset[str]) -> None:
+        resolved = self.env.resolve_callable(node.func)
+        callees: tuple[str, ...] = ()
+        if isinstance(resolved, ClassInfo):
+            init = self.program.lookup_method(resolved, "__init__")
+            callees = (init.qualname,) if init is not None else ()
+        elif isinstance(resolved, FunctionInfo):
+            callees = (resolved.qualname,)
+        else:
+            nested = self._resolve_nested(node.func)
+            if nested is not None:
+                callees = (nested.qualname,)
+        blocking = None if callees else self._classify_blocking(node)
+        self.calls.append(
+            CallSite(node=node, callees=callees, held=held, blocking=blocking)
+        )
+        self._record_spawns(node, resolved)
+
+    def _resolve_nested(self, func: ast.expr) -> FunctionInfo | None:
+        """A bare name naming a function nested in this (or an enclosing) def."""
+        if not isinstance(func, ast.Name):
+            return None
+        qualname = self.fn.qualname
+        while True:
+            candidate = self.program.functions.get(f"{qualname}.<locals>.{func.id}")
+            if candidate is not None:
+                return candidate
+            if ".<locals>." not in qualname:
+                return None
+            qualname = qualname.rsplit(".<locals>.", 1)[0]
+
+    def _classify_blocking(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open" and "open" not in self.env.locals:
+                return "open() file I/O"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        dotted = _dotted(func)
+        if dotted is not None:
+            head = dotted.split(".")[0]
+            target = self.module.imports.get(head)
+            canonical = (
+                dotted if target is None else ".".join([target, *dotted.split(".")[1:]])
+            )
+            if canonical in BLOCKING_DOTTED:
+                return f"{canonical}()"
+        receiver_types = self.env.infer(func.value)
+        for marker, methods in _STDLIB_BLOCKING_METHODS.items():
+            if marker in receiver_types and attr in methods:
+                return f"{marker.split(':', 1)[1]}.{attr}()"
+        if attr in BLOCKING_POOL_DISPATCH:
+            # Untyped receivers: the dispatch names are distinctive enough
+            # (`.map()` on anything that is not a resolved program method is
+            # pool dispatch in this codebase; builtin map() is a Name call).
+            return f"pool dispatch .{attr}()"
+        if attr == "run_until_complete":
+            return "loop.run_until_complete()"
+        if attr in BLOCKING_FILE_METHODS:
+            return f".{attr}() file I/O"
+        return None
+
+    def _record_spawns(
+        self, node: ast.Call, resolved: "ClassInfo | FunctionInfo | None"
+    ) -> None:
+        """Record callables handed to another thread/process (REP111 entries)."""
+        dotted = _dotted(node.func)
+        canonical = None
+        if dotted is not None:
+            head = dotted.split(".")[0]
+            target = self.module.imports.get(head)
+            canonical = dotted if target is None else ".".join([target, *dotted.split(".")[1:]])
+        spawn_args: list[ast.expr] = []
+        kind = None
+        if canonical in _SPAWN_DOTTED:
+            kind = _SPAWN_DOTTED[canonical]
+            if kind == "to_thread" and node.args:
+                spawn_args.append(node.args[0])
+            if kind == "thread":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        spawn_args.append(keyword.value)
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in BLOCKING_POOL_DISPATCH and node.args:
+                kind = "pool"
+                spawn_args.append(node.args[0])
+            elif attr == "Pool":
+                kind = "pool-initializer"
+                for keyword in node.keywords:
+                    if keyword.arg == "initializer":
+                        spawn_args.append(keyword.value)
+            elif attr == "call_soon_threadsafe" and node.args:
+                kind = "call_soon_threadsafe"
+                spawn_args.append(node.args[0])
+        # A resolved program method named like a dispatch wrapper
+        # (ShardedEvaluator.map) also fans its task out to workers.
+        if (
+            isinstance(resolved, FunctionInfo)
+            and resolved.name in BLOCKING_POOL_DISPATCH
+            and node.args
+        ):
+            kind = "pool"
+            spawn_args.append(node.args[0])
+        if kind is None:
+            return
+        for expr in spawn_args:
+            target_fn = self._resolve_callable_reference(expr)
+            if target_fn is not None:
+                self.spawns.append((kind, target_fn.qualname, node))
+
+    def _resolve_callable_reference(self, expr: ast.expr) -> FunctionInfo | None:
+        """A function *reference* (not call) to its FunctionInfo."""
+        resolved = self.env.resolve_callable(expr)
+        if isinstance(resolved, FunctionInfo):
+            return resolved
+        if isinstance(resolved, ClassInfo):
+            return self.program.lookup_method(resolved, "__init__")
+        if isinstance(expr, ast.Name):
+            return self._resolve_nested(expr)
+        return None

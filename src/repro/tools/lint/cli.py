@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--warn-unused-pragmas",
+        action="store_true",
+        help="report suppression pragmas that suppressed nothing (REP112); "
+        "takes effect only on full-battery runs (no --rule)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list the registered rules and exit"
     )
     parser.add_argument(
@@ -82,6 +88,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             root=root,
             rules=args.rules,
             force_scope=bool(args.rules and args.paths),
+            warn_unused_pragmas=args.warn_unused_pragmas,
         )
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)

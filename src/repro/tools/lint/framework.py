@@ -8,15 +8,26 @@ discovers files, parses each one exactly once, dispatches every in-scope
 rule, and filters findings through the file's suppression pragmas
 (:mod:`repro.tools.lint.pragmas`).
 
-Two kinds of rule exist:
+Three kinds of rule exist:
 
 * **module rules** (the default) — run per Python file, scoped by
   ``default_paths`` glob patterns (repo-relative); explicit ``--rule``
   selection combined with explicit paths bypasses the scope, which is how
   the fixture tests exercise rules on files outside ``src/``;
-* **repo rules** (``repo_level = True``) — run once per lint invocation
-  against the repository root (the documentation reference checker folded
-  in from :mod:`repro.tools.check_docs`).
+* **program rules** (``program_level = True``) — run once per invocation
+  against the whole-program view (:class:`repro.tools.lint.callgraph.Program`)
+  built from every module parsed in the run; the interprocedural
+  concurrency checks REP109–REP111 live here.  Their diagnostics are still
+  filtered through the pragmas of the file each finding lands in;
+* **repo rules** (``repo_level = True``) — run once per full-tree lint
+  invocation against the repository root (the documentation reference
+  checker folded in from :mod:`repro.tools.check_docs`).
+
+The framework itself emits three synthetic diagnostics that no ``Rule``
+class owns and no pragma can silence: REP100 *parse-error* for unparsable
+sources, REP113 *unknown-pragma* for pragma tokens naming no registered
+rule, and — when ``warn_unused_pragmas`` is set and the full battery ran —
+REP112 *unused-pragma* for suppressions that suppressed nothing.
 """
 
 from __future__ import annotations
@@ -25,10 +36,13 @@ import ast
 from dataclasses import dataclass
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.tools.lint.diagnostics import Diagnostic
 from repro.tools.lint.pragmas import Suppressions, parse_suppressions
+
+if TYPE_CHECKING:  # imported lazily at runtime: callgraph imports this module
+    from repro.tools.lint.callgraph import Program
 
 __all__ = [
     "ModuleInfo",
@@ -75,6 +89,8 @@ class Rule:
     default_paths: tuple[str, ...] = ("src/**/*.py",)
     #: True for rules that run once per repository, not per module
     repo_level: bool = False
+    #: True for rules that run once against the whole-program call graph
+    program_level: bool = False
 
     def applies_to(self, relpath: str) -> bool:
         """True when ``relpath`` matches one of the rule's default globs."""
@@ -86,6 +102,10 @@ class Rule:
 
     def check_repo(self, root: Path) -> Iterable[Diagnostic]:
         """Yield findings for the whole repository (repo rules)."""
+        return ()
+
+    def check_program(self, program: "Program") -> Iterable[Diagnostic]:
+        """Yield findings for the whole program (program rules)."""
         return ()
 
     def diagnostic(
@@ -170,6 +190,11 @@ class Linter:
         Bypass the rules' ``default_paths`` scoping — used when explicit
         rule selection is combined with explicit paths (fixture tests,
         ad-hoc single-file runs).
+    warn_unused_pragmas:
+        Report suppression pragmas that suppressed nothing (REP112).  Only
+        meaningful when the full battery runs (``rules`` is None): with a
+        rule subset, pragmas for unselected rules would always look
+        unused, so the warning is silently skipped.
     """
 
     def __init__(
@@ -177,10 +202,12 @@ class Linter:
         root: Path | None = None,
         rules: Sequence[str] | None = None,
         force_scope: bool = False,
+        warn_unused_pragmas: bool = False,
     ) -> None:
         self.root = (root or find_repo_root(Path.cwd().resolve())).resolve()
         self.rules = resolve_rules(rules)
         self.force_scope = force_scope
+        self.warn_unused_pragmas = warn_unused_pragmas and rules is None
 
     def _relpath(self, path: Path) -> str:
         try:
@@ -208,23 +235,94 @@ class Linter:
         """Lint the given files/directories (default: ``<root>/src``)."""
         explicit = paths is not None
         targets = [Path(p) for p in paths] if explicit else [self.root / "src"]
-        module_rules = [rule for rule in self.rules if not rule.repo_level]
+        module_rules = [
+            rule for rule in self.rules if not (rule.repo_level or rule.program_level)
+        ]
+        program_rules = [rule for rule in self.rules if rule.program_level]
         repo_rules = [rule for rule in self.rules if rule.repo_level]
         diagnostics: list[Diagnostic] = []
-        for path in _iter_python_files(targets) if module_rules else ():
+        modules: list[ModuleInfo] = []
+        for path in _iter_python_files(targets) if (module_rules or program_rules) else ():
             module, parse_error = self._parse(path)
             if parse_error is not None:
                 diagnostics.append(parse_error)
                 continue
             assert module is not None
+            modules.append(module)
             for rule in module_rules:
                 if not (self.force_scope or rule.applies_to(module.relpath)):
                     continue
                 for diag in rule.check(module):
                     if not module.suppressions.is_suppressed(diag.rule, diag.code, diag.line):
                         diagnostics.append(diag)
+        # Program rules see every module parsed in this invocation at once;
+        # each finding is still filtered through the pragmas of its file.
+        if program_rules and modules:
+            from repro.tools.lint.callgraph import build_program
+
+            program = build_program(modules)
+            by_relpath = {module.relpath: module for module in modules}
+            for rule in program_rules:
+                for diag in rule.check_program(program):
+                    owner = by_relpath.get(diag.path)
+                    if owner is not None and owner.suppressions.is_suppressed(
+                        diag.rule, diag.code, diag.line
+                    ):
+                        continue
+                    diagnostics.append(diag)
         # Repo rules run on full-tree invocations (no explicit path list).
         if not explicit:
             for rule in repo_rules:
                 diagnostics.extend(rule.check_repo(self.root))
+        diagnostics.extend(self._pragma_audit(modules))
         return sorted(diagnostics)
+
+    def _pragma_audit(self, modules: Sequence[ModuleInfo]) -> list[Diagnostic]:
+        """Framework-emitted pragma diagnostics (REP112/REP113).
+
+        Unknown rule ids are always errors: a pragma naming a rule that
+        does not exist has never suppressed anything and silently rots.
+        Unused pragmas are reported only on ``--warn-unused-pragmas`` full
+        runs (see ``__init__``); usage is recorded as a side effect of the
+        ``is_suppressed`` checks above, so this must run last.  Neither
+        diagnostic can itself be suppressed by a pragma.
+        """
+        known = frozenset(
+            token
+            for cls in all_rules().values()
+            for token in (cls.name, cls.code)
+        )
+        out: list[Diagnostic] = []
+        for module in modules:
+            unknown: set[tuple[int, str]] = set()
+            for record, token in module.suppressions.unknown(known):
+                unknown.add((record.line, token))
+                out.append(
+                    Diagnostic(
+                        path=module.relpath,
+                        line=record.line,
+                        column=0,
+                        code="REP113",
+                        rule="unknown-pragma",
+                        message=f"pragma names unknown lint rule {token!r}",
+                    )
+                )
+            if not self.warn_unused_pragmas:
+                continue
+            for record, token in module.suppressions.unused():
+                if (record.line, token) in unknown:
+                    continue  # already an error above; one finding is enough
+                out.append(
+                    Diagnostic(
+                        path=module.relpath,
+                        line=record.line,
+                        column=0,
+                        code="REP112",
+                        rule="unused-pragma",
+                        message=(
+                            f"suppression {record.directive}={token} matched no "
+                            "diagnostic; delete the stale pragma"
+                        ),
+                    )
+                )
+        return out

@@ -15,6 +15,15 @@ pragma instead of weakening the rule:
 
 Comments are found with :mod:`tokenize`, so a ``#`` inside a string
 literal never parses as a pragma.
+
+Pragmas are themselves linted.  Each parsed pragma is kept as a
+:class:`PragmaRecord` that remembers which of its rule tokens actually
+suppressed a diagnostic during the run; the framework turns the leftovers
+into REP112 (*unused-pragma*, opt-in via ``--warn-unused-pragmas``, on in
+CI) and tokens naming no registered rule into REP113 (*unknown-pragma*,
+always on).  A suppression that suppresses nothing is a stale exception —
+either the underlying violation was fixed (delete the pragma) or the rule
+id is misspelled and the pragma never worked at all.
 """
 
 from __future__ import annotations
@@ -22,32 +31,71 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator
 
-__all__ = ["Suppressions", "parse_suppressions"]
+__all__ = ["PragmaRecord", "Suppressions", "parse_suppressions"]
 
 _PRAGMA = re.compile(r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s-]+)")
+
+
+@dataclass
+class PragmaRecord:
+    """One ``repro-lint`` pragma comment, with per-token usage tracking."""
+
+    line: int  #: source line of the pragma comment itself
+    directive: str  #: ``"disable"`` or ``"disable-file"``
+    tokens: tuple[str, ...]  #: rule names/codes exactly as written
+    used: set[str] = field(default_factory=set)  #: tokens that suppressed a finding
 
 
 class Suppressions:
     """The parsed suppression state of one source file."""
 
-    __slots__ = ("_by_line", "_file_wide")
+    __slots__ = ("records", "_by_line", "_file_wide")
 
     def __init__(
-        self, by_line: dict[int, frozenset[str]], file_wide: frozenset[str]
+        self,
+        records: tuple[PragmaRecord, ...],
+        by_line: dict[int, list[tuple[PragmaRecord, str]]],
+        file_wide: list[tuple[PragmaRecord, str]],
     ) -> None:
+        self.records = records
         self._by_line = by_line
         self._file_wide = file_wide
 
     def is_suppressed(self, rule: str, code: str, line: int) -> bool:
-        """True when the rule (by name or code) is disabled on ``line``."""
-        for scope in (self._file_wide, self._by_line.get(line, frozenset())):
-            if "all" in scope or rule in scope or code in scope:
-                return True
-        return False
+        """True when the rule (by name or code) is disabled on ``line``.
+
+        Every pragma token that matches is marked used — a finding covered
+        by both a trailing pragma and a file-wide one keeps both alive.
+        """
+        hit = False
+        for record, token in (*self._file_wide, *self._by_line.get(line, ())):
+            if token == "all" or token == rule or token == code:
+                record.used.add(token)
+                hit = True
+        return hit
+
+    def unused(self) -> Iterator[tuple[PragmaRecord, str]]:
+        """``(record, token)`` pairs that suppressed nothing this run."""
+        for record in self.records:
+            for token in record.tokens:
+                if token not in record.used:
+                    yield record, token
+
+    def unknown(self, known: frozenset[str]) -> Iterator[tuple[PragmaRecord, str]]:
+        """``(record, token)`` pairs naming no registered rule or code."""
+        for record in self.records:
+            for token in record.tokens:
+                if token != "all" and token not in known:
+                    yield record, token
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Suppressions(lines={sorted(self._by_line)}, file={sorted(self._file_wide)})"
+        return (
+            f"Suppressions(lines={sorted(self._by_line)}, "
+            f"file={sorted(token for _, token in self._file_wide)})"
+        )
 
 
 def parse_suppressions(source: str) -> Suppressions:
@@ -58,12 +106,13 @@ def parse_suppressions(source: str) -> Suppressions:
     source (tokenize errors) yields no suppressions — the caller will
     report the syntax error through other means.
     """
-    by_line: dict[int, set[str]] = {}
-    file_wide: set[str] = set()
+    records: list[PragmaRecord] = []
+    by_line: dict[int, list[tuple[PragmaRecord, str]]] = {}
+    file_wide: list[tuple[PragmaRecord, str]] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
-        return Suppressions({}, frozenset())
+        return Suppressions((), {}, [])
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -71,15 +120,20 @@ def parse_suppressions(source: str) -> Suppressions:
         if match is None:
             continue
         directive, names = match.groups()
-        rules = {name.strip() for name in names.split(",") if name.strip()}
+        rules = tuple(
+            dict.fromkeys(name.strip() for name in names.split(",") if name.strip())
+        )
+        if not rules:
+            continue
+        record = PragmaRecord(line=token.start[0], directive=directive, tokens=rules)
+        records.append(record)
+        entries = [(record, rule) for rule in rules]
         if directive == "disable-file":
-            file_wide |= rules
+            file_wide.extend(entries)
             continue
         line = token.start[0]
-        by_line.setdefault(line, set()).update(rules)
+        by_line.setdefault(line, []).extend(entries)
         # A comment-only pragma line also covers the statement below it.
         if token.line[: token.start[1]].strip() == "":
-            by_line.setdefault(line + 1, set()).update(rules)
-    return Suppressions(
-        {line: frozenset(rules) for line, rules in by_line.items()}, frozenset(file_wide)
-    )
+            by_line.setdefault(line + 1, []).extend(entries)
+    return Suppressions(tuple(records), by_line, file_wide)

@@ -6,36 +6,51 @@ per rule; each module's docstring is the rule's full specification,
 including the historical bug class that motivated it — ``docs/invariants.md``
 is the narrative companion.
 
-=======  ==================  ====================================================
-code     name                invariant
-=======  ==================  ====================================================
-REP101   exact-arithmetic    index computations stay in exact Fractions
-REP102   lock-discipline     lifecycle state mutates only under ``self._lock``
-REP103   generation-probe    memo reads refresh; relation mutations bump
-REP104   pool-picklable      only module-level callables cross the pool boundary
-REP105   no-silent-except    no bare/swallowed broad exception handlers
-REP106   public-api          module docstrings + complete ``__all__`` coverage
-REP107   stable-cache-key    cache keys are deterministic and value-based
-REP108   doc-refs            documentation references resolve (check_docs fold)
-=======  ==================  ====================================================
+=======  =====================  ====================================================
+code     name                   invariant
+=======  =====================  ====================================================
+REP101   exact-arithmetic       index computations stay in exact Fractions
+REP102   lock-discipline        lifecycle state mutates only under ``self._lock``
+REP103   generation-probe       memo reads refresh; relation mutations bump
+REP104   pool-picklable         only module-level callables cross the pool boundary
+REP105   no-silent-except       no bare/swallowed broad exception handlers
+REP106   public-api             module docstrings + complete ``__all__`` coverage
+REP107   stable-cache-key       cache keys are deterministic and value-based
+REP108   doc-refs               documentation references resolve (check_docs fold)
+REP109   lock-order             static lock-acquisition graph is acyclic/consistent
+REP110   blocking-under-lock    no blocking primitive reachable under a state lock
+REP111   unguarded-shared-state cross-thread mutations hold the owning lock
+=======  =====================  ====================================================
+
+REP109–REP111 are *program-level* rules built on the whole-program call
+graph (:mod:`repro.tools.lint.callgraph`).  Codes REP112 (*unused-pragma*)
+and REP113 (*unknown-pragma*) are reserved for the framework's own pragma
+audit — like REP100 (*parse-error*) they have no ``Rule`` class and cannot
+be suppressed by pragmas.
 """
 
 from repro.tools.lint.rules.api_surface import ApiSurfaceRule
+from repro.tools.lint.rules.blocking_under_lock import BlockingUnderLockRule
 from repro.tools.lint.rules.cache_keys import StableCacheKeyRule
 from repro.tools.lint.rules.doc_refs import DocRefsRule
 from repro.tools.lint.rules.exact_arithmetic import ExactArithmeticRule
 from repro.tools.lint.rules.generation_probe import GenerationProbeRule
 from repro.tools.lint.rules.lock_discipline import LockDisciplineRule
+from repro.tools.lint.rules.lock_order import LockOrderRule
 from repro.tools.lint.rules.pool_boundary import PoolBoundaryRule
+from repro.tools.lint.rules.shared_state import SharedStateRule
 from repro.tools.lint.rules.silent_except import SilentExceptRule
 
 __all__ = [
     "ApiSurfaceRule",
+    "BlockingUnderLockRule",
     "DocRefsRule",
     "ExactArithmeticRule",
     "GenerationProbeRule",
     "LockDisciplineRule",
+    "LockOrderRule",
     "PoolBoundaryRule",
+    "SharedStateRule",
     "SilentExceptRule",
     "StableCacheKeyRule",
 ]

@@ -1,0 +1,92 @@
+"""REP110: nothing that blocks may run while a state lock is held.
+
+The state locks in this codebase (``LifecycleCache``, ``RequestCache``,
+``ShardedEvaluator``, ``AsyncMetaqueryEngine``) guard micro-critical
+sections: counter bumps, dict moves, telemetry snapshots.  Every consumer
+— including the event loop threads the ROADMAP server track will put on
+top — assumes those sections complete in microseconds.  A pool dispatch,
+``Queue.get``, ``Thread.join``, ``subprocess``/``asyncio`` entry point, or
+file I/O inside such a region turns every concurrent cache hit into a
+convoy behind the slow operation, and a ``join`` on a worker that itself
+needs the lock is a deadlock.
+
+The check is transitive over the whole-program call graph: a locked
+region that calls a helper which calls ``pool.map`` is flagged with the
+full chain, not just direct calls.  Blocking primitives are recognised
+conservatively — typed receivers for ``join``/``get``/``put`` (so
+``str.join`` and ``dict.get`` never match), distinctive dotted stdlib
+calls (``time.sleep``, ``subprocess.run``), pool-dispatch method names,
+and file I/O (``open``, ``Path.read_text``).  The fix is always the same
+shape: take what you need under the lock, drop the lock, then block
+(see ``ShardedEvaluator.reset``, which terminates its pool *after*
+swapping the pointer out under the lock).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tools.lint.callgraph import Program
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["BlockingUnderLockRule"]
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    """No blocking primitive may be reachable while a state lock is held."""
+
+    code = "REP110"
+    name = "blocking-under-lock"
+    description = (
+        "no pool dispatch, queue/thread wait, asyncio entry point, or file "
+        "I/O may be reachable (transitively) from inside a with-self._lock "
+        "region"
+    )
+    program_level = True
+
+    def check_program(self, program: Program) -> Iterable[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for fn in sorted(program.functions.values(), key=lambda f: f.qualname):
+            for site in fn.calls:
+                if not site.held:
+                    continue
+                held = ", ".join(sorted(site.held))
+                if site.blocking is not None:
+                    diagnostics.append(
+                        Diagnostic(
+                            path=fn.relpath,
+                            line=site.node.lineno,
+                            column=site.node.col_offset,
+                            code=self.code,
+                            rule=self.name,
+                            message=(
+                                f"{site.blocking} while holding {held}: move the "
+                                "blocking operation outside the locked region"
+                            ),
+                        )
+                    )
+                    continue
+                for callee in site.callees:
+                    witness = program.blocking_witness(callee)
+                    if witness is None:
+                        continue
+                    chain, descriptor = witness
+                    path = " -> ".join(chain)
+                    diagnostics.append(
+                        Diagnostic(
+                            path=fn.relpath,
+                            line=site.node.lineno,
+                            column=site.node.col_offset,
+                            code=self.code,
+                            rule=self.name,
+                            message=(
+                                f"call while holding {held} reaches {descriptor} "
+                                f"via {path}: restructure so the lock is released "
+                                "before blocking"
+                            ),
+                        )
+                    )
+                    break  # one witness per call site is enough
+        return diagnostics

@@ -1,0 +1,164 @@
+"""REP109: the static lock-acquisition order must be consistent and acyclic.
+
+With the server front end putting many threads over one shared engine,
+the classic deadlock shape is two locks taken in opposite orders on two
+code paths (thread 1: cache lock → evaluator lock; thread 2: evaluator
+lock → cache lock).  The rule derives the static lock-order graph from the
+whole-program call graph: an edge ``A → B`` means some code path holds
+lock ``A`` (a ``with self._lock:`` region of class ``A``) while it can
+transitively reach an acquisition of lock ``B``.  Lock identity is the
+owning class (one lock instance per instance, ordered per class — the
+granularity the sanitizer uses at runtime too).  Findings:
+
+* **self-deadlock** — a region holding ``A`` can re-enter an acquisition
+  of ``A``: ``threading.Lock`` is not reentrant, so a call chain from
+  inside the region back into a public locking method of the same class
+  hangs the thread (the ``*_locked`` caller-holds convention exists
+  precisely to avoid this);
+* **cycle / inconsistent order** — the order graph has a cycle (two
+  opposite edges being the minimal case), i.e. two threads interleaving
+  those paths can each hold the lock the other is waiting for.
+
+Every edge is reported with a sample call chain so the fix (reorder,
+narrow the region, or hand off outside the lock) is mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tools.lint.callgraph import Program
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["LockOrderRule"]
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan SCCs of the lock-order graph (iterative; tiny graphs)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[list[str]] = []
+
+    def visit(root: str) -> None:
+        work: list[tuple[str, Iterable[str]]] = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            visit(node)
+    return components
+
+
+@register
+class LockOrderRule(Rule):
+    """The static lock-acquisition graph must be acyclic and consistent."""
+
+    code = "REP109"
+    name = "lock-order"
+    description = (
+        "the static lock-acquisition graph must be acyclic: no code path may "
+        "hold one class lock while (transitively) acquiring another in an "
+        "order that any other path reverses, and no path may re-acquire the "
+        "non-reentrant lock it already holds"
+    )
+    program_level = True
+
+    def check_program(self, program: Program) -> Iterable[Diagnostic]:
+        # edge (held, acquired) -> first witness (relpath, node, chain text)
+        edges: dict[tuple[str, str], tuple[str, ast.AST, str]] = {}
+        diagnostics: list[Diagnostic] = []
+        for fn in sorted(program.functions.values(), key=lambda f: f.qualname):
+            for site in fn.calls:
+                if not site.held:
+                    continue
+                for callee in site.callees:
+                    for lock in sorted(program.may_acquire(callee)):
+                        chain = " -> ".join(program.acquire_path(callee, lock)) or callee
+                        witness = f"{fn.qualname} [holding {sorted(site.held)}] -> {chain}"
+                        for held in sorted(site.held):
+                            if lock == held:
+                                diagnostics.append(
+                                    Diagnostic(
+                                        path=fn.relpath,
+                                        line=site.node.lineno,
+                                        column=site.node.col_offset,
+                                        code=self.code,
+                                        rule=self.name,
+                                        message=(
+                                            f"self-deadlock: non-reentrant lock {held} is "
+                                            f"already held here and the call may re-acquire "
+                                            f"it via {chain} (use the *_locked caller-holds "
+                                            "convention instead)"
+                                        ),
+                                    )
+                                )
+                            else:
+                                edges.setdefault(
+                                    (held, lock), (fn.relpath, site.node, witness)
+                                )
+        graph: dict[str, set[str]] = {}
+        for held, lock in edges:
+            graph.setdefault(held, set()).add(lock)
+            graph.setdefault(lock, set())
+        for component in _strongly_connected(graph):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            cycle_edges = sorted(
+                (held, lock) for held, lock in edges if held in members and lock in members
+            )
+            order = " ; ".join(f"{held} -> {lock}" for held, lock in cycle_edges)
+            for held, lock in cycle_edges:
+                relpath, node, witness = edges[(held, lock)]
+                diagnostics.append(
+                    Diagnostic(
+                        path=relpath,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        code=self.code,
+                        rule=self.name,
+                        message=(
+                            f"lock-order cycle between {sorted(members)}: this path "
+                            f"acquires {lock} while holding {held} ({witness}); "
+                            f"conflicting edges: {order}"
+                        ),
+                    )
+                )
+        return diagnostics

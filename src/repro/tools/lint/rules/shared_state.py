@@ -1,0 +1,130 @@
+"""REP111: shared state reached from another thread must hold its lock.
+
+The interprocedural generalisation of REP102.  REP102 sees one module: it
+flags a guarded attribute mutated outside a ``with self._lock:`` block in
+the same function.  The bugs that actually shipped (the PR-5 sharded
+telemetry undercount, the PR-6 unlocked lifecycle counters) had a caller
+in one function — sometimes one module — holding the lock while the
+mutation sat in a callee, or a mutation that was safe single-threaded
+until ``aio.py`` started running it on a worker thread.
+
+This rule walks the call graph from every *thread entry point* — the
+callables the program hands to another thread or process
+(``asyncio.to_thread(fn, ...)``, ``threading.Thread(target=fn)``,
+``loop.call_soon_threadsafe(fn)``, pool initializers, and the task
+functions fanned out through pool dispatch) — carrying the set of class
+locks held along each call path.  A mutation of a lock-owning class's
+``__init__``-declared attribute is flagged when the owning lock is held
+neither lexically at the mutation nor anywhere on the path from the entry
+point.  The ``*_locked`` caller-holds convention needs no special case:
+the caller's ``with self._lock:`` region is on the path, so the callee's
+mutations see the lock as held.
+
+Mutations on paths *not* reachable from any entry point are REP102's
+business (single-threaded construction, ``__init__`` itself); this rule
+only fires where a second thread can actually observe the tear.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tools.lint.callgraph import Program
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["SharedStateRule"]
+
+
+@register
+class SharedStateRule(Rule):
+    """Cross-thread mutations of guarded state must hold the owning lock."""
+
+    code = "REP111"
+    name = "unguarded-shared-state"
+    description = (
+        "init-declared attributes of lock-owning classes must not be mutated "
+        "from code reachable from a thread/pool entry point without holding "
+        "the owning lock (interprocedural REP102)"
+    )
+    program_level = True
+
+    def check_program(self, program: Program) -> Iterable[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        reported: set[tuple[str, int, int, str]] = set()
+        for kind, spawner, target, _node in sorted(program.entry_points()):
+            entry_label = f"{kind} entry {target} (spawned by {spawner})"
+            self._walk(
+                program,
+                target,
+                frozenset(),
+                [target],
+                entry_label,
+                set(),
+                reported,
+                diagnostics,
+            )
+        return diagnostics
+
+    def _walk(
+        self,
+        program: Program,
+        qualname: str,
+        held: frozenset[str],
+        path: list[str],
+        entry_label: str,
+        visited: set[tuple[str, frozenset[str]]],
+        reported: set[tuple[str, int, int, str]],
+        diagnostics: list[Diagnostic],
+    ) -> None:
+        key = (qualname, held)
+        if key in visited:
+            return
+        visited.add(key)
+        fn = program.functions.get(qualname)
+        if fn is None:
+            return
+        if fn.name == "__init__":
+            # Constructors mutate the object being built, which no other
+            # thread can see yet, and their helper calls are construction-
+            # phase too — REP102's __init__ carve-out, interprocedurally.
+            # Threads a constructor spawns are separate entry points.
+            return
+        for mutation in fn.mutations:
+            effective = held | mutation.held
+            if mutation.owner in effective:
+                continue
+            line = getattr(mutation.node, "lineno", 0)
+            column = getattr(mutation.node, "col_offset", 0)
+            fingerprint = (fn.relpath, line, column, mutation.attr)
+            if fingerprint in reported:
+                continue
+            reported.add(fingerprint)
+            chain = " -> ".join(path)
+            diagnostics.append(
+                Diagnostic(
+                    path=fn.relpath,
+                    line=line,
+                    column=column,
+                    code=self.code,
+                    rule=self.name,
+                    message=(
+                        f"guarded attribute self.{mutation.attr} of {mutation.owner} "
+                        f"mutated without its lock on a cross-thread path: "
+                        f"{entry_label}, call chain {chain}"
+                    ),
+                )
+            )
+        for site in fn.calls:
+            for callee in site.callees:
+                self._walk(
+                    program,
+                    callee,
+                    held | site.held,
+                    path + [callee],
+                    entry_label,
+                    visited,
+                    reported,
+                    diagnostics,
+                )

@@ -1,0 +1,272 @@
+"""Runtime lock sanitizer: acquisition-order recording and inversion detection.
+
+The static side of the concurrency battery (REP109–REP111 in
+:mod:`repro.tools.lint`) proves what it can see; this module watches what
+actually happens.  :class:`SanitizedLock` is a drop-in ``threading.Lock``
+wrapper that, per acquisition, records the lockdep-style *order edge*
+``held → acquiring`` for every lock the current thread already holds —
+**before** blocking, so an acquisition that deadlocks still leaves its
+evidence — and checks each new edge against every edge seen so far.  Two
+locks ever taken in both orders is an **inversion**: the interleaving that
+deadlocks exists even if this run got lucky.  It also accounts how long
+each acquisition waited while *other* locks were held, the convoy metric
+REP110 bounds statically.
+
+Adoption is by construction site: the lock-owning runtime classes
+(``LifecycleCache``, ``RequestCache``, ``ShardedEvaluator``,
+``AsyncMetaqueryEngine``) create their ``self._lock`` through
+:func:`create_lock`, which returns a plain ``threading.Lock`` unless
+``REPRO_SANITIZE=1`` is set **at construction time** — the production hot
+path keeps its zero-overhead primitive, and flipping the env var
+instruments every lock built afterwards.  Lock names follow the static
+analysis' identity convention (the owning class's dotted name), so a
+runtime inversion names the same vertices a REP109 finding would.
+
+The registry is process-local: pool workers inherit ``REPRO_SANITIZE``
+through the environment and sanitize their own locks, but their records
+die with the worker — cross-process lock order is (deliberately) out of
+scope, matching the static rules' class-granularity model.
+
+The pytest side lives in ``tests/conftest.py``: the ``lock_sanitizer``
+fixture calls :func:`reset`, runs the test, and asserts
+:func:`inversions` stayed empty; CI runs the concurrency suites under
+``REPRO_SANITIZE=1`` so every interleaving the tests produce feeds the
+detector.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Union
+
+__all__ = [
+    "ENV_FLAG",
+    "Inversion",
+    "LockStats",
+    "SanitizedLock",
+    "create_lock",
+    "enabled",
+    "held_locks",
+    "inversions",
+    "order_edges",
+    "report",
+    "reset",
+]
+
+ENV_FLAG = "REPRO_SANITIZE"
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """Two locks observed in both acquisition orders."""
+
+    first: str  #: lock held while acquiring ``second`` (this acquisition)
+    second: str  #: the lock being acquired
+    thread: str  #: thread name of this acquisition
+    prior_thread: str  #: thread name that recorded the opposite edge
+
+    def describe(self) -> str:
+        """A one-line human-readable account of the inversion."""
+        return (
+            f"lock-order inversion: {self.thread!r} acquired {self.second} "
+            f"while holding {self.first}, but {self.prior_thread!r} previously "
+            f"acquired {self.first} while holding {self.second}"
+        )
+
+
+@dataclass
+class LockStats:
+    """Per-lock accounting (mutated only under the registry mutex)."""
+
+    acquisitions: int = 0
+    #: total ns spent waiting in ``acquire`` while holding at least one
+    #: other sanitized lock — the held-lock convoy time REP110 bounds.
+    wait_ns_while_holding: int = 0
+    #: total ns spent waiting in ``acquire`` overall.
+    wait_ns_total: int = 0
+    max_wait_ns: int = 0
+
+
+class _Registry:
+    """Process-global sanitizer state, guarded by a plain mutex."""
+
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        #: (held, acquired) -> thread name that first recorded the edge
+        self.edges: dict[tuple[str, str], str] = {}
+        self.inversions: list[Inversion] = []
+        self.stats: dict[str, LockStats] = {}
+
+    def record_acquire_intent(self, name: str, held: list[str]) -> None:
+        """Record order edges for an imminent acquisition (pre-block)."""
+        thread = threading.current_thread().name
+        with self.mutex:
+            for held_name in held:
+                edge = (held_name, name)
+                if edge not in self.edges:
+                    self.edges[edge] = thread
+                prior = self.edges.get((name, held_name))
+                if prior is not None and name != held_name:
+                    self.inversions.append(
+                        Inversion(
+                            first=held_name,
+                            second=name,
+                            thread=thread,
+                            prior_thread=prior,
+                        )
+                    )
+                if name == held_name:
+                    # threading.Lock is not reentrant: re-acquisition from
+                    # the same thread will deadlock right after this call,
+                    # so the evidence must be recorded first.
+                    self.inversions.append(
+                        Inversion(
+                            first=held_name, second=name, thread=thread, prior_thread=thread
+                        )
+                    )
+
+    def record_acquired(self, name: str, wait_ns: int, was_holding: bool) -> None:
+        with self.mutex:
+            stats = self.stats.setdefault(name, LockStats())
+            stats.acquisitions += 1
+            stats.wait_ns_total += wait_ns
+            if was_holding:
+                stats.wait_ns_while_holding += wait_ns
+            if wait_ns > stats.max_wait_ns:
+                stats.max_wait_ns = wait_ns
+
+    def clear(self) -> None:
+        with self.mutex:
+            self.edges.clear()
+            self.inversions.clear()
+            self.stats.clear()
+
+
+_REGISTRY = _Registry()
+_HELD = threading.local()
+
+
+def _held_stack() -> list[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    return stack  # type: ignore[no-any-return]
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` that reports its acquisition order.
+
+    API-compatible with the subset of ``threading.Lock`` this codebase
+    uses: the context-manager protocol plus explicit
+    ``acquire``/``release``/``locked``.
+    """
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = list(_held_stack())
+        _REGISTRY.record_acquire_intent(self.name, held)
+        start = time.perf_counter_ns()
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            wait_ns = time.perf_counter_ns() - start
+            _REGISTRY.record_acquired(self.name, wait_ns, bool(held))
+            _held_stack().append(self.name)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # Remove the most recent acquisition of this lock; out-of-order
+        # releases (rare but legal) must not corrupt the held view.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == self.name:
+                del stack[index]
+                break
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"SanitizedLock({self.name!r}, {state})"
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE=1`` is set in the environment right now."""
+    return os.environ.get(ENV_FLAG) == "1"
+
+
+def create_lock(name: str) -> Union[threading.Lock, SanitizedLock]:
+    """The lock the runtime classes construct ``self._lock`` through.
+
+    Resolved at construction time: a plain ``threading.Lock`` normally, a
+    :class:`SanitizedLock` when the sanitizer is enabled.  ``name`` is the
+    owning class's dotted name, matching the static analysis' lock ids.
+    """
+    if enabled():
+        return SanitizedLock(name)
+    return threading.Lock()
+
+
+def reset() -> None:
+    """Drop every recorded edge, inversion, and statistic."""
+    _REGISTRY.clear()
+
+
+def inversions() -> tuple[Inversion, ...]:
+    """Every inversion recorded since the last :func:`reset`."""
+    with _REGISTRY.mutex:
+        return tuple(_REGISTRY.inversions)
+
+
+def order_edges() -> dict[tuple[str, str], str]:
+    """The observed order edges ``(held, acquired) -> first witness thread``."""
+    with _REGISTRY.mutex:
+        return dict(_REGISTRY.edges)
+
+
+def held_locks() -> tuple[str, ...]:
+    """The sanitized locks the *current thread* holds, outermost first."""
+    return tuple(_held_stack())
+
+
+def report() -> dict[str, object]:
+    """A snapshot for test teardown and CI logs."""
+    with _REGISTRY.mutex:
+        return {
+            "enabled": enabled(),
+            "locks": {
+                name: {
+                    "acquisitions": stats.acquisitions,
+                    "wait_ns_total": stats.wait_ns_total,
+                    "wait_ns_while_holding": stats.wait_ns_while_holding,
+                    "max_wait_ns": stats.max_wait_ns,
+                }
+                for name, stats in sorted(_REGISTRY.stats.items())
+            },
+            "order_edges": sorted(
+                f"{held} -> {acquired}" for held, acquired in _REGISTRY.edges
+            ),
+            "inversions": [inv.describe() for inv in _REGISTRY.inversions],
+        }

@@ -1,12 +1,62 @@
-"""Shared fixtures: the paper's example databases and a few tiny synthetic ones."""
+"""Shared fixtures: the paper's example databases and a few tiny synthetic ones.
+
+Also hosts the lock-sanitizer integration: when the suite runs under
+``REPRO_SANITIZE=1`` (the CI sanitizer job), every lock the runtime
+classes construct is an order-checking
+:class:`repro.tools.sanitizer.SanitizedLock`, and the autouse
+``_assert_no_lock_inversions`` fixture fails any test whose execution
+recorded a lock-order inversion.  The opt-in ``lock_sanitizer`` fixture
+forces instrumentation on for a single test regardless of the
+environment (used by the sanitizer's own tests).
+"""
 
 from __future__ import annotations
+
+from typing import Iterator
 
 import pytest
 
 from repro.relational.database import Database
 from repro.relational.relation import Relation
+from repro.tools import sanitizer
 from repro.workloads.telecom import db1, db1_prime
+
+
+@pytest.fixture(autouse=True)
+def _assert_no_lock_inversions() -> Iterator[None]:
+    """Fail any test that produced a lock-order inversion (sanitized runs).
+
+    A no-op unless ``REPRO_SANITIZE=1`` is set: unsanitized runs construct
+    plain ``threading.Lock`` objects and record nothing, so this adds no
+    overhead to the main matrix.  State is reset per test so a finding
+    pins the exact test whose interleaving produced it.
+    """
+    if not sanitizer.enabled():
+        yield
+        return
+    sanitizer.reset()
+    yield
+    found = sanitizer.inversions()
+    assert not found, "lock-order inversions recorded:\n" + "\n".join(
+        inv.describe() for inv in found
+    )
+
+
+@pytest.fixture
+def lock_sanitizer(monkeypatch: pytest.MonkeyPatch) -> Iterator[None]:
+    """Force lock instrumentation on for one test and assert zero inversions.
+
+    Sets ``REPRO_SANITIZE=1`` (construction-time resolution means only
+    locks built *inside* the test are sanitized), resets the registry, and
+    asserts no inversion was recorded when the test ends.
+    """
+    monkeypatch.setenv(sanitizer.ENV_FLAG, "1")
+    sanitizer.reset()
+    yield
+    found = sanitizer.inversions()
+    assert not found, "lock-order inversions recorded:\n" + "\n".join(
+        inv.describe() for inv in found
+    )
 
 
 @pytest.fixture

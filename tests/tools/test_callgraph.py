@@ -1,0 +1,348 @@
+"""Tests for the whole-program symbol table and call graph
+(:mod:`repro.tools.lint.callgraph`).
+
+The callgraph is the substrate of REP109–REP111, so its resolution
+behavior is pinned directly: module naming, import-edge resolution,
+``self.method()`` dispatch, conservative type inference (annotations,
+constructor locals, ``__init__`` attribute types, resolved return
+annotations), lock-region tracking, blocking classification, transitive
+``may_acquire``/``blocking_witness`` queries, and thread entry points.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.tools.lint.callgraph import Program, build_program, module_name_for
+from repro.tools.lint.framework import Linter
+
+
+def program_from(tmp_path: Path, files: dict[str, str]) -> Program:
+    """Build a Program from fixture sources laid out under ``tmp_path``."""
+    linter = Linter(root=tmp_path)
+    modules = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for path in sorted(tmp_path.rglob("*.py")):
+        module, err = linter._parse(path)
+        assert err is None, err
+        modules.append(module)
+    return build_program(modules)
+
+
+class TestModuleNaming:
+    def test_src_layout_is_stripped(self):
+        assert module_name_for("src/repro/datalog/lifecycle.py") == "repro.datalog.lifecycle"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/tools/__init__.py") == "repro.tools"
+
+    def test_bare_file(self):
+        assert module_name_for("fixture.py") == "fixture"
+
+
+class TestSymbolTable:
+    def test_classes_methods_and_lock_ownership(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "cache.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.entries = {}
+                        self.hits = 0
+
+                    def get(self, key):
+                        return self.entries.get(key)
+
+                class Plain:
+                    def __init__(self):
+                        self.n = 0
+                """
+            },
+        )
+        cache = program.classes["cache:Cache"]
+        assert cache.owns_lock
+        assert cache.guarded == {"entries", "hits"}
+        assert "get" in cache.methods
+        assert not program.classes["cache:Plain"].owns_lock
+        assert [c.qualname for c in program.lock_owners()] == ["cache:Cache"]
+
+    def test_cross_module_from_import_resolves(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "store.py": """\
+                def build():
+                    return 1
+                """,
+                "user.py": """\
+                from store import build
+
+                def use():
+                    return build()
+                """,
+            },
+        )
+        use = program.functions["user:use"]
+        assert use.calls[0].callees == ("store:build",)
+
+    def test_nested_function_is_its_own_symbol(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "outer.py": """\
+                def outer():
+                    def inner():
+                        return 1
+                    return inner()
+                """
+            },
+        )
+        assert "outer:outer.<locals>.inner" in program.functions
+        outer = program.functions["outer:outer"]
+        assert ("outer:outer.<locals>.inner",) in [site.callees for site in outer.calls]
+
+
+class TestTypeInference:
+    def test_annotated_param_and_optional(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                class Widget:
+                    def __init__(self):
+                        self.size = 1
+
+                    def poke(self):
+                        return self.size
+
+                def direct(w: Widget):
+                    return w.poke()
+
+                def optional(w: "Widget | None"):
+                    return w.poke()
+                """
+            },
+        )
+        assert program.functions["m:direct"].calls[0].callees == ("m:Widget.poke",)
+        assert program.functions["m:optional"].calls[0].callees == ("m:Widget.poke",)
+
+    def test_constructor_local_and_init_attr(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                class Widget:
+                    def __init__(self):
+                        self.size = 1
+
+                    def poke(self):
+                        return self.size
+
+                class Holder:
+                    def __init__(self):
+                        self.widget = Widget()
+
+                    def use(self):
+                        return self.widget.poke()
+
+                def local_use():
+                    w = Widget()
+                    return w.poke()
+                """
+            },
+        )
+        assert program.functions["m:Holder.use"].calls[-1].callees == ("m:Widget.poke",)
+        assert program.functions["m:local_use"].calls[-1].callees == ("m:Widget.poke",)
+
+    def test_return_annotation_types_through_program_calls(self, tmp_path):
+        # self.store.section("atom") -> CacheSection: the chain the real
+        # EvaluationContext depends on.
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                class Section:
+                    def __init__(self):
+                        self.rows = {}
+
+                    def put(self, k, v):
+                        self.rows[k] = v
+
+                class Store:
+                    def section(self) -> "Section":
+                        return Section()
+
+                class Context:
+                    def __init__(self, store: Store):
+                        self.atoms = store.section()
+
+                    def add(self, k, v):
+                        self.atoms.put(k, v)
+                """
+            },
+        )
+        add = program.functions["m:Context.add"]
+        assert add.calls[0].callees == ("m:Section.put",)
+
+
+class TestLockAndBlockingFacts:
+    def test_lock_regions_and_may_acquire(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.n = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self.n += 1
+
+                    def outer(self):
+                        self.bump()
+                """
+            },
+        )
+        bump = program.functions["m:Cache.bump"]
+        assert bump.acquired == {"m:Cache"}
+        assert program.may_acquire("m:Cache.outer") == {"m:Cache"}
+        assert program.acquire_path("m:Cache.outer", "m:Cache") == [
+            "m:Cache.outer",
+            "m:Cache.bump",
+        ]
+
+    def test_blocking_witness_is_transitive_and_str_join_is_clean(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                import time
+
+                def leaf():
+                    time.sleep(1)
+
+                def middle():
+                    leaf()
+
+                def clean(parts):
+                    return ", ".join(parts)
+                """
+            },
+        )
+        witness = program.blocking_witness("m:middle")
+        assert witness is not None
+        chain, descriptor = witness
+        assert chain == ("m:middle", "m:leaf")
+        assert descriptor == "time.sleep()"
+        assert program.blocking_witness("m:clean") is None
+
+    def test_typed_queue_get_blocks_but_dict_get_does_not(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                import queue
+
+                def waits(q: queue.Queue):
+                    return q.get()
+
+                def probes(d: dict):
+                    return d.get(1)
+                """
+            },
+        )
+        assert program.blocking_witness("m:waits") is not None
+        assert program.blocking_witness("m:probes") is None
+
+
+class TestEntryPoints:
+    def test_to_thread_thread_target_and_pool_dispatch(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                import asyncio
+                import threading
+
+                def work():
+                    return 1
+
+                def task(payload):
+                    return payload
+
+                async def a():
+                    await asyncio.to_thread(work)
+
+                def b():
+                    threading.Thread(target=work).start()
+
+                def c(pool):
+                    pool.map(task, [1, 2])
+                """
+            },
+        )
+        entries = {(kind, target) for kind, _, target, _ in program.entry_points()}
+        assert ("to_thread", "m:work") in entries
+        assert ("thread", "m:work") in entries
+        assert ("pool", "m:task") in entries
+
+    def test_bound_method_reference_resolves(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "m.py": """\
+                import asyncio
+
+                class Engine:
+                    def __init__(self):
+                        self.n = 0
+
+                    def prepare(self):
+                        return self.n
+
+                class Facade:
+                    def __init__(self, engine: Engine):
+                        self.engine = engine
+
+                    async def prepare(self):
+                        return await asyncio.to_thread(self.engine.prepare)
+                """
+            },
+        )
+        entries = {(kind, target) for kind, _, target, _ in program.entry_points()}
+        assert ("to_thread", "m:Engine.prepare") in entries
+
+
+class TestRealRepo:
+    def test_real_program_sees_runtime_locks_and_entry_points(self):
+        root = Path(__file__).resolve().parents[2]
+        linter = Linter(root=root)
+        modules = []
+        for path in sorted((root / "src").rglob("*.py")):
+            module, err = linter._parse(path)
+            assert err is None
+            modules.append(module)
+        program = build_program(modules)
+        owners = {cls.qualname for cls in program.lock_owners()}
+        assert "repro.datalog.lifecycle:LifecycleCache" in owners
+        assert "repro.datalog.lifecycle:RequestCache" in owners
+        assert "repro.datalog.sharding:ShardedEvaluator" in owners
+        assert "repro.core.aio:AsyncMetaqueryEngine" in owners
+        targets = {target for _, _, target, _ in program.entry_points()}
+        assert "repro.core.engine:MetaqueryEngine.prepare" in targets
+        assert "repro.datalog.sharding:_instrumented_task" in targets
+        # The cross-module reachability chain REP111 walks must resolve:
+        # the async facade's thread entry reaches the lifecycle store.
+        assert program.functions["repro.core.engine:MetaqueryEngine.prepare"].calls

@@ -1,0 +1,407 @@
+"""Tests for the whole-program concurrency rules (REP109–REP111) and the
+pragma-audit diagnostics (REP112/REP113).
+
+Each true-positive fixture reconstructs a bug class this repository has
+actually shipped or designed against:
+
+* REP109 — a two-lock order inversion and a transitive self-deadlock on a
+  non-reentrant ``threading.Lock``.
+* REP110 — pool dispatch issued while holding the evaluator lock (the
+  deadlock shape the ShardedEvaluator teardown refactor avoids).
+* REP111 — the PR-5/PR-6 unlocked-counter bugs as *interprocedural*
+  variants: a thread entry point reaches a mutation of ``__init__``-declared
+  state with no path-held lock.
+
+Clean-code negatives pin the false-positive budget at zero, and the
+full-repo gate asserts the shipped tree stays silent with every rule
+enabled.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.tools.lint.framework import Linter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_rules(tmp_path, rules, source):
+    """Lint a single dedented fixture file with the given rules."""
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(textwrap.dedent(source), encoding="utf-8")
+    linter = Linter(root=tmp_path, rules=rules, force_scope=True)
+    return linter.lint([fixture])
+
+
+class TestLockOrder:
+    def test_two_lock_inversion_is_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["lock-order"],
+            """\
+            import threading
+
+            class A:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.b: "B | None" = None
+
+                def forward(self):
+                    with self._lock:
+                        if self.b is not None:
+                            self.b.poke()
+
+                def poke(self):
+                    with self._lock:
+                        pass
+
+            class B:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.a: "A | None" = None
+
+                def backward(self):
+                    with self._lock:
+                        if self.a is not None:
+                            self.a.poke()
+
+                def poke(self):
+                    with self._lock:
+                        pass
+            """,
+        )
+        cycle = [d for d in findings if d.code == "REP109" and "cycle" in d.message]
+        assert len(cycle) == 2, [d.message for d in findings]
+        assert any("fixture:A" in d.message and "fixture:B" in d.message for d in cycle)
+
+    def test_self_deadlock_on_nonreentrant_lock(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["lock-order"],
+            """\
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+
+                def flush(self):
+                    with self._lock:
+                        self.bump()
+            """,
+        )
+        assert [d.code for d in findings] == ["REP109"]
+        assert "re-acquire" in findings[0].message
+        assert "_locked" in findings[0].message  # points at the convention
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["lock-order"],
+            """\
+            import threading
+
+            class Inner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.n += 1
+
+            class Outer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.inner = Inner()
+
+                def forward(self):
+                    with self._lock:
+                        self.inner.bump()
+
+                def also_forward(self):
+                    with self._lock:
+                        self.inner.bump()
+            """,
+        )
+        assert findings == []
+
+
+class TestBlockingUnderLock:
+    def test_pool_dispatch_under_lock_transitive(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["blocking-under-lock"],
+            """\
+            import threading
+
+            class Evaluator:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.pool = None
+
+                def _fan_out(self, chunks):
+                    return self.pool.map(len, chunks)
+
+                def dispatch(self, chunks):
+                    with self._lock:
+                        return self._fan_out(chunks)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP110"]
+        assert "_fan_out" in findings[0].message
+        assert ".map()" in findings[0].message
+
+    def test_direct_sleep_under_lock(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["blocking-under-lock"],
+            """\
+            import threading
+            import time
+
+            class Throttle:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def pace(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP110"]
+        assert "time.sleep()" in findings[0].message
+
+    def test_dispatch_outside_lock_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["blocking-under-lock"],
+            """\
+            import threading
+
+            class Evaluator:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.pool = None
+                    self.n = 0
+
+                def _fan_out(self, chunks):
+                    return self.pool.map(len, chunks)
+
+                def safe_dispatch(self, chunks):
+                    with self._lock:
+                        self.n += 1
+                    return self._fan_out(chunks)
+            """,
+        )
+        assert findings == []
+
+
+class TestSharedState:
+    def test_unlocked_counter_reached_from_to_thread(self, tmp_path):
+        # The PR-5 bug shape: an async facade hops the bound method onto a
+        # worker thread; the method bumps an init-declared counter without
+        # the owning lock.
+        findings = run_rules(
+            tmp_path,
+            ["unguarded-shared-state"],
+            """\
+            import asyncio
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.entries = {}
+                    self.hits = 0
+
+                def lookup(self, key):
+                    self.hits += 1
+                    return self.entries.get(key)
+
+                def store(self, key, value):
+                    with self._lock:
+                        self.entries[key] = value
+
+            class Facade:
+                def __init__(self):
+                    self.cache = Cache()
+
+                async def get(self, key):
+                    return await asyncio.to_thread(self.cache.lookup, key)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP111"]
+        assert "hits" in findings[0].message
+        assert "lookup" in findings[0].message
+
+    def test_interprocedural_caller_holds_callee_mutates(self, tmp_path):
+        # The PR-6 counter bug as the *negative* interprocedural variant:
+        # the _locked-convention callee mutates freely because every thread
+        # path reaches it with the lock already held.
+        findings = run_rules(
+            tmp_path,
+            ["unguarded-shared-state"],
+            """\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.dispatched = 0
+
+                def _bump_locked(self):
+                    self.dispatched += 1
+
+                def record(self):
+                    with self._lock:
+                        self._bump_locked()
+
+            def worker(stats: Stats):
+                stats.record()
+
+            def launch(stats: Stats):
+                threading.Thread(target=worker, args=(stats,)).start()
+            """,
+        )
+        assert findings == []
+
+    def test_unlocked_callee_from_thread_target(self, tmp_path):
+        # Same shape with the lock NOT held on the path: flagged.
+        findings = run_rules(
+            tmp_path,
+            ["unguarded-shared-state"],
+            """\
+            import threading
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.dispatched = 0
+
+                def _bump(self):
+                    self.dispatched += 1
+
+                def record(self):
+                    self._bump()
+
+            def worker(stats: Stats):
+                stats.record()
+
+            def launch(stats: Stats):
+                threading.Thread(target=worker, args=(stats,)).start()
+            """,
+        )
+        assert [d.code for d in findings] == ["REP111"]
+        assert "dispatched" in findings[0].message
+
+    def test_construction_phase_is_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["unguarded-shared-state"],
+            """\
+            import threading
+
+            class Workerset:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.started = 0
+                    self._seed()
+
+                def _seed(self):
+                    self.started = 1
+
+                def run(self):
+                    with self._lock:
+                        self.started += 1
+
+            def spawn():
+                w = Workerset()
+                threading.Thread(target=w.run).start()
+            """,
+        )
+        assert findings == []
+
+
+class TestPragmaAudit:
+    HEADER = '"""Pragma fixture."""\n\n__all__ = ["X"]\n\n'
+
+    def test_unknown_rule_id_in_pragma_is_an_error(self, tmp_path):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(
+            self.HEADER + "X = 1  # repro-lint: disable=REP999\n",
+            encoding="utf-8",
+        )
+        findings = Linter(root=tmp_path, force_scope=True).lint([fixture])
+        assert [d.code for d in findings] == ["REP113"]
+        assert "REP999" in findings[0].message
+
+    def test_unknown_pragma_cannot_suppress_itself(self, tmp_path):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(
+            self.HEADER + "X = 1  # repro-lint: disable=REP999,unknown-pragma\n",
+            encoding="utf-8",
+        )
+        findings = Linter(root=tmp_path, force_scope=True).lint([fixture])
+        assert "REP113" in [d.code for d in findings]
+
+    def test_unused_pragma_flagged_only_with_flag(self, tmp_path):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(
+            self.HEADER + "X = 1  # repro-lint: disable=exact-arithmetic\n",
+            encoding="utf-8",
+        )
+        silent = Linter(root=tmp_path, force_scope=True).lint([fixture])
+        assert [d.code for d in silent] == []
+        audited = Linter(root=tmp_path, force_scope=True, warn_unused_pragmas=True).lint(
+            [fixture]
+        )
+        assert [d.code for d in audited] == ["REP112"]
+        assert "exact-arithmetic" in audited[0].message
+
+    def test_used_pragma_survives_the_audit(self, tmp_path):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(
+            textwrap.dedent(
+                '''\
+                """Pragma fixture."""
+
+                __all__ = ["close"]
+
+
+                def close() -> None:
+                    """Suppress errors during interpreter teardown."""
+                    try:
+                        raise RuntimeError
+                    except Exception:  # repro-lint: disable=no-silent-except
+                        pass
+                '''
+            ),
+            encoding="utf-8",
+        )
+        audited = Linter(root=tmp_path, force_scope=True, warn_unused_pragmas=True).lint(
+            [fixture]
+        )
+        assert [d.code for d in audited] == []
+
+
+class TestFullRepoGate:
+    def test_repo_is_clean_under_every_rule_and_the_pragma_audit(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools.lint", "--warn-unused-pragmas"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
