@@ -1,0 +1,216 @@
+"""Measure sustained serving throughput and streamed TTFA over HTTP.
+
+The service layer (``repro.server``) must not bury the engine's latency
+work under HTTP overhead, and the request cache must pay off across the
+wire exactly as it does in-process.  This benchmark runs the real server
+(the same :class:`~repro.server.inprocess.InProcessServer` harness the
+end-to-end tests use — real sockets, real SSE framing) and times two
+arms over identical request mixes:
+
+* ``cold`` — every request evaluates from scratch (evaluation cache and
+  request cache disabled), the worst-case serving cost;
+* ``replay`` — caches on and warmed, so requests replay from the
+  generation-guarded :class:`~repro.datalog.lifecycle.RequestCache`.
+
+Metrics:
+
+* ``rps`` — sustained ``POST /mine`` requests/second under concurrent
+  blocking clients (stdlib ``http.client``, one request per connection,
+  matching the server's ``Connection: close`` contract);
+* ``ttfa_seconds`` — time from opening ``POST /mine/stream`` to the
+  first ``answer`` event on the wire (the serving analogue of the
+  stream-latency benchmark's time-to-first-answer).
+
+The acceptance gate requires the replay arm's throughput to be
+**strictly above** the cold arm's.
+
+Usage::
+
+    python benchmarks/run_serve_throughput.py                  # full run
+    python benchmarks/run_serve_throughput.py --smoke          # CI smoke sizes
+    python benchmarks/run_serve_throughput.py --output FILE    # custom path
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.server.inprocess import InProcessServer
+from repro.workloads.telecom import scaled_telecom
+
+TRANSITIVITY = "R(X,Z) <- P(X,Y), Q(Y,Z)"
+
+MINE_PAYLOAD = {
+    "metaquery": TRANSITIVITY,
+    "support": 0.2,
+    "confidence": 0.3,
+    "cover": 0.1,
+    "algorithm": "findrules",
+}
+
+
+def _mine_once(port: int, payload: dict) -> None:
+    """One ``POST /mine`` round trip; raises on any non-200."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("POST", "/mine", body=json.dumps(payload))
+        response = conn.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"/mine returned {response.status}: {body[:200]!r}")
+    finally:
+        conn.close()
+
+
+def _ttfa_once(port: int, payload: dict) -> float:
+    """Seconds from opening ``/mine/stream`` to the first answer event."""
+    start = time.perf_counter()
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("POST", "/mine/stream", body=json.dumps(payload))
+        response = conn.getresponse()
+        if response.status != 200:
+            raise RuntimeError(f"/mine/stream returned {response.status}")
+        while True:
+            line = response.readline()
+            if not line:
+                raise RuntimeError("stream ended before the first answer event")
+            if line.startswith(b"data:"):
+                return time.perf_counter() - start
+    finally:
+        conn.close()
+
+
+def _throughput(port: int, payload: dict, requests: int, concurrency: int) -> dict:
+    """Drive ``requests`` total ``POST /mine`` calls from concurrent clients."""
+    per_worker = [requests // concurrency] * concurrency
+    for i in range(requests % concurrency):
+        per_worker[i] += 1
+    errors: list[BaseException] = []
+
+    def worker(count: int) -> None:
+        try:
+            for _ in range(count):
+                _mine_once(port, payload)
+        except BaseException as exc:  # propagated after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(count,), name=f"bench-client-{i}")
+        for i, count in enumerate(per_worker)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "wall_seconds": round(wall, 6),
+        "rps": round(requests / wall, 3) if wall else None,
+    }
+
+
+def run_arm(
+    name: str,
+    db,
+    requests: int,
+    concurrency: int,
+    ttfa_samples: int,
+    cached: bool,
+) -> dict:
+    """One serving arm: fresh server, optional warm pass, timed load."""
+    engine_kwargs = (
+        {"request_cache": 128} if cached else {"cache": False, "request_cache": None}
+    )
+    with InProcessServer({"default": db}, **engine_kwargs) as server:
+        if cached:
+            # Warm both endpoints so the timed passes replay from the
+            # request cache instead of paying one cold evaluation each.
+            _mine_once(server.port, MINE_PAYLOAD)
+            _ttfa_once(server.port, MINE_PAYLOAD)
+        throughput = _throughput(server.port, MINE_PAYLOAD, requests, concurrency)
+        ttfas = [_ttfa_once(server.port, MINE_PAYLOAD) for _ in range(ttfa_samples)]
+    result = {
+        "arm": name,
+        "cached": cached,
+        **throughput,
+        "ttfa_seconds_best": round(min(ttfas), 6),
+        "ttfa_seconds_mean": round(sum(ttfas) / len(ttfas), 6),
+        "ttfa_samples": ttfa_samples,
+    }
+    print(
+        f"{name:<8} rps={result['rps']:>8}  wall={result['wall_seconds']:.3f}s  "
+        f"ttfa_best={result['ttfa_seconds_best']:.4f}s"
+    )
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--output", default=None, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parent.parent
+    output = Path(args.output) if args.output else repo_root / "BENCH_serve_throughput.json"
+
+    users = 25 if args.smoke else 45
+    requests = 16 if args.smoke else 64
+    concurrency = 4 if args.smoke else 8
+    ttfa_samples = 3 if args.smoke else 10
+
+    db = scaled_telecom(users=users, carriers=6, technologies=5, noise=0.1, seed=1)
+
+    cold = run_arm("cold", db, requests, concurrency, ttfa_samples, cached=False)
+    replay = run_arm("replay", db, requests, concurrency, ttfa_samples, cached=True)
+
+    replay_beats_cold = (
+        replay["rps"] is not None and cold["rps"] is not None and replay["rps"] > cold["rps"]
+    )
+    payload = {
+        "benchmark": "serve_throughput",
+        "description": (
+            "Sustained POST /mine throughput and POST /mine/stream "
+            "time-to-first-answer over the in-process HTTP/SSE server, "
+            "cold serving (no caches) vs. request-cache replay.  The gate "
+            "requires replay throughput strictly above cold."
+        ),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "smoke": args.smoke,
+        "workload": {
+            "database": f"scaled_telecom(users={users})",
+            "payload": MINE_PAYLOAD,
+        },
+        "arms": [cold, replay],
+        "replay_beats_cold": replay_beats_cold,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    if not replay_beats_cold and not args.smoke:
+        print(
+            "WARNING: request-cache replay did not beat cold serving",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

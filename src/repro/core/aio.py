@@ -99,6 +99,13 @@ class AsyncMetaqueryEngine:
         collect / decide / witness calls and active streams).  Excess
         requests queue on the semaphore; answers already streaming are
         never blocked by it.
+    concurrency_budget:
+        An externally owned :class:`asyncio.Semaphore` to bound blocking
+        stages with *instead* of a private one — the multi-tenant
+        :class:`~repro.server.registry.EngineRegistry` passes one shared
+        semaphore to every tenant engine so the whole process observes a
+        single executing-stage budget (``max_concurrency`` is then the
+        budget's nominal size, kept for introspection only).
     engine_kwargs:
         Forwarded to :class:`MetaqueryEngine` when a database is given
         (``cache=`` / ``fast_path=`` / ``batch=`` / ``workers=`` ...).
@@ -112,6 +119,7 @@ class AsyncMetaqueryEngine:
         self,
         db_or_engine: Database | MetaqueryEngine,
         max_concurrency: int = 8,
+        concurrency_budget: asyncio.Semaphore | None = None,
         **engine_kwargs: Any,
     ) -> None:
         if isinstance(max_concurrency, bool) or not isinstance(max_concurrency, int):
@@ -120,6 +128,11 @@ class AsyncMetaqueryEngine:
             )
         if max_concurrency < 1:
             raise EngineError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if concurrency_budget is not None and not isinstance(concurrency_budget, asyncio.Semaphore):
+            raise EngineError(
+                f"concurrency_budget must be an asyncio.Semaphore or None, "
+                f"got {type(concurrency_budget).__name__}"
+            )
         if isinstance(db_or_engine, MetaqueryEngine):
             if engine_kwargs:
                 raise EngineError(
@@ -132,7 +145,10 @@ class AsyncMetaqueryEngine:
             self._engine = MetaqueryEngine(db_or_engine, **engine_kwargs)
             self._owns_engine = True
         self.max_concurrency = max_concurrency
-        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._semaphore = (
+            concurrency_budget if concurrency_budget is not None
+            else asyncio.Semaphore(max_concurrency)
+        )
         # Stream telemetry crosses threads: `started` bumps on the event
         # loop, `finished` in the producer's done callback, and
         # stream_stats() may be called from anywhere — so the counters
@@ -141,6 +157,9 @@ class AsyncMetaqueryEngine:
         self._lock = create_lock("repro.core.aio:AsyncMetaqueryEngine")
         self._streams_started = 0
         self._streams_finished = 0
+        # Lazily created on the event loop by drain(); set by the producer
+        # done-callback when the last in-flight stream retires.
+        self._idle: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -174,7 +193,36 @@ class AsyncMetaqueryEngine:
         """Producer done-callback: count the retirement, free the slot."""
         with self._lock:
             self._streams_finished += 1
+            idle = self._idle if self._streams_finished == self._streams_started else None
         self._semaphore.release()
+        if idle is not None:
+            # Runs on the event loop (asyncio done-callbacks do), where
+            # waking an asyncio.Event is safe; done outside the lock so
+            # drain()'s waiters never contend with the counter updates.
+            idle.set()
+
+    async def drain(self) -> None:
+        """Wait until every stream producer has retired — the graceful-
+        shutdown hook.
+
+        The server track calls this after it stops accepting connections:
+        streams already delivering answers run to completion (or to their
+        client's disconnect, whose early-exit signal retires the producer
+        at its next confirmed answer), and ``drain()`` returns once no
+        producer holds a concurrency slot.  Idempotent and safe to call
+        with no streams in flight; one-shot calls (``find_rules`` et al.)
+        are not tracked — they complete with the request handler awaiting
+        them, so draining the connection handlers drains them too.
+        """
+        while True:
+            with self._lock:
+                if self._streams_started == self._streams_finished:
+                    return
+                if self._idle is None:
+                    self._idle = asyncio.Event()
+                self._idle.clear()
+                event = self._idle
+            await event.wait()
 
     async def invalidate_cache(self) -> None:
         """Async :meth:`MetaqueryEngine.invalidate_cache` — the explicit full

@@ -1,0 +1,53 @@
+"""The metaquery-mining service layer: HTTP/1.1 + SSE over the async engine.
+
+This package puts a network front end on the request pipeline the core
+grew in PRs 4–5 — validated :class:`~repro.core.requests.MetaqueryRequest`
+construction, ``prepare()`` planning, incremental answer streaming with
+byte-identical ordering, bounded concurrency and the generation-vector-
+guarded request cache — without adding any runtime dependency beyond the
+standard library:
+
+* :mod:`repro.server.protocol` — minimal HTTP/1.1 request parsing and
+  response / Server-Sent-Events writing over ``asyncio`` streams;
+* :mod:`repro.server.registry` — the multi-tenant engine registry
+  (database-per-tenant, lazily constructed
+  :class:`~repro.core.aio.AsyncMetaqueryEngine` instances sharing one
+  executing-stage budget);
+* :mod:`repro.server.limits` — per-client token-bucket rate limiting and
+  max-concurrent-stream backpressure (429/503 with ``Retry-After``);
+* :mod:`repro.server.service` — the JSON boundary and route handlers
+  (``POST /mine``, ``POST /mine/stream``, ``GET /healthz``,
+  ``GET /stats``) plus the :class:`~repro.server.service.MetaqueryServer`
+  lifecycle (bind, serve, graceful drain);
+* :mod:`repro.server.inprocess` — an in-process server harness running
+  the service on a private event-loop thread, used by the end-to-end
+  test suite and the serving benchmark.
+
+The delivery contract mirrors the engine's: ``POST /mine/stream`` emits
+one SSE event per answer **the moment the engine confirms it** (the
+time-to-first-answer latency the streaming pipeline was built for), in an
+order byte-identical to a direct :meth:`PreparedMetaquery.stream()
+<repro.core.requests.PreparedMetaquery.stream>` on the same engine
+configuration — asserted end-to-end by ``tests/server/``.
+
+``repro serve DATA_DIR`` (see :mod:`repro.cli`) wires the stack up from
+the command line.
+"""
+
+from __future__ import annotations
+
+from repro.server.inprocess import InProcessServer
+from repro.server.limits import RateLimiter, StreamPermits, TokenBucket
+from repro.server.registry import EngineRegistry, UnknownTenantError
+from repro.server.service import MetaqueryServer, MetaqueryService
+
+__all__ = [
+    "EngineRegistry",
+    "InProcessServer",
+    "MetaqueryServer",
+    "MetaqueryService",
+    "RateLimiter",
+    "StreamPermits",
+    "TokenBucket",
+    "UnknownTenantError",
+]

@@ -1,0 +1,179 @@
+"""An in-process server harness: the service on a private event-loop thread.
+
+The end-to-end tests and the serving benchmark need a *real* server —
+real sockets, real SSE framing, real disconnect semantics — without
+subprocesses (no ports to guess, no startup races, engine internals still
+inspectable from the test).  :class:`InProcessServer` provides exactly
+that: it spins up a dedicated event loop in a daemon thread, constructs
+the registry/service/server stack *on that loop*, binds an ephemeral
+port, and exposes blocking ``start()``/``close()`` for synchronous test
+code.  ``close()`` performs the same graceful drain as the CLI's SIGTERM
+path, so the harness exercises the production shutdown sequence on every
+test run.
+
+Example
+-------
+::
+
+    with InProcessServer({"default": db1()}) as server:
+        # connect a plain blocking socket client to server.port
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Coroutine, Mapping
+
+from repro.exceptions import EngineError
+from repro.relational.database import Database
+from repro.server.registry import EngineRegistry
+from repro.server.service import MetaqueryServer, MetaqueryService
+
+__all__ = ["InProcessServer"]
+
+
+class InProcessServer:
+    """Run the full service stack on a private event loop inside this process.
+
+    Parameters
+    ----------
+    databases:
+        The tenant table, as for :class:`~repro.server.registry.EngineRegistry`.
+    max_concurrency / engine_kwargs:
+        Forwarded to the registry (and thence to every tenant engine).
+    rate / burst / max_streams / max_body / default_tenant:
+        Forwarded to :class:`~repro.server.service.MetaqueryService`;
+        ``rate=None`` (the default here, unlike the CLI) disables rate
+        limiting so functional tests are never throttled by accident.
+    drain_timeout:
+        Upper bound on the graceful drain performed by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        databases: Mapping[str, Database],
+        max_concurrency: int = 8,
+        rate: float | None = None,
+        burst: float = 20.0,
+        max_streams: int = 8,
+        max_body: int | None = None,
+        default_tenant: str = "default",
+        drain_timeout: float = 10.0,
+        **engine_kwargs: Any,
+    ) -> None:
+        self._databases = dict(databases)
+        self._max_concurrency = max_concurrency
+        self._rate = rate
+        self._burst = burst
+        self._max_streams = max_streams
+        self._max_body = max_body
+        self._default_tenant = default_tenant
+        self._drain_timeout = drain_timeout
+        self._engine_kwargs = dict(engine_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: MetaqueryServer | None = None
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 10.0) -> "InProcessServer":
+        """Start the loop thread, build the stack on it, bind the port."""
+        if self._thread is not None:
+            raise EngineError("in-process server already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._build_and_start(), self._loop)
+        try:
+            self._server = future.result(timeout)
+        except Exception:
+            self._stop_loop()
+            raise
+        return self
+
+    async def _build_and_start(self) -> MetaqueryServer:
+        """Construct registry/service/server on the loop and bind."""
+        registry = EngineRegistry(
+            self._databases,
+            max_concurrency=self._max_concurrency,
+            **self._engine_kwargs,
+        )
+        service_kwargs: dict[str, Any] = {
+            "rate": self._rate,
+            "burst": self._burst,
+            "max_streams": self._max_streams,
+            "default_tenant": self._default_tenant,
+        }
+        if self._max_body is not None:
+            service_kwargs["max_body"] = self._max_body
+        service = MetaqueryService(registry, **service_kwargs)
+        server = MetaqueryServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        return server
+
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> MetaqueryServer:
+        """The running :class:`MetaqueryServer` (loop-thread owned)."""
+        if self._server is None:
+            raise EngineError("in-process server not started")
+        return self._server
+
+    @property
+    def service(self) -> MetaqueryService:
+        """The running service (for registry/limiter introspection)."""
+        return self.server.service
+
+    @property
+    def host(self) -> str:
+        """The bound interface (always loopback)."""
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        """The ephemeral port the server bound."""
+        return self.server.port
+
+    def run(self, coro: Coroutine[Any, Any, Any], timeout: float = 10.0) -> Any:
+        """Run a coroutine on the server's loop and block for its result.
+
+        The escape hatch for tests that need loop-side state (e.g. awaiting
+        ``engine.drain()`` or reading an engine's stream stats race-free).
+        """
+        if self._loop is None:
+            raise EngineError("in-process server not started")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    # ------------------------------------------------------------------
+    def _stop_loop(self) -> None:
+        """Stop and join the loop thread (idempotent)."""
+        loop, self._loop = self._loop, None
+        thread, self._thread = self._thread, None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=10.0)
+        if loop is not None:
+            loop.close()
+
+    def close(self) -> None:
+        """Graceful shutdown: drain streams, close engines, stop the loop."""
+        server, self._server = self._server, None
+        if server is not None and self._loop is not None:
+            asyncio.run_coroutine_threadsafe(
+                server.aclose(drain_timeout=self._drain_timeout), self._loop
+            ).result(self._drain_timeout + 10.0)
+        self._stop_loop()
+
+    def __enter__(self) -> "InProcessServer":
+        return self.start()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._server is not None else "stopped"
+        return f"InProcessServer({state}, tenants={sorted(self._databases)})"

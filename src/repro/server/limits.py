@@ -1,0 +1,250 @@
+"""Per-client rate limiting and stream backpressure for the service layer.
+
+PODS-style serving treats clients as heterogeneous: one chatty client must
+not starve the rest, and a burst of streaming requests must degrade into
+polite ``Retry-After`` responses instead of unbounded producer threads.
+Two small primitives implement that:
+
+* :class:`TokenBucket` — the classic refill-at-``rate``, cap-at-``burst``
+  admission meter, computed in exact :class:`~fractions.Fraction`
+  arithmetic so its admission invariant (never more than
+  ``burst + rate * elapsed`` admissions in any window, for any
+  interleaving) holds *exactly* — the hypothesis suite in
+  ``tests/server/test_limits.py`` exercises it with adversarial clocks
+  and would flounder on float drift.  The clock is injectable for
+  exactly that reason.
+* :class:`RateLimiter` — one bucket per client identity with an LRU bound
+  on tracked clients, answering ``429 Too Many Requests`` with a
+  ``Retry-After`` hint when a bucket runs dry.
+* :class:`StreamPermits` — a counted cap on concurrently executing SSE
+  streams, answering ``503 Service Unavailable``.  A permit is released
+  when the stream finishes *or the client disconnects mid-stream*; the
+  fault-injection tests close sockets after ``k`` events and assert the
+  permit always frees.
+
+The mutable state in :class:`RateLimiter` and :class:`StreamPermits` is
+guarded by locks built through :func:`repro.tools.sanitizer.create_lock`,
+so the static concurrency rules (REP109–REP111) and the runtime lock
+sanitizer cover the service layer exactly as they cover the engine's own
+runtime classes.  :class:`TokenBucket` itself is deliberately unlocked —
+it is always mutated under its owning :class:`RateLimiter`'s lock (or
+single-threaded in tests), and giving it a private lock would nest two
+locks per admission for nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Union
+
+from repro.core.answers import exact_fraction
+from repro.exceptions import EngineError
+from repro.tools.sanitizer import create_lock
+
+__all__ = [
+    "RateDecision",
+    "RateLimiter",
+    "StreamPermits",
+    "TokenBucket",
+]
+
+#: Numbers accepted for rates/bursts; floats coerce via their shortest
+#: decimal form (``0.1`` means exactly ``1/10``), mirroring thresholds.
+Numeric = Union[int, float, Fraction]
+
+
+class TokenBucket:
+    """An exact-arithmetic token bucket: ``burst`` capacity, ``rate``/s refill.
+
+    The bucket starts full.  :meth:`try_acquire` spends one token when at
+    least one is available and reports whether admission succeeded;
+    refill is computed lazily from the injected monotonic ``clock``.
+    All arithmetic is :class:`~fractions.Fraction`-exact (float clock
+    readings convert exactly — ``Fraction(float)`` is lossless), so the
+    admission bound ``admitted(t) <= burst + rate * (t - t0)`` is a
+    theorem about this implementation, not an approximation.
+
+    Not thread-safe on its own; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        rate: Numeric,
+        burst: Numeric,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = exact_fraction(rate)
+        self.burst = exact_fraction(burst)
+        if self.rate <= 0:
+            raise EngineError(f"rate must be > 0 tokens/second, got {rate!r}")
+        if self.burst < 1:
+            raise EngineError(f"burst must be >= 1 token, got {burst!r}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = Fraction(clock())
+
+    def _refill(self) -> None:
+        """Advance the token count to the current clock reading."""
+        now = Fraction(self._clock())
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_acquire(self) -> bool:
+        """Spend one token if available; ``False`` means rate-limited."""
+        self._refill()
+        if self._tokens >= 1:
+            self._tokens -= 1
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next token exists (0.0 when one is available).
+
+        A *hint* for the ``Retry-After`` header: by the time the client
+        retries, other requests may have drained the bucket again.
+        """
+        self._refill()
+        if self._tokens >= 1:
+            return 0.0
+        return float((1 - self._tokens) / self.rate)
+
+    @property
+    def tokens(self) -> Fraction:
+        """The current token balance (refilled to now; test observability)."""
+        self._refill()
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class RateDecision:
+    """The outcome of one admission check."""
+
+    admitted: bool
+    retry_after: float  #: seconds to wait before retrying (0.0 when admitted)
+
+
+class RateLimiter:
+    """Per-client token buckets behind one lock, LRU-bounded.
+
+    Each distinct client identity (the ``X-Client-Id`` header, falling
+    back to the peer address) gets its own :class:`TokenBucket`, so a
+    client exhausting its budget never taxes the others.  At most
+    ``max_clients`` buckets are tracked; the least-recently-seen client is
+    evicted beyond that and simply starts over with a full bucket — for an
+    admission meter, forgetting an idle client errs on the permissive
+    side, never the unfair one.
+    """
+
+    def __init__(
+        self,
+        rate: Numeric,
+        burst: Numeric,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 1024,
+    ) -> None:
+        if isinstance(max_clients, bool) or not isinstance(max_clients, int):
+            raise EngineError(
+                f"max_clients must be an int, got {type(max_clients).__name__}"
+            )
+        if max_clients < 1:
+            raise EngineError(f"max_clients must be >= 1, got {max_clients}")
+        # Validate rate/burst eagerly (a throw-away bucket) so a bad
+        # configuration fails at construction, not on the first request.
+        TokenBucket(rate, burst, clock)
+        self.rate = exact_fraction(rate)
+        self.burst = exact_fraction(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = create_lock("repro.server.limits:RateLimiter")
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._admitted = 0
+        self._rejected = 0
+
+    def admit(self, client: str) -> RateDecision:
+        """Check one request from ``client`` against its bucket."""
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, self._clock)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            self._buckets.move_to_end(client)
+            if bucket.try_acquire():
+                self._admitted += 1
+                return RateDecision(admitted=True, retry_after=0.0)
+            self._rejected += 1
+            return RateDecision(admitted=False, retry_after=bucket.retry_after())
+
+    def stats_dict(self) -> dict[str, int]:
+        """Admission counters and the tracked-client gauge (one snapshot)."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "clients": len(self._buckets),
+            }
+
+
+class StreamPermits:
+    """A counted cap on concurrently executing answer streams.
+
+    :meth:`try_acquire` never blocks — the service either starts the
+    stream or answers ``503`` immediately (backpressure by refusal, not
+    by queueing: a queued stream would hold the client's connection open
+    with no events, which is worse than an honest retry hint).  Permits
+    are returned via :meth:`release`, which the streaming handler calls
+    from a ``finally`` so a client disconnect mid-stream can never leak
+    a permit.
+    """
+
+    def __init__(self, max_streams: int, retry_after: float = 1.0) -> None:
+        if isinstance(max_streams, bool) or not isinstance(max_streams, int):
+            raise EngineError(
+                f"max_streams must be an int, got {type(max_streams).__name__}"
+            )
+        if max_streams < 1:
+            raise EngineError(f"max_streams must be >= 1, got {max_streams}")
+        self.max_streams = max_streams
+        self.retry_after = retry_after
+        self._lock = create_lock("repro.server.limits:StreamPermits")
+        self._active = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    def try_acquire(self) -> bool:
+        """Take one permit if the cap allows; never blocks."""
+        with self._lock:
+            if self._active >= self.max_streams:
+                self._rejected += 1
+                return False
+            self._active += 1
+            self._admitted += 1
+            return True
+
+    def release(self) -> None:
+        """Return one permit (stream finished, failed, or client vanished)."""
+        with self._lock:
+            if self._active <= 0:
+                raise EngineError("release() without a matching try_acquire()")
+            self._active -= 1
+
+    @property
+    def active(self) -> int:
+        """Streams currently holding a permit."""
+        with self._lock:
+            return self._active
+
+    def stats_dict(self) -> dict[str, int]:
+        """Admission counters and the active-stream gauge (one snapshot)."""
+        with self._lock:
+            return {
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "active": self._active,
+                "max_streams": self.max_streams,
+            }

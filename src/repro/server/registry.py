@@ -1,0 +1,185 @@
+"""The multi-tenant engine registry: one database, one engine, per tenant.
+
+The service is multi-tenant in the PODS sense — heterogeneous clients
+mining *different databases* through one process.  Each tenant owns a
+:class:`~repro.relational.database.Database`; its
+:class:`~repro.core.aio.AsyncMetaqueryEngine` (and therefore its
+evaluation caches, request cache, and optional worker pool) is built
+lazily on the tenant's first request, so a server fronting many cold
+tenants pays only for the hot ones.
+
+What *is* shared is the executing-stage budget: every tenant engine is
+constructed with the registry's single :class:`asyncio.Semaphore` as its
+``concurrency_budget``, so the process-wide number of concurrently
+executing blocking stages (prepares, collects, active stream producers)
+is bounded once, globally — a hot tenant can saturate the budget but can
+never grow the thread count past it.  Per-client *fairness* on top of
+that bound is :mod:`repro.server.limits`'s job.
+
+The registry's tenant→engine table is mutated from request handlers and
+read by stats/drain paths, so it is guarded by a lock built through
+:func:`repro.tools.sanitizer.create_lock` — the static concurrency rules
+(REP109–REP111) and the runtime sanitizer cover it like every other
+lock-owning runtime class.  Engine construction happens *outside* the
+lock (it is pure in-memory setup, but there is no reason to serialize
+tenants behind it); losers of the construction race are discarded, which
+leaks nothing because an unused engine owns no pool or thread yet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping
+
+from repro.core.aio import AsyncMetaqueryEngine
+from repro.exceptions import EngineError, ReproError
+from repro.relational.database import Database
+from repro.tools.sanitizer import create_lock
+
+__all__ = ["EngineRegistry", "UnknownTenantError"]
+
+
+class UnknownTenantError(ReproError):
+    """A request named a tenant the registry does not serve (HTTP 404)."""
+
+    def __init__(self, tenant: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown tenant {tenant!r}; serving: {', '.join(sorted(known)) or '(none)'}"
+        )
+        self.tenant = tenant
+
+
+class EngineRegistry:
+    """Lazily constructed per-tenant engines over one shared concurrency budget.
+
+    Parameters
+    ----------
+    databases:
+        The tenant table: ``name -> Database``.  Fixed at construction —
+        the service's tenancy model is static configuration, not a
+        provisioning API.
+    max_concurrency:
+        Size of the shared executing-stage budget (one
+        :class:`asyncio.Semaphore` passed to every tenant engine).
+    engine_kwargs:
+        Forwarded to every tenant's underlying
+        :class:`~repro.core.engine.MetaqueryEngine` (``workers=`` /
+        ``cache_limit=`` / ``request_cache=`` ...), so all tenants run
+        the same engine configuration.
+    """
+
+    def __init__(
+        self,
+        databases: Mapping[str, Database],
+        max_concurrency: int = 8,
+        **engine_kwargs: Any,
+    ) -> None:
+        if not isinstance(databases, Mapping) or not databases:
+            raise EngineError("databases must be a non-empty mapping of tenant -> Database")
+        for name, db in databases.items():
+            if not isinstance(name, str) or not name:
+                raise EngineError(f"tenant names must be non-empty strings, got {name!r}")
+            if not isinstance(db, Database):
+                raise EngineError(
+                    f"tenant {name!r} must map to a Database, got {type(db).__name__}"
+                )
+        if isinstance(max_concurrency, bool) or not isinstance(max_concurrency, int):
+            raise EngineError(
+                f"max_concurrency must be an int, got {type(max_concurrency).__name__}"
+            )
+        if max_concurrency < 1:
+            raise EngineError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        self._databases = dict(databases)
+        self.max_concurrency = max_concurrency
+        self._engine_kwargs = dict(engine_kwargs)
+        # Shared across every tenant engine; asyncio primitives bind to
+        # the running loop lazily (3.10+), so constructing here is safe
+        # even though the loop is not running yet.
+        self._budget = asyncio.Semaphore(max_concurrency)
+        self._lock = create_lock("repro.server.registry:EngineRegistry")
+        self._engines: dict[str, AsyncMetaqueryEngine] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant the registry serves, sorted (constructed or not)."""
+        return tuple(sorted(self._databases))
+
+    def get(self, tenant: str) -> AsyncMetaqueryEngine:
+        """The tenant's engine, constructing it on first use.
+
+        Raises :class:`UnknownTenantError` for names outside the tenant
+        table and :class:`~repro.exceptions.EngineError` once the registry
+        is closed.
+        """
+        with self._lock:
+            engine = self._engines.get(tenant)
+            if engine is not None:
+                return engine
+            if self._closed:
+                raise EngineError("registry is closed")
+        db = self._databases.get(tenant)
+        if db is None:
+            raise UnknownTenantError(tenant, self.tenants())
+        candidate = AsyncMetaqueryEngine(
+            db,
+            max_concurrency=self.max_concurrency,
+            concurrency_budget=self._budget,
+            **self._engine_kwargs,
+        )
+        with self._lock:
+            if self._closed:
+                raise EngineError("registry is closed")
+            existing = self._engines.get(tenant)
+            if existing is not None:
+                # Lost a construction race; the unused candidate owns no
+                # pool or thread yet, so dropping it leaks nothing.
+                return existing
+            self._engines[tenant] = candidate
+            return candidate
+
+    def _live_engines(self) -> list[tuple[str, AsyncMetaqueryEngine]]:
+        """A locked snapshot of the constructed tenant engines."""
+        with self._lock:
+            return sorted(self._engines.items())
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        """Per-tenant engine + stream telemetry (constructed tenants only).
+
+        Unconstructed tenants report ``{"constructed": False}`` so the
+        ``/stats`` endpoint always lists the full tenant table.
+        """
+        live = dict(self._live_engines())
+        report: dict[str, dict[str, object]] = {}
+        for tenant in self.tenants():
+            engine = live.get(tenant)
+            if engine is None:
+                report[tenant] = {"constructed": False}
+            else:
+                report[tenant] = {
+                    "constructed": True,
+                    "engine": engine.stats(),
+                    "streams": engine.stream_stats(),
+                }
+        return report
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait for every tenant's in-flight streams to retire."""
+        for _, engine in self._live_engines():
+            await engine.drain()
+
+    async def aclose(self) -> None:
+        """Refuse new engines, then close every constructed one. Idempotent."""
+        with self._lock:
+            self._closed = True
+            engines = sorted(self._engines.items())
+            self._engines = {}
+        for _, engine in engines:
+            await engine.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineRegistry({len(self._databases)} tenants, "
+            f"max_concurrency={self.max_concurrency})"
+        )

@@ -1,0 +1,556 @@
+"""The mining service: JSON boundary, route handlers, server lifecycle.
+
+Four routes over :mod:`repro.server.protocol`:
+
+* ``POST /mine`` — validate the JSON body into a
+  :class:`~repro.core.requests.MetaqueryRequest`, evaluate it on the
+  tenant's engine, return the collected answers as JSON;
+* ``POST /mine/stream`` — same validation, but deliver answers as
+  Server-Sent Events **the moment the engine confirms them** (one
+  ``answer`` event per answer, byte-identical in payload and order to a
+  direct :meth:`PreparedMetaquery.stream()
+  <repro.core.requests.PreparedMetaquery.stream>`), closing with a
+  terminal ``stats`` event;
+* ``GET /healthz`` — liveness plus the tenant table;
+* ``GET /stats`` — per-tenant engine telemetry
+  (:meth:`MetaqueryEngine.stats <repro.core.engine.MetaqueryEngine.stats>`
+  and :meth:`AsyncMetaqueryEngine.stream_stats
+  <repro.core.aio.AsyncMetaqueryEngine.stream_stats>`) and the limiter
+  counters.
+
+The JSON→request boundary is strict: unknown fields, wrong types,
+competing threshold spellings and oversized bodies are all structured
+400/413 responses — the same fail-at-the-boundary philosophy
+:class:`~repro.core.requests.MetaqueryRequest` brought to the library
+API, extended to the wire.  Engine-side validation errors
+(:class:`~repro.exceptions.EngineError`, parse and purity failures)
+map to 400; only a genuine bug produces a 500.
+
+Request admission composes :mod:`repro.server.limits`: a per-client
+token bucket answers ``429 Too Many Requests`` with ``Retry-After``, and
+a concurrent-stream cap answers ``503 Service Unavailable`` — both
+checked *before* any engine work starts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from fractions import Fraction
+from typing import Awaitable, Callable
+
+from repro.core.answers import MetaqueryAnswer, Thresholds
+from repro.core.requests import ALGORITHMS, MetaqueryRequest
+from repro.exceptions import EngineError, ReproError
+from repro.server.limits import RateLimiter, StreamPermits
+from repro.server.protocol import (
+    HttpRequest,
+    PayloadTooLarge,
+    ProtocolError,
+    read_request,
+    start_sse,
+    write_response,
+    write_sse_event,
+)
+from repro.server.registry import EngineRegistry, UnknownTenantError
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "MetaqueryServer",
+    "MetaqueryService",
+    "ServiceError",
+    "answer_payload",
+    "encode_answer",
+    "parse_mine_payload",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Default request-body ceiling (bytes); metaquery JSON is tiny, so 64 KiB
+#: is generous while keeping hostile uploads cheap to refuse.
+DEFAULT_MAX_BODY = 64 * 1024
+
+#: Fields accepted in a ``/mine`` body.  ``support``/``confidence``/
+#: ``cover`` are the flat spelling of ``thresholds``; sending both is a
+#: competing-override error, mirroring the engine's request-vs-kwargs rule.
+_MINE_FIELDS = frozenset(
+    {"metaquery", "thresholds", "support", "confidence", "cover", "itype", "algorithm", "tenant"}
+)
+_THRESHOLD_FIELDS = ("support", "confidence", "cover")
+
+
+class ServiceError(ReproError):
+    """A request that must be answered with a structured HTTP error."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after = retry_after
+
+    def body(self) -> bytes:
+        """The structured JSON error document."""
+        error: dict[str, object] = {"status": self.status, "code": self.code,
+                                    "message": str(self)}
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return json.dumps({"error": error}).encode("utf-8")
+
+    def headers(self) -> dict[str, str]:
+        """Extra response headers (``Retry-After`` for 429/503)."""
+        if self.retry_after is None:
+            return {}
+        # Retry-After is delta-seconds; round up so "0.2s from now" never
+        # reads as "retry immediately".
+        return {"Retry-After": str(max(1, int(self.retry_after + 0.999)))}
+
+
+# ----------------------------------------------------------------------
+# The JSON -> MetaqueryRequest boundary
+# ----------------------------------------------------------------------
+def _bad(message: str) -> ServiceError:
+    return ServiceError(400, "invalid-request", message)
+
+
+def _coerce_threshold(name: str, value: object) -> Fraction | None:
+    """One threshold field: null, int, float, or an exact-fraction string."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise _bad(
+            f"threshold {name!r} must be a number, a fraction string or null, "
+            f"got {type(value).__name__}"
+        )
+    try:
+        thresholds = Thresholds(**{name: value})
+    except (ReproError, ValueError, TypeError, ZeroDivisionError) as exc:
+        raise _bad(f"threshold {name!r} is invalid: {exc}") from exc
+    return getattr(thresholds, name)
+
+
+def _parse_thresholds(payload: dict[str, object]) -> Thresholds:
+    """The ``thresholds`` object or the flat spelling — never both."""
+    nested = payload.get("thresholds")
+    flat = [name for name in _THRESHOLD_FIELDS if name in payload]
+    if nested is not None and flat:
+        raise _bad(
+            f"competing threshold spellings: 'thresholds' object and flat "
+            f"{', '.join(repr(f) for f in flat)}; use one or the other"
+        )
+    if nested is None:
+        values = {name: payload.get(name) for name in _THRESHOLD_FIELDS}
+    else:
+        if not isinstance(nested, dict):
+            raise _bad(f"'thresholds' must be an object, got {type(nested).__name__}")
+        unknown = set(nested) - set(_THRESHOLD_FIELDS)
+        if unknown:
+            raise _bad(
+                f"unknown threshold fields: {', '.join(sorted(map(repr, unknown)))}"
+            )
+        values = {name: nested.get(name) for name in _THRESHOLD_FIELDS}
+    return Thresholds(**{
+        name: _coerce_threshold(name, value) for name, value in values.items()
+    })
+
+
+def parse_mine_payload(
+    body: bytes, default_tenant: str
+) -> tuple[str, MetaqueryRequest]:
+    """Validate a ``/mine`` body into ``(tenant, MetaqueryRequest)``.
+
+    Every malformed input — undecodable bytes, non-object JSON, unknown
+    fields, wrong types, competing threshold spellings, invalid
+    instantiation types or algorithm names — raises a 400-carrying
+    :class:`ServiceError`; nothing at this boundary may surface as a 500.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _bad(f"malformed JSON body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _bad(f"request body must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - _MINE_FIELDS
+    if unknown:
+        raise _bad(f"unknown fields: {', '.join(sorted(map(repr, unknown)))}")
+    metaquery = payload.get("metaquery")
+    if not isinstance(metaquery, str):
+        raise _bad(
+            "field 'metaquery' is required and must be a string, got "
+            + type(metaquery).__name__
+        )
+    tenant = payload.get("tenant", default_tenant)
+    if not isinstance(tenant, str) or not tenant:
+        raise _bad(f"field 'tenant' must be a non-empty string, got {tenant!r}")
+    itype = payload.get("itype", 0)
+    if isinstance(itype, bool) or not isinstance(itype, int):
+        raise _bad(f"field 'itype' must be an integer, got {type(itype).__name__}")
+    algorithm = payload.get("algorithm", "auto")
+    if not isinstance(algorithm, str):
+        raise _bad(f"field 'algorithm' must be a string, got {type(algorithm).__name__}")
+    if algorithm not in ALGORITHMS:
+        raise _bad(
+            f"unknown algorithm {algorithm!r}; use one of: {', '.join(ALGORITHMS)}"
+        )
+    thresholds = _parse_thresholds(payload)
+    try:
+        request = MetaqueryRequest(
+            metaquery, thresholds=thresholds, itype=itype, algorithm=algorithm
+        )
+    except EngineError as exc:
+        raise _bad(str(exc)) from exc
+    return tenant, request
+
+
+# ----------------------------------------------------------------------
+# Answer serialization (shared with the differential tests)
+# ----------------------------------------------------------------------
+def answer_payload(answer: MetaqueryAnswer) -> dict[str, str]:
+    """One answer as JSON-safe data, exact: indices as fraction strings.
+
+    ``str(Fraction)`` round-trips losslessly (``"1/5"``, ``"0"``), so the
+    wire representation preserves the engine's exact arithmetic — and is
+    deterministic, which the SSE byte-identity tests rely on.
+    """
+    return {
+        "rule": str(answer.rule),
+        "support": str(answer.support),
+        "confidence": str(answer.confidence),
+        "cover": str(answer.cover),
+    }
+
+
+def encode_answer(answer: MetaqueryAnswer) -> str:
+    """The canonical single-line JSON encoding of one streamed answer."""
+    return json.dumps(answer_payload(answer), sort_keys=True, separators=(",", ":"))
+
+
+def _json_bytes(document: object) -> bytes:
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class MetaqueryService:
+    """Route dispatch and admission control over an :class:`EngineRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The tenant table (see :mod:`repro.server.registry`).
+    rate / burst:
+        Per-client token-bucket parameters (tokens/second and bucket
+        size).  ``rate=None`` disables rate limiting.
+    max_streams:
+        Cap on concurrently executing SSE streams (``503`` beyond it).
+    max_body:
+        Request-body ceiling in bytes (``413`` beyond it).
+    default_tenant:
+        The tenant used when a request body names none.
+    """
+
+    def __init__(
+        self,
+        registry: EngineRegistry,
+        rate: float | None = 50.0,
+        burst: float = 20.0,
+        max_streams: int = 8,
+        max_body: int = DEFAULT_MAX_BODY,
+        default_tenant: str = "default",
+    ) -> None:
+        if isinstance(max_body, bool) or not isinstance(max_body, int) or max_body < 1:
+            raise EngineError(f"max_body must be a positive int, got {max_body!r}")
+        self.registry = registry
+        self.rate_limiter = RateLimiter(rate, burst) if rate is not None else None
+        self.stream_permits = StreamPermits(max_streams)
+        self.max_body = max_body
+        self.default_tenant = default_tenant
+
+    # ------------------------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The ``asyncio.start_server`` callback: one request per connection."""
+        try:
+            try:
+                request = await read_request(reader, max_body=self.max_body)
+            except PayloadTooLarge as exc:
+                await self._write_error(
+                    writer, ServiceError(413, "payload-too-large", str(exc))
+                )
+                return
+            except ProtocolError as exc:
+                await self._write_error(writer, _bad(str(exc)))
+                return
+            if request is None:
+                return
+            await self._dispatch(request, reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            # The client went away mid-response; nothing left to tell it.
+            pass
+        finally:
+            # Half-close first: ``write_eof`` sends the TCP FIN via
+            # ``shutdown(SHUT_WR)``, which reaches the client even when a
+            # forked engine worker pool holds a duplicate of this socket's
+            # file descriptor (fork copies every open fd; a plain close
+            # here would leave the child's copy keeping the connection
+            # alive until the pool exits).
+            if writer.can_write_eof():
+                try:
+                    writer.write_eof()
+                except OSError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _write_error(self, writer: asyncio.StreamWriter, error: ServiceError) -> None:
+        await write_response(
+            writer, error.status, error.body(), extra_headers=error.headers()
+        )
+
+    async def _dispatch(
+        self,
+        request: HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Route one parsed request, mapping every failure to a response."""
+        routes: dict[str, dict[str, Callable[..., Awaitable[None]]]] = {
+            "/healthz": {"GET": self._handle_healthz},
+            "/stats": {"GET": self._handle_stats},
+            "/mine": {"POST": self._handle_mine},
+            "/mine/stream": {"POST": self._handle_mine_stream},
+        }
+        try:
+            by_method = routes.get(request.path)
+            if by_method is None:
+                raise ServiceError(404, "not-found", f"no route for {request.path!r}")
+            handler = by_method.get(request.method)
+            if handler is None:
+                raise ServiceError(
+                    405,
+                    "method-not-allowed",
+                    f"{request.method} not allowed on {request.path!r}; "
+                    f"allowed: {', '.join(sorted(by_method))}",
+                )
+            if request.path == "/mine/stream":
+                await handler(request, reader, writer)
+            else:
+                await handler(request, writer)
+        except ServiceError as exc:
+            await self._write_error(writer, exc)
+        except UnknownTenantError as exc:
+            await self._write_error(writer, ServiceError(404, "unknown-tenant", str(exc)))
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except ReproError as exc:
+            # Engine-side validation (parse errors, purity, bad requests
+            # reaching prepare): the caller's fault, not the server's.
+            await self._write_error(writer, _bad(str(exc)))
+        except Exception as exc:
+            logger.exception("unhandled error serving %s %s", request.method, request.path)
+            await self._write_error(
+                writer,
+                ServiceError(500, "internal-error", f"{type(exc).__name__} (see server log)"),
+            )
+
+    # ------------------------------------------------------------------
+    def _client_of(self, request: HttpRequest, writer: asyncio.StreamWriter) -> str:
+        """The rate-limiting identity: ``X-Client-Id`` or the peer host."""
+        peer = writer.get_extra_info("peername")
+        fallback = peer[0] if isinstance(peer, tuple) and peer else "unknown"
+        return request.client_id(default=str(fallback))
+
+    def _check_rate(self, request: HttpRequest, writer: asyncio.StreamWriter) -> None:
+        """Per-client admission; raises the 429 :class:`ServiceError`."""
+        if self.rate_limiter is None:
+            return
+        client = self._client_of(request, writer)
+        decision = self.rate_limiter.admit(client)
+        if not decision.admitted:
+            raise ServiceError(
+                429,
+                "rate-limited",
+                f"client {client!r} exceeded its request rate",
+                retry_after=decision.retry_after,
+            )
+
+    # ------------------------------------------------------------------
+    async def _handle_healthz(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """Liveness: the process is up and serving this tenant table."""
+        body = _json_bytes({"status": "ok", "tenants": list(self.registry.tenants())})
+        await write_response(writer, 200, body)
+
+    async def _handle_stats(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """Engine + limiter telemetry, one consistent-enough snapshot."""
+        limits: dict[str, object] = {"streams": self.stream_permits.stats_dict()}
+        if self.rate_limiter is not None:
+            limits["rate"] = self.rate_limiter.stats_dict()
+        body = _json_bytes({"tenants": self.registry.stats(), "limits": limits})
+        await write_response(writer, 200, body)
+
+    async def _handle_mine(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """``POST /mine``: validate, evaluate, return the collected answers."""
+        self._check_rate(request, writer)
+        tenant, mine_request = parse_mine_payload(request.body, self.default_tenant)
+        engine = self.registry.get(tenant)
+        answers = await engine.find_rules(mine_request)
+        body = _json_bytes(
+            {
+                "tenant": tenant,
+                "algorithm": answers.algorithm,
+                "count": len(answers),
+                "answers": [answer_payload(a) for a in answers],
+            }
+        )
+        await write_response(writer, 200, body)
+
+    async def _handle_mine_stream(
+        self,
+        request: HttpRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """``POST /mine/stream``: SSE, one ``answer`` event per confirmation.
+
+        Everything that can fail with a status code — validation, tenant
+        lookup, rate/backpressure admission, prepare — happens *before*
+        the SSE response starts, so the client always gets either a clean
+        HTTP error or a stream.  After the stream starts, the only
+        failure mode is the client disconnecting, detected both by a
+        pending end-of-file read on the request socket and by write
+        failures; either way the producer is retired through the async
+        generator's close and the stream permit is released by the
+        ``finally``.
+        """
+        self._check_rate(request, writer)
+        tenant, mine_request = parse_mine_payload(request.body, self.default_tenant)
+        engine = self.registry.get(tenant)  # 404 before taking a permit
+        if not self.stream_permits.try_acquire():
+            raise ServiceError(
+                503,
+                "overloaded",
+                f"{self.stream_permits.max_streams} streams already executing",
+                retry_after=self.stream_permits.retry_after,
+            )
+        try:
+            prepared = await engine.prepare(mine_request)
+            await start_sse(writer)
+            # The client sends nothing after its request, so a completed
+            # read means EOF: the client closed the connection.  Polled
+            # between events — the cheap, reliable disconnect signal for
+            # long streams whose writes keep succeeding into OS buffers.
+            eof_task = asyncio.create_task(reader.read(1))
+            count = 0
+            exhausted = False
+            stream = engine.stream(prepared)
+            try:
+                async for answer in stream:
+                    if eof_task.done():
+                        break
+                    await write_sse_event(writer, "answer", encode_answer(answer), count)
+                    count += 1
+                else:
+                    exhausted = True
+            finally:
+                await stream.aclose()
+                if not eof_task.done():
+                    eof_task.cancel()
+            if exhausted and not eof_task.done():
+                stats_payload = json.dumps(
+                    {
+                        "answers": count,
+                        "algorithm": prepared.algorithm,
+                        "tenant": tenant,
+                        "complete": True,
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                await write_sse_event(writer, "stats", stats_payload)
+        finally:
+            self.stream_permits.release()
+
+
+# ----------------------------------------------------------------------
+# Server lifecycle
+# ----------------------------------------------------------------------
+class MetaqueryServer:
+    """Bind, serve, and drain one :class:`MetaqueryService`.
+
+    The lifecycle is explicit so the CLI, the in-process test harness and
+    the benchmark all drive the same object: :meth:`start` binds the
+    listening socket (port ``0`` picks an ephemeral port, reported by
+    :attr:`port`), :meth:`aclose` performs the graceful shutdown — stop
+    accepting, wait for in-flight streams to retire (bounded by
+    ``drain_timeout``), then close every tenant engine.
+    """
+
+    def __init__(
+        self,
+        service: MetaqueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise EngineError("server already started")
+        self._server = await asyncio.start_server(
+            self.service.handle_connection, self.host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            raise EngineError("server not started")
+        sockets = self._server.sockets
+        if not sockets:  # pragma: no cover - closed mid-query
+            raise EngineError("server has no listening sockets")
+        port = sockets[0].getsockname()[1]
+        return int(port)
+
+    async def serve_until(self, shutdown: asyncio.Event, drain_timeout: float = 10.0) -> None:
+        """Serve until ``shutdown`` is set, then gracefully drain and close.
+
+        The CLI sets the event from its SIGTERM/SIGINT handlers.
+        """
+        await shutdown.wait()
+        await self.aclose(drain_timeout=drain_timeout)
+
+    async def aclose(self, drain_timeout: float = 10.0) -> None:
+        """Stop accepting, drain in-flight streams, close tenant engines."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        try:
+            await asyncio.wait_for(self.service.registry.drain(), drain_timeout)
+        except asyncio.TimeoutError:
+            logger.warning(
+                "drain timed out after %.1fs; closing engines under stragglers",
+                drain_timeout,
+            )
+        await self.service.registry.aclose()

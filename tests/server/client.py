@@ -1,0 +1,263 @@
+"""A tiny blocking HTTP/1.1 + SSE test client for the in-process server.
+
+The server suite needs a client that exercises the *wire* — real sockets,
+real SSE framing, the ability to disconnect mid-stream — without pulling
+in a third-party HTTP library.  This module is that client, built on
+:mod:`socket` alone and shaped around the server's one-request-per-
+connection, ``Connection: close`` contract:
+
+* :meth:`ServeClient.request` / :meth:`ServeClient.post_json` /
+  :meth:`ServeClient.get` send one request and read the entire framed
+  response to end-of-file;
+* :meth:`ServeClient.open_sse` returns an :class:`SseStream` that parses
+  ``text/event-stream`` frames incrementally, so tests can read ``k``
+  events and then :meth:`~SseStream.close` the socket to inject a
+  mid-stream client disconnect.
+
+``request`` accepts a ``declared_length`` override so the oversized-body
+tests can *declare* a huge ``Content-Length`` without transmitting it —
+the server refuses before reading, and the client still collects the
+structured 413.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["HttpResponse", "ServeClient", "SseEvent", "SseStream"]
+
+_HEAD_END = b"\r\n\r\n"
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One complete HTTP response: status line, headers, body."""
+
+    status: int
+    reason: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        """The body decoded as JSON."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass(frozen=True)
+class SseEvent:
+    """One parsed Server-Sent-Events frame."""
+
+    event: str
+    data: str
+    event_id: str | None = None
+
+
+def _parse_head(head: bytes) -> tuple[int, str, dict[str, str]]:
+    """Split a response head into (status, reason, lower-cased headers)."""
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise AssertionError(f"malformed status line: {lines[0]!r}")
+    status = int(parts[1])
+    reason = parts[2] if len(parts) > 2 else ""
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, reason, headers
+
+
+class SseStream:
+    """An incremental reader over one open ``text/event-stream`` response.
+
+    Reads the response head eagerly (so :attr:`status` and
+    :attr:`headers` are available immediately), then yields events as the
+    server flushes them.  :meth:`close` drops the socket mid-stream —
+    the disconnect the fault-injection tests rely on.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock: socket.socket | None = sock
+        self._buffer = b""
+        self._eof = False
+        head = self._read_until(_HEAD_END)
+        self.status, self.reason, self.headers = _parse_head(head)
+
+    # -- raw reading ---------------------------------------------------
+    def _recv(self) -> None:
+        """Pull one chunk into the buffer; record end-of-file."""
+        if self._eof or self._sock is None:
+            return
+        try:
+            chunk = self._sock.recv(65536)
+        except (ConnectionResetError, BrokenPipeError):
+            chunk = b""
+        if not chunk:
+            self._eof = True
+            return
+        self._buffer += chunk
+
+    def _read_until(self, marker: bytes) -> bytes:
+        """Bytes up to (excluding) ``marker``, consuming it from the buffer."""
+        while marker not in self._buffer and not self._eof:
+            self._recv()
+        part, sep, rest = self._buffer.partition(marker)
+        if not sep:
+            raise AssertionError(f"stream ended before {marker!r}; got {self._buffer!r}")
+        self._buffer = rest
+        return part
+
+    def read_body(self) -> bytes:
+        """Everything remaining until end-of-file (for non-200 responses)."""
+        while not self._eof:
+            self._recv()
+        body, self._buffer = self._buffer, b""
+        return body
+
+    # -- SSE parsing ---------------------------------------------------
+    def next_event(self) -> SseEvent | None:
+        """The next complete event frame, or ``None`` at end-of-stream."""
+        while b"\n\n" not in self._buffer:
+            if self._eof:
+                return None
+            self._recv()
+        frame, _, self._buffer = self._buffer.partition(b"\n\n")
+        event = ""
+        event_id: str | None = None
+        data_lines: list[str] = []
+        for raw in frame.decode("utf-8").split("\n"):
+            name, _, value = raw.partition(":")
+            value = value.removeprefix(" ")
+            if name == "event":
+                event = value
+            elif name == "id":
+                event_id = value
+            elif name == "data":
+                data_lines.append(value)
+        return SseEvent(event=event, data="\n".join(data_lines), event_id=event_id)
+
+    def events(self) -> Iterator[SseEvent]:
+        """Iterate events until the server closes the stream."""
+        while True:
+            event = self.next_event()
+            if event is None:
+                return
+            yield event
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drop the connection (mid-stream: injects a client disconnect)."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._eof = True
+
+    def __enter__(self) -> "SseStream":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+
+class ServeClient:
+    """A blocking one-request-per-connection client for the test server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection((self.host, self.port), timeout=self.timeout)
+
+    def _send(
+        self,
+        sock: socket.socket,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None,
+        declared_length: int | None,
+    ) -> None:
+        length = len(body) if declared_length is None else declared_length
+        head = f"{method} {path} HTTP/1.1\r\nHost: {self.host}\r\nContent-Length: {length}\r\n"
+        for name, value in (headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        try:
+            sock.sendall(head.encode("latin-1") + b"\r\n" + body)
+        except (ConnectionResetError, BrokenPipeError):
+            # The server may refuse (and close) before reading the whole
+            # request; the response is still waiting to be read.
+            pass
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+        declared_length: int | None = None,
+    ) -> HttpResponse:
+        """One request, the whole framed response (read to end-of-file)."""
+        sock = self._connect()
+        try:
+            self._send(sock, method, path, body, headers, declared_length)
+            raw = b""
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not chunk:
+                    break
+                raw += chunk
+        finally:
+            sock.close()
+        head, sep, payload = raw.partition(_HEAD_END)
+        if not sep:
+            raise AssertionError(f"no complete response head in {raw!r}")
+        status, reason, response_headers = _parse_head(head)
+        return HttpResponse(status=status, reason=reason, headers=response_headers, body=payload)
+
+    def get(self, path: str, headers: dict[str, str] | None = None) -> HttpResponse:
+        """A bodyless ``GET``."""
+        return self.request("GET", path, headers=headers)
+
+    def post_json(
+        self,
+        path: str,
+        payload: object,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        """``POST`` a JSON document (or raw bytes) and collect the response."""
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+        return self.request("POST", path, body=body, headers=headers)
+
+    def open_sse(
+        self,
+        path: str,
+        payload: object,
+        headers: dict[str, str] | None = None,
+    ) -> SseStream:
+        """``POST`` and hand back the open response as an :class:`SseStream`.
+
+        The head is parsed eagerly; callers assert on
+        :attr:`SseStream.status` (an admission failure arrives as a
+        framed JSON error readable via :meth:`SseStream.read_body`).
+        """
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+        sock = self._connect()
+        try:
+            self._send(sock, "POST", path, body, headers, None)
+            return SseStream(sock)
+        except BaseException:
+            sock.close()
+            raise

@@ -1,0 +1,106 @@
+"""Fixtures for the server suite: in-process servers plus blocking clients.
+
+The suite's workhorse is :class:`ServeFixture` — one running
+:class:`repro.server.inprocess.InProcessServer` (the real service stack
+on an ephemeral port inside the test process) wrapped with client
+conveniences and a polling helper for the asynchronous assertions
+(permit release after a disconnect, stream retirement).  The
+``make_server`` factory fixture starts any number of servers per test
+and guarantees each performs its graceful close at teardown, so every
+test also exercises the production drain path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator, Mapping
+
+import pytest
+from client import HttpResponse, ServeClient, SseStream
+
+from repro.relational.database import Database
+from repro.server.inprocess import InProcessServer
+from repro.workloads.telecom import db1
+
+
+class ServeFixture:
+    """One running in-process server with client-side conveniences."""
+
+    def __init__(self, inproc: InProcessServer) -> None:
+        self.inproc = inproc
+
+    @property
+    def service(self) -> Any:
+        """The running :class:`~repro.server.service.MetaqueryService`."""
+        return self.inproc.service
+
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self.inproc.host
+
+    @property
+    def port(self) -> int:
+        """The ephemeral port."""
+        return self.inproc.port
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        """A fresh blocking client against this server."""
+        return ServeClient(self.host, self.port, timeout=timeout)
+
+    def get(self, path: str, headers: dict[str, str] | None = None) -> HttpResponse:
+        return self.client().get(path, headers=headers)
+
+    def post_json(
+        self, path: str, payload: object, headers: dict[str, str] | None = None
+    ) -> HttpResponse:
+        return self.client().post_json(path, payload, headers=headers)
+
+    def open_sse(
+        self, path: str, payload: object, headers: dict[str, str] | None = None
+    ) -> SseStream:
+        return self.client().open_sse(path, payload, headers=headers)
+
+    def run(self, coro: Any, timeout: float = 10.0) -> Any:
+        """Run a coroutine on the server's private loop (loop-side state)."""
+        return self.inproc.run(coro, timeout=timeout)
+
+    def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 10.0,
+        interval: float = 0.02,
+        message: str = "condition not met",
+    ) -> None:
+        """Poll ``predicate`` until true or fail after ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(interval)
+        raise AssertionError(f"{message} within {timeout}s")
+
+
+@pytest.fixture
+def make_server() -> Iterator[Callable[..., ServeFixture]]:
+    """A factory starting in-process servers, gracefully closed at teardown."""
+    started: list[InProcessServer] = []
+
+    def factory(
+        databases: Mapping[str, Database] | None = None, **kwargs: Any
+    ) -> ServeFixture:
+        tenants = dict(databases) if databases is not None else {"default": db1()}
+        server = InProcessServer(tenants, **kwargs)
+        server.start()
+        started.append(server)
+        return ServeFixture(server)
+
+    yield factory
+    for server in reversed(started):
+        server.close()
+
+
+@pytest.fixture
+def telecom_server(make_server: Callable[..., ServeFixture]) -> ServeFixture:
+    """A single-tenant server over DB1 of Figure 1, rate limiting off."""
+    return make_server()

@@ -1,0 +1,140 @@
+"""The ``repro serve`` subcommand: argument validation and a live round trip.
+
+Validation failures must exit 2 with a message on stderr (matching the
+other subcommands); the live test launches the real CLI in a subprocess
+on an ephemeral port, mines over HTTP, then delivers SIGTERM and asserts
+the graceful drain exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from client import ServeClient
+
+from repro.cli import _parse_tenant_specs, main
+from repro.relational.io import save_database
+from repro.workloads.telecom import db1, db1_prime
+
+TRANSITIVITY = "R(X,Z) <- P(X,Y), Q(Y,Z)"
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def data_dir(tmp_path) -> str:
+    directory = tmp_path / "telecom"
+    save_database(db1(), directory)
+    return str(directory)
+
+
+@pytest.fixture
+def prime_dir(tmp_path) -> str:
+    directory = tmp_path / "prime"
+    save_database(db1_prime(), directory)
+    return str(directory)
+
+
+@pytest.mark.parametrize(
+    "extra",
+    [
+        ["--workers", "0"],
+        ["--max-concurrency", "0"],
+        ["--max-streams", "0"],
+        ["--port", "-1"],
+        ["--cache-limit", "0"],
+        ["--rate", "-1"],
+        ["--tenant", "noequals"],
+        ["--tenant", "=dir"],
+        ["--tenant", "name="],
+        ["--tenant", "default=/elsewhere"],
+    ],
+)
+def test_serve_rejects_bad_arguments(data_dir: str, capsys, extra: list[str]) -> None:
+    """Each invalid flag: exit 2 and an ``error:`` line on stderr."""
+    exit_code = main(["serve", data_dir, *extra])
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parse_tenant_specs() -> None:
+    """NAME=DIR parsing: trimming, accumulation, malformed -> None."""
+    assert _parse_tenant_specs([]) == {}
+    assert _parse_tenant_specs(["a=/x", " b = /y "]) == {"a": "/x", "b": "/y"}
+    assert _parse_tenant_specs(["broken"]) is None
+    assert _parse_tenant_specs(["=dir"]) is None
+    assert _parse_tenant_specs(["name="]) is None
+
+
+def test_serve_round_trip_and_sigterm_drain(data_dir: str, prime_dir: str) -> None:
+    """The real CLI: bind ephemeral, serve two tenants, drain on SIGTERM."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            data_dir,
+            "--tenant",
+            f"prime={prime_dir}",
+            "--port",
+            "0",
+            "--rate",
+            "0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 30
+        assert process.stdout is not None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            if line.startswith("# serving on http://"):
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port is not None, "server never announced its port"
+
+        client = ServeClient("127.0.0.1", port)
+        health = client.get("/healthz")
+        assert health.status == 200
+        assert health.json()["tenants"] == ["default", "prime"]
+
+        mined = client.post_json(
+            "/mine",
+            {"metaquery": TRANSITIVITY, "support": 0.3, "tenant": "prime"},
+        )
+        assert mined.status == 200
+        assert mined.json()["tenant"] == "prime"
+
+        with client.open_sse(
+            "/mine/stream", {"metaquery": TRANSITIVITY, "itype": 1, "support": 0.2}
+        ) as stream:
+            assert stream.status == 200
+            events = list(stream.events())
+        assert events and events[-1].event == "stats"
+        assert json.loads(events[-1].data)["complete"] is True
+
+        process.send_signal(signal.SIGTERM)
+        exit_code = process.wait(timeout=30)
+        remaining = process.stdout.read()
+        assert exit_code == 0, remaining
+        assert "# drained; bye" in remaining
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)

@@ -1,0 +1,247 @@
+"""Property and fault-injection tests for the service admission limits.
+
+Two families:
+
+* Hypothesis properties over :class:`~repro.server.limits.TokenBucket`,
+  :class:`~repro.server.limits.RateLimiter` and
+  :class:`~repro.server.limits.StreamPermits` with adversarial injected
+  clocks — exact-arithmetic invariants, foremost the token-bucket
+  theorem: in *any* window of length ``T``, for *any* interleaving of
+  attempts, at most ``burst + rate * T`` admissions succeed.  All
+  quantities are :class:`~fractions.Fraction`-exact, so the bound is
+  checked with ``<=``, no epsilon.
+* Fault injection over a live in-process server: a client that closes
+  its socket after ``k`` SSE events must always get its stream permit
+  back, and the abandoned producer must retire (``streams_finished``
+  catches up to ``streams_started``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EngineError
+from repro.server.limits import RateLimiter, StreamPermits, TokenBucket
+
+TRANSITIVITY = "R(X,Z) <- P(X,Y), Q(Y,Z)"
+
+
+class FakeClock:
+    """A manually advanced monotonic clock returning exact Fractions."""
+
+    def __init__(self) -> None:
+        self.now = Fraction(0)
+
+    def __call__(self) -> Fraction:
+        return self.now
+
+    def advance(self, delta: Fraction) -> None:
+        assert delta >= 0
+        self.now += delta
+
+
+_rates = st.fractions(min_value=Fraction(1, 20), max_value=Fraction(50), max_denominator=32)
+_bursts = st.fractions(min_value=Fraction(1), max_value=Fraction(12), max_denominator=8)
+_deltas = st.lists(
+    st.fractions(min_value=Fraction(0), max_value=Fraction(3), max_denominator=16),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(rate=_rates, burst=_bursts, deltas=_deltas)
+def test_token_bucket_window_bound(
+    rate: Fraction, burst: Fraction, deltas: list[Fraction]
+) -> None:
+    """In any window [t_i, t_j], admissions <= burst + rate * (t_j - t_i).
+
+    Each drawn delta advances the clock (zero deltas model bursts of
+    attempts at one instant) and then attempts one acquisition; the bound
+    is checked over *every* window, not just from the start, which is the
+    full token-bucket theorem.
+    """
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock=clock)
+    admissions: list[tuple[Fraction, int]] = []  # (time, admitted 0/1)
+    for delta in deltas:
+        clock.advance(delta)
+        admissions.append((clock.now, int(bucket.try_acquire())))
+    for i in range(len(admissions)):
+        for j in range(i, len(admissions)):
+            window = admissions[j][0] - admissions[i][0]
+            admitted = sum(a for _, a in admissions[i : j + 1])
+            assert admitted <= burst + rate * window, (
+                f"window [{admissions[i][0]}, {admissions[j][0]}] admitted "
+                f"{admitted} > {burst} + {rate} * {window}"
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(rate=_rates, burst=_bursts, spins=st.integers(min_value=1, max_value=30))
+def test_token_bucket_exact_refill(rate: Fraction, burst: Fraction, spins: int) -> None:
+    """A dry bucket admits again exactly when the next token exists."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock=clock)
+    for _ in range(spins):
+        if not bucket.try_acquire():
+            break
+    if bucket.try_acquire():
+        return  # burst deep enough to absorb every attempt
+    deficit = 1 - bucket.tokens
+    assert deficit > 0
+    # One instant before the refill completes: still rate-limited.
+    clock.advance(deficit / rate - Fraction(1, 10**9))
+    assert not bucket.try_acquire()
+    clock.advance(Fraction(1, 10**9))
+    assert bucket.try_acquire()
+
+
+@settings(max_examples=100, deadline=None)
+@given(rate=_rates, burst=_bursts, attempts=st.integers(min_value=1, max_value=30))
+def test_token_bucket_retry_after_is_sufficient(
+    rate: Fraction, burst: Fraction, attempts: int
+) -> None:
+    """Waiting the advertised ``retry_after`` always yields a token."""
+    clock = FakeClock()
+    bucket = TokenBucket(rate, burst, clock=clock)
+    for _ in range(attempts):
+        bucket.try_acquire()
+    hint = bucket.retry_after()
+    if hint == 0.0:
+        assert bucket.tokens >= 1
+        return
+    # The float hint is a rounded hint; the exact wait is (1 - tokens)/rate.
+    exact_wait = (1 - bucket.tokens) / rate
+    assert Fraction(hint) >= exact_wait or exact_wait - Fraction(hint) < Fraction(1, 10**6)
+    clock.advance(max(Fraction(hint), exact_wait))
+    assert bucket.try_acquire()
+
+
+def test_token_bucket_validation() -> None:
+    """Non-positive rates and sub-token bursts are construction errors."""
+    with pytest.raises(EngineError):
+        TokenBucket(0, 5)
+    with pytest.raises(EngineError):
+        TokenBucket(-1, 5)
+    with pytest.raises(EngineError):
+        TokenBucket(1, 0)
+    with pytest.raises(EngineError):
+        TokenBucket(1, Fraction(1, 2))
+
+
+def test_rate_limiter_isolates_clients() -> None:
+    """One client draining its bucket never taxes another client."""
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1, burst=2, clock=clock)
+    assert limiter.admit("chatty").admitted
+    assert limiter.admit("chatty").admitted
+    refusal = limiter.admit("chatty")
+    assert not refusal.admitted
+    assert refusal.retry_after > 0
+    assert limiter.admit("quiet").admitted
+    stats = limiter.stats_dict()
+    assert stats == {"admitted": 3, "rejected": 1, "clients": 2}
+
+
+def test_rate_limiter_lru_eviction_restarts_full() -> None:
+    """Beyond ``max_clients`` the oldest client is forgotten, not punished."""
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1, burst=1, clock=clock, max_clients=2)
+    assert limiter.admit("a").admitted
+    assert not limiter.admit("a").admitted  # bucket dry
+    assert limiter.admit("b").admitted
+    assert limiter.admit("c").admitted  # evicts "a", the least recent
+    assert limiter.stats_dict()["clients"] == 2
+    # "a" returns as a fresh client with a full bucket.
+    assert limiter.admit("a").admitted
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    max_streams=st.integers(min_value=1, max_value=5),
+    ops=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+def test_stream_permits_model(max_streams: int, ops: list[bool]) -> None:
+    """Any acquire/release interleaving: 0 <= active <= max, refusals exact."""
+    permits = StreamPermits(max_streams)
+    active = 0
+    for acquire in ops:
+        if acquire:
+            admitted = permits.try_acquire()
+            assert admitted == (active < max_streams)
+            if admitted:
+                active += 1
+        elif active:
+            permits.release()
+            active -= 1
+        else:
+            with pytest.raises(EngineError):
+                permits.release()
+        assert permits.active == active
+        assert 0 <= active <= max_streams
+    stats = permits.stats_dict()
+    assert stats["active"] == active
+    assert stats["admitted"] - active == stats["admitted"] - stats["active"]
+
+
+def test_stream_permits_validation() -> None:
+    """The cap must be a positive non-bool int."""
+    for bad in (0, -1, True, 1.5):
+        with pytest.raises(EngineError):
+            StreamPermits(bad)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Fault injection over a live server
+# ----------------------------------------------------------------------
+def _producers_retired(fixture) -> bool:
+    engine = fixture.service.registry.get("default")
+    stats = engine.stream_stats()
+    return stats["streams_started"] == stats["streams_finished"]
+
+
+@pytest.mark.parametrize("events_before_close", [0, 5])
+def test_disconnect_mid_stream_frees_permit(make_server, events_before_close: int) -> None:
+    """Closing the socket after ``k`` events releases the permit and producer."""
+    fixture = make_server(max_streams=2)
+    payload = {"metaquery": TRANSITIVITY, "itype": 1, "support": 0.2}
+    stream = fixture.open_sse("/mine/stream", payload)
+    assert stream.status == 200
+    for _ in range(events_before_close):
+        event = stream.next_event()
+        assert event is not None and event.event == "answer"
+    stream.close()  # the injected fault: client vanishes mid-stream
+    fixture.wait_until(
+        lambda: fixture.service.stream_permits.active == 0,
+        message="stream permit not released after disconnect",
+    )
+    fixture.wait_until(
+        lambda: _producers_retired(fixture),
+        message="abandoned producer did not retire",
+    )
+
+
+def test_sequential_streams_recycle_permits(make_server) -> None:
+    """Permits fully recycle across completed streams (no slow leak)."""
+    fixture = make_server(max_streams=1)
+    payload = {"metaquery": TRANSITIVITY, "itype": 1, "support": 0.2}
+    for _ in range(3):
+        with fixture.open_sse("/mine/stream", payload) as stream:
+            assert stream.status == 200
+            events = list(stream.events())
+        assert events[-1].event == "stats"
+    assert fixture.service.stream_permits.active == 0
+    stats = fixture.service.stream_permits.stats_dict()
+    assert stats["admitted"] == 3
+    assert stats["rejected"] == 0
+    # The producer's done-callback lands on the loop just after the
+    # client sees end-of-file, so retirement is eventual, not immediate.
+    fixture.wait_until(
+        lambda: _producers_retired(fixture),
+        message="producers did not retire after natural exhaustion",
+    )

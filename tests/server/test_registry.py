@@ -1,0 +1,168 @@
+"""Unit tests for the engine registry and the aio facade's server hooks.
+
+The registry's contract: a static tenant table, engines constructed
+lazily on first use (and only once per tenant), one shared
+executing-stage budget across every tenant, and a close that refuses
+further construction.  The aio hooks it relies on — the injectable
+``concurrency_budget`` semaphore and the graceful ``drain()`` — are
+covered here too, driven by ``asyncio.run`` without a server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.aio import AsyncMetaqueryEngine
+from repro.exceptions import EngineError
+from repro.server.registry import EngineRegistry, UnknownTenantError
+from repro.workloads.telecom import db1, db1_prime
+
+TRANSITIVITY = "R(X,Z) <- P(X,Y), Q(Y,Z)"
+
+
+def test_registry_validates_construction() -> None:
+    """Empty tables, bad names, bad values and bad budgets are errors."""
+    with pytest.raises(EngineError):
+        EngineRegistry({})
+    with pytest.raises(EngineError):
+        EngineRegistry({"": db1()})
+    with pytest.raises(EngineError):
+        EngineRegistry({7: db1()})  # type: ignore[dict-item]
+    with pytest.raises(EngineError):
+        EngineRegistry({"a": "not a database"})  # type: ignore[dict-item]
+    with pytest.raises(EngineError):
+        EngineRegistry({"a": db1()}, max_concurrency=0)
+    with pytest.raises(EngineError):
+        EngineRegistry({"a": db1()}, max_concurrency=True)
+
+
+def test_registry_lazy_single_construction() -> None:
+    """An engine is built on first ``get`` and reused afterwards."""
+
+    async def scenario() -> None:
+        registry = EngineRegistry({"a": db1(), "b": db1_prime()})
+        assert registry.tenants() == ("a", "b")
+        assert registry.stats()["a"] == {"constructed": False}
+        engine = registry.get("a")
+        assert registry.get("a") is engine
+        stats = registry.stats()
+        assert stats["a"]["constructed"] is True
+        assert stats["b"] == {"constructed": False}
+        await registry.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_registry_unknown_tenant_lists_known() -> None:
+    """The 404-mapped error names the tenant and the serving table."""
+
+    async def scenario() -> None:
+        registry = EngineRegistry({"a": db1()})
+        with pytest.raises(UnknownTenantError) as excinfo:
+            registry.get("ghost")
+        assert excinfo.value.tenant == "ghost"
+        assert "'ghost'" in str(excinfo.value)
+        assert "a" in str(excinfo.value)
+        await registry.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_registry_shares_one_budget() -> None:
+    """Every tenant engine runs under the registry's single semaphore."""
+
+    async def scenario() -> None:
+        registry = EngineRegistry({"a": db1(), "b": db1_prime()}, max_concurrency=3)
+        a = registry.get("a")
+        b = registry.get("b")
+        assert a._semaphore is b._semaphore
+        # The budget is real: both tenants' work drains through it.
+        await a.find_rules(TRANSITIVITY)
+        await b.find_rules(TRANSITIVITY)
+        await registry.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_registry_close_refuses_new_engines() -> None:
+    """After ``aclose`` the registry constructs nothing further."""
+
+    async def scenario() -> None:
+        registry = EngineRegistry({"a": db1()})
+        registry.get("a")
+        await registry.aclose()
+        with pytest.raises(EngineError):
+            registry.get("a")
+        await registry.aclose()  # idempotent
+
+    asyncio.run(scenario())
+
+
+def test_registry_drain_with_no_streams_returns() -> None:
+    """Draining an idle registry completes immediately."""
+
+    async def scenario() -> None:
+        registry = EngineRegistry({"a": db1()})
+        registry.get("a")
+        await asyncio.wait_for(registry.drain(), timeout=5)
+        await registry.aclose()
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# The aio hooks the registry depends on
+# ----------------------------------------------------------------------
+def test_aio_rejects_non_semaphore_budget() -> None:
+    """``concurrency_budget`` must be an ``asyncio.Semaphore`` (or None)."""
+    with pytest.raises(EngineError):
+        AsyncMetaqueryEngine(db1(), concurrency_budget="four")  # type: ignore[arg-type]
+    with pytest.raises(EngineError):
+        AsyncMetaqueryEngine(db1(), concurrency_budget=4)  # type: ignore[arg-type]
+
+
+def test_aio_uses_injected_budget() -> None:
+    """An injected semaphore replaces the engine-private one."""
+
+    async def scenario() -> None:
+        budget = asyncio.Semaphore(2)
+        async with AsyncMetaqueryEngine(db1(), concurrency_budget=budget) as engine:
+            assert engine._semaphore is budget
+            await engine.find_rules(TRANSITIVITY)
+
+    asyncio.run(scenario())
+
+
+def test_aio_drain_waits_for_stream_retirement() -> None:
+    """``drain()`` returns only after in-flight producers retire."""
+
+    async def scenario() -> None:
+        async with AsyncMetaqueryEngine(db1()) as engine:
+            await asyncio.wait_for(engine.drain(), timeout=5)  # idle: immediate
+            seen = 0
+            async for _ in engine.stream(TRANSITIVITY, itype=1):
+                seen += 1
+                if seen >= 2:
+                    break  # abandon mid-stream: the producer retires async
+            await asyncio.wait_for(engine.drain(), timeout=10)
+            stats = engine.stream_stats()
+            assert stats["streams_started"] == stats["streams_finished"] == 1
+            assert stats["streams_active"] == 0
+
+    asyncio.run(scenario())
+
+
+def test_aio_drain_after_natural_exhaustion() -> None:
+    """A fully consumed stream leaves nothing for ``drain()`` to wait on."""
+
+    async def scenario() -> None:
+        async with AsyncMetaqueryEngine(db1()) as engine:
+            answers = [a async for a in engine.stream(TRANSITIVITY, itype=1)]
+            assert answers
+            await asyncio.wait_for(engine.drain(), timeout=10)
+            stats = engine.stream_stats()
+            assert stats["streams_active"] == 0
+
+    asyncio.run(scenario())

@@ -1,0 +1,203 @@
+"""Endpoint behaviour of the service: routes, tenancy, admission control.
+
+Everything here runs over real sockets against the in-process server:
+the health and stats documents, route/method dispatch (404/405), the
+multi-tenant request path, per-client rate limiting (429 with
+``Retry-After``), stream backpressure (503), and the graceful-drain
+close that every fixture teardown exercises.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.workloads.telecom import db1, db1_prime
+
+TRANSITIVITY = "R(X,Z) <- P(X,Y), Q(Y,Z)"
+
+
+def test_healthz_reports_tenants(make_server) -> None:
+    """Liveness names every configured tenant, constructed or not."""
+    fixture = make_server({"alpha": db1(), "beta": db1_prime()})
+    response = fixture.get("/healthz")
+    assert response.status == 200
+    assert response.json() == {"status": "ok", "tenants": ["alpha", "beta"]}
+
+
+def test_stats_tracks_lazy_construction(make_server) -> None:
+    """Tenants appear unconstructed until their first request."""
+    fixture = make_server({"alpha": db1(), "beta": db1_prime()}, default_tenant="alpha")
+    before = fixture.get("/stats").json()
+    assert before["tenants"]["alpha"] == {"constructed": False}
+    assert before["tenants"]["beta"] == {"constructed": False}
+    assert before["limits"]["streams"]["active"] == 0
+
+    mined = fixture.post_json(
+        "/mine", {"metaquery": TRANSITIVITY, "support": 0.3, "tenant": "alpha"}
+    )
+    assert mined.status == 200
+
+    after = fixture.get("/stats").json()
+    assert after["tenants"]["alpha"]["constructed"] is True
+    assert "engine" in after["tenants"]["alpha"]
+    assert "streams" in after["tenants"]["alpha"]
+    assert after["tenants"]["beta"] == {"constructed": False}
+
+
+def test_tenant_routing_hits_the_right_database(make_server) -> None:
+    """The same metaquery mines different tenants' databases."""
+    fixture = make_server({"plain": db1(), "prime": db1_prime()}, default_tenant="plain")
+    payload = {"metaquery": TRANSITIVITY, "support": 0.3, "confidence": 0.5}
+    plain = fixture.post_json("/mine", {**payload, "tenant": "plain"}).json()
+    prime = fixture.post_json("/mine", {**payload, "tenant": "prime"}).json()
+    assert plain["tenant"] == "plain"
+    assert prime["tenant"] == "prime"
+    # DB1' widens UsPT to three attributes, so the answer tables differ.
+    assert plain["answers"] != prime["answers"]
+
+
+def test_default_tenant_used_when_body_names_none(make_server) -> None:
+    """Omitting ``tenant`` routes to the configured default."""
+    fixture = make_server({"only": db1()}, default_tenant="only")
+    response = fixture.post_json("/mine", {"metaquery": TRANSITIVITY, "support": 0.3})
+    assert response.status == 200
+    assert response.json()["tenant"] == "only"
+
+
+def test_unknown_tenant_is_404(telecom_server) -> None:
+    """A tenant outside the table: 404 naming the known tenants."""
+    response = telecom_server.post_json(
+        "/mine", {"metaquery": TRANSITIVITY, "tenant": "nope"}
+    )
+    assert response.status == 404
+    error = response.json()["error"]
+    assert error["code"] == "unknown-tenant"
+    assert "'nope'" in error["message"]
+    assert "default" in error["message"]
+
+
+def test_unknown_route_is_404(telecom_server) -> None:
+    """No such path: structured 404."""
+    response = telecom_server.get("/mine/quickly")
+    assert response.status == 404
+    assert response.json()["error"]["code"] == "not-found"
+
+
+def test_wrong_method_is_405(telecom_server) -> None:
+    """Known path, wrong verb: 405 naming the allowed methods."""
+    for method, path in (("GET", "/mine"), ("POST", "/healthz"), ("GET", "/mine/stream")):
+        response = telecom_server.client().request(method, path)
+        assert response.status == 405, (method, path)
+        error = response.json()["error"]
+        assert error["code"] == "method-not-allowed"
+        assert "allowed:" in error["message"]
+
+
+def test_query_strings_do_not_break_routing(telecom_server) -> None:
+    """A query component is split off the path before dispatch."""
+    response = telecom_server.get("/healthz?verbose=1")
+    assert response.status == 200
+
+
+def test_rate_limit_answers_429_with_retry_after(make_server) -> None:
+    """Beyond ``burst`` immediate requests, a client sees 429 + Retry-After."""
+    fixture = make_server(rate=0.05, burst=2.0)  # 20s per token: no refill mid-test
+    headers = {"X-Client-Id": "impatient"}
+    assert fixture.get("/healthz").status == 200  # healthz is never limited
+    first = fixture.post_json("/mine", {"metaquery": TRANSITIVITY}, headers=headers)
+    second = fixture.post_json("/mine", {"metaquery": TRANSITIVITY}, headers=headers)
+    assert first.status == 200 and second.status == 200
+    third = fixture.post_json("/mine", {"metaquery": TRANSITIVITY}, headers=headers)
+    assert third.status == 429
+    error = third.json()["error"]
+    assert error["code"] == "rate-limited"
+    assert error["retry_after"] > 0
+    assert int(third.headers["retry-after"]) >= 1
+    stats = fixture.get("/stats").json()
+    assert stats["limits"]["rate"]["rejected"] >= 1
+
+
+def test_rate_limit_is_per_client(make_server) -> None:
+    """One client's exhausted bucket never taxes another identity."""
+    fixture = make_server(rate=0.05, burst=1.0)
+    chatty = {"X-Client-Id": "chatty"}
+    quiet = {"X-Client-Id": "quiet"}
+    assert fixture.post_json("/mine", {"metaquery": TRANSITIVITY}, headers=chatty).status == 200
+    assert fixture.post_json("/mine", {"metaquery": TRANSITIVITY}, headers=chatty).status == 429
+    assert fixture.post_json("/mine", {"metaquery": TRANSITIVITY}, headers=quiet).status == 200
+
+
+def test_stream_backpressure_answers_503(make_server) -> None:
+    """With every permit held, ``/mine/stream`` refuses with 503."""
+    fixture = make_server(max_streams=1)
+    payload = {"metaquery": TRANSITIVITY, "itype": 1, "support": 0.2}
+    # Occupy the single permit from the admission side; the HTTP path
+    # must then refuse immediately instead of queueing the stream.
+    assert fixture.service.stream_permits.try_acquire()
+    try:
+        refused = fixture.post_json("/mine/stream", payload)
+        assert refused.status == 503
+        error = refused.json()["error"]
+        assert error["code"] == "overloaded"
+        assert int(refused.headers["retry-after"]) >= 1
+    finally:
+        fixture.service.stream_permits.release()
+    # Permit back: the same request now streams to completion.
+    with fixture.open_sse("/mine/stream", payload) as stream:
+        assert stream.status == 200
+        events = list(stream.events())
+    assert events[-1].event == "stats"
+    assert json.loads(events[-1].data)["complete"] is True
+
+
+def test_backpressure_does_not_limit_collected_mine(make_server) -> None:
+    """Stream permits gate ``/mine/stream`` only, never ``POST /mine``."""
+    fixture = make_server(max_streams=1)
+    assert fixture.service.stream_permits.try_acquire()
+    try:
+        response = fixture.post_json("/mine", {"metaquery": TRANSITIVITY, "support": 0.3})
+        assert response.status == 200
+    finally:
+        fixture.service.stream_permits.release()
+
+
+def test_stream_admission_failures_precede_sse(make_server) -> None:
+    """Validation and tenant errors on the stream path are framed JSON."""
+    fixture = make_server()
+    bad = fixture.post_json("/mine/stream", {"metaquery": 42})
+    assert bad.status == 400
+    assert bad.headers["content-type"] == "application/json"
+    missing = fixture.post_json(
+        "/mine/stream", {"metaquery": TRANSITIVITY, "tenant": "ghost"}
+    )
+    assert missing.status == 404
+
+
+def test_graceful_close_drains_inflight_stream(make_server) -> None:
+    """Server close waits for a running stream before closing engines."""
+    fixture = make_server()
+    payload = {"metaquery": TRANSITIVITY, "itype": 1, "support": 0.2}
+    with fixture.open_sse("/mine/stream", payload) as stream:
+        assert stream.status == 200
+        first = stream.next_event()
+        assert first is not None and first.event == "answer"
+        # Close with the stream still open: the fixture teardown performs
+        # the graceful drain; the stream must still deliver to the end.
+        rest = list(stream.events())
+    assert rest[-1].event == "stats"
+    assert json.loads(rest[-1].data)["complete"] is True
+
+
+def test_x_client_id_falls_back_to_peer_host(make_server) -> None:
+    """Without ``X-Client-Id`` the peer address is the rate identity."""
+    fixture = make_server(rate=0.05, burst=1.0)
+    assert fixture.post_json("/mine", {"metaquery": TRANSITIVITY}).status == 200
+    # Same peer host (loopback), no header: shares the same bucket.
+    assert fixture.post_json("/mine", {"metaquery": TRANSITIVITY}).status == 429
+    # A distinct header identity gets its own bucket.
+    assert (
+        fixture.post_json(
+            "/mine", {"metaquery": TRANSITIVITY}, headers={"X-Client-Id": "other"}
+        ).status
+        == 200
+    )
