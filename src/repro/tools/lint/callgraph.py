@@ -30,7 +30,22 @@ builds the repo-wide view those checks need from the already-parsed
 * **transitive queries** — :meth:`Program.may_acquire` (which locks a call
   can end up taking) and :meth:`Program.blocking_witness` (a sample path to
   a blocking primitive), the two reachability facts REP109/REP110 are
-  built on, plus the raw graph REP111 walks from thread entry points.
+  built on, plus the raw graph REP111 walks from thread entry points;
+* the **async domain** — ``async def`` coroutines (:attr:`FunctionInfo.is_async`),
+  ``await`` edges (:attr:`CallSite.awaited`), task-spawn sites
+  (``create_task`` / ``ensure_future`` / ``gather``, in
+  :attr:`FunctionInfo.task_spawns` and :meth:`Program.task_entry_points`),
+  ``async with`` / ``async for`` regions
+  (:attr:`FunctionInfo.async_regions`), and executor escapes
+  (``asyncio.to_thread`` / ``loop.run_in_executor`` spawn *thread* entry
+  points, and — because they receive function references, not calls — they
+  contribute no call edge, so handing work to an executor inherently cuts
+  any on-loop blocking path).  :meth:`Program.loop_blocking_witness` is the
+  event-loop variant of :meth:`Program.blocking_witness` REP114 is built
+  on: ``await`` sites yield the loop and async callees run as their own
+  tasks, so both stop the descent.  The typed-stdlib markers distinguish
+  the async primitives from their thread-blocking namesakes
+  (``asyncio.Queue.get`` is a coroutine; ``queue.Queue.get`` blocks).
 
 Everything here is deliberately *under*-approximate where Python defeats
 static resolution (``getattr``, untyped receivers, closures): an
@@ -54,7 +69,9 @@ __all__ = [
     "CallSite",
     "ClassInfo",
     "FunctionInfo",
+    "LoopWitness",
     "MutationSite",
+    "SEMAPHORE_MARKERS",
     "Program",
     "build_program",
     "module_name_for",
@@ -105,14 +122,36 @@ _STDLIB_TYPES = {
     "multiprocessing.Queue": "stdlib:Queue",
     "multiprocessing.pool.Pool": "stdlib:Pool",
     "multiprocessing.Pool": "stdlib:Pool",
+    # Thread-blocking synchronization primitives and their asyncio
+    # namesakes get *distinct* markers: `threading.Semaphore.acquire`
+    # stalls the calling thread, `asyncio.Semaphore.acquire` is a
+    # coroutine that yields the loop — same method name, opposite
+    # blocking behavior, exactly the `dict.get` vs `Queue.get` aliasing
+    # problem the typed markers exist to prevent.
+    "threading.Semaphore": "stdlib:Semaphore",
+    "threading.BoundedSemaphore": "stdlib:Semaphore",
+    "threading.Event": "stdlib:Event",
+    "asyncio.Semaphore": "stdlib:AsyncSemaphore",
+    "asyncio.BoundedSemaphore": "stdlib:AsyncSemaphore",
+    "asyncio.Event": "stdlib:AsyncEvent",
+    "asyncio.Queue": "stdlib:AsyncQueue",
 }
 
 #: Marker methods that block: ``marker -> frozenset(method names)``.
+#: The async markers (`stdlib:AsyncSemaphore` / `stdlib:AsyncEvent` /
+#: `stdlib:AsyncQueue`) deliberately have no entry — their waits are
+#: coroutines, not thread blocks.
 _STDLIB_BLOCKING_METHODS = {
     "stdlib:Thread": frozenset({"join"}),
     "stdlib:Queue": frozenset({"get", "put", "join"}),
     "stdlib:Pool": frozenset({"join"}) | BLOCKING_POOL_DISPATCH,
+    "stdlib:Semaphore": frozenset({"acquire"}),
+    "stdlib:Event": frozenset({"wait"}),
 }
+
+#: Marker types whose ``acquire``/``try_acquire`` grants must be paired
+#: with a ``release`` (the REP115 stdlib resources).
+SEMAPHORE_MARKERS = frozenset({"stdlib:Semaphore", "stdlib:AsyncSemaphore"})
 
 
 @dataclass(frozen=True)
@@ -123,6 +162,26 @@ class CallSite:
     callees: tuple[str, ...]  #: resolved program-function qualnames (may be empty)
     held: frozenset[str]  #: lock ids (class qualnames) held lexically here
     blocking: str | None  #: human-readable blocking descriptor, if the call blocks
+    awaited: bool = False  #: the call is directly under an ``await``
+    #: the call is a ``with`` / ``async with`` item's context expression
+    context_manager: bool = False
+    receiver: str | None = None  #: dotted receiver of an attribute call (``self._sem``)
+    #: inferred receiver types of an attribute call (class qualnames / markers)
+    receiver_types: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class LoopWitness:
+    """A sample path from a coroutine to a thread-blocking operation.
+
+    ``chain`` starts at the queried function; ``node`` is the offending
+    call expression *in the queried function* (what a diagnostic anchors
+    to); ``descriptor`` names the blocking primitive at the chain's end.
+    """
+
+    chain: tuple[str, ...]
+    descriptor: str
+    node: ast.AST
 
 
 @dataclass(frozen=True)
@@ -152,6 +211,21 @@ class FunctionInfo:
     #: callables this function hands to another thread/process, resolved to
     #: qualnames: ``(kind, qualname, node)`` — the REP111 entry points.
     spawns: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: coroutines this function schedules on the running loop:
+    #: ``(kind, qualname-or-"?", node)`` with kind one of ``create_task`` /
+    #: ``ensure_future`` / ``gather``.  Kept separate from :attr:`spawns`:
+    #: loop tasks run on the *same* thread, so they are not REP111 thread
+    #: entry points — they are the REP116 drop sites.
+    task_spawns: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: ``async with`` / ``async for`` regions of this function:
+    #: ``(kind, dotted-context-or-None, node)`` with kind ``"with"`` /
+    #: ``"for"`` — the REP115 structured acquire/release evidence.
+    async_regions: list[tuple[str, str | None, ast.AST]] = field(default_factory=list)
+
+    @property
+    def is_async(self) -> bool:
+        """True for ``async def`` functions (coroutines and async generators)."""
+        return isinstance(self.node, ast.AsyncFunctionDef)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FunctionInfo({self.qualname}, {len(self.calls)} calls)"
@@ -259,6 +333,7 @@ class Program:
         self._may_acquire: dict[str, frozenset[str]] | None = None
         self._acquire_step: dict[str, dict[str, tuple[str | None, ast.AST]]] = {}
         self._blocking_memo: dict[str, tuple[tuple[str, ...], str] | None] = {}
+        self._loop_blocking_memo: dict[tuple[str, frozenset[str]], LoopWitness | None] = {}
         for info in modules:
             name = module_name_for(info.relpath)
             self._modules[name] = _Module(info, name)
@@ -455,6 +530,83 @@ class Program:
         self._blocking_memo[qualname] = witness
         return witness
 
+    def loop_blocking_witness(
+        self, qualname: str, heavy: frozenset[str] = frozenset()
+    ) -> LoopWitness | None:
+        """A sample path by which running ``qualname`` on the event loop blocks it.
+
+        The event-loop variant of :meth:`blocking_witness` (the REP114
+        query).  The descent models what actually executes on the loop
+        thread:
+
+        * ``await`` sites yield the loop, so awaited calls are never a
+          blocking step themselves;
+        * ``async def`` callees run as their own tasks and are analyzed at
+          their own definition, so the descent stops at them (a blocking
+          call inside an awaited coroutine is that coroutine's finding,
+          not every caller's);
+        * executor escapes (``asyncio.to_thread(fn, ...)`` /
+          ``loop.run_in_executor(None, fn)``) pass function *references*,
+          which contribute no call edge — handing work to an executor
+          inherently cuts the path;
+        * calls resolving into ``heavy`` — qualnames of synchronous
+          heavy-compute surfaces like ``MetaqueryEngine.find_rules`` —
+          count as blocking even though they touch no blocking primitive:
+          a multi-second pure-Python mine stalls the loop just as surely
+          as ``time.sleep``.
+
+        Returns None when nothing thread-blocking is statically reachable.
+        Cycles are cut conservatively, like :meth:`blocking_witness`.
+        """
+        return self._loop_blocking_dfs(qualname, heavy, set())
+
+    def _loop_blocking_dfs(
+        self, qualname: str, heavy: frozenset[str], stack: set[str]
+    ) -> LoopWitness | None:
+        key = (qualname, heavy)
+        if key in self._loop_blocking_memo:
+            return self._loop_blocking_memo[key]
+        if qualname in stack:
+            return None
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return None
+        stack.add(qualname)
+        witness: LoopWitness | None = None
+        for site in fn.calls:
+            if site.awaited:
+                continue
+            if site.blocking is not None:
+                witness = LoopWitness((qualname,), site.blocking, site.node)
+                break
+        if witness is None:
+            for site in fn.calls:
+                if site.awaited:
+                    continue
+                for callee in site.callees:
+                    if callee in heavy:
+                        name = callee.split(":", 1)[-1]
+                        witness = LoopWitness(
+                            (qualname, callee),
+                            f"synchronous engine compute {name}()",
+                            site.node,
+                        )
+                        break
+                    target = self.functions.get(callee)
+                    if target is not None and target.is_async:
+                        continue
+                    deeper = self._loop_blocking_dfs(callee, heavy, stack)
+                    if deeper is not None:
+                        witness = LoopWitness(
+                            (qualname, *deeper.chain), deeper.descriptor, site.node
+                        )
+                        break
+                if witness is not None:
+                    break
+        stack.discard(qualname)
+        self._loop_blocking_memo[key] = witness
+        return witness
+
     # ------------------------------------------------------------------
     def lock_owners(self) -> list[ClassInfo]:
         """Every class whose ``__init__`` binds ``self._lock``."""
@@ -465,6 +617,22 @@ class Program:
         out = []
         for fn in self.functions.values():
             for kind, target, node in fn.spawns:
+                out.append((kind, fn.qualname, target, node))
+        return out
+
+    def task_entry_points(self) -> list[tuple[str, str, str, ast.AST]]:
+        """Event-loop task-spawn sites: ``(kind, spawner, target, node)``.
+
+        The loop-domain mirror of :meth:`entry_points`: coroutines handed
+        to ``create_task`` / ``ensure_future`` / ``gather``.  ``target`` is
+        ``"?"`` when the spawned awaitable is not a resolvable program
+        coroutine call (e.g. ``ensure_future(asyncio.to_thread(fn))``).
+        These run on the *same* thread as their spawner, so they are
+        deliberately not REP111 thread entry points.
+        """
+        out = []
+        for fn in self.functions.values():
+            for kind, target, node in fn.task_spawns:
                 out.append((kind, fn.qualname, target, node))
         return out
 
@@ -762,6 +930,30 @@ def _infer_class_attr_types(program: Program, module: _Module, cls: ClassInfo) -
 #: Call-expression shapes that hand their argument to another thread/process.
 _SPAWN_DOTTED = {"asyncio.to_thread": "to_thread", "threading.Thread": "thread"}
 
+#: Call-expression shapes that schedule an awaitable on the running loop.
+_TASK_SPAWN_DOTTED = {
+    "asyncio.create_task": "create_task",
+    "asyncio.ensure_future": "ensure_future",
+    "asyncio.gather": "gather",
+}
+
+#: Attribute spellings of the same (``loop.create_task(...)``), matched only
+#: when the receiver does not resolve to a program class (so a program
+#: method named ``create_task`` still dispatches normally).
+_TASK_SPAWN_ATTRS = frozenset({"create_task", "ensure_future"})
+
+
+def _region_context(expr: ast.expr) -> str | None:
+    """The dotted context of an ``async with`` item / ``async for`` iterable.
+
+    ``async with self._semaphore:`` → ``"self._semaphore"``;
+    ``async for a in engine.stream(mq):`` → ``"engine.stream"`` (the call's
+    own dotted name); dynamic expressions report None.
+    """
+    if isinstance(expr, ast.Call):
+        return _dotted(expr.func)
+    return _dotted(expr)
+
 
 def _analyze_bodies(program: Program, module: _Module) -> None:
     for fn in list(program.functions.values()):
@@ -775,6 +967,8 @@ def _analyze_bodies(program: Program, module: _Module) -> None:
         fn.mutations = walker.mutations
         fn.acquired = frozenset(walker.acquired)
         fn.spawns = walker.spawns
+        fn.task_spawns = walker.task_spawns
+        fn.async_regions = walker.async_regions
 
 
 class _BodyWalker:
@@ -791,6 +985,8 @@ class _BodyWalker:
         self.mutations: list[MutationSite] = []
         self.acquired: set[str] = set()
         self.spawns: list[tuple[str, str, ast.AST]] = []
+        self.task_spawns: list[tuple[str, str, ast.AST]] = []
+        self.async_regions: list[tuple[str, str | None, ast.AST]] = []
 
     # -- lock bookkeeping ------------------------------------------------
     def _lock_id(self) -> str | None:
@@ -813,16 +1009,46 @@ class _BodyWalker:
             inner = held
             lock = self._lock_id()
             for item in node.items:
-                self.walk(item.context_expr, held)
+                if isinstance(node, ast.AsyncWith):
+                    self.async_regions.append(
+                        ("with", _region_context(item.context_expr), node)
+                    )
+                if isinstance(item.context_expr, ast.Call):
+                    # A call used as a with-context is structurally paired:
+                    # __exit__/__aexit__ runs on every exit edge.
+                    self._handle_call(item.context_expr, held, context_manager=True)
+                else:
+                    self.walk(item.context_expr, held)
                 if lock is not None and is_self_attr(item.context_expr, "_lock"):
                     inner = inner | {lock}
                     self.acquired.add(lock)
             for stmt in node.body:
                 self.walk(stmt, inner)
             return
+        if isinstance(node, ast.AsyncFor):
+            self.async_regions.append(("for", _region_context(node.iter), node))
+            # generic traversal below records the iterable's call, if any
+        if isinstance(node, ast.Await):
+            if isinstance(node.value, ast.Call):
+                self._handle_call(node.value, held, awaited=True)
+                return
+            # `await fut` on a non-call: nothing to tag, walk through
         if isinstance(node, ast.Call):
-            self._record_call(node, held)
-            # fall through: arguments may contain further calls/mutations
+            self._handle_call(node, held)
+            return
+        self._record_mutation(node, held)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held)
+
+    def _handle_call(
+        self,
+        node: ast.Call,
+        held: frozenset[str],
+        awaited: bool = False,
+        context_manager: bool = False,
+    ) -> None:
+        """Record one call expression, then traverse its arguments."""
+        self._record_call(node, held, awaited=awaited, context_manager=context_manager)
         self._record_mutation(node, held)
         for child in ast.iter_child_nodes(node):
             self.walk(child, held)
@@ -860,7 +1086,13 @@ class _BodyWalker:
                     MutationSite(node=node, attr=base, owner=cls.qualname, held=held)
                 )
 
-    def _record_call(self, node: ast.Call, held: frozenset[str]) -> None:
+    def _record_call(
+        self,
+        node: ast.Call,
+        held: frozenset[str],
+        awaited: bool = False,
+        context_manager: bool = False,
+    ) -> None:
         resolved = self.env.resolve_callable(node.func)
         callees: tuple[str, ...] = ()
         if isinstance(resolved, ClassInfo):
@@ -873,8 +1105,22 @@ class _BodyWalker:
             if nested is not None:
                 callees = (nested.qualname,)
         blocking = None if callees else self._classify_blocking(node)
+        receiver: str | None = None
+        receiver_types: frozenset[str] = frozenset()
+        if isinstance(node.func, ast.Attribute):
+            receiver = _dotted(node.func.value)
+            receiver_types = self.env.infer(node.func.value)
         self.calls.append(
-            CallSite(node=node, callees=callees, held=held, blocking=blocking)
+            CallSite(
+                node=node,
+                callees=callees,
+                held=held,
+                blocking=blocking,
+                awaited=awaited,
+                context_manager=context_manager,
+                receiver=receiver,
+                receiver_types=receiver_types,
+            )
         )
         self._record_spawns(node, resolved)
 
@@ -957,6 +1203,14 @@ class _BodyWalker:
             elif attr == "call_soon_threadsafe" and node.args:
                 kind = "call_soon_threadsafe"
                 spawn_args.append(node.args[0])
+            elif attr == "run_in_executor" and len(node.args) >= 2:
+                # loop.run_in_executor(executor, fn, *args): the callable
+                # runs in an executor thread — a thread entry point, and
+                # (being a reference, not a call) an escape that cuts any
+                # on-loop blocking path, exactly like asyncio.to_thread.
+                kind = "executor"
+                spawn_args.append(node.args[1])
+        self._record_task_spawns(node, canonical, resolved)
         # A resolved program method named like a dispatch wrapper
         # (ShardedEvaluator.map) also fans its task out to workers.
         if (
@@ -972,6 +1226,34 @@ class _BodyWalker:
             target_fn = self._resolve_callable_reference(expr)
             if target_fn is not None:
                 self.spawns.append((kind, target_fn.qualname, node))
+
+    def _record_task_spawns(
+        self,
+        node: ast.Call,
+        canonical: str | None,
+        resolved: "ClassInfo | FunctionInfo | None",
+    ) -> None:
+        """Record awaitables scheduled on the running loop (REP116 sites)."""
+        task_kind = _TASK_SPAWN_DOTTED.get(canonical) if canonical is not None else None
+        if (
+            task_kind is None
+            and resolved is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _TASK_SPAWN_ATTRS
+        ):
+            task_kind = node.func.attr
+        if task_kind is None:
+            return
+        args = node.args if task_kind == "gather" else node.args[:1]
+        for arg in args:
+            target = "?"
+            if isinstance(arg, ast.Call):
+                inner = self.env.resolve_callable(arg.func)
+                if inner is None and isinstance(arg.func, ast.Name):
+                    inner = self._resolve_nested(arg.func)
+                if isinstance(inner, FunctionInfo):
+                    target = inner.qualname
+            self.task_spawns.append((task_kind, target, node))
 
     def _resolve_callable_reference(self, expr: ast.expr) -> FunctionInfo | None:
         """A function *reference* (not call) to its FunctionInfo."""

@@ -20,36 +20,47 @@ REP108   doc-refs               documentation references resolve (check_docs fol
 REP109   lock-order             static lock-acquisition graph is acyclic/consistent
 REP110   blocking-under-lock    no blocking primitive reachable under a state lock
 REP111   unguarded-shared-state cross-thread mutations hold the owning lock
+REP114   blocking-in-coroutine  no sync blocking op reachable on the event loop
+REP115   resource-pairing       acquires dominated by a release on every exit edge
+REP116   dropped-task           spawned tasks are awaited, retained, or callback'd
 =======  =====================  ====================================================
 
-REP109–REP111 are *program-level* rules built on the whole-program call
-graph (:mod:`repro.tools.lint.callgraph`).  Codes REP112 (*unused-pragma*)
+REP109–REP111 and REP114–REP116 are *program-level* rules built on the
+whole-program call graph (:mod:`repro.tools.lint.callgraph`) — the latter
+trio on its async domain (``await`` edges, task spawns, executor
+escapes).  Codes REP112 (*unused-pragma*)
 and REP113 (*unknown-pragma*) are reserved for the framework's own pragma
 audit — like REP100 (*parse-error*) they have no ``Rule`` class and cannot
 be suppressed by pragmas.
 """
 
 from repro.tools.lint.rules.api_surface import ApiSurfaceRule
+from repro.tools.lint.rules.blocking_in_coroutine import BlockingInCoroutineRule
 from repro.tools.lint.rules.blocking_under_lock import BlockingUnderLockRule
 from repro.tools.lint.rules.cache_keys import StableCacheKeyRule
 from repro.tools.lint.rules.doc_refs import DocRefsRule
+from repro.tools.lint.rules.dropped_task import DroppedTaskRule
 from repro.tools.lint.rules.exact_arithmetic import ExactArithmeticRule
 from repro.tools.lint.rules.generation_probe import GenerationProbeRule
 from repro.tools.lint.rules.lock_discipline import LockDisciplineRule
 from repro.tools.lint.rules.lock_order import LockOrderRule
 from repro.tools.lint.rules.pool_boundary import PoolBoundaryRule
+from repro.tools.lint.rules.resource_pairing import ResourcePairingRule
 from repro.tools.lint.rules.shared_state import SharedStateRule
 from repro.tools.lint.rules.silent_except import SilentExceptRule
 
 __all__ = [
     "ApiSurfaceRule",
+    "BlockingInCoroutineRule",
     "BlockingUnderLockRule",
     "DocRefsRule",
+    "DroppedTaskRule",
     "ExactArithmeticRule",
     "GenerationProbeRule",
     "LockDisciplineRule",
     "LockOrderRule",
     "PoolBoundaryRule",
+    "ResourcePairingRule",
     "SharedStateRule",
     "SilentExceptRule",
     "StableCacheKeyRule",

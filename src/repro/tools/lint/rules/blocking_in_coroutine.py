@@ -1,0 +1,141 @@
+"""REP114: nothing that blocks a thread may run on the event loop.
+
+The server track (PR 8) put every tenant's streams on one asyncio event
+loop.  That loop is cooperatively scheduled: a single synchronous blocking
+call — ``time.sleep``, socket or file I/O, ``queue.Queue.get``, a pool
+dispatch, a ``threading`` wait — executed inside a coroutine stalls *every*
+connection, stream, and timer in the process until it returns.  Unlike the
+thread-world bugs REP110 guards, nothing deadlocks and no data tears: the
+service just stops answering, which monitoring reads as "slow", not
+"broken".  That is precisely the bug class a static pass must close,
+because the dynamic half (:mod:`repro.tools.loopmon`) only sees the stall
+after it has already happened in production.
+
+The check walks every ``async def`` in the program and asks
+:meth:`Program.loop_blocking_witness
+<repro.tools.lint.callgraph.Program.loop_blocking_witness>` whether a
+thread-blocking operation is reachable *on the loop*:
+
+* ``await`` sites yield the loop and are never themselves a blocking step;
+* ``async def`` callees run as their own tasks — a blocking call inside an
+  awaited coroutine is flagged once, at that coroutine, not at every
+  transitive caller;
+* executor escapes (``asyncio.to_thread(fn, ...)`` /
+  ``loop.run_in_executor(None, fn)``) hand *references* across the thread
+  boundary, which contribute no call edge — so the sanctioned fix pattern
+  cuts the path by construction;
+* the synchronous heavy-compute surfaces
+  (``MetaqueryEngine.prepare/find_rules/decide/witness``,
+  ``PreparedMetaquery.stream/collect``) count as blocking even though they
+  touch no blocking primitive: a multi-second pure-Python mine stalls the
+  loop as surely as ``time.sleep`` does.
+
+Each finding carries the full call chain from the coroutine to the
+blocking primitive.  The fix is always the same shape: move the blocking
+stage behind ``await asyncio.to_thread(...)`` (what every
+:class:`~repro.core.aio.AsyncMetaqueryEngine` method does) or restructure
+so the loop only ever touches ready data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tools.lint.callgraph import Program
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["BlockingInCoroutineRule", "HEAVY_COMPUTE"]
+
+#: Synchronous heavy-compute surfaces: calls that are pure Python but can
+#: run for seconds, so they must never execute on the event loop directly.
+HEAVY_COMPUTE = frozenset(
+    {
+        "repro.core.engine:MetaqueryEngine.prepare",
+        "repro.core.engine:MetaqueryEngine.find_rules",
+        "repro.core.engine:MetaqueryEngine.decide",
+        "repro.core.engine:MetaqueryEngine.witness",
+        "repro.core.requests:PreparedMetaquery.stream",
+        "repro.core.requests:PreparedMetaquery.collect",
+    }
+)
+
+
+@register
+class BlockingInCoroutineRule(Rule):
+    """No sync blocking operation may be reachable from a coroutine on-loop."""
+
+    code = "REP114"
+    name = "blocking-in-coroutine"
+    description = (
+        "no sync blocking operation (sleep, file/socket I/O, queue/thread "
+        "wait, pool dispatch, engine compute) may be reachable from an "
+        "async def without a to_thread/run_in_executor hop on the path"
+    )
+    program_level = True
+
+    def check_program(self, program: Program) -> Iterable[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for fn in sorted(program.functions.values(), key=lambda f: f.qualname):
+            if not fn.is_async:
+                continue
+            for site in fn.calls:
+                if site.awaited:
+                    continue
+                if site.blocking is not None:
+                    diagnostics.append(
+                        Diagnostic(
+                            path=fn.relpath,
+                            line=site.node.lineno,
+                            column=site.node.col_offset,
+                            code=self.code,
+                            rule=self.name,
+                            message=(
+                                f"{site.blocking} in coroutine {fn.qualname}: this "
+                                "stalls every task on the event loop; hand it to a "
+                                "worker thread (await asyncio.to_thread(...))"
+                            ),
+                        )
+                    )
+                    continue
+                for callee in site.callees:
+                    target = program.functions.get(callee)
+                    if target is not None and target.is_async:
+                        continue  # runs as its own task; analyzed at its own def
+                    if callee in HEAVY_COMPUTE:
+                        name = callee.split(":", 1)[-1]
+                        diagnostics.append(
+                            Diagnostic(
+                                path=fn.relpath,
+                                line=site.node.lineno,
+                                column=site.node.col_offset,
+                                code=self.code,
+                                rule=self.name,
+                                message=(
+                                    f"synchronous engine compute {name}() called on "
+                                    f"the event loop in coroutine {fn.qualname}: "
+                                    "wrap it in await asyncio.to_thread(...)"
+                                ),
+                            )
+                        )
+                        break
+                    witness = program.loop_blocking_witness(callee, HEAVY_COMPUTE)
+                    if witness is None:
+                        continue
+                    chain = " -> ".join((fn.qualname, *witness.chain))
+                    diagnostics.append(
+                        Diagnostic(
+                            path=fn.relpath,
+                            line=site.node.lineno,
+                            column=site.node.col_offset,
+                            code=self.code,
+                            rule=self.name,
+                            message=(
+                                f"coroutine {fn.qualname} reaches {witness.descriptor} "
+                                f"on the event loop via {chain}: move the blocking "
+                                "stage behind await asyncio.to_thread(...)"
+                            ),
+                        )
+                    )
+                    break  # one witness per call site is enough
+        return diagnostics

@@ -1,0 +1,174 @@
+"""REP116: no fire-and-forget tasks — every spawned task must be reachable.
+
+``asyncio.create_task`` / ``ensure_future`` return a :class:`asyncio.Task`
+that the event loop holds only *weakly*: a task whose result is never
+awaited, stored, or given a callback can be garbage-collected mid-flight
+(CPython logs the infamous "Task was destroyed but it is pending!"), and —
+just as bad — any exception it raises is silently swallowed until the loop
+shuts down.  The in-repo patterns that stay correct are instructive:
+:meth:`AsyncMetaqueryEngine.stream <repro.core.aio.AsyncMetaqueryEngine.stream>`
+keeps its producer future in a local it later inspects *and* attaches the
+retirement callback; the service's ``eof_task`` disconnect probe is polled
+and explicitly cancelled.  A bare ``asyncio.create_task(self._pump())``
+statement has neither property — it is a time bomb with a GC fuse.
+
+The rule walks the callgraph's task-spawn sites
+(:attr:`FunctionInfo.task_spawns
+<repro.tools.lint.callgraph.FunctionInfo.task_spawns>`) and flags a spawn
+whose task object is
+
+* a bare expression statement (nobody can ever reach the task again), or
+* assigned to ``_`` or to a local name the function never reads afterwards
+  (morally the same bare statement).
+
+Everything that makes the task reachable passes: ``await``-ing the call
+(``await asyncio.gather(...)``), assigning to an attribute or subscript,
+storing it in a container or passing it to a call
+(``tasks.append(create_task(...))``), returning/yielding it, or chaining a
+method on the result (``create_task(...).add_done_callback(...)``).  The
+fix is to hold the task somewhere its exceptions can be observed — a set
+with a discard callback is the canonical idiom — or, when the work must
+finish before anyone proceeds, simply ``await`` it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tools.lint.callgraph import FunctionInfo, Program
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["DroppedTaskRule"]
+
+#: Expression contexts that consume or retain the spawned task's value.
+_CONSUMING = (
+    ast.Call,
+    ast.List,
+    ast.Tuple,
+    ast.Set,
+    ast.Dict,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.comprehension,
+    ast.Return,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Starred,
+    ast.BinOp,
+    ast.Compare,
+    ast.BoolOp,
+    ast.IfExp,
+    ast.Subscript,
+    ast.keyword,
+    ast.FormattedValue,
+)
+
+
+def _name_read_elsewhere(fn: FunctionInfo, name: str, binding: ast.stmt) -> bool:
+    """Is ``name`` loaded anywhere in the function outside its binding targets?"""
+    targets = {
+        id(t)
+        for t in ast.walk(binding)
+        if isinstance(t, ast.Name) and t.id == name and isinstance(t.ctx, ast.Store)
+    }
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, (ast.Load, ast.Del))
+            and id(node) not in targets
+        ):
+            return True
+    return False
+
+
+@register
+class DroppedTaskRule(Rule):
+    """Spawned tasks must be awaited, retained, or given a callback."""
+
+    code = "REP116"
+    name = "dropped-task"
+    description = (
+        "no fire-and-forget create_task/ensure_future/gather: the task "
+        "must be awaited, retained, or callback-attached so it cannot be "
+        "garbage-collected mid-flight with its exceptions swallowed"
+    )
+    program_level = True
+
+    def check_program(self, program: Program) -> Iterable[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for fn in sorted(program.functions.values(), key=lambda f: f.qualname):
+            if not fn.task_spawns:
+                continue
+            parents: dict[int, ast.AST] = {}
+            for parent in ast.walk(fn.node):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            seen: set[int] = set()
+            for kind, _target, node in fn.task_spawns:
+                if id(node) in seen:
+                    continue  # gather records one spawn per argument
+                seen.add(id(node))
+                problem = self._dropped(fn, node, parents, kind)
+                if problem is not None:
+                    diagnostics.append(
+                        Diagnostic(
+                            path=fn.relpath,
+                            line=node.lineno,
+                            column=node.col_offset,
+                            code=self.code,
+                            rule=self.name,
+                            message=problem,
+                        )
+                    )
+        return diagnostics
+
+    def _dropped(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST,
+        parents: dict[int, ast.AST],
+        kind: str,
+    ) -> str | None:
+        """The finding message when the spawn's task is unreachable, else None."""
+        current: ast.AST = node
+        parent = parents.get(id(current))
+        while parent is not None:
+            if isinstance(parent, ast.Await):
+                return None  # awaited in place
+            if isinstance(parent, ast.Attribute):
+                return None  # method chained on the task (.add_done_callback)
+            if isinstance(parent, _CONSUMING):
+                return None  # stored, passed along, or consumed by an expression
+            if isinstance(parent, ast.Expr):
+                return (
+                    f"{kind}() result dropped in {fn.qualname}: a task nobody "
+                    "holds can be garbage-collected mid-flight and its "
+                    "exceptions are silently swallowed; retain it, await it, "
+                    "or attach a done-callback"
+                )
+            if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+                )
+                names = [t for t in targets if isinstance(t, ast.Name)]
+                if len(names) != len(targets):
+                    return None  # attribute/subscript/tuple target: retained
+                for target in names:
+                    if target.id != "_" and _name_read_elsewhere(fn, target.id, parent):
+                        return None
+                bound = ", ".join(t.id for t in names) or "_"
+                return (
+                    f"{kind}() task assigned to {bound!r} in {fn.qualname} but "
+                    "never awaited, retained, or given a callback afterwards: "
+                    "morally a fire-and-forget spawn"
+                )
+            if isinstance(parent, ast.NamedExpr):
+                return None  # walrus: the value flows into the enclosing expression
+            current = parent
+            parent = parents.get(id(current))
+        return None

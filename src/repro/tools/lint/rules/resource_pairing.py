@@ -1,0 +1,339 @@
+"""REP115: every acquire must be dominated by a release on every exit edge.
+
+PR 8's admission control hands out *counted* grants: a
+:class:`~repro.server.limits.StreamPermits` permit per SSE stream and one
+slot of the process-wide :class:`asyncio.Semaphore` concurrency budget per
+executing engine stage.  A grant leaked on an exception edge — the
+``prepare`` that raises after ``try_acquire`` succeeded, the task cancelled
+between ``acquire`` and its ``try`` — does not crash anything.  It just
+silently shrinks the admission budget, one exception at a time, until the
+service answers ``503`` forever.  PR 8's fault-injection tests catch this
+class dynamically by closing sockets mid-stream; this rule closes it
+statically.
+
+What counts as a **resource**:
+
+* program classes defining both an acquire method (``acquire`` /
+  ``try_acquire``) *and* ``release`` — :class:`StreamPermits` qualifies;
+  :class:`~repro.server.limits.TokenBucket` does not (tokens refill by
+  clock, there is nothing to pair, so its reservations are exempt by
+  construction);
+* the typed stdlib semaphores (``threading.Semaphore`` /
+  ``asyncio.Semaphore`` and their Bounded variants), via the callgraph's
+  stdlib markers — so ``dict.get``-style aliasing can never make an
+  arbitrary ``.acquire()`` match;
+* non-daemon ``threading.Thread`` objects a function starts and forgets —
+  a producer thread is a grant too, paired by ``join``, retention, or
+  ``daemon=True``.
+
+What counts as **paired** (the acquire is dominated by a release):
+
+* the acquire is a ``with`` / ``async with`` context — ``__exit__`` runs
+  on every exit edge by construction;
+* an enclosing ``try`` whose ``finally`` releases the same dotted receiver
+  (directly, or through a resolved call that transitively releases the
+  resource class — the interprocedural half);
+* a ``try``/``finally`` of that shape *following* the acquire in the same
+  block — the ``await sem.acquire(); try: ... finally: sem.release()``
+  idiom, and its guard variant ``if not x.try_acquire(): raise`` followed
+  by the paired ``try``.
+
+Conditional releases inside the ``finally`` count: the handoff pattern in
+:meth:`AsyncMetaqueryEngine.stream <repro.core.aio.AsyncMetaqueryEngine.stream>`
+(release directly when the producer never started, else defer to the
+producer's done-callback) is a *transfer* of the obligation, which the
+rule accepts — what it rejects is an exit edge with no release logic at
+all.  Methods of the resource class itself are exempt (they implement the
+discipline; they cannot also be asked to follow it).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tools.lint.callgraph import (
+    SEMAPHORE_MARKERS,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    Program,
+)
+from repro.tools.lint.diagnostics import Diagnostic
+from repro.tools.lint.framework import Rule, register
+
+__all__ = ["ResourcePairingRule"]
+
+#: Method names that take a counted grant from a resource.
+ACQUIRE_METHODS = frozenset({"acquire", "try_acquire"})
+
+
+def _parents(root: ast.AST) -> dict[int, ast.AST]:
+    """Child-id -> parent map for one function body."""
+    out: dict[int, ast.AST] = {}
+    for parent in ast.walk(root):
+        for child in ast.iter_child_nodes(parent):
+            out[id(child)] = parent
+    return out
+
+
+def _statement_chain(node: ast.AST, parents: dict[int, ast.AST]) -> list[ast.stmt]:
+    """The statements enclosing ``node``, innermost first."""
+    chain: list[ast.stmt] = []
+    current: ast.AST | None = node
+    while current is not None:
+        if isinstance(current, ast.stmt):
+            chain.append(current)
+        current = parents.get(id(current))
+    return chain
+
+
+def _blocks_of(stmt: ast.AST) -> list[list[ast.stmt]]:
+    """Every statement list a compound statement owns."""
+    blocks = []
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, field, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+class _PairingCheck:
+    """Release-domination analysis for one function's acquire sites."""
+
+    def __init__(self, program: Program, fn: FunctionInfo) -> None:
+        self.program = program
+        self.fn = fn
+        self.parents = _parents(fn.node)
+        #: call node id -> CallSite, for resolving calls found in finalbody
+        self.sites = {id(site.node): site for site in fn.calls}
+
+    # -- release evidence --------------------------------------------------
+    def _site_releases(self, site: CallSite, receiver: str | None, keys: frozenset[str]) -> bool:
+        """Does one call site release the resource (same receiver or type)?"""
+        func = site.node.func
+        if isinstance(func, ast.Attribute) and func.attr == "release":
+            if receiver is not None and site.receiver == receiver:
+                return True
+            if site.receiver_types & keys:
+                return True
+        for callee in site.callees:
+            callee_fn = self.program.functions.get(callee)
+            if (
+                callee_fn is not None
+                and callee_fn.name == "release"
+                and callee_fn.cls is not None
+                and callee_fn.cls.qualname in keys
+            ):
+                return True
+        return False
+
+    def _transitively_releases(self, qualname: str, keys: frozenset[str], seen: set[str]) -> bool:
+        """Does calling ``qualname`` reach a release of the resource type?"""
+        if qualname in seen:
+            return False
+        seen.add(qualname)
+        callee_fn = self.program.functions.get(qualname)
+        if callee_fn is None:
+            return False
+        for site in callee_fn.calls:
+            if self._site_releases(site, None, keys):
+                return True
+            for callee in site.callees:
+                if self._transitively_releases(callee, keys, seen):
+                    return True
+        return False
+
+    def _finally_releases(self, try_stmt: ast.Try, receiver: str | None, keys: frozenset[str]) -> bool:
+        """Does the ``finally`` block release the resource on this exit edge?
+
+        Conditional releases count (the handoff pattern transfers the
+        obligation rather than discharging it unconditionally); calls
+        inside nested defs do not (the walker never records them as this
+        function's sites, and their execution is deferred anyway).
+        """
+        for stmt in try_stmt.finalbody:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                site = self.sites.get(id(node))
+                if site is None:
+                    continue
+                if self._site_releases(site, receiver, keys):
+                    return True
+                for callee in site.callees:
+                    if self._transitively_releases(callee, keys, set()):
+                        return True
+        return False
+
+    # -- domination --------------------------------------------------------
+    def is_paired(self, site: CallSite, keys: frozenset[str]) -> bool:
+        """Is the acquire dominated by a release on every exit edge?"""
+        if site.context_manager:
+            return True
+        receiver = site.receiver
+        chain = _statement_chain(site.node, self.parents)
+        # 1. an enclosing try whose finally releases the receiver (unless
+        #    the acquire itself sits in that finally, where a release
+        #    guards nothing).
+        for index, stmt in enumerate(chain):
+            if isinstance(stmt, ast.Try) and stmt.finalbody:
+                if index > 0 and chain[index - 1] in stmt.finalbody:
+                    continue
+                if self._finally_releases(stmt, receiver, keys):
+                    return True
+        # 2. a try/finally releasing the receiver later in the same block,
+        #    at any enclosing statement level — the `await sem.acquire();
+        #    try: ... finally: sem.release()` idiom and its guard variant
+        #    `if not x.try_acquire(): raise` followed by the paired try.
+        for stmt in chain:
+            owner = self.parents.get(id(stmt))
+            if owner is None:
+                continue
+            for block in _blocks_of(owner):
+                if stmt not in block:
+                    continue
+                for later in block[block.index(stmt) + 1 :]:
+                    if (
+                        isinstance(later, ast.Try)
+                        and later.finalbody
+                        and self._finally_releases(later, receiver, keys)
+                    ):
+                        return True
+        return False
+
+
+def _resource_classes(program: Program) -> dict[str, ClassInfo]:
+    """Program classes implementing the acquire/release discipline."""
+    out: dict[str, ClassInfo] = {}
+    for cls in program.classes.values():
+        if "release" in cls.methods and any(m in cls.methods for m in ACQUIRE_METHODS):
+            out[cls.qualname] = cls
+    return out
+
+
+@register
+class ResourcePairingRule(Rule):
+    """Counted grants must be released (or transferred) on every exit edge."""
+
+    code = "REP115"
+    name = "resource-pairing"
+    description = (
+        "every Semaphore/permit acquire and producer-thread start must be "
+        "dominated by a release (with-block, finally, join, or retention) "
+        "on every exit edge, including exception edges"
+    )
+    program_level = True
+
+    def check_program(self, program: Program) -> Iterable[Diagnostic]:
+        resources = _resource_classes(program)
+        diagnostics: list[Diagnostic] = []
+        for fn in sorted(program.functions.values(), key=lambda f: f.qualname):
+            check: _PairingCheck | None = None
+            for site in fn.calls:
+                if not isinstance(site.node.func, ast.Attribute):
+                    continue
+                attr = site.node.func.attr
+                if attr == "start" and "stdlib:Thread" in site.receiver_types:
+                    if _thread_unpaired(fn, site):
+                        diagnostics.append(
+                            Diagnostic(
+                                path=fn.relpath,
+                                line=site.node.lineno,
+                                column=site.node.col_offset,
+                                code=self.code,
+                                rule=self.name,
+                                message=(
+                                    f"thread {site.receiver!r} started in {fn.qualname} "
+                                    "is neither joined, retained, nor daemonized: a "
+                                    "fire-and-forget producer outlives its request"
+                                ),
+                            )
+                        )
+                    continue
+                if attr not in ACQUIRE_METHODS:
+                    continue
+                keys = frozenset(
+                    key
+                    for key in site.receiver_types
+                    if key in SEMAPHORE_MARKERS or key in resources
+                )
+                for callee in site.callees:
+                    callee_fn = program.functions.get(callee)
+                    if (
+                        callee_fn is not None
+                        and callee_fn.cls is not None
+                        and callee_fn.cls.qualname in resources
+                    ):
+                        keys |= {callee_fn.cls.qualname}
+                if not keys:
+                    continue
+                if fn.cls is not None and fn.cls.qualname in keys:
+                    continue  # the resource's own implementation
+                if check is None:
+                    check = _PairingCheck(program, fn)
+                if check.is_paired(site, keys):
+                    continue
+                what = site.receiver or attr
+                diagnostics.append(
+                    Diagnostic(
+                        path=fn.relpath,
+                        line=site.node.lineno,
+                        column=site.node.col_offset,
+                        code=self.code,
+                        rule=self.name,
+                        message=(
+                            f"{what}.{attr}() in {fn.qualname} is not dominated by a "
+                            "release on every exit edge: use `async with`/`with`, or "
+                            "pair it with try/finally release so exception and "
+                            "cancellation paths cannot leak the grant"
+                        ),
+                    )
+                )
+        return diagnostics
+
+
+def _thread_unpaired(fn: FunctionInfo, site: CallSite) -> bool:
+    """True when a locally-started thread is never joined/retained/daemonized."""
+    receiver = site.receiver
+    if receiver is None or "." in receiver:
+        return False  # attribute receivers (self._thread) are retained state
+    name = receiver
+    # First pass: hard exemptions, and the name occurrences that are part
+    # of the start/construct pattern itself (not evidence of retention).
+    pattern_uses: set[int] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            named = [t for t in node.targets if isinstance(t, ast.Name) and t.id == name]
+            if named:
+                for keyword in node.value.keywords:
+                    if (
+                        keyword.arg == "daemon"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return False  # daemonized at construction
+                pattern_uses.update(id(t) for t in named)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            value = node.func.value
+            if isinstance(value, ast.Name) and value.id == name:
+                if node.func.attr == "join":
+                    return False  # explicitly joined
+                if node.func.attr == "start":
+                    pattern_uses.add(id(value))
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id == name and node.attr == "daemon":
+                return False  # `t.daemon = True` before start
+    # Second pass: any other Load of the name means the thread object is
+    # retained or handed along — somebody can still join it.
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Load)
+            and id(node) not in pattern_uses
+        ):
+            return False
+    return True
