@@ -54,6 +54,7 @@ from repro.server.protocol import (
     write_sse_event,
 )
 from repro.server.registry import EngineRegistry, UnknownTenantError
+from repro.tools import loopmon
 
 __all__ = [
     "DEFAULT_MAX_BODY",
@@ -514,9 +515,15 @@ class MetaqueryServer:
         self._server: asyncio.Server | None = None
 
     async def start(self) -> None:
-        """Bind and start accepting connections."""
+        """Bind and start accepting connections.
+
+        Arms the event-loop stall monitor first when
+        ``REPRO_LOOP_MONITOR=1`` (see :mod:`repro.tools.loopmon`), so a
+        served process can be instrumented with no code change.
+        """
         if self._server is not None:
             raise EngineError("server already started")
+        loopmon.maybe_install()
         self._server = await asyncio.start_server(
             self.service.handle_connection, self.host, self._requested_port
         )

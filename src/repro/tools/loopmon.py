@@ -1,0 +1,256 @@
+"""Runtime event-loop monitor: stall recording for the asyncio server track.
+
+REP114 (:mod:`repro.tools.lint.rules.blocking_in_coroutine`) statically
+proves no *known* blocking primitive is reachable from a coroutine; this
+module watches what actually happens.  An asyncio event loop runs every
+ready callback — plain ``call_soon`` callbacks and coroutine task steps
+alike — through ``asyncio.events.Handle._run``.  When the monitor is
+installed, that method is wrapped with a timer: any single callback slice
+that exceeds the **stall budget** is recorded as a :class:`Stall` naming
+the offending callback (for a task step, the coroutine's qualified name
+and defining ``file:line`` — the frame to go fix).  A stalled slice is
+precisely the failure mode the static rule closes: while it runs, every
+other connection, stream, and timer in the process waits.
+
+Like the lock sanitizer, adoption is opt-in and zero-overhead when off:
+
+* ``REPRO_LOOP_MONITOR=1`` arms :func:`maybe_install`, which the server's
+  :meth:`MetaqueryServer.start <repro.server.service.MetaqueryServer.start>`
+  and the server test suite's autouse fixture both call — production code
+  never pays for the instrumentation unless asked;
+* ``REPRO_LOOP_BUDGET`` (seconds, default ``0.25``) tunes the budget;
+  :func:`install` takes an explicit override for tests;
+* the registry is process-global and mutex-guarded, because stalls are
+  recorded on the loop thread and asserted on the test thread.
+
+The pytest side lives in ``tests/server/conftest.py``: an autouse fixture
+installs the monitor when enabled, resets the registry before each test,
+and fails any server test whose run stalled the loop past the budget — CI
+runs the server suite under ``REPRO_LOOP_MONITOR=1`` so a regression that
+re-introduces on-loop blocking work fails loudly, not as a latency
+mystery.
+"""
+
+from __future__ import annotations
+
+import asyncio.events
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "BUDGET_ENV",
+    "DEFAULT_BUDGET",
+    "ENV_FLAG",
+    "Stall",
+    "budget",
+    "enabled",
+    "install",
+    "installed",
+    "maybe_install",
+    "report",
+    "reset",
+    "stalls",
+    "uninstall",
+]
+
+ENV_FLAG = "REPRO_LOOP_MONITOR"
+BUDGET_ENV = "REPRO_LOOP_BUDGET"
+#: Seconds a single callback slice may run before it counts as a stall.
+DEFAULT_BUDGET = 0.25
+
+
+@dataclass(frozen=True)
+class Stall:
+    """One callback slice that held the event loop past the budget."""
+
+    duration: float  #: seconds the slice ran
+    budget: float  #: the budget it exceeded, at recording time
+    callback: str  #: the offending callback (coroutine qualname + file:line)
+    thread: str  #: name of the thread whose loop stalled
+
+    def describe(self) -> str:
+        """A one-line human-readable account of the stall."""
+        return (
+            f"event-loop stall: {self.callback} held the loop on thread "
+            f"{self.thread!r} for {self.duration * 1000.0:.1f}ms "
+            f"(budget {self.budget * 1000.0:.1f}ms)"
+        )
+
+
+def _describe_callback(callback: object) -> str:
+    """Name the code a loop callback will run — the frame to go fix.
+
+    Task steps expose their coroutine (``__self__.get_coro()``); plain
+    callbacks expose ``__qualname__``/``__code__``.  Anything opaque
+    falls back to ``repr``.
+    """
+    target = getattr(callback, "__self__", None)
+    get_coro = getattr(target, "get_coro", None)
+    if get_coro is not None:
+        coro = get_coro()
+        code = getattr(coro, "cr_code", None)
+        name = getattr(coro, "__qualname__", None) or repr(coro)
+        if code is not None:
+            return f"{name} ({code.co_filename}:{code.co_firstlineno})"
+        return str(name)
+    code = getattr(callback, "__code__", None)
+    name = getattr(callback, "__qualname__", None)
+    if name is not None and code is not None:
+        return f"{name} ({code.co_filename}:{code.co_firstlineno})"
+    if name is not None:
+        return str(name)
+    return repr(callback)
+
+
+class _Registry:
+    """Process-global monitor state, guarded by a plain mutex."""
+
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.stalls: list[Stall] = []
+        self.slices = 0  #: callback slices observed since the last reset
+        self.budget = DEFAULT_BUDGET
+        self.installed = False
+
+    def record(self, duration: float, callback_description: str) -> None:
+        thread = threading.current_thread().name
+        with self.mutex:
+            self.stalls.append(
+                Stall(
+                    duration=duration,
+                    budget=self.budget,
+                    callback=callback_description,
+                    thread=thread,
+                )
+            )
+
+    def clear(self) -> None:
+        with self.mutex:
+            self.stalls.clear()
+            self.slices = 0
+
+
+_REGISTRY = _Registry()
+
+#: The pristine ``Handle._run``, captured at import so the wrapper can
+#: always delegate to it regardless of install/uninstall interleavings.
+_ORIGINAL_RUN: Callable[[asyncio.events.Handle], None] = getattr(
+    asyncio.events.Handle, "_run"
+)
+
+
+def _instrumented_run(handle: asyncio.events.Handle) -> None:
+    """The wrapped ``Handle._run``: time one slice, record it if over budget.
+
+    The callback is described *before* it runs — a stalled slice may be
+    stalled because the callback's own state is wedged, and the evidence
+    must not depend on it.
+    """
+    with _REGISTRY.mutex:
+        _REGISTRY.slices += 1
+        over = _REGISTRY.budget
+    description = _describe_callback(getattr(handle, "_callback", None))
+    start = time.perf_counter()
+    try:
+        _ORIGINAL_RUN(handle)
+    finally:
+        duration = time.perf_counter() - start
+        if duration > over:
+            _REGISTRY.record(duration, description)
+
+
+def enabled() -> bool:
+    """True when ``REPRO_LOOP_MONITOR=1`` is set in the environment now."""
+    return os.environ.get(ENV_FLAG) == "1"
+
+
+def _budget_from_env() -> float:
+    raw = os.environ.get(BUDGET_ENV)
+    if raw is None:
+        return DEFAULT_BUDGET
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{BUDGET_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{BUDGET_ENV} must be positive, got {value!r}")
+    return value
+
+
+def budget() -> float:
+    """The active stall budget in seconds."""
+    with _REGISTRY.mutex:
+        return _REGISTRY.budget
+
+
+def installed() -> bool:
+    """True while ``Handle._run`` is wrapped."""
+    with _REGISTRY.mutex:
+        return _REGISTRY.installed
+
+
+def install(budget: float | None = None) -> None:
+    """Wrap ``asyncio.events.Handle._run`` with the stall timer.
+
+    Idempotent; a repeat call only updates the budget.  ``budget`` is in
+    seconds and defaults to ``REPRO_LOOP_BUDGET`` or :data:`DEFAULT_BUDGET`.
+    Affects every event loop in the process, including loops running on
+    other threads — which is the point: the server harness runs its loop
+    on a private thread.
+    """
+    resolved = _budget_from_env() if budget is None else float(budget)
+    if resolved <= 0:
+        raise ValueError(f"stall budget must be positive, got {resolved!r}")
+    with _REGISTRY.mutex:
+        _REGISTRY.budget = resolved
+        if _REGISTRY.installed:
+            return
+        _REGISTRY.installed = True
+    setattr(asyncio.events.Handle, "_run", _instrumented_run)
+
+
+def uninstall() -> None:
+    """Restore the original ``Handle._run`` (idempotent)."""
+    with _REGISTRY.mutex:
+        was_installed, _REGISTRY.installed = _REGISTRY.installed, False
+    if was_installed:
+        setattr(asyncio.events.Handle, "_run", _ORIGINAL_RUN)
+
+
+def maybe_install() -> None:
+    """Install iff ``REPRO_LOOP_MONITOR=1`` — the production hook.
+
+    Called by :meth:`MetaqueryServer.start
+    <repro.server.service.MetaqueryServer.start>` so flipping the env var
+    instruments a served process with no code change; a no-op otherwise.
+    """
+    if enabled():
+        install()
+
+
+def reset() -> None:
+    """Drop every recorded stall and the slice counter."""
+    _REGISTRY.clear()
+
+
+def stalls() -> tuple[Stall, ...]:
+    """Every stall recorded since the last :func:`reset`."""
+    with _REGISTRY.mutex:
+        return tuple(_REGISTRY.stalls)
+
+
+def report() -> dict[str, Any]:
+    """A snapshot for test teardown and CI logs."""
+    with _REGISTRY.mutex:
+        return {
+            "enabled": enabled(),
+            "installed": _REGISTRY.installed,
+            "budget": _REGISTRY.budget,
+            "slices": _REGISTRY.slices,
+            "stalls": [stall.describe() for stall in _REGISTRY.stalls],
+        }

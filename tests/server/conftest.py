@@ -8,6 +8,11 @@ conveniences and a polling helper for the asynchronous assertions
 ``make_server`` factory fixture starts any number of servers per test
 and guarantees each performs its graceful close at teardown, so every
 test also exercises the production drain path.
+
+When ``REPRO_LOOP_MONITOR=1`` (the dedicated CI job), the autouse
+``_assert_no_loop_stalls`` fixture arms :mod:`repro.tools.loopmon` and
+fails any test whose run let a single callback slice hold the server's
+event loop past the stall budget — the runtime half of REP114.
 """
 
 from __future__ import annotations
@@ -20,7 +25,29 @@ from client import HttpResponse, ServeClient, SseStream
 
 from repro.relational.database import Database
 from repro.server.inprocess import InProcessServer
+from repro.tools import loopmon
 from repro.workloads.telecom import db1
+
+
+@pytest.fixture(autouse=True)
+def _assert_no_loop_stalls() -> Iterator[None]:
+    """Fail any server test that stalled the event loop (monitored runs).
+
+    A no-op unless ``REPRO_LOOP_MONITOR=1``: the monitor observes every
+    loop in the process, so the suite must opt in explicitly rather than
+    penalize unrelated local runs.  The server arms the monitor itself on
+    ``start()``; installing here too covers tests that never bind one.
+    """
+    if not loopmon.enabled():
+        yield
+        return
+    loopmon.install()
+    loopmon.reset()
+    yield
+    found = loopmon.stalls()
+    assert not found, "event-loop stalls recorded:\n" + "\n".join(
+        stall.describe() for stall in found
+    )
 
 
 class ServeFixture:

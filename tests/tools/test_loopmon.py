@@ -1,0 +1,162 @@
+"""Unit tests for the event-loop stall monitor (:mod:`repro.tools.loopmon`).
+
+The monitor's claim is narrow and checkable: when installed, any single
+callback slice that holds a loop past the budget is recorded with the
+offending frame, and nothing else is.  The deliberate stalls here use
+``time.sleep`` inside a coroutine — exactly the REP114 bug class — so the
+suite doubles as the true-positive proof for the runtime half.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import asyncio.events
+import time
+from typing import Iterator
+
+import pytest
+
+from repro.tools import loopmon
+
+
+@pytest.fixture
+def monitor() -> Iterator[None]:
+    """Install the monitor with a tight budget; always restore the loop."""
+    loopmon.install(budget=0.05)
+    loopmon.reset()
+    yield
+    loopmon.uninstall()
+    loopmon.reset()
+
+
+def _pristine_run() -> object:
+    return getattr(asyncio.events.Handle, "_run")
+
+
+class TestInstallLifecycle:
+    def test_install_and_uninstall_swap_handle_run(self) -> None:
+        before = _pristine_run()
+        loopmon.install(budget=0.5)
+        try:
+            assert loopmon.installed()
+            assert _pristine_run() is not before
+        finally:
+            loopmon.uninstall()
+        assert not loopmon.installed()
+        assert _pristine_run() is before
+
+    def test_install_is_idempotent_and_updates_budget(self) -> None:
+        loopmon.install(budget=0.5)
+        try:
+            wrapped = _pristine_run()
+            loopmon.install(budget=0.2)
+            assert _pristine_run() is wrapped
+            assert loopmon.budget() == pytest.approx(0.2)
+        finally:
+            loopmon.uninstall()
+
+    def test_uninstall_is_idempotent(self) -> None:
+        before = _pristine_run()
+        loopmon.uninstall()
+        loopmon.uninstall()
+        assert _pristine_run() is before
+
+    def test_install_rejects_nonpositive_budget(self) -> None:
+        with pytest.raises(ValueError, match="positive"):
+            loopmon.install(budget=0.0)
+        assert not loopmon.installed()
+
+    def test_maybe_install_honors_env_flag(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.delenv(loopmon.ENV_FLAG, raising=False)
+        loopmon.maybe_install()
+        assert not loopmon.installed()
+        monkeypatch.setenv(loopmon.ENV_FLAG, "1")
+        try:
+            loopmon.maybe_install()
+            assert loopmon.installed()
+        finally:
+            loopmon.uninstall()
+
+    def test_budget_resolves_from_env(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.setenv(loopmon.BUDGET_ENV, "0.125")
+        loopmon.install()
+        try:
+            assert loopmon.budget() == pytest.approx(0.125)
+        finally:
+            loopmon.uninstall()
+
+    @pytest.mark.parametrize("raw", ["zero", "-1", "0"])
+    def test_bad_env_budget_rejected(
+        self, monkeypatch: pytest.MonkeyPatch, raw: str
+    ) -> None:
+        monkeypatch.setenv(loopmon.BUDGET_ENV, raw)
+        with pytest.raises(ValueError):
+            loopmon.install()
+        assert not loopmon.installed()
+
+
+class TestStallRecording:
+    def test_blocking_coroutine_records_stall_with_frame(self, monitor: None) -> None:
+        async def stalls_the_loop() -> None:
+            time.sleep(0.12)  # the REP114 bug class, reconstructed on purpose
+
+        asyncio.run(stalls_the_loop())
+        found = loopmon.stalls()
+        assert found, "deliberate stall was not recorded"
+        worst = max(found, key=lambda stall: stall.duration)
+        assert worst.duration >= 0.1
+        assert worst.budget == pytest.approx(0.05)
+        assert "stalls_the_loop" in worst.callback
+        assert __file__.rstrip("co") in worst.callback  # frame: this file
+        assert "event-loop stall" in worst.describe()
+
+    def test_quick_callbacks_record_nothing(self, monitor: None) -> None:
+        async def well_behaved() -> str:
+            await asyncio.sleep(0)
+            return "ok"
+
+        assert asyncio.run(well_behaved()) == "ok"
+        assert loopmon.stalls() == ()
+        assert loopmon.report()["slices"] > 0  # the monitor did observe slices
+
+    def test_plain_callback_described_by_qualname(self, monitor: None) -> None:
+        def blocking_callback() -> None:
+            time.sleep(0.12)
+
+        async def drive() -> None:
+            asyncio.get_running_loop().call_soon(blocking_callback)
+            await asyncio.sleep(0.01)
+
+        asyncio.run(drive())
+        descriptions = [stall.callback for stall in loopmon.stalls()]
+        assert any("blocking_callback" in desc for desc in descriptions)
+
+    def test_reset_clears_stalls_and_slices(self, monitor: None) -> None:
+        async def stalls_the_loop() -> None:
+            time.sleep(0.12)
+
+        asyncio.run(stalls_the_loop())
+        assert loopmon.stalls()
+        loopmon.reset()
+        assert loopmon.stalls() == ()
+        assert loopmon.report()["slices"] == 0
+
+    def test_monitor_sees_loops_on_other_threads(self, monitor: None) -> None:
+        import threading
+
+        async def stalls_the_loop() -> None:
+            time.sleep(0.12)
+
+        worker = threading.Thread(
+            target=lambda: asyncio.run(stalls_the_loop()), name="loopmon-worker"
+        )
+        worker.start()
+        worker.join()
+        found = loopmon.stalls()
+        assert found and any(stall.thread == "loopmon-worker" for stall in found)
+
+    def test_report_shape(self, monitor: None) -> None:
+        snapshot = loopmon.report()
+        assert snapshot["installed"] is True
+        assert snapshot["budget"] == pytest.approx(0.05)
+        assert snapshot["stalls"] == []
