@@ -7,11 +7,18 @@ The single static-analysis entry point for the repository::
     python -m repro.tools.lint --rule REP101      # one rule, default scope
     python -m repro.tools.lint --rule lock-discipline path/to/file.py
     python -m repro.tools.lint --format json      # machine-readable output
+    python -m repro.tools.lint --format github    # ::error annotations (CI)
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors (unknown rule, missing path).  Combining ``--rule`` with explicit
 paths bypasses the rules' default path scoping, so a rule can be pointed
 at any file (the fixture tests run this way).
+
+Repeated runs reuse ``<root>/.lint-cache.pkl``, an on-disk AST cache
+validated per file by ``(path, mtime, size)`` — the repo-wide battery
+stops re-parsing ~110 unchanged files on every invocation.  Pass
+``--no-parse-cache`` to parse fresh (the cache is never a correctness
+dependency; delete the file at will).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.tools.lint.diagnostics import render
+from repro.tools.lint.diagnostics import FORMATS, render
 from repro.tools.lint.framework import Linter, all_rules, find_repo_root
 
 __all__ = ["main", "build_parser"]
@@ -49,9 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=FORMATS,
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); 'github' emits GitHub Actions "
+        "::error annotations pinned to the offending lines",
+    )
+    parser.add_argument(
+        "--no-parse-cache",
+        action="store_true",
+        help="parse every file fresh instead of reusing <root>/.lint-cache.pkl "
+        "entries validated by (path, mtime, size)",
     )
     parser.add_argument(
         "--warn-unused-pragmas",
@@ -89,6 +103,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             rules=args.rules,
             force_scope=bool(args.rules and args.paths),
             warn_unused_pragmas=args.warn_unused_pragmas,
+            parse_cache=None if args.no_parse_cache else root / ".lint-cache.pkl",
         )
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)
@@ -96,7 +111,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     diagnostics = linter.lint(args.paths or None)
     if diagnostics:
         print(render(diagnostics, args.format))
-        if args.format == "text":
+        if args.format != "json":
             print(f"\nlint: {len(diagnostics)} finding(s)", file=sys.stderr)
         return 1
     if args.format == "json":

@@ -7,7 +7,10 @@ human-readable *name* (``exact-arithmetic``).  The two output formats are
 * ``text`` — one ``path:line:col: CODE [name] message`` line per finding,
   the format editors and CI logs understand;
 * ``json`` — a machine-readable list of objects (``python -m
-  repro.tools.lint --format json``), consumed by tests and tooling.
+  repro.tools.lint --format json``), consumed by tests and tooling;
+* ``github`` — GitHub Actions workflow-command annotations
+  (``::error file=...,line=...``), so a CI lint failure is pinned to the
+  offending line directly in the pull-request diff view.
 """
 
 from __future__ import annotations
@@ -15,7 +18,19 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 
-__all__ = ["Diagnostic", "render"]
+__all__ = ["Diagnostic", "FORMATS", "render"]
+
+FORMATS = ("text", "json", "github")
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command data field (the message after ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (``file=``, ``title=``)."""
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")
 
 
 @dataclass(frozen=True, order=True)
@@ -33,15 +48,33 @@ class Diagnostic:
         """The one-line editor/CI rendering of this finding."""
         return f"{self.path}:{self.line}:{self.column}: {self.code} [{self.rule}] {self.message}"
 
+    def format_github(self) -> str:
+        """The GitHub Actions ``::error`` workflow-command rendering.
+
+        Columns are 0-based internally but 1-based in annotations; line 0
+        (whole-file findings) anchors at line 1 so the annotation still
+        attaches to the file.
+        """
+        line = self.line or 1
+        return (
+            f"::error file={_escape_property(self.path)},line={line},"
+            f"col={self.column + 1},title={_escape_property(f'{self.code} {self.rule}')}"
+            f"::{_escape_data(self.message)}"
+        )
+
     def as_dict(self) -> dict[str, object]:
         """A JSON-serializable representation."""
         return asdict(self)
 
 
 def render(diagnostics: list[Diagnostic], fmt: str = "text") -> str:
-    """Render a finding list in the requested format (``text`` or ``json``)."""
+    """Render a finding list in one of the :data:`FORMATS`."""
     if fmt == "json":
         return json.dumps([d.as_dict() for d in sorted(diagnostics)], indent=2)
+    if fmt == "github":
+        return "\n".join(d.format_github() for d in sorted(diagnostics))
     if fmt != "text":
-        raise ValueError(f"unknown lint output format {fmt!r}; use 'text' or 'json'")
+        raise ValueError(
+            f"unknown lint output format {fmt!r}; use one of {', '.join(FORMATS)}"
+        )
     return "\n".join(d.format_text() for d in sorted(diagnostics))

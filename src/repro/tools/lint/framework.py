@@ -33,6 +33,9 @@ REP112 *unused-pragma* for suppressions that suppressed nothing.
 from __future__ import annotations
 
 import ast
+import os
+import pickle
+import sys
 from dataclasses import dataclass
 from fnmatch import fnmatch
 from pathlib import Path
@@ -175,6 +178,102 @@ def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+#: Bump whenever the cached payload shape changes; stale-format caches are
+#: silently discarded, never migrated.
+_CACHE_VERSION = 1
+
+
+class _ParseCache:
+    """An on-disk AST cache keyed by ``(relpath, mtime_ns, size)``.
+
+    Parsing dominates a repo-wide lint run (~110 files through
+    ``ast.parse`` on every CI job); the AST of an unchanged file is fully
+    determined by its bytes, so a ``(mtime_ns, size)``-validated pickle of
+    the tree is safe to reuse.  Pragma state is *not* cached — it carries
+    mutable usage recording — and neither is the source text, which each
+    run re-reads anyway (a cheap read compared to the parse).
+
+    The cache is a convenience, never a correctness dependency: any
+    failure to load — missing file, foreign pickle, truncated write,
+    version or interpreter skew — degrades to an empty cache, and saving
+    goes through a same-directory temp file + ``os.replace`` so a killed
+    run cannot leave a torn cache behind.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: dict[str, tuple[int, int, bytes]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with self.path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError):
+            return  # no cache (or an unreadable one): start empty
+        if not isinstance(payload, dict):
+            return
+        if payload.get("version") != _CACHE_VERSION:
+            return
+        if payload.get("python") != sys.version_info[:2]:
+            return  # AST pickles do not migrate across interpreter minors
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, relpath: str, mtime_ns: int, size: int) -> ast.Module | None:
+        """The cached tree for an unchanged file, else None."""
+        entry = self._entries.get(relpath)
+        if entry is None or entry[0] != mtime_ns or entry[1] != size:
+            self.misses += 1
+            return None
+        try:
+            tree = pickle.loads(entry[2])
+        except (pickle.PickleError, EOFError, AttributeError):
+            # A corrupt entry is indistinguishable from a stale one: drop
+            # it and let the caller re-parse.
+            del self._entries[relpath]
+            self._dirty = True
+            self.misses += 1
+            return None
+        if not isinstance(tree, ast.Module):
+            del self._entries[relpath]
+            self._dirty = True
+            self.misses += 1
+            return None
+        self.hits += 1
+        return tree
+
+    def put(self, relpath: str, mtime_ns: int, size: int, tree: ast.Module) -> None:
+        """Record a freshly parsed tree."""
+        self._entries[relpath] = (mtime_ns, size, pickle.dumps(tree))
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "python": sys.version_info[:2],
+            "entries": self._entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout must still lint; the cache just stays
+            # cold for the next run.
+            tmp.unlink(missing_ok=True)
+            return
+        self._dirty = False
+
+
 class Linter:
     """Run a set of rules over a tree of files.
 
@@ -195,6 +294,11 @@ class Linter:
         meaningful when the full battery runs (``rules`` is None): with a
         rule subset, pragmas for unselected rules would always look
         unused, so the warning is silently skipped.
+    parse_cache:
+        Path of an on-disk AST cache keyed by ``(relpath, mtime_ns,
+        size)`` (see :class:`_ParseCache`); None (the default) parses
+        every file fresh.  The CLI passes ``<root>/.lint-cache.pkl``
+        unless ``--no-parse-cache`` is given.
     """
 
     def __init__(
@@ -203,11 +307,19 @@ class Linter:
         rules: Sequence[str] | None = None,
         force_scope: bool = False,
         warn_unused_pragmas: bool = False,
+        parse_cache: Path | None = None,
     ) -> None:
         self.root = (root or find_repo_root(Path.cwd().resolve())).resolve()
         self.rules = resolve_rules(rules)
         self.force_scope = force_scope
         self.warn_unused_pragmas = warn_unused_pragmas and rules is None
+        self._parse_cache = _ParseCache(parse_cache) if parse_cache is not None else None
+
+    def parse_cache_stats(self) -> dict[str, int]:
+        """Cache effectiveness counters (zeros when no cache is attached)."""
+        if self._parse_cache is None:
+            return {"hits": 0, "misses": 0}
+        return {"hits": self._parse_cache.hits, "misses": self._parse_cache.misses}
 
     def _relpath(self, path: Path) -> str:
         try:
@@ -218,6 +330,14 @@ class Linter:
     def _parse(self, path: Path) -> tuple[ModuleInfo | None, Diagnostic | None]:
         source = path.read_text(encoding="utf-8")
         relpath = self._relpath(path)
+        stat = path.stat()
+        cached = (
+            self._parse_cache.get(relpath, stat.st_mtime_ns, stat.st_size)
+            if self._parse_cache is not None
+            else None
+        )
+        if cached is not None:
+            return ModuleInfo(path, relpath, source, cached, parse_suppressions(source)), None
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
@@ -229,6 +349,8 @@ class Linter:
                 rule="parse-error",
                 message=f"could not parse file: {exc.msg}",
             )
+        if self._parse_cache is not None:
+            self._parse_cache.put(relpath, stat.st_mtime_ns, stat.st_size, tree)
         return ModuleInfo(path, relpath, source, tree, parse_suppressions(source)), None
 
     def lint(self, paths: Sequence[Path] | None = None) -> list[Diagnostic]:
@@ -275,6 +397,8 @@ class Linter:
             for rule in repo_rules:
                 diagnostics.extend(rule.check_repo(self.root))
         diagnostics.extend(self._pragma_audit(modules))
+        if self._parse_cache is not None:
+            self._parse_cache.save()
         return sorted(diagnostics)
 
     def _pragma_audit(self, modules: Sequence[ModuleInfo]) -> list[Diagnostic]:

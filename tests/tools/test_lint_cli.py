@@ -96,6 +96,125 @@ class TestCli:
         assert "REP101" in result.stdout
 
 
+class TestGithubFormat:
+    def test_findings_render_as_error_annotations(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path, "x = float(1)\n")
+        code = main(["--rule", "REP101", "--format", "github", str(fixture)])
+        out = capsys.readouterr().out
+        assert code == 1
+        line = next(l for l in out.splitlines() if l.startswith("::error "))
+        assert ",line=1," in line
+        assert "title=REP101 exact-arithmetic" in line
+        assert line.count("::") == 2  # command prefix + message separator
+
+    def test_clean_github_run_exits_0(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path, "x = 1\n")
+        assert main(["--rule", "REP101", "--format", "github", str(fixture)]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+    def test_workflow_command_escaping(self):
+        from repro.tools.lint.diagnostics import Diagnostic
+
+        diag = Diagnostic(
+            path="src/a,b:c.py",
+            line=0,  # whole-file finding: must still anchor at line 1
+            column=0,
+            code="REP999",
+            rule="demo",
+            message="50% broken\nsecond line",
+        )
+        rendered = diag.format_github()
+        assert rendered.startswith("::error file=src/a%2Cb%3Ac.py,line=1,col=1,")
+        assert rendered.endswith("::50%25 broken%0Asecond line")
+        assert "\n" not in rendered
+
+    def test_unknown_format_rejected_by_render(self):
+        import pytest
+
+        from repro.tools.lint.diagnostics import render
+
+        with pytest.raises(ValueError, match="unknown lint output format"):
+            render([], "sarif")
+
+
+class TestParseCache:
+    @staticmethod
+    def _repo(tmp_path: Path) -> Path:
+        # Mirrors the real layout: the battery's module rules scope to
+        # src/repro/... paths, so the fixture tree must live there too.
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text(
+            '"""Fixture package."""\n\n__all__ = []\n', encoding="utf-8"
+        )
+        (pkg / "mod.py").write_text(
+            '"""Fixture module."""\n\n__all__ = []\n\nX = 1\n', encoding="utf-8"
+        )
+        return tmp_path
+
+    def _lint(self, root: Path, **kwargs) -> "Linter":
+        from repro.tools.lint.framework import Linter
+
+        linter = Linter(root=root, parse_cache=root / ".lint-cache.pkl", **kwargs)
+        linter.lint()
+        return linter
+
+    def test_cold_then_warm(self, tmp_path):
+        root = self._repo(tmp_path)
+        cold = self._lint(root)
+        assert cold.parse_cache_stats() == {"hits": 0, "misses": 2}
+        assert (root / ".lint-cache.pkl").exists()
+        warm = self._lint(root)
+        assert warm.parse_cache_stats() == {"hits": 2, "misses": 0}
+
+    def test_mtime_change_invalidates_one_entry(self, tmp_path):
+        root = self._repo(tmp_path)
+        self._lint(root)
+        target = root / "src" / "repro" / "mod.py"
+        os.utime(target, ns=(1, 1))  # same size, different mtime
+        relinted = self._lint(root)
+        assert relinted.parse_cache_stats() == {"hits": 1, "misses": 1}
+
+    def test_edited_file_is_reparsed_and_found(self, tmp_path):
+        root = self._repo(tmp_path)
+        self._lint(root)
+        target = root / "src" / "repro" / "mod.py"
+        target.write_text("X = 1\n", encoding="utf-8")  # docstring gone: REP106
+        from repro.tools.lint.framework import Linter
+
+        linter = Linter(root=root, parse_cache=root / ".lint-cache.pkl")
+        findings = linter.lint()
+        assert any(d.code == "REP106" for d in findings)
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        root = self._repo(tmp_path)
+        (root / ".lint-cache.pkl").write_bytes(b"not a pickle at all")
+        linter = self._lint(root)
+        assert linter.parse_cache_stats() == {"hits": 0, "misses": 2}
+        # and the corrupt file was atomically replaced with a valid cache
+        assert self._lint(root).parse_cache_stats()["hits"] == 2
+
+    def test_version_skew_discards_cache(self, tmp_path):
+        import pickle
+
+        root = self._repo(tmp_path)
+        self._lint(root)
+        payload = pickle.loads((root / ".lint-cache.pkl").read_bytes())
+        payload["version"] = -1
+        (root / ".lint-cache.pkl").write_bytes(pickle.dumps(payload))
+        assert self._lint(root).parse_cache_stats() == {"hits": 0, "misses": 2}
+
+    def test_no_parse_cache_flag(self, tmp_path, capsys):
+        root = self._repo(tmp_path)
+        assert main(["--root", str(root), "--no-parse-cache", str(root / "src")]) == 0
+        assert not (root / ".lint-cache.pkl").exists()
+
+    def test_cli_populates_cache_by_default(self, tmp_path, capsys):
+        root = self._repo(tmp_path)
+        assert main(["--root", str(root), str(root / "src")]) == 0
+        assert (root / ".lint-cache.pkl").exists()
+
+
 class TestCheckDocsShim:
     def test_no_args_delegates_to_doc_refs_rule(self, monkeypatch, capsys):
         monkeypatch.chdir(REPO_ROOT)
