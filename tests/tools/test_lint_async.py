@@ -1,0 +1,855 @@
+"""Tests for the async half of the program analysis: the callgraph's
+coroutine/await/task-spawn modeling and the REP114–REP116 rules.
+
+Each true-positive fixture reconstructs the motivating bug class from the
+server track:
+
+* REP114 — a synchronous blocking stage (``time.sleep``, file I/O, a
+  direct ``MetaqueryEngine.find_rules``) executing on the event loop,
+  where it stalls every tenant's stream at once.
+* REP115 — a stream permit or semaphore slot leaked on an exception edge,
+  silently shrinking the admission budget until the service 503s forever.
+* REP116 — a fire-and-forget ``create_task`` whose task object nobody
+  holds: garbage-collectable mid-flight, its exceptions swallowed.
+
+Clean-code negatives pin the false-positive budget at zero on the exact
+idioms the shipped server uses (``to_thread`` hops, guard-then-finally
+permit pairing, the conditional-release handoff in
+``AsyncMetaqueryEngine.stream``), and the pragma-parity tests prove the
+new rule ids participate in the REP112/REP113 suppression audit.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.tools.lint.callgraph import build_program
+from repro.tools.lint.framework import Linter
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_rules(tmp_path, rules, source, **linter_kwargs):
+    """Lint a single dedented fixture file with the given rules."""
+    fixture = tmp_path / "fixture.py"
+    fixture.write_text(textwrap.dedent(source), encoding="utf-8")
+    linter = Linter(root=tmp_path, rules=rules, force_scope=True, **linter_kwargs)
+    return linter.lint([fixture])
+
+
+def program_from(tmp_path, files):
+    """Build a Program from fixture sources laid out under ``tmp_path``."""
+    linter = Linter(root=tmp_path)
+    modules = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for path in sorted(tmp_path.rglob("*.py")):
+        module, err = linter._parse(path)
+        assert err is None, err
+        modules.append(module)
+    return build_program(modules)
+
+
+class TestAsyncCallgraph:
+    def test_is_async_distinguishes_coroutines(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                async def coro():
+                    return 1
+
+                def plain():
+                    return 1
+                """
+            },
+        )
+        assert program.functions["mod:coro"].is_async
+        assert not program.functions["mod:plain"].is_async
+
+    def test_await_edges_marked_on_call_sites(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                async def helper():
+                    return 1
+
+                def sync_helper():
+                    return 2
+
+                async def caller():
+                    a = await helper()
+                    b = sync_helper()
+                    return a + b
+                """
+            },
+        )
+        caller = program.functions["mod:caller"]
+        by_callee = {callee: site for site in caller.calls for callee in site.callees}
+        assert by_callee["mod:helper"].awaited
+        assert not by_callee["mod:sync_helper"].awaited
+
+    def test_task_spawn_sites_and_entry_points(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                import asyncio
+
+                async def worker():
+                    await asyncio.sleep(0)
+
+                async def other():
+                    await asyncio.sleep(0)
+
+                async def spawner():
+                    tasks = [asyncio.create_task(worker())]
+                    fut = asyncio.ensure_future(other())
+                    await asyncio.gather(*tasks, fut)
+                """
+            },
+        )
+        spawner = program.functions["mod:spawner"]
+        kinds = sorted(kind for kind, _target, _node in spawner.task_spawns)
+        # gather records one spawn per argument (the starred list and fut)
+        assert kinds == ["create_task", "ensure_future", "gather", "gather"]
+        targets = {target for _kind, target, _node in spawner.task_spawns}
+        assert "mod:worker" in targets and "mod:other" in targets
+        spawned = {target for _kind, _spawner, target, _node in program.task_entry_points()}
+        assert {"mod:worker", "mod:other"} <= spawned
+
+    def test_loop_attr_spawn_matched_when_receiver_unresolved(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                import asyncio
+
+                async def worker():
+                    pass
+
+                async def spawner():
+                    loop = asyncio.get_running_loop()
+                    loop.create_task(worker())
+                """
+            },
+        )
+        spawner = program.functions["mod:spawner"]
+        assert [kind for kind, _t, _n in spawner.task_spawns] == ["create_task"]
+
+    def test_async_regions_recorded(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                import asyncio
+
+                class Engine:
+                    def __init__(self):
+                        self._semaphore = asyncio.Semaphore(4)
+
+                    async def run(self, stream):
+                        async with self._semaphore:
+                            async for item in stream:
+                                print(item)
+                """
+            },
+        )
+        run = program.functions["mod:Engine.run"]
+        regions = {(kind, context) for kind, context, _node in run.async_regions}
+        assert ("with", "self._semaphore") in regions
+        assert ("for", "stream") in regions
+
+    def test_run_in_executor_is_a_thread_entry_point(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                import asyncio
+
+                def heavy():
+                    return 1
+
+                async def dispatch():
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, heavy)
+                """
+            },
+        )
+        targets = {target for _kind, _spawner, target, _node in program.entry_points()}
+        assert "mod:heavy" in targets
+
+    def test_async_queue_and_semaphore_never_alias_blocking_waits(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                import asyncio
+                import queue
+
+                class Consumer:
+                    def __init__(self):
+                        self.inbox: asyncio.Queue = asyncio.Queue()
+                        self.backlog: queue.Queue = queue.Queue()
+
+                    async def poll(self):
+                        return await self.inbox.get()
+
+                    def drain_sync(self):
+                        return self.backlog.get()
+                """
+            },
+        )
+        poll = program.functions["mod:Consumer.poll"]
+        assert all(site.blocking is None for site in poll.calls)
+        drain = program.functions["mod:Consumer.drain_sync"]
+        assert any(site.blocking is not None for site in drain.calls)
+
+    def test_loop_blocking_witness_chain_and_await_cut(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                import time
+
+                def inner():
+                    time.sleep(1.0)
+
+                def outer():
+                    inner()
+
+                async def fine():
+                    pass
+
+                async def also_fine():
+                    await fine()
+                """
+            },
+        )
+        witness = program.loop_blocking_witness("mod:outer")
+        assert witness is not None
+        assert witness.chain == ("mod:outer", "mod:inner")
+        assert "time.sleep" in witness.descriptor
+        assert program.loop_blocking_witness("mod:also_fine") is None
+
+    def test_heavy_qualnames_count_as_blocking(self, tmp_path):
+        program = program_from(
+            tmp_path,
+            {
+                "mod.py": """\
+                class Engine:
+                    def find_rules(self):
+                        return []
+
+                def call_engine(engine: "Engine"):
+                    return engine.find_rules()
+                """
+            },
+        )
+        heavy = frozenset({"mod:Engine.find_rules"})
+        witness = program.loop_blocking_witness("mod:call_engine", heavy)
+        assert witness is not None
+        assert "synchronous engine compute" in witness.descriptor
+        assert program.loop_blocking_witness("mod:call_engine") is None
+
+
+class TestBlockingInCoroutine:
+    def test_direct_sleep_on_the_loop_is_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import time
+
+            async def handler():
+                time.sleep(0.5)
+            """,
+        )
+        assert [d.code for d in findings] == ["REP114"]
+        assert "time.sleep" in findings[0].message
+
+    def test_transitive_path_carries_the_call_chain(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import time
+
+            def retry_pause():
+                time.sleep(0.1)
+
+            def with_backoff():
+                retry_pause()
+
+            async def handler():
+                with_backoff()
+            """,
+        )
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "fixture:handler -> fixture:with_backoff -> fixture:retry_pause" in message
+
+    def test_sync_engine_compute_on_the_loop_is_flagged(self, tmp_path):
+        # The motivating bug: a handler calling the *sync* engine facade
+        # directly instead of the async wrapper's to_thread hop.
+        files = {
+            "src/repro/core/engine.py": """\
+            class MetaqueryEngine:
+                def find_rules(self, mq):
+                    return []
+            """,
+            "src/repro/server/handlers.py": """\
+            from repro.core.engine import MetaqueryEngine
+
+            class Service:
+                def __init__(self):
+                    self.engine = MetaqueryEngine()
+
+                async def handle_mine(self, mq):
+                    return self.engine.find_rules(mq)
+            """,
+        }
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        linter = Linter(root=tmp_path, rules=["REP114"])
+        findings = linter.lint([tmp_path / "src"])
+        assert [d.code for d in findings] == ["REP114"]
+        assert "synchronous engine compute MetaqueryEngine.find_rules()" in findings[0].message
+
+    def test_to_thread_reference_cuts_the_path(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import asyncio
+            import time
+
+            def heavy():
+                time.sleep(5.0)
+
+            async def handler():
+                await asyncio.to_thread(heavy)
+            """,
+        )
+        assert findings == []
+
+    def test_run_in_executor_reference_cuts_the_path(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import asyncio
+            import time
+
+            def heavy():
+                time.sleep(5.0)
+
+            async def handler():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, heavy)
+            """,
+        )
+        assert findings == []
+
+    def test_awaited_async_callee_is_not_this_coroutines_problem(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import asyncio
+            import time
+
+            async def inner():
+                await asyncio.to_thread(time.sleep, 0.1)
+
+            async def outer():
+                await inner()
+            """,
+        )
+        assert findings == []
+
+    def test_asyncio_primitives_stay_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import asyncio
+
+            class Engine:
+                def __init__(self):
+                    self._semaphore = asyncio.Semaphore(4)
+                    self._queue: asyncio.Queue = asyncio.Queue()
+                    self._idle = asyncio.Event()
+
+                async def pump(self):
+                    await self._semaphore.acquire()
+                    try:
+                        item = await self._queue.get()
+                        await self._idle.wait()
+                        return item
+                    finally:
+                        self._semaphore.release()
+            """,
+        )
+        assert findings == []
+
+    def test_blocking_in_plain_function_is_out_of_scope(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import time
+
+            def worker():
+                time.sleep(0.5)
+            """,
+        )
+        assert findings == []
+
+
+class TestResourcePairing:
+    def test_unpaired_semaphore_acquire_is_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            import asyncio
+
+            class Engine:
+                def __init__(self):
+                    self._semaphore = asyncio.Semaphore(4)
+
+                async def leak(self):
+                    await self._semaphore.acquire()
+                    await self.work()
+
+                async def work(self):
+                    pass
+            """,
+        )
+        assert [d.code for d in findings] == ["REP115"]
+        assert "self._semaphore.acquire()" in findings[0].message
+
+    def test_async_with_and_try_finally_are_paired(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            import asyncio
+
+            class Engine:
+                def __init__(self):
+                    self._semaphore = asyncio.Semaphore(4)
+
+                async def scoped(self):
+                    async with self._semaphore:
+                        await self.work()
+
+                async def explicit(self):
+                    await self._semaphore.acquire()
+                    try:
+                        await self.work()
+                    finally:
+                        self._semaphore.release()
+
+                async def work(self):
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_permit_guard_idiom_from_the_service_is_clean(self, tmp_path):
+        # Reconstructs _handle_mine_stream: guard try_acquire, raise on
+        # denial, then a try whose finally releases on every exit edge.
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            class StreamPermits:
+                def __init__(self, n):
+                    self.active = 0
+                    self.max_streams = n
+
+                def try_acquire(self):
+                    if self.active >= self.max_streams:
+                        return False
+                    self.active += 1
+                    return True
+
+                def release(self):
+                    self.active -= 1
+
+            class Service:
+                def __init__(self):
+                    self.permits = StreamPermits(8)
+
+                async def handle(self):
+                    if not self.permits.try_acquire():
+                        raise RuntimeError("overloaded")
+                    try:
+                        await self.stream()
+                    finally:
+                        self.permits.release()
+
+                async def stream(self):
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_permit_leak_on_exception_edge_is_flagged(self, tmp_path):
+        # The motivating bug: prepare() raising after admission leaks the
+        # permit; the budget shrinks by one on every failure.
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            class StreamPermits:
+                def __init__(self, n):
+                    self.active = 0
+                    self.max_streams = n
+
+                def try_acquire(self):
+                    self.active += 1
+                    return True
+
+                def release(self):
+                    self.active -= 1
+
+            class Service:
+                def __init__(self):
+                    self.permits = StreamPermits(8)
+
+                async def handle(self):
+                    if not self.permits.try_acquire():
+                        raise RuntimeError("overloaded")
+                    prepared = await self.prepare()
+                    await self.stream(prepared)
+                    self.permits.release()
+
+                async def prepare(self):
+                    return object()
+
+                async def stream(self, prepared):
+                    pass
+            """,
+        )
+        assert len(findings) == 1
+        assert "try_acquire" in findings[0].message
+
+    def test_interprocedural_release_through_helper_is_paired(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            import asyncio
+
+            class Engine:
+                def __init__(self):
+                    self._semaphore = asyncio.Semaphore(4)
+
+                async def run(self):
+                    await self._semaphore.acquire()
+                    try:
+                        await self.work()
+                    finally:
+                        self._retire()
+
+                def _retire(self):
+                    self._semaphore.release()
+
+                async def work(self):
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_conditional_release_handoff_is_an_obligation_transfer(self, tmp_path):
+        # Reconstructs AsyncMetaqueryEngine.stream: release directly only
+        # when the producer never started, else the done-callback releases.
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            import asyncio
+
+            class Engine:
+                def __init__(self):
+                    self._semaphore = asyncio.Semaphore(4)
+
+                async def stream(self):
+                    await self._semaphore.acquire()
+                    producer = None
+                    try:
+                        producer = asyncio.ensure_future(self.produce())
+                        producer.add_done_callback(lambda _: self._retire())
+                        await producer
+                    finally:
+                        if producer is None:
+                            self._semaphore.release()
+
+                def _retire(self):
+                    self._semaphore.release()
+
+                async def produce(self):
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_token_bucket_without_release_is_exempt_by_construction(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            class TokenBucket:
+                def __init__(self):
+                    self.tokens = 10.0
+
+                def try_acquire(self):
+                    if self.tokens < 1.0:
+                        return False
+                    self.tokens -= 1.0
+                    return True
+
+            class Limiter:
+                def __init__(self):
+                    self.bucket = TokenBucket()
+
+                def admit(self):
+                    return self.bucket.try_acquire()
+            """,
+        )
+        assert findings == []
+
+    def test_resource_classes_own_methods_are_exempt(self, tmp_path):
+        # An internal acquire inside the resource's own implementation is
+        # the class managing its own bookkeeping, not a leaked obligation.
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            class Permits:
+                def __init__(self):
+                    self.active = 0
+
+                def try_acquire(self):
+                    self.active += 1
+                    return True
+
+                def release(self):
+                    self.active -= 1
+
+                def reset(self):
+                    if self.try_acquire():
+                        self.active = 0
+            """,
+        )
+        assert findings == []
+
+    def test_forgotten_producer_thread_is_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            import threading
+
+            def fire_and_forget(work):
+                t = threading.Thread(target=work)
+                t.start()
+            """,
+        )
+        assert len(findings) == 1
+        assert "neither joined, retained, nor daemonized" in findings[0].message
+
+    def test_joined_daemonized_or_retained_threads_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP115"],
+            """\
+            import threading
+
+            class Harness:
+                def __init__(self):
+                    self._thread = None
+
+                def retained(self, work):
+                    self._thread = threading.Thread(target=work)
+                    self._thread.start()
+
+                def joined(self, work):
+                    t = threading.Thread(target=work)
+                    t.start()
+                    t.join()
+
+                def daemonized(self, work):
+                    t = threading.Thread(target=work, daemon=True)
+                    t.start()
+
+                def handed_over(self, work, registry):
+                    t = threading.Thread(target=work)
+                    t.start()
+                    registry.append(t)
+            """,
+        )
+        assert findings == []
+
+
+class TestDroppedTask:
+    def test_bare_create_task_statement_is_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP116"],
+            """\
+            import asyncio
+
+            async def pump():
+                pass
+
+            async def handler():
+                asyncio.create_task(pump())
+            """,
+        )
+        assert [d.code for d in findings] == ["REP116"]
+        assert "create_task() result dropped" in findings[0].message
+
+    def test_underscore_and_dead_local_assignments_are_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP116"],
+            """\
+            import asyncio
+
+            async def pump():
+                pass
+
+            async def to_underscore():
+                _ = asyncio.create_task(pump())
+
+            async def to_dead_local():
+                task = asyncio.ensure_future(pump())
+                return None
+            """,
+        )
+        assert len(findings) == 2
+        assert any("'_'" in d.message for d in findings)
+        assert any("'task'" in d.message for d in findings)
+
+    def test_retained_awaited_and_callbacked_tasks_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP116"],
+            """\
+            import asyncio
+
+            async def pump():
+                pass
+
+            class Owner:
+                def __init__(self):
+                    self.background = set()
+                    self.eof_task = None
+
+                async def awaited(self):
+                    await asyncio.gather(asyncio.create_task(pump()))
+
+                async def retained_in_local(self):
+                    task = asyncio.create_task(pump())
+                    await task
+
+                async def retained_on_self(self):
+                    self.eof_task = asyncio.create_task(pump())
+
+                async def retained_in_container(self):
+                    self.background.add(asyncio.create_task(pump()))
+
+                async def callbacked(self):
+                    asyncio.create_task(pump()).add_done_callback(print)
+
+                async def returned(self):
+                    return asyncio.ensure_future(pump())
+            """,
+        )
+        assert findings == []
+
+    def test_polled_then_cancelled_task_is_clean(self, tmp_path):
+        # Reconstructs the service's eof_task disconnect probe.
+        findings = run_rules(
+            tmp_path,
+            ["REP116"],
+            """\
+            import asyncio
+
+            async def probe(reader):
+                eof_task = asyncio.create_task(reader.read(1))
+                try:
+                    if eof_task.done():
+                        return True
+                    return False
+                finally:
+                    eof_task.cancel()
+            """,
+        )
+        assert findings == []
+
+
+class TestPragmaParity:
+    def test_new_rule_ids_are_suppressible(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            import time
+
+            async def handler():
+                time.sleep(0.5)  # repro-lint: disable=blocking-in-coroutine
+            """,
+        )
+        assert findings == []
+
+    def test_new_rule_codes_are_known_to_the_pragma_audit(self, tmp_path):
+        # A pragma naming a new rule id must NOT be REP113-unknown; a
+        # stale one must be REP112-unused on --warn-unused-pragmas runs.
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(
+            textwrap.dedent(
+                """\
+                async def quiet():  # repro-lint: disable=REP116
+                    pass
+                """
+            ),
+            encoding="utf-8",
+        )
+        linter = Linter(root=tmp_path, warn_unused_pragmas=True)
+        findings = linter.lint([fixture])
+        assert [d.code for d in findings] == ["REP112"]
+        assert "REP116" in findings[0].message
+
+    def test_unknown_pragma_still_fails(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            ["REP114"],
+            """\
+            async def quiet():  # repro-lint: disable=REP199
+                pass
+            """,
+        )
+        assert [d.code for d in findings] == ["REP113"]
+
+
+class TestFullRepoGate:
+    def test_battery_lists_the_async_rules(self):
+        from repro.tools.lint.framework import all_rules
+
+        codes = {cls.code for cls in all_rules().values()}
+        assert {"REP114", "REP115", "REP116"} <= codes
+
+    def test_shipped_tree_is_clean_under_the_async_rules(self):
+        linter = Linter(root=REPO_ROOT, rules=["REP114", "REP115", "REP116"])
+        assert linter.lint([REPO_ROOT / "src"]) == []

@@ -79,7 +79,19 @@ class TestCli:
     def test_list_rules_prints_the_battery(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106", "REP107", "REP108"):
+        for code in (
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+            "REP107",
+            "REP108",
+            "REP114",
+            "REP115",
+            "REP116",
+        ):
             assert code in out
 
     def test_unknown_rule_exits_2(self, capsys):
