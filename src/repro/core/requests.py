@@ -44,6 +44,7 @@ from repro.core.answers import AnswerSet, MetaqueryAnswer, Thresholds
 from repro.core.instantiation import InstantiationType
 from repro.core.metaquery import MetaQuery
 from repro.exceptions import EngineError, MetaqueryError
+from repro.relational import columnar
 
 __all__ = [
     "resolve_algorithm",
@@ -258,7 +259,17 @@ class PreparedMetaquery:
         cache.put(key, vector, AnswerSet(collected, algorithm=self.algorithm))
 
     def _evaluate(self) -> Iterator[MetaqueryAnswer]:
-        """The uncached evaluation core; each call runs an independent search."""
+        """The uncached evaluation core; each call runs an independent search.
+
+        The engine's ``columnar`` setting is pinned around each pull of the
+        underlying generator (:func:`repro.relational.columnar.iterate_with`)
+        rather than held open across yields — a generator shares its
+        caller's context, so a plain context manager would leak the
+        override to whoever is consuming the stream.
+        """
+        return columnar.iterate_with(self.engine.columnar, self._evaluate_inner)
+
+    def _evaluate_inner(self) -> Iterator[MetaqueryAnswer]:
         # Late imports keep the module free of a requests → naive/findrules →
         # engine import cycle at load time.
         from repro.core.findrules import iter_find_rules

@@ -132,13 +132,14 @@ class _GroupCore:
         self.support = support
 
     def release(self) -> None:
-        """Release the canonical join's cached hash indexes (LRU eviction hook).
+        """Release the canonical join's cached indexes (LRU eviction hook).
 
-        Clears the index dict *in place* so member views sharing it stop
-        pinning the built indexes; any survivor rebuilds lazily.
+        Clears the value-keyed index dict *in place* so member views
+        sharing it stop pinning the built indexes, and drops the columnar
+        store's bucket indexes and decoded rows the same way (views share
+        the store object); any survivor rebuilds lazily.
         """
-        if self.join._index_cache is not None:
-            self.join._index_cache.clear()
+        self.join.release_indexes()
 
     def key_index(self, numbers: tuple[int, ...]) -> dict:
         """The cached hash index of the canonical join on the given variable numbers."""

@@ -76,19 +76,21 @@ def _atoms_key(atoms: Sequence[Atom]) -> tuple[tuple[AtomKey, ...], list[str]]:
 
 
 def _normalized_view(relation: Relation, n_variables: int) -> Relation:
-    """The relation with its columns renamed to the canonical ``__v{i}`` names."""
+    """The relation with its columns renamed to the canonical ``__v{i}`` names.
+
+    A :meth:`~repro.relational.relation.Relation._view` — the cached entry
+    shares the result's tuples, value-keyed index cache *and* columnar
+    store, so a kernel-produced result stays encoded (and undecoded) in
+    the cache until something set-shaped touches it.
+    """
     schema = RelationSchema(relation.name, [f"__v{i}" for i in range(n_variables)])
-    if relation._index_cache is None:
-        relation._index_cache = {}
-    return Relation._from_frozen(schema, relation.tuples, relation._index_cache)
+    return relation._view(schema)
 
 
 def _actual_view(relation: Relation, names: Sequence[str]) -> Relation:
     """A cached normalized relation renamed back to the caller's variable names."""
     schema = RelationSchema(relation.name, list(names))
-    if relation._index_cache is None:
-        relation._index_cache = {}
-    return Relation._from_frozen(schema, relation.tuples, relation._index_cache)
+    return relation._view(schema)
 
 
 @dataclass

@@ -26,6 +26,7 @@ from repro.datalog.terms import Constant, Variable
 from repro.exceptions import DatalogError, UnknownRelationError
 from repro.hypergraph.jointree import join_tree_for_variable_sets
 from repro.hypergraph.semijoin import yannakakis_join
+from repro.relational import columnar
 from repro.relational.algebra import natural_join_all
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -86,6 +87,29 @@ def _atom_relation_direct(atom: Atom, db: Database) -> Relation:
             var_first_pos[t] = pos
             keep_positions.append(pos)
             keep_names.append(t.name)
+    schema = RelationSchema(f"[{atom}]", keep_names)
+
+    if relation._kernels_apply():
+        # Vectorized path: one fused constants + repeated-variable filter
+        # plus first-occurrence projection over the encoded columns.  The
+        # kept positions and the filters together determine the whole
+        # input row, so the kernel output needs no deduplication.
+        constants: list[tuple[int, object]] = []
+        repeats: list[tuple[int, int]] = []
+        for pos, t in enumerate(atom.terms):
+            if isinstance(t, Constant):
+                constants.append((pos, t.value))
+            else:
+                first = var_first_pos[t]
+                if pos != first:
+                    repeats.append((pos, first))
+        store = columnar.atom_select_store(
+            relation._ensure_columnar(db.dictionary),
+            constants,
+            repeats,
+            keep_positions,
+        )
+        return Relation._from_columnar(schema, store)
 
     rows = []
     for row in relation:
@@ -102,7 +126,6 @@ def _atom_relation_direct(atom: Atom, db: Database) -> Relation:
                     break
         if ok:
             rows.append(tuple(row[p] for p in keep_positions))
-    schema = RelationSchema(f"[{atom}]", keep_names)
     return Relation._from_frozen(schema, frozenset(rows))
 
 

@@ -140,9 +140,16 @@ def _release(value: Any) -> None:
     so a view retained by a caller would otherwise keep every index alive
     after the entry is gone.  Clearing the dict in place releases the
     indexes through every alias at once; survivors rebuild lazily on the
-    next probe.  Values may expose ``release()`` (shape-group cores do);
-    plain values (fractions) need no release.
+    next probe.  Cached relations expose ``release_indexes()`` (which also
+    drops the columnar store's bucket indexes and decoded rows — the
+    encoded columns themselves stay, they *are* the cached value); other
+    values may expose ``release()`` (shape-group cores do); plain values
+    (fractions) need no release.
     """
+    release = getattr(value, "release_indexes", None)
+    if callable(release):
+        release()
+        return
     release = getattr(value, "release", None)
     if callable(release):
         release()

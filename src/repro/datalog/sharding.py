@@ -57,6 +57,7 @@ from repro.datalog.batching import BatchEvaluator
 from repro.datalog.context import EvaluationContext
 from repro.datalog.lifecycle import CacheLimit, GenerationWatcher
 from repro.exceptions import ShardingError
+from repro.relational import columnar as _columnar_module
 from repro.relational.database import Database
 from repro.tools.sanitizer import create_lock
 
@@ -86,6 +87,7 @@ def _init_worker(
     caching: bool,
     batch: bool,
     cache_limit: CacheLimit | None = None,
+    columnar_enabled: bool | None = None,
 ) -> None:
     """Pool initializer: build this worker's private evaluator pair.
 
@@ -95,12 +97,18 @@ def _init_worker(
     The serial ablation switches are forwarded so e.g. a ``cache=False,
     workers=4`` run really measures sharding over the uncached evaluator
     (``batch=False`` leaves the batcher ``None``); ``cache_limit`` bounds
-    each worker's private store exactly as it bounds the parent's.
+    each worker's private store exactly as it bounds the parent's, and
+    ``columnar_enabled`` pins the worker's process-wide columnar default so
+    the parent's ablation setting — which travels per-context in the parent
+    and therefore cannot cross the process boundary — applies inside task
+    functions too (``None`` leaves the worker's own environment default).
     """
     global _WORKER_DB, _WORKER_CTX, _WORKER_BATCHER
     _WORKER_DB = db
     _WORKER_CTX = EvaluationContext(db, fast_path=fast_path, caching=caching, cache_limit=cache_limit)
     _WORKER_BATCHER = BatchEvaluator(db, _WORKER_CTX) if batch else None
+    if columnar_enabled is not None:
+        _columnar_module.set_default(columnar_enabled)
 
 
 def worker_state() -> tuple[Database, EvaluationContext, BatchEvaluator | None]:
@@ -278,6 +286,7 @@ def resolve_sharder(
     cache: bool = True,
     batch: bool = True,
     cache_limit: CacheLimit | None = None,
+    columnar_enabled: bool | None = None,
 ) -> tuple["ShardedEvaluator | None", bool]:
     """Resolve an engine's sharding switch: an explicit (valid, open) evaluator wins.
 
@@ -297,6 +306,10 @@ def resolve_sharder(
             ShardedEvaluator(
                 db, int(workers), fast_path=fast_path, cache=cache, batch=batch,
                 cache_limit=cache_limit,
+                # Owned evaluators snapshot the *caller's* current columnar
+                # setting (context override included) so a one-shot
+                # `workers=4` call behaves like its serial counterpart.
+                columnar=_columnar_module.enabled() if columnar_enabled is None else columnar_enabled,
             ),
             True,
         )
@@ -367,6 +380,11 @@ class ShardedEvaluator:
         Forwarded to each worker's private evaluator pair (``batch=False``
         builds no worker batcher at all), so the serial ablation switches
         compose with sharding exactly as they do serially.
+    columnar:
+        The columnar-kernel switch shipped to every worker, where it
+        becomes the worker's process-wide default
+        (:func:`repro.relational.columnar.set_default`).  ``None`` resolves
+        to the parent's current setting at construction time.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` when the
         platform offers it and ``spawn`` otherwise.
@@ -387,6 +405,7 @@ class ShardedEvaluator:
         batch: bool = True,
         start_method: str | None = None,
         cache_limit: "CacheLimit | int | tuple | None" = None,
+        columnar: "bool | None" = None,
     ) -> None:
         workers = int(workers)
         if workers < 1:
@@ -397,6 +416,10 @@ class ShardedEvaluator:
         self.cache = cache
         self.batch = batch
         self.cache_limit = CacheLimit.coerce(cache_limit)
+        # Resolved at construction (None = the current default) and shipped
+        # to every worker via the pool initializer, where it becomes the
+        # worker's process-wide default.
+        self.columnar = _columnar_module.resolve(columnar)
         self.start_method = start_method or _default_start_method()
         self.stats = ShardStats()
         #: Cumulative worker-side counter deltas merged back from completed
@@ -445,7 +468,10 @@ class ShardedEvaluator:
                 self._pool = context.Pool(
                     processes=self.workers,
                     initializer=_init_worker,
-                    initargs=(self.db, self.fast_path, self.cache, self.batch, self.cache_limit),
+                    initargs=(
+                        self.db, self.fast_path, self.cache, self.batch,
+                        self.cache_limit, self.columnar,
+                    ),
                 )
                 self.stats.pool_starts += 1
                 self._watcher = GenerationWatcher(self.db)

@@ -35,7 +35,7 @@ def project(relation: Relation, columns: Sequence[str]) -> Relation:
     return relation.project(columns)
 
 
-def select_eq(relation: Relation, column: str, value) -> Relation:
+def select_eq(relation: Relation, column: str, value: object) -> Relation:
     """Selection ``σ_{column=value}(relation)``."""
     return relation.select_eq(column, value)
 

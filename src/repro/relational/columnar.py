@@ -1,0 +1,655 @@
+"""Columnar storage and vectorized kernels behind the ``Relation`` probe API.
+
+This module is the "raw speed" layer named by the ROADMAP: a
+:class:`ColumnStore` holds a relation as dictionary-encoded ``array('q')``
+int64 columns (one flat buffer per attribute, codes assigned by the shared
+:class:`~repro.relational.dictionary.ValueDictionary`), and the join-shaped
+algebra operations — natural join, semijoin/antijoin, equality selection,
+projection, and the constants/repeated-variable filter of atom evaluation —
+run as vectorized kernels over those columns instead of per-tuple Python
+dict probes.
+
+Two backends implement every kernel:
+
+* **numpy** (when importable): sort + ``searchsorted`` hash-free joins,
+  boolean-mask selections, ``np.unique`` projection dedup.  The canonical
+  storage stays ``array('q')``; NumPy operates on zero-copy
+  ``np.frombuffer`` views and results are copied back into flat arrays,
+  so stores pickle identically on both backends.
+* **stdlib** (mandatory fallback): int-keyed hash probes over the
+  int-array bucket indexes of :func:`repro.relational.indexes.build_int_index`.
+  Selected by default when NumPy is absent, or forced with
+  ``REPRO_COLUMNAR_BACKEND=stdlib`` / :func:`use_backend` so the fallback
+  is testable on machines that *do* have NumPy.
+
+Correctness notes the kernels rely on (and the property suite pins):
+
+* Operand rows are distinct (``Relation`` enforces set semantics), and a
+  natural join of distinct-row operands yields distinct rows — the output
+  row determines the contributing pair — so the join kernel never dedups.
+  Likewise semijoin/selection outputs are subsets, and the atom filter
+  keeps the first occurrence of every variable, which together with the
+  constant/repeat constraints determines the full input row.  Only general
+  projection eliminates duplicates.
+* Decoding produces tuples *equal* to the set-based path's tuples, and
+  ``frozenset`` iteration order depends only on the elements — so every
+  downstream iteration-order guarantee (streaming order, SSE wire bytes)
+  is preserved byte-for-byte.
+* Kernels joining stores encoded under *different* dictionaries (e.g. a
+  relation shipped to a pool worker in its own pickle) first translate the
+  right operand's codes into the left's dictionary; codes are append-only
+  so translation never disturbs existing columns.
+
+The columnar path is switched by the ``REPRO_COLUMNAR`` environment
+variable (process default), :func:`set_default` (pool workers), and the
+:func:`use_columnar` context manager / ``MetaqueryEngine(columnar=)``
+(per-call ablation), mirroring the ``cache=`` / ``batch=`` / ``workers=``
+switches.  Because generators do not own a context (PEP 568 is not
+implemented), streaming evaluation wraps each pull with
+:func:`iterate_with` instead of holding ``use_columnar`` open across
+yields.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.relational import indexes
+from repro.relational.dictionary import ValueDictionary
+
+try:  # pragma: no cover - trivially one branch per environment
+    import numpy
+
+    _np: Any = numpy
+except ModuleNotFoundError:  # pragma: no cover - the numpy-absent CI leg
+    _np = None
+
+__all__ = [
+    "MIN_KERNEL_ROWS",
+    "ColumnStore",
+    "atom_select_store",
+    "backend",
+    "default_enabled",
+    "enabled",
+    "iterate_with",
+    "join_stores",
+    "project_store",
+    "resolve",
+    "select_eq_store",
+    "semijoin_stores",
+    "set_default",
+    "use_backend",
+    "use_columnar",
+]
+
+Row = tuple
+T = TypeVar("T")
+
+#: Kernels engage when the operands' combined row count reaches this bound
+#: (or when an operand is already encoded); below it the per-tuple path is
+#: faster than encoding.  Results are identical either way — tests force
+#: the kernels by shrinking this to 0.
+MIN_KERNEL_ROWS = 32
+
+
+# ----------------------------------------------------------------------
+# the ablation switch: environment default + per-context override
+# ----------------------------------------------------------------------
+def _env_flag(name: str, default: str) -> bool:
+    return os.environ.get(name, default).strip().lower() not in {"0", "false", "no", "off"}
+
+
+_DEFAULT_ENABLED: bool = _env_flag("REPRO_COLUMNAR", "1")
+_OVERRIDE: ContextVar[bool | None] = ContextVar("repro_columnar_override", default=None)
+
+
+def default_enabled() -> bool:
+    """The process-wide default (``REPRO_COLUMNAR``, or :func:`set_default`)."""
+    return _DEFAULT_ENABLED
+
+
+def enabled() -> bool:
+    """True when the columnar kernels are active in the current context."""
+    override = _OVERRIDE.get()
+    return _DEFAULT_ENABLED if override is None else override
+
+
+def resolve(flag: bool | None) -> bool:
+    """Coerce an engine-style tri-state flag: ``None`` means "current default"."""
+    return enabled() if flag is None else bool(flag)
+
+
+def set_default(flag: bool) -> None:
+    """Set the process-wide default (used by pool worker initializers)."""
+    global _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(flag)
+
+
+@contextmanager
+def use_columnar(flag: bool = True) -> Iterator[None]:
+    """Context manager forcing the columnar path on or off within the block."""
+    token = _OVERRIDE.set(bool(flag))
+    try:
+        yield
+    finally:
+        _OVERRIDE.reset(token)
+
+
+def iterate_with(flag: bool, factory: Callable[[], Iterator[T]]) -> Iterator[T]:
+    """Drive the iterator built by ``factory`` with the switch pinned to ``flag``.
+
+    A plain ``with use_columnar(flag): yield from it`` inside a generator
+    would leak the override into the *caller's* context between yields
+    (generators share their caller's context; PEP 568's generator-owned
+    contexts were never implemented).  This wrapper sets and resets the
+    override around each individual pull instead, so the setting applies
+    exactly while evaluation code runs and never escapes.
+    """
+    iterator: Iterator[T] | None = None
+    while True:
+        token = _OVERRIDE.set(flag)
+        try:
+            if iterator is None:
+                iterator = factory()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+        finally:
+            _OVERRIDE.reset(token)
+        yield item
+
+
+# ----------------------------------------------------------------------
+# backend selection: numpy when importable, stdlib always available
+# ----------------------------------------------------------------------
+_FORCE_STDLIB: bool = os.environ.get("REPRO_COLUMNAR_BACKEND", "").strip().lower() == "stdlib"
+
+
+def backend() -> str:
+    """The active kernel backend: ``"numpy"`` or ``"stdlib"``."""
+    return "numpy" if (_np is not None and not _FORCE_STDLIB) else "stdlib"
+
+
+def _active_numpy() -> Any:
+    """The numpy module when the numpy backend is active, else ``None``."""
+    return None if _FORCE_STDLIB else _np
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Force the ``"stdlib"`` or ``"numpy"`` backend within the block (tests).
+
+    Flips a module global, so this is not safe under concurrent evaluation
+    in other threads; it exists so the mandatory stdlib fallback can be
+    exercised on machines where NumPy is importable.  Requesting
+    ``"numpy"`` when NumPy is absent raises.
+    """
+    global _FORCE_STDLIB
+    if name not in ("numpy", "stdlib"):
+        raise ValueError(f"unknown columnar backend {name!r}")
+    if name == "numpy" and _np is None:
+        raise RuntimeError("numpy backend requested but numpy is not importable")
+    previous = _FORCE_STDLIB
+    _FORCE_STDLIB = name == "stdlib"
+    try:
+        yield
+    finally:
+        _FORCE_STDLIB = previous
+
+
+# ----------------------------------------------------------------------
+# numpy <-> array('q') bridges (numpy backend only)
+# ----------------------------------------------------------------------
+def _as_np(np: Any, column: "array[int]") -> Any:
+    """A zero-copy int64 view of a flat column (read-only is fine)."""
+    if len(column) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(column, dtype=np.int64)
+
+
+def _to_column(np: Any, values: Any) -> "array[int]":
+    """Copy an int64 ndarray back into the canonical ``array('q')`` form."""
+    out: "array[int]" = array("q")
+    out.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+    return out
+
+
+def _gather(column: "array[int]", row_ids: Iterable[int]) -> "array[int]":
+    """stdlib gather: the column values at the given row ids."""
+    return array("q", (column[i] for i in row_ids))
+
+
+class ColumnStore:
+    """Dictionary-encoded columns of one relation: flat int64 buffers.
+
+    ``columns`` is one ``array('q')`` per attribute; ``length`` is the row
+    count (kept explicitly so zero-arity relations can distinguish the
+    empty relation from the one containing the empty tuple).  The store
+    lazily caches its decoded ``frozenset`` of value tuples and its
+    int-array bucket indexes; both caches are dropped by :meth:`release`
+    (cache eviction) and excluded from pickles.
+    """
+
+    __slots__ = ("dictionary", "columns", "length", "_indexes", "_decoded")
+
+    def __init__(
+        self,
+        dictionary: ValueDictionary,
+        columns: tuple["array[int]", ...],
+        length: int,
+    ) -> None:
+        self.dictionary = dictionary
+        self.columns = columns
+        self.length = length
+        self._indexes: dict[tuple[int, ...], dict[Any, "array[int]"]] | None = None
+        self._decoded: frozenset[Row] | None = None
+        assert all(len(column) == length for column in columns)
+
+    @classmethod
+    def from_rows(
+        cls, dictionary: ValueDictionary, rows: Iterable[Row], arity: int
+    ) -> "ColumnStore":
+        """Encode distinct, schema-validated rows under ``dictionary``."""
+        columns = tuple(array("q") for _ in range(arity))
+        length = 0
+        intern = dictionary.intern
+        if arity == 1:
+            column = columns[0]
+            for row in rows:
+                length += 1
+                column.append(intern(row[0]))
+        else:
+            for row in rows:
+                length += 1
+                for column, value in zip(columns, row):
+                    column.append(intern(value))
+        return cls(dictionary, columns, length)
+
+    @classmethod
+    def empty(cls, dictionary: ValueDictionary, arity: int) -> "ColumnStore":
+        """An empty store of the given arity."""
+        return cls(dictionary, tuple(array("q") for _ in range(arity)), 0)
+
+    # ------------------------------------------------------------------
+    def decode(self) -> frozenset[Row]:
+        """The rows as value tuples (cached; shared by every renamed view)."""
+        decoded = self._decoded
+        if decoded is None:
+            if not self.columns:
+                decoded = frozenset([()]) if self.length else frozenset()
+            else:
+                values = self.dictionary.values
+                decoded = frozenset(
+                    zip(*(map(values.__getitem__, column) for column in self.columns))
+                )
+            self._decoded = decoded
+        return decoded
+
+    def int_index(self, positions: tuple[int, ...]) -> dict[Any, "array[int]"]:
+        """The cached int-array bucket index on the given column positions.
+
+        Keys are int codes (single position) or tuples of codes; buckets
+        are ``array('q')`` row ids — see
+        :func:`repro.relational.indexes.build_int_index`.
+        """
+        cache = self._indexes
+        if cache is None:
+            cache = self._indexes = {}
+        index = cache.get(positions)
+        if index is None:
+            index = cache[positions] = indexes.build_int_index(
+                self.columns, positions, self.length
+            )
+        return index
+
+    def release(self) -> None:
+        """Drop the decoded-rows and bucket-index caches (cache eviction)."""
+        self._indexes = None
+        self._decoded = None
+
+    def translated(self, dictionary: ValueDictionary) -> "ColumnStore":
+        """This store re-encoded under another dictionary.
+
+        Every value of the source dictionary is interned into the target
+        (codes are append-only, so this is safe and idempotent), then the
+        columns are mapped code-by-code.  Returns ``self`` when the target
+        *is* this store's dictionary.
+        """
+        if dictionary is self.dictionary:
+            return self
+        intern = dictionary.intern
+        mapping = array("q", (intern(value) for value in self.dictionary.values))
+        np = _active_numpy()
+        if np is not None and self.length:
+            mapping_np = _as_np(np, mapping)
+            columns = tuple(
+                _to_column(np, mapping_np[_as_np(np, column)]) for column in self.columns
+            )
+        else:
+            columns = tuple(_gather(mapping, column) for column in self.columns)
+        return ColumnStore(dictionary, columns, self.length)
+
+    # ------------------------------------------------------------------
+    # pickling: codes + dictionary only; caches are rebuilt on demand
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple[ValueDictionary, tuple["array[int]", ...], int]:
+        return (self.dictionary, self.columns, self.length)
+
+    def __setstate__(
+        self, state: tuple[ValueDictionary, tuple["array[int]", ...], int]
+    ) -> None:
+        self.dictionary, self.columns, self.length = state
+        self._indexes = None
+        self._decoded = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnStore({len(self.columns)} cols x {self.length} rows)"
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def _unified(left: ColumnStore, right: ColumnStore) -> ColumnStore:
+    """The right operand re-encoded into the left's dictionary if needed."""
+    if right.dictionary is left.dictionary:
+        return right
+    return right.translated(left.dictionary)
+
+
+def _pack_codes(np: Any, groups: Sequence[list[Any]]) -> list[Any] | None:
+    """Pack parallel multi-column code rows into single int64 keys, O(n).
+
+    ``groups`` holds one key-column list per operand (equal column counts);
+    each column position's stride is the joint code range across *all*
+    groups, so equal rows — and only those — pack to the same key.  Codes
+    are dense non-negative dictionary indices, which is what makes the
+    mixed-radix packing injective.  Returns ``None`` when the packed range
+    would overflow int64; callers then fall back to positional
+    factorization via ``np.unique(axis=0)`` (a comparison sort over void
+    records — correct, but an order of magnitude slower).
+    """
+    width = len(groups[0])
+    ranges = []
+    for position in range(width):
+        highest = 1
+        for columns in groups:
+            column = columns[position]
+            if column.shape[0]:
+                highest = max(highest, int(column.max()) + 1)
+        ranges.append(highest)
+    total = 1
+    for radix in ranges:
+        total *= radix
+        if total > (1 << 62):
+            return None
+    packed = []
+    for columns in groups:
+        out = np.zeros(columns[0].shape[0], dtype=np.int64)
+        for column, radix in zip(columns, ranges):
+            out *= radix
+            out += column
+        packed.append(out)
+    return packed
+
+
+def _key_codes(np: Any, left_keys: list[Any], right_keys: list[Any]) -> tuple[Any, Any]:
+    """Factorize multi-column join keys into single int64 codes per side.
+
+    Single-column keys are used directly; wider keys are packed
+    arithmetically (:func:`_pack_codes`), falling back to joint
+    factorization with ``np.unique(axis=0)`` over both sides when the
+    packed range would overflow — either way equal key tuples, and only
+    those, share a code.
+    """
+    if len(left_keys) == 1:
+        return left_keys[0], right_keys[0]
+    packed = _pack_codes(np, [left_keys, right_keys])
+    if packed is not None:
+        return packed[0], packed[1]
+    m = left_keys[0].shape[0]
+    stacked = np.concatenate(
+        [np.stack(left_keys, axis=1), np.stack(right_keys, axis=1)], axis=0
+    )
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1).astype(np.int64, copy=False)
+    return inverse[:m], inverse[m:]
+
+
+def join_stores(
+    left: ColumnStore,
+    right: ColumnStore,
+    left_pos: Sequence[int],
+    right_pos: Sequence[int],
+    right_keep: Sequence[int],
+) -> ColumnStore:
+    """Natural join: all left columns followed by the kept right columns.
+
+    ``left_pos`` / ``right_pos`` are the common-column positions (equal
+    length, possibly empty — then this is the cartesian product) and
+    ``right_keep`` the right-only positions appended to the output.
+    Distinct inputs produce distinct outputs, so no deduplication happens.
+    """
+    arity = len(left.columns) + len(right_keep)
+    if left.length == 0 or right.length == 0:
+        return ColumnStore.empty(left.dictionary, arity)
+    right = _unified(left, right)
+    np = _active_numpy()
+    if np is not None:
+        left_cols = [_as_np(np, column) for column in left.columns]
+        right_cols = [_as_np(np, column) for column in right.columns]
+        if not left_pos:
+            left_ids = np.repeat(np.arange(left.length), right.length)
+            right_ids = np.tile(np.arange(right.length), left.length)
+        else:
+            left_key, right_key = _key_codes(
+                np, [left_cols[p] for p in left_pos], [right_cols[p] for p in right_pos]
+            )
+            order = np.argsort(right_key, kind="stable")
+            sorted_key = right_key[order]
+            lo = np.searchsorted(sorted_key, left_key, side="left")
+            hi = np.searchsorted(sorted_key, left_key, side="right")
+            counts = hi - lo
+            total = int(counts.sum())
+            if total == 0:
+                return ColumnStore.empty(left.dictionary, arity)
+            left_ids = np.repeat(np.arange(left.length), counts)
+            ends = np.cumsum(counts)
+            offsets = np.arange(total) - np.repeat(ends - counts, counts)
+            right_ids = order[np.repeat(lo, counts) + offsets]
+        columns = tuple(_to_column(np, column[left_ids]) for column in left_cols) + tuple(
+            _to_column(np, right_cols[p][right_ids]) for p in right_keep
+        )
+        return ColumnStore(left.dictionary, columns, int(left_ids.shape[0]))
+    # stdlib: probe the right side's cached int-array bucket index.
+    left_ids = array("q")
+    right_ids = array("q")
+    if not left_pos:
+        for i in range(left.length):
+            for j in range(right.length):
+                left_ids.append(i)
+                right_ids.append(j)
+    else:
+        index = right.int_index(tuple(right_pos))
+        key_columns = [left.columns[p] for p in left_pos]
+        if len(key_columns) == 1:
+            single = key_columns[0]
+            for i in range(left.length):
+                bucket = index.get(single[i])
+                if bucket is not None:
+                    for j in bucket:
+                        left_ids.append(i)
+                        right_ids.append(j)
+        else:
+            for i in range(left.length):
+                bucket = index.get(tuple(column[i] for column in key_columns))
+                if bucket is not None:
+                    for j in bucket:
+                        left_ids.append(i)
+                        right_ids.append(j)
+    columns = tuple(_gather(column, left_ids) for column in left.columns) + tuple(
+        _gather(right.columns[p], right_ids) for p in right_keep
+    )
+    return ColumnStore(left.dictionary, columns, len(left_ids))
+
+
+def semijoin_stores(
+    left: ColumnStore,
+    right: ColumnStore,
+    left_pos: Sequence[int],
+    right_pos: Sequence[int],
+    negate: bool = False,
+) -> ColumnStore:
+    """Semijoin (``negate=False``) or anti-semijoin (``negate=True``).
+
+    ``left_pos`` must be non-empty — the no-common-columns degenerate case
+    is resolved by the caller without touching columns at all.
+    """
+    arity = len(left.columns)
+    if left.length == 0:
+        return ColumnStore.empty(left.dictionary, arity)
+    if right.length == 0:
+        if negate:
+            return ColumnStore(left.dictionary, left.columns, left.length)
+        return ColumnStore.empty(left.dictionary, arity)
+    right = _unified(left, right)
+    np = _active_numpy()
+    if np is not None:
+        left_cols = [_as_np(np, column) for column in left.columns]
+        right_cols = [_as_np(np, column) for column in right.columns]
+        left_key, right_key = _key_codes(
+            np, [left_cols[p] for p in left_pos], [right_cols[p] for p in right_pos]
+        )
+        mask = np.isin(left_key, right_key)
+        if negate:
+            mask = ~mask
+        row_ids = np.flatnonzero(mask)
+        columns = tuple(_to_column(np, column[row_ids]) for column in left_cols)
+        return ColumnStore(left.dictionary, columns, int(row_ids.shape[0]))
+    index = right.int_index(tuple(right_pos))
+    key_columns = [left.columns[p] for p in left_pos]
+    row_ids = array("q")
+    if len(key_columns) == 1:
+        single = key_columns[0]
+        for i in range(left.length):
+            if (single[i] in index) != negate:
+                row_ids.append(i)
+    else:
+        for i in range(left.length):
+            if (tuple(column[i] for column in key_columns) in index) != negate:
+                row_ids.append(i)
+    columns = tuple(_gather(column, row_ids) for column in left.columns)
+    return ColumnStore(left.dictionary, columns, len(row_ids))
+
+
+def select_eq_store(store: ColumnStore, position: int, value: Any) -> ColumnStore:
+    """Equality selection ``column == value`` keeping every column."""
+    arity = len(store.columns)
+    code = store.dictionary.code_of(value)
+    if code is None or store.length == 0:
+        return ColumnStore.empty(store.dictionary, arity)
+    np = _active_numpy()
+    if np is not None:
+        row_ids = np.flatnonzero(_as_np(np, store.columns[position]) == code)
+        columns = tuple(
+            _to_column(np, _as_np(np, column)[row_ids]) for column in store.columns
+        )
+        return ColumnStore(store.dictionary, columns, int(row_ids.shape[0]))
+    bucket = store.int_index((position,)).get(code)
+    if bucket is None:
+        return ColumnStore.empty(store.dictionary, arity)
+    columns = tuple(_gather(column, bucket) for column in store.columns)
+    return ColumnStore(store.dictionary, columns, len(bucket))
+
+
+def project_store(store: ColumnStore, positions: Sequence[int]) -> ColumnStore:
+    """Projection onto the given (distinct) positions, deduplicating rows.
+
+    A projection onto a permutation of *all* columns cannot introduce
+    duplicates and skips the dedup pass entirely.
+    """
+    if not positions:
+        return ColumnStore(store.dictionary, (), 1 if store.length else 0)
+    gathered = [store.columns[p] for p in positions]
+    if sorted(positions) == list(range(len(store.columns))):
+        return ColumnStore(store.dictionary, tuple(gathered), store.length)
+    np = _active_numpy()
+    if np is not None:
+        mats = [_as_np(np, column) for column in gathered]
+        if len(mats) == 1:
+            unique = np.unique(mats[0])
+            return ColumnStore(
+                store.dictionary, (_to_column(np, unique),), int(unique.shape[0])
+            )
+        packed = _pack_codes(np, [mats])
+        if packed is not None:
+            _, first = np.unique(packed[0], return_index=True)
+            columns = tuple(_to_column(np, mat[first]) for mat in mats)
+            return ColumnStore(store.dictionary, columns, int(first.shape[0]))
+        unique = np.unique(np.stack(mats, axis=1), axis=0)
+        columns = tuple(_to_column(np, unique[:, k]) for k in range(len(mats)))
+        return ColumnStore(store.dictionary, columns, int(unique.shape[0]))
+    seen: set[tuple[int, ...]] = set()
+    columns = tuple(array("q") for _ in gathered)
+    for i in range(store.length):
+        key = tuple(column[i] for column in gathered)
+        if key not in seen:
+            seen.add(key)
+            for out, code in zip(columns, key):
+                out.append(code)
+    return ColumnStore(store.dictionary, columns, len(seen))
+
+
+def atom_select_store(
+    store: ColumnStore,
+    constants: Sequence[tuple[int, Any]],
+    repeats: Sequence[tuple[int, int]],
+    keep: Sequence[int],
+) -> ColumnStore:
+    """The relation of one atom over ``store``: the fused constants filter,
+    repeated-variable filter and first-occurrence projection.
+
+    ``constants`` pairs ``(position, value)``, ``repeats`` pairs
+    ``(position, first_position_of_same_variable)``, ``keep`` the first
+    occurrence position of each distinct variable in order.  The kept
+    positions plus the filters determine the whole input row, so distinct
+    inputs stay distinct and no deduplication is needed — except the
+    zero-variable case, which collapses to at most one empty tuple via the
+    explicit ``length`` computation below.
+    """
+    codes: list[tuple[int, int]] = []
+    for position, value in constants:
+        code = store.dictionary.code_of(value)
+        if code is None:
+            return ColumnStore.empty(store.dictionary, len(keep))
+        codes.append((position, code))
+    if store.length == 0:
+        return ColumnStore.empty(store.dictionary, len(keep))
+    np = _active_numpy()
+    if np is not None:
+        columns = [_as_np(np, column) for column in store.columns]
+        mask = np.ones(store.length, dtype=bool)
+        for position, code in codes:
+            mask &= columns[position] == code
+        for position, first in repeats:
+            mask &= columns[position] == columns[first]
+        row_ids = np.flatnonzero(mask)
+        kept = tuple(_to_column(np, columns[p][row_ids]) for p in keep)
+        matched = int(row_ids.shape[0])
+    else:
+        row_ids = array("q")
+        raw = store.columns
+        for i in range(store.length):
+            if all(raw[position][i] == code for position, code in codes) and all(
+                raw[position][i] == raw[first][i] for position, first in repeats
+            ):
+                row_ids.append(i)
+        kept = tuple(_gather(raw[p], row_ids) for p in keep)
+        matched = len(row_ids)
+    if not keep:
+        return ColumnStore(store.dictionary, (), 1 if matched else 0)
+    return ColumnStore(store.dictionary, kept, matched)

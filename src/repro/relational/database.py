@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.dictionary import ValueDictionary
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
@@ -40,9 +41,23 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._generations: dict[str, int] = {}
         self._mutation_count = 0
+        self._dictionary = ValueDictionary()
         for relation in relations:
             self.add(relation)
         self._explicit_domain = frozenset(domain) if domain is not None else None
+
+    @property
+    def dictionary(self) -> ValueDictionary:
+        """The database-wide value dictionary of the columnar storage layer.
+
+        Shared by every relation encoded for this database, so equal
+        constants across relations map to equal int codes and the join
+        kernels compare plain ints.  Append-only: growing it never
+        invalidates codes already stored in a column.  It pickles with the
+        database (pickle's memo keeps it shared with the relations'
+        column stores in the same payload).
+        """
+        return self._dictionary
 
     # ------------------------------------------------------------------
     # mutation
@@ -77,6 +92,13 @@ class Database:
         parent's so repeated sync shipments are idempotent.  Still counts as
         a mutation, so the worker's own caches notice and invalidate.
         """
+        store = relation._columnar
+        if store is not None and store.dictionary is not self._dictionary:
+            # A synced relation arrives encoded under its own pickled
+            # dictionary copy; re-encode once on arrival so every later
+            # join against local relations compares codes directly instead
+            # of translating per operation.
+            relation._columnar = store.translated(self._dictionary)
         self._relations[relation.name] = relation
         self._generations[relation.name] = generation
         self._mutation_count += 1

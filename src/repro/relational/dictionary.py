@@ -1,0 +1,91 @@
+"""Dictionary encoding: interning arbitrary hashable values to dense ints.
+
+A :class:`ValueDictionary` is the translation table behind the columnar
+storage layer (:mod:`repro.relational.columnar`): every constant appearing
+in a relation is *interned* to a small non-negative integer code, and the
+relation's columns store those codes in flat ``array('q')`` buffers.  One
+dictionary is shared per :class:`~repro.relational.database.Database`, so
+equal constants in different relations of the same database map to the
+same code and join kernels can compare plain int64s instead of hashing
+Python objects per probe.
+
+Design points:
+
+* **Append-only.**  Codes are assigned by first-intern order and never
+  change or disappear; growing the dictionary never invalidates codes
+  already stored in a column.  This is what makes it safe to share one
+  dictionary across every relation of a database, including relations
+  encoded at different times.
+* **Semantic equality.**  Interning uses ordinary ``dict`` key equality,
+  exactly like the ``frozenset`` row storage it encodes: values that
+  compare equal (``1 == True == 1.0``) share one code and decode to the
+  first-interned representative.  Joins therefore match exactly the pairs
+  the set-based path matches.
+* **Picklable.**  Only the value list crosses a process boundary; the
+  code lookup table is rebuilt on unpickle.  Relations shipped to pool
+  workers (the PR-5 relation sync) carry their encoded columns plus the
+  dictionary, and pickle's memo shares one dictionary copy across all
+  relations serialized in the same payload (e.g. a whole ``Database``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+__all__ = ["ValueDictionary"]
+
+
+class ValueDictionary:
+    """An append-only bidirectional mapping ``value <-> dense int code``."""
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self, values: Iterable[Hashable] = ()) -> None:
+        self._codes: dict[Any, int] = {}
+        self._values: list[Any] = []
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: Hashable) -> int:
+        """The code of ``value``, assigning the next dense code if new."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def code_of(self, value: Hashable) -> int | None:
+        """The code of ``value`` if already interned, else ``None``."""
+        return self._codes.get(value)
+
+    def value_of(self, code: int) -> Any:
+        """The value interned under ``code`` (IndexError when out of range)."""
+        return self._values[code]
+
+    @property
+    def values(self) -> list[Any]:
+        """The interned values in code order.  Treat as read-only."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._codes
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValueDictionary({len(self._values)} values)"
+
+    # ------------------------------------------------------------------
+    # pickling: ship the value list only; rebuild the lookup table.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> list[Any]:
+        return self._values
+
+    def __setstate__(self, state: list[Any]) -> None:
+        self._values = state
+        self._codes = {value: code for code, value in enumerate(state)}

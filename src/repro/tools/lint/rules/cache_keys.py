@@ -52,6 +52,10 @@ class StableCacheKeyRule(Rule):
         "src/repro/datalog/lifecycle.py",
         "src/repro/core/requests.py",
         "src/repro/relational/database.py",
+        "src/repro/relational/relation.py",
+        "src/repro/relational/columnar.py",
+        "src/repro/relational/dictionary.py",
+        "src/repro/relational/indexes.py",
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:

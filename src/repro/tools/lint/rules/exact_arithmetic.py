@@ -44,6 +44,7 @@ class ExactArithmeticRule(Rule):
     default_paths = (
         "src/repro/core/*.py",
         "src/repro/datalog/counting.py",
+        "src/repro/relational/columnar.py",
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:

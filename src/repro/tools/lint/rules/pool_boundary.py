@@ -61,6 +61,8 @@ class PoolBoundaryRule(Rule):
         "src/repro/datalog/sharding.py",
         "src/repro/core/naive.py",
         "src/repro/core/findrules.py",
+        "src/repro/relational/columnar.py",
+        "src/repro/relational/dictionary.py",
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Diagnostic]:

@@ -5,6 +5,8 @@
   scalable synthetic generator that preserves the same dependencies;
 * :mod:`~repro.workloads.synthetic` — random databases with planted rules,
   chain/star-join databases for the scaling experiments;
+* :mod:`~repro.workloads.scaling` — size-parameterised wrappers (total
+  tuple budget 10^3 → 10^5) driving the ablation scaling curves;
 * :mod:`~repro.workloads.graphs` — random graphs, guaranteed-3-colorable
   graphs, path/cycle graphs and Hamiltonian-path gadgets used by the
   hardness-reduction experiments;
@@ -13,6 +15,6 @@
   schema-driven-discovery example.
 """
 
-from repro.workloads import graphs, synthetic, telecom, university
+from repro.workloads import graphs, scaling, synthetic, telecom, university
 
-__all__ = ["telecom", "synthetic", "graphs", "university"]
+__all__ = ["telecom", "synthetic", "scaling", "graphs", "university"]
