@@ -118,8 +118,10 @@ class MetaqueryEngine:
     columnar:
         Run the relational algebra on the dictionary-encoded columnar
         kernels (:mod:`repro.relational.columnar`) instead of per-tuple
-        set operations.  ``None`` (default) defers to the process default
-        — on, unless ``REPRO_COLUMNAR=0`` — mirroring the ablation style
+        set operations.  ``None`` (default) defers to the *ambient*
+        switch at each call — ``REPRO_COLUMNAR`` / :func:`use_columnar`
+        contexts active when a metaquery runs, on unless disabled —
+        mirroring the ablation style
         of ``cache=`` / ``batch=`` / ``workers=``.  Like them it is
         observationally invisible: answers, order and exact Fractions are
         byte-identical either way.  With ``workers > 1`` the setting is
@@ -166,13 +168,17 @@ class MetaqueryEngine:
         cache = _require_bool(cache, "cache")
         fast_path = _require_bool(fast_path, "fast_path")
         batch = _require_bool(batch, "batch")
-        #: The resolved columnar-kernel switch: ``None`` defers to the
-        #: process default (the ``REPRO_COLUMNAR`` environment variable,
-        #: on unless disabled), mirroring the other ablation switches.
-        self.columnar = (
-            columnar_switch.enabled()
-            if columnar is None
-            else _require_bool(columnar, "columnar")
+        # The columnar-kernel switch is kept tri-state: ``None`` defers to
+        # the *ambient* switch (``REPRO_COLUMNAR`` / ``use_columnar``)
+        # resolved at each call through the ``columnar`` property — so
+        # ``with use_columnar(False): engine.decide(...)`` is honoured for
+        # an engine built outside the block, matching the module-level
+        # functions.  An explicit True/False stays pinned.  Worker
+        # processes (``workers > 1``) snapshot the resolution at engine
+        # construction instead: their process default is set once by the
+        # pool initializer.
+        self._columnar_option = (
+            None if columnar is None else _require_bool(columnar, "columnar")
         )
         # bool is an int subclass: reject True/False before the range check
         # so `workers=False` reads as a type error, not "workers must be >= 1".
@@ -216,6 +222,18 @@ class MetaqueryEngine:
         #: Completed answer sets, auto-invalidated by the db generation
         #: vector; consulted by PreparedMetaquery.stream()/collect().
         self.request_cache = RequestCache(request_cache) if request_cache else None
+
+    @property
+    def columnar(self) -> bool:
+        """The columnar switch as resolved *right now*.
+
+        Pinned when the engine was built with an explicit
+        ``columnar=True/False``; with the default ``columnar=None`` it
+        follows the ambient switch (``REPRO_COLUMNAR``,
+        :func:`repro.relational.columnar.use_columnar`) at each access,
+        so per-call ablation contexts apply to deferred engines too.
+        """
+        return columnar_switch.resolve(self._columnar_option)
 
     def invalidate_cache(self) -> None:
         """Drop every memoized result — the explicit full reset.

@@ -34,7 +34,18 @@ Correctness notes the kernels rely on (and the property suite pins):
 * Decoding produces tuples *equal* to the set-based path's tuples, and
   ``frozenset`` iteration order depends only on the elements — so every
   downstream iteration-order guarantee (streaming order, SSE wire bytes)
-  is preserved byte-for-byte.
+  is preserved byte-for-byte.  **Known exclusion:** the dictionary
+  interns by semantic equality, so when *equal but distinguishable*
+  values are split across relations (``True`` vs ``1`` vs ``1.0``),
+  decoded kernel outputs carry the first-interned representative while
+  the set-based path carries the operand row's own object — equal
+  answers, but JSON renderings may differ (``true`` vs ``1``).  The
+  dictionary raises its sticky ``unifies_representatives`` flag when
+  this ever happens, and the relation layer then retains original
+  tuples across pickling and cache eviction so *base-relation* values
+  are never swapped; derived (kernel-output) rows keep the
+  representative.  Databases with a single concrete type per semantic
+  value — every shipped workload — are byte-identical throughout.
 * Kernels joining stores encoded under *different* dictionaries (e.g. a
   relation shipped to a pool worker in its own pickle) first translate the
   right operand's codes into the left's dictionary; codes are append-only

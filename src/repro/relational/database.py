@@ -72,11 +72,17 @@ class Database:
         """Add a relation; its name must not already be present."""
         if relation.name in self._relations:
             raise SchemaError(f"relation {relation.name!r} already present in database")
+        # Stamp the shared dictionary as the relation's preferred encoding
+        # dictionary, so a lazy first encode (project/select_eq on a
+        # not-yet-encoded relation) joins the database-wide code space
+        # instead of spawning a private dictionary.
+        relation._dict_hint = self._dictionary
         self._relations[relation.name] = relation
         self._bump(relation.name)
 
     def replace(self, relation: Relation) -> None:
         """Replace (or add) a relation under its own name."""
+        relation._dict_hint = self._dictionary
         self._relations[relation.name] = relation
         self._bump(relation.name)
 
@@ -99,6 +105,7 @@ class Database:
             # join against local relations compares codes directly instead
             # of translating per operation.
             relation._columnar = store.translated(self._dictionary)
+        relation._dict_hint = self._dictionary
         self._relations[relation.name] = relation
         self._generations[relation.name] = generation
         self._mutation_count += 1

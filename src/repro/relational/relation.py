@@ -58,7 +58,7 @@ class Relation:
         Column names, used only when ``schema`` is a plain name string.
     """
 
-    __slots__ = ("_schema", "_tuples", "_index_cache", "_columnar")
+    __slots__ = ("_schema", "_tuples", "_index_cache", "_columnar", "_dict_hint")
 
     def __init__(
         self,
@@ -88,6 +88,11 @@ class Relation:
         self._tuples: frozenset[Row] | None = frozenset(frozen)
         self._index_cache: IndexCache | None = None
         self._columnar: ColumnStore | None = None
+        #: The preferred encoding dictionary for a lazy first encode —
+        #: stamped by the owning Database so unary operations on not-yet-
+        #: encoded relations (project/select_eq) encode under the shared
+        #: database dictionary instead of a fresh private one.
+        self._dict_hint: ValueDictionary | None = None
 
     @classmethod
     def _from_frozen(
@@ -116,6 +121,7 @@ class Relation:
         rel._tuples = tuples
         rel._index_cache = index_cache
         rel._columnar = columnar_store
+        rel._dict_hint = columnar_store.dictionary if columnar_store is not None else None
         return rel
 
     @classmethod
@@ -127,6 +133,7 @@ class Relation:
         rel._tuples = None
         rel._index_cache = None
         rel._columnar = store
+        rel._dict_hint = store.dictionary
         return rel
 
     def _view(self, schema: RelationSchema) -> "Relation":
@@ -148,6 +155,7 @@ class Relation:
         rel._tuples = self._tuples
         rel._index_cache = self._index_cache
         rel._columnar = self._columnar
+        rel._dict_hint = self._dict_hint
         return rel
 
     # ------------------------------------------------------------------
@@ -165,14 +173,27 @@ class Relation:
         """The columnar store, encoding the rows on demand.
 
         ``dictionary`` is the preferred encoding dictionary for a fresh
-        encode (a fresh one is created when ``None``); a store that already
-        exists is returned as-is — kernels translate across dictionaries
+        encode; when ``None``, the owning database's dictionary
+        (``_dict_hint``, stamped by ``Database.add``) is used so unary
+        operations on database relations never spawn private
+        dictionaries, and a fresh one is created only for free-standing
+        relations.  A store that already exists is returned as-is —
+        ``_paired_stores`` translates (and caches) across dictionaries
         when operands disagree.
+
+        Concurrency: two threads may race on the lazy first encode (the
+        async facade evaluates up to ``max_concurrency`` metaqueries over
+        one shared engine).  ``ValueDictionary.intern`` is thread-safe,
+        so both threads build stores with identical codes over the same
+        frozen rows; the losing assignment is overwritten by an
+        equivalent store, never a corrupt one.
         """
         store = self._columnar
         if store is None:
             if dictionary is None:
-                dictionary = ValueDictionary()
+                dictionary = self._dict_hint
+                if dictionary is None:
+                    dictionary = ValueDictionary()
             store = self._columnar = ColumnStore.from_rows(
                 dictionary, self._rows(), self._schema.arity
             )
@@ -190,12 +211,25 @@ class Relation:
         return size >= columnar.MIN_KERNEL_ROWS
 
     def _paired_stores(self, other: "Relation") -> tuple[ColumnStore, ColumnStore]:
-        """Both operands encoded, preferring an already-shared dictionary."""
+        """Both operands encoded under one dictionary, translations cached.
+
+        When both operands are already encoded under *different*
+        dictionaries, the store of the smaller dictionary is translated
+        into the larger (almost always the shared database dictionary)
+        and the translation is **cached back on the relation**, so a hot
+        loop joining the same operand repeatedly translates once instead
+        of building and discarding a temp store per call.
+        """
         preferred = None
         if self._columnar is None and other._columnar is not None:
             preferred = other._columnar.dictionary
         left = self._ensure_columnar(preferred)
         right = other._ensure_columnar(left.dictionary)
+        if left.dictionary is not right.dictionary:
+            if len(left.dictionary) >= len(right.dictionary):
+                right = other._columnar = right.translated(left.dictionary)
+            else:
+                left = self._columnar = left.translated(right.dictionary)
         return left, right
 
     def release_indexes(self) -> None:
@@ -204,14 +238,19 @@ class Relation:
         Clears the value-keyed index cache *in place* (renamed views alias
         the same dict) and the columnar store's bucket-index and
         decoded-rows caches; an encoded relation also drops its
-        materialized tuples, which decode again on demand.  Called by the
-        cache-eviction hooks of the lifecycle layer.
+        materialized tuples, which decode again on demand — *unless* the
+        dictionary has unified equal-but-distinguishable values
+        (``1``/``True``/``1.0`` split across relations), in which case
+        re-decoding could swap a value for a cross-relation
+        representative, so the original tuples are retained.  Called by
+        the cache-eviction hooks of the lifecycle layer.
         """
         if self._index_cache is not None:
             self._index_cache.clear()
         if self._columnar is not None:
             self._columnar.release()
-            self._tuples = None
+            if not self._columnar.dictionary.unifies_representatives:
+                self._tuples = None
 
     def _hash_index(self, positions: tuple[int, ...]) -> dict:
         """The lazily built hash index on the given column positions."""
@@ -230,6 +269,12 @@ class Relation:
         if self._columnar is not None:
             # The encoded form is the compact one, and pickle's memo shares
             # one ValueDictionary across all relations in the same payload.
+            # When the dictionary has unified equal-but-distinguishable
+            # values, decoding on the other side could substitute a
+            # cross-relation representative (1 for True), so the exact
+            # tuples ride along when they are materialized.
+            if self._columnar.dictionary.unifies_representatives:
+                return (self._schema, self._tuples, self._columnar)
             return (self._schema, None, self._columnar)
         return (self._schema, self._tuples, None)
 
@@ -238,6 +283,7 @@ class Relation:
     ) -> None:
         self._schema, self._tuples, self._columnar = state
         self._index_cache = None
+        self._dict_hint = self._columnar.dictionary if self._columnar is not None else None
 
     # ------------------------------------------------------------------
     # basic accessors

@@ -1,0 +1,238 @@
+"""ValueDictionary invariants: concurrent interning and representative
+faithfulness (the REVIEW findings on the columnar storage PR).
+
+The dictionary is shared per-Database and mutated lazily during
+evaluation, while AsyncMetaqueryEngine runs up to ``max_concurrency``
+evaluations over one shared engine in worker threads — so ``intern`` must
+be safe under concurrent callers, and equal-but-distinguishable values
+(``True`` vs ``1`` vs ``1.0``) must never silently replace base-relation
+values across pickling or cache eviction.
+"""
+
+import pickle
+import threading
+
+from repro.relational import columnar
+from repro.relational.database import Database
+from repro.relational.dictionary import ValueDictionary
+from repro.relational.relation import Relation
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestConcurrentIntern:
+    def test_concurrent_intern_stays_bijective(self):
+        """Racing interns of overlapping new values never share a code."""
+        dictionary = ValueDictionary()
+        n_threads = 8
+        per_thread = 2_000
+        universe = 3_000
+        barrier = threading.Barrier(n_threads)
+        observed: list[dict[str, int]] = [{} for _ in range(n_threads)]
+
+        def worker(k: int):
+            def run():
+                got = observed[k]
+                barrier.wait()
+                # Stride the universe differently per thread so threads
+                # constantly race on values new to all of them.
+                for i in range(per_thread):
+                    value = f"v{(i * (k + 1) + k * 37) % universe}"
+                    got[value] = dictionary.intern(value)
+
+            return run
+
+        _run_threads([worker(k) for k in range(n_threads)])
+
+        # The table is a bijection: distinct values, dense codes, and the
+        # two directions agree.
+        values = dictionary.values
+        assert len(values) == len(set(values))
+        for code, value in enumerate(values):
+            assert dictionary.code_of(value) == code
+            assert dictionary.value_of(code) == value
+        # Every code handed to any thread decodes back to the value that
+        # thread interned — the corruption mode of the unlocked version.
+        for got in observed:
+            for value, code in got.items():
+                assert dictionary.value_of(code) == value
+
+    def test_concurrent_lazy_encode_over_shared_dictionary(self):
+        """Threads lazily encoding relations under one database dictionary
+        (the AsyncMetaqueryEngine scenario) decode back exactly."""
+        shared = ValueDictionary()
+        relations = [
+            Relation.from_rows(
+                f"R{k}",
+                ("a", "b"),
+                [(f"x{i % 60}", f"y{(i * 7 + k) % 90}") for i in range(300)],
+            )
+            for k in range(8)
+        ]
+        originals = [rel.tuples for rel in relations]
+        barrier = threading.Barrier(len(relations))
+
+        def worker(rel: Relation):
+            def run():
+                barrier.wait()
+                rel._ensure_columnar(shared)
+
+            return run
+
+        _run_threads([worker(rel) for rel in relations])
+
+        for rel, original in zip(relations, originals):
+            assert rel._columnar is not None
+            assert rel._columnar.decode() == original
+        values = shared.values
+        assert len(values) == len(set(values))
+        for code, value in enumerate(values):
+            assert shared.code_of(value) == code
+
+
+class TestRepresentativeUnification:
+    def test_flag_set_by_distinguishable_equal_values(self):
+        d = ValueDictionary()
+        assert d.intern(1) == d.intern(True) == d.intern(1.0)
+        assert d.unifies_representatives
+
+    def test_flag_not_set_by_plain_reinterning(self):
+        d = ValueDictionary()
+        for value in ("a", "a", 1, 1, (1, "a"), (1, "a"), 2.5, 2.5):
+            d.intern(value)
+        assert not d.unifies_representatives
+
+    def test_flag_set_by_signed_zero(self):
+        d = ValueDictionary()
+        d.intern(0.0)
+        d.intern(-0.0)
+        assert d.unifies_representatives
+
+    def test_flag_survives_pickling(self):
+        d = ValueDictionary()
+        d.intern(True)
+        d.intern(1)
+        clone = pickle.loads(pickle.dumps(d))
+        assert clone.unifies_representatives
+        assert clone.values == d.values
+        # and the rebuilt table still interns consistently
+        assert clone.intern(True) == 0
+
+    def _mixed_database(self) -> Database:
+        db = Database(
+            [
+                Relation.from_rows("B", ("x",), [(True,), (False,)]),
+                Relation.from_rows("N", ("x",), [(1,), (0,)]),
+            ]
+        )
+        for rel in db:
+            rel._ensure_columnar(db.dictionary)
+        assert db.dictionary.unifies_representatives
+        return db
+
+    def test_pickle_keeps_base_relation_value_types(self):
+        """A pickled encoded relation must not decode 1 as True (or vice
+        versa) on the other side of the boundary."""
+        db = self._mixed_database()
+        clone = pickle.loads(pickle.dumps(db))
+        assert {type(v) for (v,) in clone["B"].tuples} == {bool}
+        assert {type(v) for (v,) in clone["N"].tuples} == {int}
+        assert clone["B"].tuples == db["B"].tuples
+        assert clone["N"].tuples == db["N"].tuples
+
+    def test_cache_eviction_keeps_base_relation_value_types(self):
+        """release_indexes() must not swap evicted tuples for the
+        cross-relation representative on re-decode."""
+        db = self._mixed_database()
+        for rel in db:
+            rel.release_indexes()
+        assert {type(v) for (v,) in db["B"].tuples} == {bool}
+        assert {type(v) for (v,) in db["N"].tuples} == {int}
+
+    def test_eviction_still_drops_tuples_without_unification(self):
+        """The compact-eviction behaviour is preserved for clean
+        dictionaries (every shipped workload)."""
+        db = Database([Relation.from_rows("R", ("x",), [(1,), (2,)])])
+        rel = db["R"]
+        rel._ensure_columnar(db.dictionary)
+        rel.release_indexes()
+        assert rel._tuples is None
+        assert rel.tuples == frozenset({(1,), (2,)})
+
+    def test_mixed_types_algebra_is_set_equal(self, monkeypatch):
+        """Known exclusion, pinned: with bool/int split across relations
+        the kernels still produce *equal* answers (JSON renderings may
+        differ — documented in repro.relational.columnar)."""
+        monkeypatch.setattr(columnar, "MIN_KERNEL_ROWS", 0)
+        left = Relation.from_rows("L", ("a", "b"), [(True, "p"), (0, "q"), (2, "r")])
+        right = Relation.from_rows("R", ("a", "c"), [(1, "u"), (False, "v"), (3, "w")])
+        with columnar.use_columnar(True):
+            kernel = left.natural_join(right)
+        with columnar.use_columnar(False):
+            set_based = left.natural_join(right)
+        assert kernel == set_based
+        assert kernel.tuples == set_based.tuples
+
+
+class TestDictionaryThreading:
+    def test_database_relations_encode_under_shared_dictionary(self, monkeypatch):
+        """project/select_eq on a not-yet-encoded database relation must
+        join the database-wide code space, not a private dictionary."""
+        monkeypatch.setattr(columnar, "MIN_KERNEL_ROWS", 0)
+        db = Database(
+            [Relation.from_rows("R", ("a", "b"), [(i, i % 5) for i in range(40)])]
+        )
+        rel = db["R"]
+        assert rel._columnar is None
+        with columnar.use_columnar(True):
+            projected = rel.project(("a",))
+            selected = rel.select_eq("b", 3)
+        assert rel._columnar is not None
+        assert rel._columnar.dictionary is db.dictionary
+        assert projected._columnar.dictionary is db.dictionary
+        assert selected._columnar.dictionary is db.dictionary
+
+    def test_replace_stamps_dictionary_hint(self, monkeypatch):
+        monkeypatch.setattr(columnar, "MIN_KERNEL_ROWS", 0)
+        db = Database([Relation.from_rows("R", ("a",), [(1,)])])
+        db.replace(Relation.from_rows("R", ("a",), [(i,) for i in range(10)]))
+        with columnar.use_columnar(True):
+            db["R"].project(("a",))
+        assert db["R"]._columnar.dictionary is db.dictionary
+
+    def test_paired_stores_cache_the_translation(self, monkeypatch):
+        """Joining operands encoded under different dictionaries caches
+        the translated store instead of rebuilding it per call."""
+        monkeypatch.setattr(columnar, "MIN_KERNEL_ROWS", 0)
+        big = Relation.from_rows("L", ("a", "b"), [(i, i % 7) for i in range(30)])
+        small = Relation.from_rows("S", ("b", "c"), [(1, "x"), (2, "y")])
+        big._ensure_columnar(None)
+        small._ensure_columnar(None)
+        big_dictionary = big._columnar.dictionary
+        assert small._columnar.dictionary is not big_dictionary
+        with columnar.use_columnar(True):
+            first = big.natural_join(small)
+        # the smaller dictionary's store was translated and cached
+        assert small._columnar.dictionary is big_dictionary
+        translated = small._columnar
+        with columnar.use_columnar(True):
+            second = big.natural_join(small)
+        assert small._columnar is translated
+        assert first == second
+
+    def test_views_share_the_hint(self, monkeypatch):
+        monkeypatch.setattr(columnar, "MIN_KERNEL_ROWS", 0)
+        db = Database(
+            [Relation.from_rows("R", ("a", "b"), [(i, i % 3) for i in range(20)])]
+        )
+        view = db["R"].rename_columns({"a": "z"})
+        with columnar.use_columnar(True):
+            view.project(("z",))
+        assert view._columnar is not None
+        assert view._columnar.dictionary is db.dictionary
